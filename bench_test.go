@@ -1,0 +1,228 @@
+package repro
+
+// One benchmark per reproduced table/figure of the paper (the IDs
+// follow DESIGN.md §4). Each benchmark regenerates the corresponding
+// result and reports domain-specific metrics alongside the usual
+// ns/op. Run a single pass with:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+//
+// cmd/tables prints the same tables human-readably.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// BenchmarkTable1_NAFTARuleBases compiles the 11 NAFTA rule bases and
+// reports the total rule-table memory (paper Table 1).
+func BenchmarkTable1_NAFTARuleBases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.Rows() != 11 {
+			b.Fatalf("rows = %d", tb.Rows())
+		}
+	}
+}
+
+// BenchmarkTable2_ROUTECRuleBases compiles the 4 ROUTE_C rule bases
+// for the paper's d=6, a=2 configuration (paper Table 2, total 2960
+// bits).
+func BenchmarkTable2_ROUTECRuleBases(b *testing.B) {
+	var total int64
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, total, err = experiments.Table2(6, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(total), "table-bits")
+}
+
+// BenchmarkE3_RegisterBits accounts the register files of both
+// algorithms (paper in-text: NAFTA 159 bits/47 ft; ROUTE_C
+// 15d+2logd+3).
+func BenchmarkE3_RegisterBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3Registers(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_DecisionSteps measures rule interpretations per routing
+// decision in live simulations (paper: NARA 1, NAFTA 1..3, ROUTE_C 2).
+func BenchmarkE4_DecisionSteps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.E4Steps()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.Rows() != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkE5_MergedTableBlowup sizes the monolithic
+// decide_dir+decide_vc table against the split bases (paper in-text:
+// 1024*2^d x (d+1+a) bits).
+func BenchmarkE5_MergedTableBlowup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5Merged(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_FaultChainKnowledge reproduces the Figure 2 scenario:
+// purposiveness at a fault chain vs the per-node state budget.
+func BenchmarkE6_FaultChainKnowledge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.E6FaultChain(12, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tb.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkE7_LatencyVsLoad sweeps offered load for the mesh and
+// hypercube algorithm families (the motivating competitive claim).
+func BenchmarkE7_LatencyVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.E7LatencyVsLoad(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_FaultDegradation sweeps the fault count (conditions 1-3:
+// graceful degradation vs the baselines).
+func BenchmarkE8_FaultDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.E8Degradation(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_DecisionTimeImpact sweeps the per-step decision cycles
+// (the [DLO97] decision-time claim).
+func BenchmarkE9_DecisionTimeImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9DecisionTime(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_Ablations runs the design-choice ablations (convex
+// completion, adaptivity criterion, ARON direct indexing).
+func BenchmarkE10_Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10Ablations(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_NegHopVsState contrasts the negative-hop VC budget
+// against NAFTA's fault-state design (Section 3 deadlock-avoidance
+// economics).
+func BenchmarkE11_NegHopVsState(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E11NegHop(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: cycles
+// per second of a loaded 16x16 mesh under NAFTA (useful when sizing
+// larger studies).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := topology.NewMesh(16, 16)
+	f := fault.NewSet()
+	f.FailNode(m.Node(7, 7))
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Graph: m, Algorithm: routing.NewNAFTA(m), Faults: f,
+			Rate: 0.2, Length: 8, Seed: int64(i),
+			WarmupCycles: 200, MeasureCycles: 1000, DrainCycles: 20000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkRouteDecision measures one NAFTA routing decision (the
+// software-model cost of what the rule interpreter does in a few
+// cycles).
+func BenchmarkRouteDecision(b *testing.B) {
+	m := topology.NewMesh(16, 16)
+	alg := routing.NewNAFTA(m)
+	f := fault.NewSet()
+	f.FailNode(m.Node(7, 7))
+	f.FailNode(m.Node(8, 8))
+	alg.UpdateFaults(f)
+	hdr := &routing.Header{Src: m.Node(0, 0), Dst: m.Node(15, 15), Length: 8}
+	req := routing.Request{Node: m.Node(3, 3), InPort: topology.West, Hdr: hdr}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cands := alg.Route(req); len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkDiagnosisFixpoint measures a full fault-state recomputation
+// (the diagnosis phase of assumption iv) on a 16x16 mesh.
+func BenchmarkDiagnosisFixpoint(b *testing.B) {
+	m := topology.NewMesh(16, 16)
+	alg := routing.NewNAFTA(m)
+	f, err := fault.Random(m, fault.RandomOptions{Nodes: 8, Seed: 3, KeepConnected: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.UpdateFaults(f)
+	}
+}
+
+// BenchmarkE12_Reconfiguration measures the disruption of a mid-run
+// fault: global tree rebuild vs NAFTA's local state propagation.
+func BenchmarkE12_Reconfiguration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E12Reconfiguration(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13_MarkedPriority measures the Section 3 fairness policy
+// for fault-detoured messages.
+func BenchmarkE13_MarkedPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E13MarkedPriority(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

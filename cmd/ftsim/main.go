@@ -1,0 +1,244 @@
+// Command ftsim runs one wormhole-network simulation and reports its
+// steady-state statistics:
+//
+//	ftsim -topo mesh16x16 -alg nafta -rate 0.15 -faults 4
+//	ftsim -topo cube6 -alg routec -rate 0.10 -faults 3 -pattern bitreverse
+//
+// Topologies: meshWxH, cubeD, torusWxH. Algorithms: xy, nara, nafta,
+// rule-nafta, tree, ecube, routec, rule-routec, routec-nft, neghop.
+// Patterns: uniform,
+// transpose, bitcomplement, bitreverse, tornado, hotspot, neighbor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/rulesets"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	topo := flag.String("topo", "mesh16x16", "topology (meshWxH, cubeD, torusWxH)")
+	algName := flag.String("alg", "nafta", "routing algorithm")
+	patName := flag.String("pattern", "uniform", "traffic pattern")
+	rate := flag.Float64("rate", 0.10, "offered load in flits/node/cycle")
+	length := flag.Int("length", 8, "message length in flits")
+	faultNodes := flag.Int("faults", 0, "random node faults")
+	faultLinks := flag.Int("flinks", 0, "random link faults")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	warmup := flag.Int64("warmup", 1000, "warm-up cycles")
+	measure := flag.Int64("measure", 4000, "measurement cycles")
+	decision := flag.Int("decision", 1, "cycles per rule-interpretation step")
+	flag.Parse()
+
+	g, err := parseTopo(*topo)
+	if err != nil {
+		die(err)
+	}
+	alg, attach, err := parseAlg(*algName, g)
+	if err != nil {
+		die(err)
+	}
+	pat, err := parsePattern(*patName, g)
+	if err != nil {
+		die(err)
+	}
+	var f *fault.Set
+	if *faultNodes > 0 || *faultLinks > 0 {
+		f, err = fault.Random(g, fault.RandomOptions{
+			Nodes: *faultNodes, Links: *faultLinks, Seed: *seed, KeepConnected: true,
+		})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("injected", f)
+	}
+
+	cfg := sim.Config{
+		Graph: g, Algorithm: alg, Pattern: pat,
+		Rate: *rate, Length: *length, Seed: *seed,
+		Faults:                f,
+		WarmupCycles:          *warmup,
+		MeasureCycles:         *measure,
+		DecisionCyclesPerStep: *decision,
+	}
+	_ = attach // the sim package wires the load view internally via network.New
+	res, err := sim.Run(cfg)
+	if err != nil {
+		die(err)
+	}
+	st := res.Stats
+	fmt.Printf("topology        %s (%d nodes)\n", g.Name(), g.Nodes())
+	fmt.Printf("algorithm       %s (%d VCs)\n", alg.Name(), alg.NumVCs())
+	fmt.Printf("pattern/load    %s @ %.3f flits/node/cycle, length %d\n", pat.Name(), *rate, *length)
+	fmt.Printf("measured cycles %d\n", st.Cycles)
+	fmt.Printf("delivered       %d (ratio %.4f)\n", st.Delivered, st.DeliveredRatio())
+	fmt.Printf("dropped/killed  %d / %d\n", st.Dropped, st.Killed)
+	fmt.Printf("avg latency     %.2f cycles (network %.2f)\n", st.AvgLatency(), st.AvgNetLatency())
+	fmt.Printf("throughput      %.4f flits/node/cycle\n", res.Throughput())
+	fmt.Printf("avg hops        %.2f, misroutes/msg %.3f, marked %d\n",
+		safeDiv(float64(st.HopsSum), float64(st.Delivered)),
+		safeDiv(float64(st.MisroutesSum), float64(st.Delivered)), st.MarkedCount)
+	fmt.Printf("interp steps    %.2f per message\n", st.AvgSteps())
+	fmt.Printf("queue growth    %d, drained %v\n", res.QueueGrowth, res.Drained)
+	if st.DeadlockSuspected {
+		fmt.Println("WARNING: deadlock suspected")
+		os.Exit(2)
+	}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ftsim:", err)
+	os.Exit(1)
+}
+
+func parseTopo(s string) (topology.Graph, error) {
+	switch {
+	case strings.HasPrefix(s, "mesh"):
+		var w, h int
+		if _, err := fmt.Sscanf(s, "mesh%dx%d", &w, &h); err != nil {
+			return nil, fmt.Errorf("bad mesh spec %q", s)
+		}
+		return topology.NewMesh(w, h), nil
+	case strings.HasPrefix(s, "torus"):
+		var w, h int
+		if _, err := fmt.Sscanf(s, "torus%dx%d", &w, &h); err != nil {
+			return nil, fmt.Errorf("bad torus spec %q", s)
+		}
+		return topology.NewTorus(w, h), nil
+	case strings.HasPrefix(s, "irreg"):
+		var n, extra int
+		if _, err := fmt.Sscanf(s, "irreg%d+%d", &n, &extra); err != nil {
+			return nil, fmt.Errorf("bad irregular spec %q (want irregN+E)", s)
+		}
+		return topology.RandomIrregular(n, extra, 1)
+	case strings.HasPrefix(s, "cube"):
+		var d int
+		if _, err := fmt.Sscanf(s, "cube%d", &d); err != nil {
+			return nil, fmt.Errorf("bad cube spec %q", s)
+		}
+		return topology.NewHypercube(d), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", s)
+}
+
+func parseAlg(s string, g topology.Graph) (routing.Algorithm, func(*network.Network), error) {
+	mesh, isMesh := g.(*topology.Mesh)
+	cube, isCube := g.(*topology.Hypercube)
+	switch s {
+	case "xy":
+		if !isMesh {
+			return nil, nil, fmt.Errorf("xy needs a mesh")
+		}
+		return routing.NewXY(mesh), nil, nil
+	case "nara":
+		if !isMesh {
+			return nil, nil, fmt.Errorf("nara needs a mesh")
+		}
+		return routing.NewNARA(mesh), nil, nil
+	case "nafta":
+		if !isMesh {
+			return nil, nil, fmt.Errorf("nafta needs a mesh")
+		}
+		return routing.NewNAFTA(mesh), nil, nil
+	case "rule-nafta":
+		if !isMesh {
+			return nil, nil, fmt.Errorf("rule-nafta needs a mesh")
+		}
+		alg, err := rulesets.NewRuleNAFTA(mesh)
+		if err != nil {
+			return nil, nil, err
+		}
+		return alg, func(n *network.Network) { alg.AttachLoads(n) }, nil
+	case "tree":
+		return routing.NewTree(g), nil, nil
+	case "updown":
+		return routing.NewUpDown(g), nil, nil
+	case "torusdor":
+		torus, isTorus := g.(*topology.Torus)
+		if !isTorus {
+			return nil, nil, fmt.Errorf("torusdor needs a torus")
+		}
+		return routing.NewTorusDOR(torus), nil, nil
+	case "ecube":
+		if !isCube {
+			return nil, nil, fmt.Errorf("ecube needs a hypercube")
+		}
+		return routing.NewECube(cube), nil, nil
+	case "routec":
+		if !isCube {
+			return nil, nil, fmt.Errorf("routec needs a hypercube")
+		}
+		return routing.NewRouteC(cube), nil, nil
+	case "rule-routec":
+		if !isCube {
+			return nil, nil, fmt.Errorf("rule-routec needs a hypercube")
+		}
+		alg, err := rulesets.NewRuleRouteC(cube)
+		if err != nil {
+			return nil, nil, err
+		}
+		return alg, nil, nil
+	case "neghop":
+		alg, err := routing.NewNegHop(g, g.Ports()*3)
+		if err != nil {
+			return nil, nil, err
+		}
+		return alg, nil, nil
+	case "routec-nft":
+		if !isCube {
+			return nil, nil, fmt.Errorf("routec-nft needs a hypercube")
+		}
+		return routing.NewRouteCNFT(cube), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func parsePattern(s string, g topology.Graph) (traffic.Pattern, error) {
+	mesh, isMesh := g.(*topology.Mesh)
+	switch s {
+	case "uniform":
+		return traffic.Uniform{Nodes: g.Nodes()}, nil
+	case "transpose":
+		if !isMesh {
+			return nil, fmt.Errorf("transpose needs a mesh")
+		}
+		return traffic.Transpose{Mesh: mesh}, nil
+	case "bitcomplement":
+		return traffic.BitComplement{Nodes: g.Nodes()}, nil
+	case "bitreverse":
+		bits := 0
+		for 1<<bits < g.Nodes() {
+			bits++
+		}
+		if 1<<bits != g.Nodes() {
+			return nil, fmt.Errorf("bitreverse needs a power-of-two node count")
+		}
+		return traffic.BitReverse{Bits: bits}, nil
+	case "tornado":
+		if !isMesh {
+			return nil, fmt.Errorf("tornado needs a mesh")
+		}
+		return traffic.Tornado{Mesh: mesh}, nil
+	case "hotspot":
+		return traffic.Hotspot{Nodes: g.Nodes(), Hot: []topology.NodeID{0}, Fraction: 0.2}, nil
+	case "neighbor":
+		return traffic.Neighbor{Graph: g}, nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", s)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestParseTopo(t *testing.T) {
+	g, err := parseTopo("mesh8x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := g.(*topology.Mesh); !ok || m.W != 8 || m.H != 4 {
+		t.Fatalf("parsed %v", g)
+	}
+	g, err = parseTopo("cube5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := g.(*topology.Hypercube); !ok || h.Dim != 5 {
+		t.Fatalf("parsed %v", g)
+	}
+	g, err = parseTopo("torus6x6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.(*topology.Torus); !ok {
+		t.Fatalf("parsed %v", g)
+	}
+	for _, bad := range []string{"", "ring8", "mesh8", "cube", "meshAxB"} {
+		if _, err := parseTopo(bad); err == nil {
+			t.Errorf("parseTopo(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	cube := topology.NewHypercube(4)
+	for _, name := range []string{"xy", "nara", "nafta", "rule-nafta", "tree", "neghop"} {
+		alg, _, err := parseAlg(name, mesh)
+		if err != nil || alg == nil {
+			t.Errorf("parseAlg(%q, mesh): %v", name, err)
+		}
+	}
+	for _, name := range []string{"ecube", "routec", "rule-routec", "routec-nft", "tree", "neghop"} {
+		alg, _, err := parseAlg(name, cube)
+		if err != nil || alg == nil {
+			t.Errorf("parseAlg(%q, cube): %v", name, err)
+		}
+	}
+	// Topology mismatches must be rejected.
+	if _, _, err := parseAlg("xy", cube); err == nil {
+		t.Error("xy on a cube should fail")
+	}
+	if _, _, err := parseAlg("routec", mesh); err == nil {
+		t.Error("routec on a mesh should fail")
+	}
+	if _, _, err := parseAlg("nosuch", mesh); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	cube := topology.NewHypercube(4)
+	for _, name := range []string{"uniform", "transpose", "bitcomplement", "bitreverse", "tornado", "hotspot", "neighbor"} {
+		if _, err := parsePattern(name, mesh); err != nil {
+			t.Errorf("parsePattern(%q, mesh): %v", name, err)
+		}
+	}
+	for _, name := range []string{"uniform", "bitcomplement", "bitreverse", "hotspot", "neighbor"} {
+		if _, err := parsePattern(name, cube); err != nil {
+			t.Errorf("parsePattern(%q, cube): %v", name, err)
+		}
+	}
+	if _, err := parsePattern("transpose", cube); err == nil {
+		t.Error("transpose on a cube should fail")
+	}
+	if _, err := parsePattern("bitreverse", topology.NewMesh(3, 3)); err == nil {
+		t.Error("bitreverse on 9 nodes should fail")
+	}
+	if _, err := parsePattern("nosuch", mesh); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}

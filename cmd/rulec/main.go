@@ -1,0 +1,129 @@
+// Command rulec is the paper's "Rule Compiler": it parses a rule
+// program, type-checks it, compiles every rule base to its ARON rule
+// table and prints the hardware cost report (table dimensions, FCFB
+// inventory, register bits).
+//
+//	rulec program.rules        # compile a file
+//	rulec -builtin nafta       # compile a bundled program
+//	rulec -builtin routec -d 6 -a 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+	"repro/internal/rulesets"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "bundled program: nara, nafta, routec, routec-nft")
+	d := flag.Int("d", 6, "hypercube dimension (routec)")
+	a := flag.Int("a", 2, "adaptivity command bits (routec)")
+	dump := flag.Bool("dump", false, "print the program source before the report")
+	optimize := flag.Bool("optimize", false, "run the semantics-preserving transformations (constant folding, dead-rule elimination) and report them")
+	emit := flag.Bool("emit", false, "print the (possibly optimised) program as source after the report")
+	saveCfg := flag.String("savecfg", "", "directory to write per-rule-base configuration data into")
+	flag.Parse()
+
+	var src, name string
+	switch *builtin {
+	case "nara":
+		src, name = rulesets.NARASource(), "NARA"
+	case "nafta":
+		src, name = rulesets.NAFTASource(), "NAFTA"
+	case "routec":
+		src, name = rulesets.RouteCSource(*d, *a), fmt.Sprintf("ROUTE_C (d=%d, a=%d)", *d, *a)
+	case "routec-nft":
+		src, name = rulesets.RouteCNFTSource(*d, *a), fmt.Sprintf("ROUTE_C-nft (d=%d, a=%d)", *d, *a)
+	case "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: rulec [-builtin name] [file.rules]")
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			die(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		die(fmt.Errorf("unknown builtin %q", *builtin))
+	}
+	if *dump {
+		fmt.Println(src)
+	}
+
+	prog, err := rules.Parse(src)
+	if err != nil {
+		die(err)
+	}
+	checked, err := rules.Analyze(prog)
+	if err != nil {
+		die(err)
+	}
+	if *optimize {
+		opt, reports, err := core.OptimizeProgram(checked, core.CompileOptions{})
+		if err != nil {
+			die(err)
+		}
+		for _, rep := range reports {
+			if len(rep.Removed) == 0 && rep.FoldedPremises == 0 {
+				continue
+			}
+			fmt.Printf("optimised %s: removed rules %v, folded %d premises\n",
+				rep.Base, rep.Removed, rep.FoldedPremises)
+		}
+		checked = opt
+	}
+
+	pc, err := core.AnalyzeCost(checked, core.CompileOptions{})
+	if err != nil {
+		die(err)
+	}
+
+	tb := metrics.NewTable(fmt.Sprintf("Rule bases of %s", name),
+		"name", "rules", "size", "bits", "FCFBs")
+	for _, b := range pc.Bases {
+		tb.AddRow(b.Name, b.Rules, b.Dim(), b.MemoryBits, b.FCFBString())
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("total rule-table bits: %d\n", pc.TotalTableBits)
+	fmt.Printf("registers: %d holding %d bits\n", pc.Registers.Registers, pc.Registers.Bits)
+	for _, v := range pc.Registers.PerVar {
+		fmt.Printf("  %-24s %4d bits\n", v.Name, v.Bits)
+	}
+	if *saveCfg != "" {
+		for _, rb := range checked.Prog.RuleBases {
+			cb, err := core.CompileBase(checked, rb.Event, core.CompileOptions{})
+			if err != nil {
+				die(err)
+			}
+			path := filepath.Join(*saveCfg, rb.Event+".cfg")
+			f, err := os.Create(path)
+			if err != nil {
+				die(err)
+			}
+			if err := cb.SaveConfig(f); err != nil {
+				f.Close()
+				die(err)
+			}
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+			fmt.Printf("wrote %s (%d entries)\n", path, cb.Entries)
+		}
+	}
+	if *emit {
+		fmt.Println()
+		fmt.Print(rules.ProgramString(checked.Prog))
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "rulec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command tables regenerates every quantitative table and figure of
+// the paper (see DESIGN.md for the experiment index):
+//
+//	tables -exp T1        # Table 1: NAFTA rule bases
+//	tables -exp all       # everything
+//	tables -exp E7 -full  # full-resolution load sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1, T2, E3..E13 or 'all')")
+	full := flag.Bool("full", false, "full-resolution sweeps (slower)")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	quick := !*full
+	sel := strings.ToUpper(*exp)
+	want := func(id string) bool { return sel == "ALL" || sel == id }
+	print := func(tb *metrics.Table) {
+		if *csv {
+			fmt.Printf("# %s\n%s\n", tb.Title, tb.CSV())
+			return
+		}
+		fmt.Println(tb.String())
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	if want("T1") {
+		tb, err := experiments.Table1()
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("T2") {
+		tb, total, err := experiments.Table2(6, 2)
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+		fmt.Printf("total rule-table bits: %d (paper: 2960)\n\n", total)
+	}
+	if want("E3") {
+		tb, err := experiments.E3Registers()
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E4") {
+		tb, err := experiments.E4Steps()
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E5") {
+		tb, err := experiments.E5Merged()
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E6") {
+		tb, err := experiments.E6FaultChain(12, 8)
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E7") {
+		mesh, cube, err := experiments.E7LatencyVsLoad(quick)
+		if err != nil {
+			fail(err)
+		}
+		print(mesh)
+		print(cube)
+	}
+	if want("E8") {
+		mesh, cube, err := experiments.E8Degradation(quick)
+		if err != nil {
+			fail(err)
+		}
+		print(mesh)
+		print(cube)
+	}
+	if want("E9") {
+		tb, err := experiments.E9DecisionTime(quick)
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E11") {
+		tb, err := experiments.E11NegHop(quick)
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E12") {
+		tb, err := experiments.E12Reconfiguration(quick)
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E13") {
+		tb, err := experiments.E13MarkedPriority(quick)
+		if err != nil {
+			fail(err)
+		}
+		print(tb)
+	}
+	if want("E10") {
+		tabs, err := experiments.E10Ablations(quick)
+		if err != nil {
+			fail(err)
+		}
+		for _, tb := range tabs {
+			print(tb)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "A Flexible
+// Approach for a Fault-Tolerant Router" (Döring, Obelöer, Lustig,
+// Maehle; IPPS/IPDPS Workshops 1998).
+//
+// The library implements the paper's rule-based routing architecture
+// (rule language, ARON table compiler, rule-interpreter machine and
+// hardware cost model), the two case-study fault-tolerant routing
+// algorithms NAFTA (2-D mesh) and ROUTE_C (hypercube) together with
+// their non-fault-tolerant cores, a flit-level wormhole network
+// simulator with virtual channels and fault injection, and the
+// complete evaluation harness that regenerates the paper's tables.
+//
+// See README.md for the architecture overview, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured results. The benchmarks in bench_test.go (one per
+// table/figure) and cmd/tables regenerate every quantitative result.
+package repro

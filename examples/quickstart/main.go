@@ -1,0 +1,67 @@
+// Quickstart: simulate a fault-tolerant wormhole network in a few
+// lines — an 8x8 mesh routed by NAFTA, uniform traffic, one fault
+// injected while traffic flows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// 1. Topology and routing algorithm.
+	mesh := topology.NewMesh(8, 8)
+	alg := routing.NewNAFTA(mesh)
+
+	// 2. The cycle-driven wormhole network.
+	net := network.New(network.Config{Graph: mesh, Algorithm: alg})
+
+	// 3. Uniform Bernoulli traffic at 0.1 flits/node/cycle.
+	gen := &traffic.Generator{
+		Graph:   mesh,
+		Pattern: traffic.Uniform{Nodes: mesh.Nodes()},
+		Rate:    0.1,
+		Length:  8,
+		Rng:     rand.New(rand.NewSource(1)),
+	}
+
+	// 4. Run 1000 cycles, then break a router in the middle of the
+	// mesh while messages are in flight.
+	for i := 0; i < 1000; i++ {
+		gen.Tick(net)
+		net.Step()
+	}
+	f := fault.NewSet()
+	f.FailNode(mesh.Node(4, 4))
+	net.ApplyFaults(f) // diagnosis runs to its fixpoint before traffic resumes
+	fmt.Println("injected fault:", f)
+
+	// 5. Keep the load up for another 2000 cycles; traffic now avoids
+	// the failed router.
+	gen.Exclude = func(n topology.NodeID) bool { return f.NodeFaulty(n) }
+	for i := 0; i < 2000; i++ {
+		gen.Tick(net)
+		net.Step()
+	}
+	if !net.Drain(100000) {
+		log.Fatal("network did not drain")
+	}
+
+	st := net.Stats()
+	fmt.Printf("delivered %d of %d messages (%.2f%%)\n",
+		st.Delivered, st.Injected, 100*float64(st.Delivered)/float64(st.Injected))
+	fmt.Printf("killed by the fault event: %d (reinjected by higher layers)\n", st.Killed)
+	fmt.Printf("avg latency %.1f cycles, %.2f misroutes per delivered message\n",
+		st.AvgLatency(), float64(st.MisroutesSum)/float64(st.Delivered))
+	if st.DeadlockSuspected {
+		log.Fatal("deadlock suspected")
+	}
+	fmt.Println("no deadlock; fault-tolerant routing kept the mesh alive")
+}

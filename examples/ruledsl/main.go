@@ -1,0 +1,119 @@
+// Ruledsl: author a custom routing algorithm in the rule language,
+// compile it with the ARON compiler, inspect the hardware cost and
+// execute decisions both through the reference evaluator and the
+// compiled rule table — the full "flexible router" workflow of the
+// paper. The example algorithm is a small west-first mesh router with
+// a congestion rule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// A west-first routing algorithm (turn model): all west hops first,
+// then fully adaptive among the remaining profitable directions, with
+// a load tie-break. Directions: 0=north, 1=east, 2=south, 3=west.
+const source = `
+CONSTANT dirs = 4
+CONSTANT signs = {neg, zero, pos}
+
+INPUT dxsign IN signs
+INPUT dysign IN signs
+INPUT load (dirs) IN 0 TO 15
+INPUT free (dirs) IN 0 TO 1
+
+VARIABLE served (dirs) IN 0 TO 255
+
+ON decide(invc IN 0 TO 1)
+  -- west-first: any westward component must be resolved first
+  IF dxsign = neg AND free(3) = 1 THEN
+     RETURN(3), served(3) <- served(3) + 1;
+  -- east vs vertical, least-loaded wins (east on ties)
+  IF dxsign = pos AND free(1) = 1 AND
+     NOT (dysign = pos AND free(0) = 1 AND load(0) < load(1)) AND
+     NOT (dysign = neg AND free(2) = 1 AND load(2) < load(1)) THEN
+     RETURN(1), served(1) <- served(1) + 1;
+  IF dysign = pos AND free(0) = 1 THEN
+     RETURN(0), served(0) <- served(0) + 1;
+  IF dysign = neg AND free(2) = 1 THEN
+     RETURN(2), served(2) <- served(2) + 1;
+END decide;
+`
+
+func main() {
+	// 1. Parse and type-check.
+	prog, err := rules.Parse(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	checked, err := rules.Analyze(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Compile to the ARON rule table and report the hardware cost.
+	cb, err := core.CompileBase(checked, "decide", core.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled rule table: %s = %d bits\n", cb.Dim(), cb.MemoryBits())
+	fmt.Printf("index: %d direct fields, %d feature bits\n", len(cb.Fields), len(cb.Atoms))
+	for _, f := range cb.Fields {
+		fmt.Printf("  field   %-12s (%d values)\n", f.Key, f.Type.DomainSize())
+	}
+	for _, a := range cb.Atoms {
+		fmt.Printf("  feature %s\n", a.Key)
+	}
+	for _, f := range core.InventoryFCFBs(checked, prog.RuleBaseByName("decide")) {
+		fmt.Printf("  FCFB    %d x %s\n", f.Count, f.Kind)
+	}
+
+	// 3. Execute a decision: a message heading north-east with the
+	// northern output congested.
+	inputs := map[string]rules.Value{
+		"dxsign": checked.Symbols["pos"],
+		"dysign": checked.Symbols["pos"],
+		"load/0": rules.IntVal(9), "load/1": rules.IntVal(2),
+		"load/2": rules.IntVal(0), "load/3": rules.IntVal(0),
+		"free/0": rules.IntVal(1), "free/1": rules.IntVal(1),
+		"free/2": rules.IntVal(1), "free/3": rules.IntVal(1),
+	}
+	machine := core.NewMachine(checked, func(name string, idx []int64) (rules.Value, error) {
+		k := name
+		for _, i := range idx {
+			k += fmt.Sprintf("/%d", i)
+		}
+		v, ok := inputs[k]
+		if !ok {
+			return rules.Value{}, fmt.Errorf("unset input %s", k)
+		}
+		return v, nil
+	})
+
+	// Reference evaluator (premises evaluated one by one) ...
+	ruleIdx, ret, err := machine.InvokeNow("decide", rules.IntVal(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreference evaluator: rule %d fires, output port %v\n", ruleIdx, ret)
+
+	// ... and the hardware path: one table lookup selects the same
+	// rule.
+	tblIdx, err := cb.LookupRule([]rules.Value{rules.IntVal(0)}, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ARON table lookup:   rule %d selected\n", tblIdx)
+	if tblIdx != ruleIdx {
+		log.Fatal("table and reference disagree — compiler bug")
+	}
+
+	served, _ := machine.Get("served", 1)
+	fmt.Printf("state after the decision: served(east) = %v\n", served)
+	fmt.Println("\nthe message goes east: the west-first rule does not apply, and the")
+	fmt.Println("northern output loses the adaptivity comparison (load 9 vs 2).")
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/rules"
+)
+
+// Configuration data: the paper's tool flow compiles a rule base
+// off-line and ships "configuration data" into the router (Section
+// 4.2: "An appropriate tool (Rule Compiler) generates the
+// configuration data by translation"). SaveConfig serialises the
+// compiled table together with its index layout; LoadConfig installs
+// it into a router holding the same analysed program without
+// re-running the expensive table fill.
+
+// configImage is the on-wire form of a compiled rule base.
+type configImage struct {
+	Base       string
+	RuleCount  int
+	FieldKeys  []string
+	FieldSizes []int64
+	AtomKeys   []string
+	Entries    int64
+	Width      int
+	ReturnBits int
+	Table      []int16
+}
+
+// SaveConfig writes the compiled rule base as configuration data.
+func (cb *CompiledBase) SaveConfig(w io.Writer) error {
+	if cb.Table == nil {
+		return fmt.Errorf("core: %s was compiled SizeOnly, no table to save", cb.Base)
+	}
+	img := configImage{
+		Base:       cb.Base,
+		RuleCount:  cb.RuleCount,
+		Entries:    cb.Entries,
+		Width:      cb.Width,
+		ReturnBits: cb.ReturnBits,
+		Table:      cb.Table,
+	}
+	for _, f := range cb.Fields {
+		img.FieldKeys = append(img.FieldKeys, f.Key)
+		img.FieldSizes = append(img.FieldSizes, f.Type.DomainSize())
+	}
+	for _, a := range cb.Atoms {
+		img.AtomKeys = append(img.AtomKeys, a.Key)
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// LoadConfig reads configuration data and binds it to the analysed
+// program: the index layout (field and atom keys) must match what the
+// compiler derives from the program, which guards against loading a
+// configuration into a router running a different algorithm.
+func LoadConfig(c *rules.Checked, r io.Reader) (*CompiledBase, error) {
+	var img configImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: reading configuration: %w", err)
+	}
+	// Rebuild the index layout from the program (cheap: SizeOnly).
+	cb, err := CompileBase(c, img.Base, CompileOptions{SizeOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	if cb.RuleCount != img.RuleCount || cb.Entries != img.Entries || cb.Width != img.Width {
+		return nil, fmt.Errorf("core: configuration shape mismatch for %s: program wants %s/%d rules, image has %d x %d/%d rules",
+			img.Base, cb.Dim(), cb.RuleCount, img.Entries, img.Width, img.RuleCount)
+	}
+	if len(cb.Fields) != len(img.FieldKeys) || len(cb.Atoms) != len(img.AtomKeys) {
+		return nil, fmt.Errorf("core: configuration index layout mismatch for %s", img.Base)
+	}
+	for i, f := range cb.Fields {
+		if f.Key != img.FieldKeys[i] || f.Type.DomainSize() != img.FieldSizes[i] {
+			return nil, fmt.Errorf("core: configuration field %d mismatch: %q vs %q", i, f.Key, img.FieldKeys[i])
+		}
+	}
+	for i, a := range cb.Atoms {
+		if a.Key != img.AtomKeys[i] {
+			return nil, fmt.Errorf("core: configuration atom %d mismatch: %q vs %q", i, a.Key, img.AtomKeys[i])
+		}
+	}
+	if int64(len(img.Table)) != img.Entries {
+		return nil, fmt.Errorf("core: configuration table truncated: %d of %d entries", len(img.Table), img.Entries)
+	}
+	for _, e := range img.Table {
+		if int(e) < 0 || int(e) > img.RuleCount {
+			return nil, fmt.Errorf("core: configuration table entry %d out of range", e)
+		}
+	}
+	cb.Table = img.Table
+	return cb, nil
+}

@@ -1,0 +1,597 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+const figure4 = `
+CONSTANT fault_states = {safe, ounsafe, sunsafe, lfault, faulty}
+CONSTANT dirs = 4
+
+VARIABLE number_unsafe IN 0 TO dirs
+VARIABLE number_faulty IN 0 TO dirs
+VARIABLE state IN fault_states
+VARIABLE neighb_state (dirs) IN fault_states
+
+INPUT new_state (dirs) IN fault_states
+
+ON update_state(dir IN 0 TO 3)
+  IF new_state(dir) IN {faulty, lfault} AND number_faulty = 0 THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1,
+     number_unsafe <- number_unsafe + 1;
+  IF new_state(dir) IN {sunsafe, ounsafe} AND state = safe AND number_unsafe = 2 THEN
+     state <- ounsafe,
+     number_unsafe <- number_unsafe + 1,
+     FORALL i IN 0 TO 3: !send_newmessage(i, ounsafe),
+     neighb_state(dir) <- new_state(dir);
+  IF new_state(dir) IN {faulty, lfault} AND number_faulty > 0 THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1;
+END update_state;
+`
+
+func mustAnalyze(t *testing.T, src string) *rules.Checked {
+	t.Helper()
+	prog, err := rules.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := rules.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return c
+}
+
+// machineInputs builds an InputProvider over a mutable map.
+func machineInputs(vals map[string]rules.Value) InputProvider {
+	return func(name string, idx []int64) (rules.Value, error) {
+		k := name
+		for _, i := range idx {
+			k += fmt.Sprintf("/%d", i)
+		}
+		v, ok := vals[k]
+		if !ok {
+			return rules.Value{}, fmt.Errorf("unset input %s", k)
+		}
+		return v, nil
+	}
+}
+
+func TestMachineFigure4EventCascade(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	inputs := map[string]rules.Value{}
+	m := NewMachine(c, machineInputs(inputs))
+	m.Tracing = true
+
+	// Variables reset to lowest values.
+	v, err := m.Get("number_faulty")
+	if err != nil || v.I != 0 {
+		t.Fatalf("initial number_faulty: %v %v", v, err)
+	}
+
+	// Neighbour 2 reports faulty: rule 0 fires.
+	inputs["new_state/2"] = c.Symbols["faulty"]
+	idx, _, err := m.InvokeNow("update_state", rules.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("rule %d fired, want 0", idx)
+	}
+	v, _ = m.Get("number_faulty")
+	if v.I != 1 {
+		t.Fatalf("number_faulty = %d, want 1", v.I)
+	}
+	v, _ = m.Get("neighb_state", 2)
+	if !v.Equal(c.Symbols["faulty"]) {
+		t.Fatalf("neighb_state(2) = %v", v)
+	}
+
+	// Second faulty neighbour: rule 2 (the >0 variant).
+	inputs["new_state/1"] = c.Symbols["lfault"]
+	idx, _, err = m.InvokeNow("update_state", rules.IntVal(1))
+	if err != nil || idx != 2 {
+		t.Fatalf("idx=%d err=%v, want rule 2", idx, err)
+	}
+
+	// Drive number_unsafe to 2 and trigger the propagation rule.
+	if err := m.Set("number_unsafe", nil, rules.Value{T: rules.IntType(0, 4), I: 2}); err != nil {
+		t.Fatal(err)
+	}
+	inputs["new_state/3"] = c.Symbols["ounsafe"]
+	idx, _, err = m.InvokeNow("update_state", rules.IntVal(3))
+	if err != nil || idx != 1 {
+		t.Fatalf("idx=%d err=%v, want rule 1", idx, err)
+	}
+	v, _ = m.Get("state")
+	if !v.Equal(c.Symbols["ounsafe"]) {
+		t.Fatalf("state = %v, want ounsafe", v)
+	}
+	// The wave: four external send_newmessage events.
+	ext := m.TakeExternal()
+	if len(ext) != 4 {
+		t.Fatalf("external events: %d, want 4", len(ext))
+	}
+	for i, ev := range ext {
+		if ev.Name != "send_newmessage" || ev.Args[0].I != int64(i) {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+	}
+	if m.Invocations != 3 {
+		t.Fatalf("invocations = %d", m.Invocations)
+	}
+	if len(m.Trace) != 3 {
+		t.Fatalf("trace length = %d", len(m.Trace))
+	}
+}
+
+func TestMachineInternalEventQueue(t *testing.T) {
+	src := `
+VARIABLE hits IN 0 TO 7
+ON ping(k IN 0 TO 3)
+  IF k > 0 THEN hits <- hits + 1, !ping(k - 1);
+  IF k = 0 THEN hits <- hits + 1;
+END ping;
+`
+	c := mustAnalyze(t, src)
+	m := NewMachine(c, nil)
+	m.Post("ping", rules.IntVal(3))
+	steps, err := m.RunToQuiescence(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 4 {
+		t.Fatalf("steps = %d, want 4", steps)
+	}
+	v, _ := m.Get("hits")
+	if v.I != 4 {
+		t.Fatalf("hits = %d, want 4", v.I)
+	}
+}
+
+func TestMachineCascadeGuard(t *testing.T) {
+	src := `
+VARIABLE x IN 0 TO 1
+ON loop()
+  IF 1 = 1 THEN !loop();
+END loop;
+`
+	c := mustAnalyze(t, src)
+	m := NewMachine(c, nil)
+	m.Post("loop")
+	if _, err := m.RunToQuiescence(50); err == nil {
+		t.Fatal("infinite cascade should be detected")
+	}
+}
+
+func TestCompileFigure4Shape(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	cb, err := CompileBase(c, "update_state", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// new_state(dir) appears in >= 2 eq/membership atoms: direct
+	// field of 5 values.
+	if len(cb.Fields) != 1 || cb.Fields[0].Key != "new_state(dir)" {
+		t.Fatalf("fields = %+v", cb.Fields)
+	}
+	// Residual feature atoms: number_faulty=0, state=safe,
+	// number_unsafe=2, number_faulty>0.
+	if len(cb.Atoms) != 4 {
+		keys := make([]string, len(cb.Atoms))
+		for i, a := range cb.Atoms {
+			keys[i] = a.Key
+		}
+		t.Fatalf("atoms = %v", keys)
+	}
+	if cb.Entries != 5*16 {
+		t.Fatalf("entries = %d, want 80", cb.Entries)
+	}
+	if cb.Width != 2 { // 3 rules + none -> 2 bits, no RETURN
+		t.Fatalf("width = %d", cb.Width)
+	}
+	if cb.MemoryBits() != 160 {
+		t.Fatalf("memory = %d bits", cb.MemoryBits())
+	}
+	if !strings.Contains(cb.Dim(), "80 x 2") {
+		t.Fatalf("dim = %s", cb.Dim())
+	}
+}
+
+// The key correctness property of the ARON compiler: for every
+// reachable machine state, table lookup selects exactly the rule the
+// reference evaluator fires.
+func TestCompiledTableMatchesReference(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	cb, err := CompileBase(c, "update_state", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := c.SymbolSets["fault_states"]
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2000; trial++ {
+		inputs := map[string]rules.Value{}
+		for d := 0; d < 4; d++ {
+			inputs[fmt.Sprintf("new_state/%d", d)] = rules.SymVal(fs, int64(rng.Intn(5)))
+		}
+		m := NewMachine(c, machineInputs(inputs))
+		m.Set("number_faulty", nil, rules.Value{T: rules.IntType(0, 4), I: int64(rng.Intn(5))})
+		m.Set("number_unsafe", nil, rules.Value{T: rules.IntType(0, 4), I: int64(rng.Intn(5))})
+		m.Set("state", nil, rules.SymVal(fs, int64(rng.Intn(5))))
+		dir := rules.IntVal(int64(rng.Intn(4)))
+
+		wantIdx, _, err := c.Invoke("update_state", []rules.Value{dir}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIdx, err := cb.LookupRule([]rules.Value{dir}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wantIdx
+		if want == -1 {
+			want = cb.RuleCount
+		}
+		if gotIdx != want {
+			t.Fatalf("trial %d: table picked rule %d, reference %d", trial, gotIdx, wantIdx)
+		}
+	}
+}
+
+func TestCompileQuantifierAsFeature(t *testing.T) {
+	src := `
+INPUT free (4) IN 0 TO 1
+ON anyfree()
+  IF EXISTS i IN 0 TO 3: free(i) = 1 THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END anyfree;
+`
+	c := mustAnalyze(t, src)
+	cb, err := CompileBase(c, "anyfree", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole quantified predicate is one FCFB-computed feature
+	// bit: a 2-entry table, exactly the compression the ARON premise
+	// processing is for.
+	if len(cb.Atoms) != 1 || len(cb.Fields) != 0 {
+		t.Fatalf("fields=%d atoms=%d", len(cb.Fields), len(cb.Atoms))
+	}
+	if cb.Entries != 2 {
+		t.Fatalf("entries = %d", cb.Entries)
+	}
+	// Differential check across all input combinations.
+	for mask := 0; mask < 16; mask++ {
+		inputs := map[string]rules.Value{}
+		for i := 0; i < 4; i++ {
+			bit := int64(0)
+			if mask&(1<<i) != 0 {
+				bit = 1
+			}
+			inputs[fmt.Sprintf("free/%d", i)] = rules.Value{T: rules.IntType(0, 1), I: bit}
+		}
+		m := NewMachine(c, machineInputs(inputs))
+		got, err := cb.LookupRule(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if mask != 0 {
+			want = 0
+		}
+		if got != want {
+			t.Fatalf("mask %04b: rule %d, want %d", mask, got, want)
+		}
+	}
+}
+
+func TestCompileNoFieldsAblation(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	with, err := CompileBase(c, "update_state", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := CompileBase(c, "update_state", CompileOptions{NoFields: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(without.Fields) != 0 {
+		t.Fatal("NoFields should suppress direct indexing")
+	}
+	// Without direct indexing the four membership atoms on
+	// new_state(dir) become feature bits: different table shape.
+	if without.Entries == with.Entries {
+		t.Fatalf("ablation should change the table size (%d vs %d)", without.Entries, with.Entries)
+	}
+}
+
+func TestCompileTableSizeGuard(t *testing.T) {
+	// 8 independent 16-valued signals in equality atoms would need
+	// 16^8 entries: the compiler must refuse.
+	var b strings.Builder
+	b.WriteString("ON big(")
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "p%d IN 0 TO 15", i)
+	}
+	b.WriteString(")\n  IF ")
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "(p%d = 1 OR p%d = 2)", i, i)
+	}
+	b.WriteString(" THEN RETURN(1);\n  IF 1 = 1 THEN RETURN(0);\nEND big;\n")
+	c := mustAnalyze(t, b.String())
+	if _, err := CompileBase(c, "big", CompileOptions{}); err == nil {
+		t.Fatal("expected table-size guard to trip")
+	}
+}
+
+func TestFCFBInventoryFigure4(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	rb := c.Prog.RuleBaseByName("update_state")
+	fcfbs := InventoryFCFBs(c, rb)
+	kinds := map[string]int{}
+	for _, f := range fcfbs {
+		kinds[f.Kind] = f.Count
+	}
+	// The paper's update_state row: "conditional increment, compare
+	// with constant". Our transcription needs incrementers (two
+	// counters), a zero check (number_faulty = 0), a
+	// compare-with-constant (number_unsafe = 2, number_faulty > 0,
+	// state = safe) and membership tests.
+	if kinds[FcfbIncrement] != 2 {
+		t.Fatalf("incrementers = %d, want 2 (%v)", kinds[FcfbIncrement], kinds)
+	}
+	if kinds[FcfbZeroCheck] != 1 {
+		t.Fatalf("zero checks = %d (%v)", kinds[FcfbZeroCheck], kinds)
+	}
+	if kinds[FcfbMembership] == 0 {
+		t.Fatalf("membership tests missing (%v)", kinds)
+	}
+	if kinds[FcfbCmpConst] == 0 {
+		t.Fatalf("compare-with-constant missing (%v)", kinds)
+	}
+}
+
+func TestFCFBMinimumSelectionIdiom(t *testing.T) {
+	src := `
+INPUT mean_queue (4) IN 0 TO 15
+INPUT outchan (4) IN 0 TO 1
+ON select_dir()
+  IF EXISTS i IN 0 TO 3: (outchan(i) = 1 AND
+     (FORALL j IN 0 TO 3: mean_queue(i) <= mean_queue(j))) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END select_dir;
+`
+	c := mustAnalyze(t, src)
+	fcfbs := InventoryFCFBs(c, c.Prog.RuleBaseByName("select_dir"))
+	found := false
+	for _, f := range fcfbs {
+		if f.Kind == FcfbMinSelect {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("minimum-selection idiom not detected: %+v", fcfbs)
+	}
+}
+
+func TestFCFBSetAndLatticeOps(t *testing.T) {
+	src := `
+CONSTANT states = {good, bad}
+VARIABLE s IN states
+VARIABLE pool IN 0 TO 7
+ON mix(x IN states, a IN 0 TO 7, b IN 0 TO 7)
+  IF MEET(s, x) = bad AND DIST(a, b) > 2 AND ABS(a - b) < 7 AND MIN(a,b) = 0 AND a IN {1,2} + {3} THEN
+     pool <- a + b;
+  IF 1 = 1 THEN pool <- 0;
+END mix;
+`
+	c := mustAnalyze(t, src)
+	fcfbs := InventoryFCFBs(c, c.Prog.RuleBaseByName("mix"))
+	want := map[string]bool{
+		FcfbLattice: true, FcfbDistance: true, FcfbAbs: true,
+		FcfbMinSelect: true, FcfbSetUnion: true, FcfbMembership: true,
+		FcfbAdder: true,
+	}
+	got := map[string]bool{}
+	for _, f := range fcfbs {
+		got[f.Kind] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing FCFB %q in %+v", k, fcfbs)
+		}
+	}
+}
+
+func TestRegisterUsage(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	rc := RegisterUsage(c)
+	// number_unsafe (3) + number_faulty (3) + state (3) +
+	// neighb_state (4*3=12) = 21 bits in 4 registers.
+	if rc.Registers != 4 {
+		t.Fatalf("registers = %d, want 4", rc.Registers)
+	}
+	if rc.Bits != 21 {
+		t.Fatalf("register bits = %d, want 21", rc.Bits)
+	}
+}
+
+func TestAnalyzeCostAggregates(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	pc, err := AnalyzeCost(c, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Bases) != 1 || pc.Bases[0].Name != "update_state" {
+		t.Fatalf("bases: %+v", pc.Bases)
+	}
+	if pc.TotalTableBits != pc.Bases[0].MemoryBits {
+		t.Fatal("total mismatch")
+	}
+	if pc.Registers.Bits != 21 {
+		t.Fatalf("registers = %d", pc.Registers.Bits)
+	}
+	if s := pc.Bases[0].FCFBString(); s == "" || s == "no FCFB needed" {
+		t.Fatalf("FCFB string: %q", s)
+	}
+}
+
+// Subbase calls compile to single functional-unit features; the table
+// must still agree with the reference evaluator.
+func TestCompileWithSubbases(t *testing.T) {
+	src := `
+CONSTANT signs = {neg, zero, pos}
+INPUT dxsign IN signs
+INPUT load (4) IN 0 TO 15
+
+SUBBASE wants_east()
+  IF dxsign = pos THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END wants_east;
+
+ON decide(invc IN 0 TO 1)
+  IF wants_east() = 1 AND load(1) < 8 THEN RETURN(1);
+  IF wants_east() = 1 THEN RETURN(0);
+  IF 1 = 1 THEN RETURN(3);
+END decide;
+`
+	c := mustAnalyze(t, src)
+	cb, err := CompileBase(c, "decide", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wants_east() appears in two equality atoms -> a direct field of
+	// its return domain.
+	foundField := false
+	for _, f := range cb.Fields {
+		if f.Key == "wants_east()" {
+			foundField = true
+		}
+	}
+	if !foundField {
+		t.Fatalf("subbase value should be a direct field: %+v", cb.Fields)
+	}
+	fcfbs := InventoryFCFBs(c, c.Prog.RuleBaseByName("decide"))
+	hasSub := false
+	for _, f := range fcfbs {
+		if f.Kind == FcfbSubbase {
+			hasSub = true
+		}
+	}
+	if !hasSub {
+		t.Fatalf("subbase interpreter FCFB missing: %+v", fcfbs)
+	}
+	// Differential check across all relevant states.
+	signs := c.SymbolSets["signs"]
+	for sgn := 0; sgn < 3; sgn++ {
+		for l1 := 0; l1 < 16; l1 += 3 {
+			inputs := map[string]rules.Value{
+				"dxsign": rules.SymVal(signs, int64(sgn)),
+			}
+			for i := 0; i < 4; i++ {
+				inputs[fmt.Sprintf("load/%d", i)] = rules.Value{T: rules.IntType(0, 15), I: int64(l1)}
+			}
+			m := NewMachine(c, machineInputs(inputs))
+			want, _, err := c.Invoke("decide", []rules.Value{rules.IntVal(0)}, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cb.LookupRule([]rules.Value{rules.IntVal(0)}, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == -1 {
+				want = cb.RuleCount
+			}
+			if got != want {
+				t.Fatalf("sgn=%d l=%d: table %d vs reference %d", sgn, l1, got, want)
+			}
+		}
+	}
+}
+
+// Configuration round trip: saving and loading the compiled table
+// yields a functionally identical router configuration; loading it
+// into a different program is rejected.
+func TestConfigSaveLoadRoundTrip(t *testing.T) {
+	c := mustAnalyze(t, figure4)
+	cb, err := CompileBase(c, "update_state", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cb.SaveConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(c, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Entries != cb.Entries || loaded.Width != cb.Width {
+		t.Fatal("shape changed in round trip")
+	}
+	for i := range cb.Table {
+		if cb.Table[i] != loaded.Table[i] {
+			t.Fatalf("table entry %d differs", i)
+		}
+	}
+	// The loaded configuration must make identical decisions.
+	fs := c.SymbolSets["fault_states"]
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		inputs := map[string]rules.Value{}
+		for d := 0; d < 4; d++ {
+			inputs[fmt.Sprintf("new_state/%d", d)] = rules.SymVal(fs, int64(rng.Intn(5)))
+		}
+		m := NewMachine(c, machineInputs(inputs))
+		m.Set("number_faulty", nil, rules.Value{T: rules.IntType(0, 4), I: int64(rng.Intn(5))})
+		m.Set("number_unsafe", nil, rules.Value{T: rules.IntType(0, 4), I: int64(rng.Intn(5))})
+		m.Set("state", nil, rules.SymVal(fs, int64(rng.Intn(5))))
+		arg := []rules.Value{rules.IntVal(int64(rng.Intn(4)))}
+		a, err1 := cb.LookupRule(arg, m)
+		b, err2 := loaded.LookupRule(arg, m)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("trial %d: %d/%v vs %d/%v", trial, a, err1, b, err2)
+		}
+	}
+
+	// A different program must refuse the image.
+	other := mustAnalyze(t, `
+CONSTANT fault_states = {safe, ounsafe, sunsafe, lfault, faulty}
+VARIABLE number_faulty IN 0 TO 4
+INPUT new_state (4) IN fault_states
+ON update_state(dir IN 0 TO 3)
+  IF new_state(dir) = faulty AND number_faulty = 0 THEN number_faulty <- 1;
+END update_state;
+`)
+	buf.Reset()
+	if err := cb.SaveConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(other, &buf); err == nil {
+		t.Fatal("loading a configuration into a different program must fail")
+	}
+
+	// SizeOnly compilations cannot be saved.
+	so, err := CompileBase(c, "update_state", CompileOptions{SizeOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := so.SaveConfig(&buf); err == nil {
+		t.Fatal("SizeOnly save must fail")
+	}
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rules"
+)
+
+// FCFB is one Free Configurable Function Block requirement: a
+// functional-unit kind and how many distinct instances the rule base
+// configuration needs.
+type FCFB struct {
+	Kind  string
+	Count int
+}
+
+// BaseCost is the hardware cost of one compiled rule base — the row
+// format of the paper's Tables 1 and 2.
+type BaseCost struct {
+	Name       string
+	Rules      int
+	Entries    int64
+	Width      int
+	MemoryBits int64
+	FCFBs      []FCFB
+}
+
+// Dim renders the table dimension like the paper ("1024 x 8").
+func (b *BaseCost) Dim() string {
+	return fmt.Sprintf("%d x %d", b.Entries, b.Width)
+}
+
+// FCFBString renders the FCFB list like the paper's tables
+// ("2 x magnitude comparator, membership test").
+func (b *BaseCost) FCFBString() string {
+	if len(b.FCFBs) == 0 {
+		return "no FCFB needed"
+	}
+	parts := make([]string, 0, len(b.FCFBs))
+	for _, f := range b.FCFBs {
+		if f.Count > 1 {
+			parts = append(parts, fmt.Sprintf("%d x %s", f.Count, f.Kind))
+		} else {
+			parts = append(parts, f.Kind)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// RegisterCost summarises the variable storage of a program (the
+// paper: "Besides the rule bases the hardware effort is determined by
+// the registers needed").
+type RegisterCost struct {
+	Registers int   // number of VARIABLE declarations
+	Bits      int64 // total register bits
+	// PerVar lists each variable's contribution.
+	PerVar []VarBits
+}
+
+// VarBits is one variable's register footprint.
+type VarBits struct {
+	Name string
+	Bits int64
+}
+
+// ProgramCost aggregates a whole rule program.
+type ProgramCost struct {
+	Bases          []BaseCost
+	TotalTableBits int64
+	Registers      RegisterCost
+}
+
+// AnalyzeCost compiles every rule base of a program and produces the
+// full hardware cost report.
+func AnalyzeCost(c *rules.Checked, opts CompileOptions) (*ProgramCost, error) {
+	pc := &ProgramCost{}
+	for _, rb := range c.Prog.RuleBases {
+		cb, err := CompileBase(c, rb.Event, opts)
+		if err != nil {
+			return nil, err
+		}
+		bc := BaseCost{
+			Name:       rb.Event,
+			Rules:      cb.RuleCount,
+			Entries:    cb.Entries,
+			Width:      cb.Width,
+			MemoryBits: cb.MemoryBits(),
+			FCFBs:      InventoryFCFBs(c, rb),
+		}
+		pc.Bases = append(pc.Bases, bc)
+		pc.TotalTableBits += bc.MemoryBits
+	}
+	pc.Registers = RegisterUsage(c)
+	return pc, nil
+}
+
+// RegisterUsage accounts the register bits of all declared variables.
+func RegisterUsage(c *rules.Checked) RegisterCost {
+	rc := RegisterCost{}
+	names := make([]string, 0, len(c.Signals))
+	for name, info := range c.Signals {
+		if info.IsInput {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info := c.Signals[name]
+		rc.Registers++
+		rc.Bits += info.Bits()
+		rc.PerVar = append(rc.PerVar, VarBits{Name: name, Bits: info.Bits()})
+	}
+	return rc
+}
+
+// FCFB kind mnemonics (matching the paper's Tables 1 and 2 wording).
+const (
+	FcfbMagnitude  = "magnitude comparator"
+	FcfbCmpConst   = "compare with constant"
+	FcfbZeroCheck  = "zero check"
+	FcfbEquality   = "equality comparator"
+	FcfbMembership = "membership test"
+	FcfbSetUnion   = "set union"
+	FcfbSetSub     = "set subtraction"
+	FcfbIncrement  = "incrementer"
+	FcfbDecrement  = "decrementer"
+	FcfbAdder      = "adder"
+	FcfbMinSelect  = "minimum selection"
+	FcfbMaxSelect  = "maximum selection"
+	FcfbAbs        = "absolute value"
+	FcfbLattice    = "finite lattice"
+	FcfbDistance   = "mesh distance computation"
+	FcfbLogical    = "logical unit"
+	FcfbSubbase    = "subbase interpreter"
+)
+
+// InventoryFCFBs infers the functional units a rule base needs by
+// classifying the operators of its premises and conclusions (Section
+// 4.3: "The FCFBs have to be able to implement all expressions
+// occurring in premises and conclusions").
+func InventoryFCFBs(c *rules.Checked, rb *rules.RuleBase) []FCFB {
+	inv := &inventory{
+		c:     c,
+		kinds: map[string]map[string]bool{},
+	}
+	for _, r := range rb.Rules {
+		inv.expr(r.Premise, nil)
+		for _, cmd := range r.Cmds {
+			inv.cmd(cmd)
+		}
+	}
+	var kinds []string
+	for k := range inv.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]FCFB, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, FCFB{Kind: k, Count: len(inv.kinds[k])})
+	}
+	return out
+}
+
+type inventory struct {
+	c *rules.Checked
+	// kinds maps an FCFB kind to the set of distinct operation keys
+	// using it (distinct expressions share one block only if they are
+	// structurally identical).
+	kinds map[string]map[string]bool
+}
+
+func (inv *inventory) add(kind, key string) {
+	set := inv.kinds[kind]
+	if set == nil {
+		set = map[string]bool{}
+		inv.kinds[kind] = set
+	}
+	set[key] = true
+}
+
+// isConstExpr reports whether e evaluates at compile time.
+func (inv *inventory) isConstExpr(e rules.Expr) bool {
+	switch n := e.(type) {
+	case *rules.NumLit:
+		return true
+	case *rules.Ident:
+		if _, ok := inv.c.Symbols[n.Name]; ok {
+			return true
+		}
+		if _, ok := inv.c.NumConsts[n.Name]; ok {
+			return true
+		}
+		return false
+	case *rules.Unary:
+		return n.Op == "-" && inv.isConstExpr(n.X)
+	case *rules.SetLit:
+		for _, el := range n.Elems {
+			if !inv.isConstExpr(el) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func isZero(e rules.Expr) bool {
+	n, ok := e.(*rules.NumLit)
+	return ok && n.Val == 0
+}
+
+// sameSignalCall reports whether x and y access the same indexed
+// signal (the minimum-selection idiom compares f(i) with f(j)).
+func sameSignalCall(x, y rules.Expr) bool {
+	cx, okx := x.(*rules.Call)
+	cy, oky := y.(*rules.Call)
+	return okx && oky && cx.Name == cy.Name
+}
+
+// expr classifies the operators of an expression. quantVars tracks the
+// enclosing quantifier variables for idiom detection.
+func (inv *inventory) expr(e rules.Expr, quantVars []string) {
+	switch n := e.(type) {
+	case *rules.Unary:
+		inv.expr(n.X, quantVars)
+		if n.Op == "NOT" {
+			inv.add(FcfbLogical, "NOT "+rules.ExprString(n.X))
+		}
+	case *rules.Quant:
+		inv.expr(n.Body, append(quantVars, n.Var))
+	case *rules.Binary:
+		key := rules.ExprString(n)
+		switch n.Op {
+		case "AND", "OR":
+			inv.expr(n.X, quantVars)
+			inv.expr(n.Y, quantVars)
+			inv.add(FcfbLogical, key)
+			return
+		case "<", "<=", ">", ">=":
+			// The minimum-selection idiom: inside quantifiers, the
+			// same signal compared against itself at different
+			// indices.
+			if len(quantVars) > 0 && sameSignalCall(n.X, n.Y) {
+				inv.add(FcfbMinSelect, callName(n.X))
+			} else if inv.isConstExpr(n.X) || inv.isConstExpr(n.Y) {
+				inv.add(FcfbCmpConst, key)
+			} else {
+				inv.add(FcfbMagnitude, key)
+			}
+		case "=", "<>":
+			switch {
+			case isZero(n.X) || isZero(n.Y):
+				inv.add(FcfbZeroCheck, key)
+			case inv.isConstExpr(n.X) || inv.isConstExpr(n.Y):
+				inv.add(FcfbCmpConst, key)
+			default:
+				inv.add(FcfbEquality, key)
+			}
+		case "IN":
+			inv.add(FcfbMembership, key)
+		case "+":
+			if isSetOperand(n.X) || isSetOperand(n.Y) {
+				inv.add(FcfbSetUnion, key)
+			} else {
+				inv.addArith(n, key)
+			}
+		case "-":
+			if isSetOperand(n.X) || isSetOperand(n.Y) {
+				inv.add(FcfbSetSub, key)
+			} else {
+				inv.addArith(n, key)
+			}
+		case "*":
+			inv.add(FcfbAdder, key)
+		}
+		inv.expr(n.X, quantVars)
+		inv.expr(n.Y, quantVars)
+	case *rules.Call:
+		for _, a := range n.Args {
+			inv.expr(a, quantVars)
+		}
+		if _, isSub := inv.c.Subs[n.Name]; isSub {
+			inv.add(FcfbSubbase, n.Name)
+			return
+		}
+		switch n.Name {
+		case "MIN":
+			inv.add(FcfbMinSelect, rules.ExprString(n))
+		case "MAX":
+			inv.add(FcfbMaxSelect, rules.ExprString(n))
+		case "ABS":
+			inv.add(FcfbAbs, rules.ExprString(n))
+		case "MEET":
+			inv.add(FcfbLattice, rules.ExprString(n))
+		case "DIST":
+			inv.add(FcfbDistance, rules.ExprString(n))
+		}
+	case *rules.SetLit:
+		for _, el := range n.Elems {
+			inv.expr(el, quantVars)
+		}
+	}
+}
+
+// addArith distinguishes in/decrementers from general adders.
+func (inv *inventory) addArith(n *rules.Binary, key string) {
+	one := func(e rules.Expr) bool {
+		lit, ok := e.(*rules.NumLit)
+		return ok && lit.Val == 1
+	}
+	switch {
+	case n.Op == "+" && (one(n.X) || one(n.Y)):
+		inv.add(FcfbIncrement, baseOperand(n))
+	case n.Op == "-" && one(n.Y):
+		inv.add(FcfbDecrement, baseOperand(n))
+	default:
+		inv.add(FcfbAdder, key)
+	}
+}
+
+// baseOperand keys in/decrementers by the counter they update so that
+// `x <- x+1` in several rules shares one incrementer.
+func baseOperand(n *rules.Binary) string {
+	if lit, ok := n.X.(*rules.NumLit); ok && lit.Val == 1 {
+		return rules.ExprString(n.Y)
+	}
+	return rules.ExprString(n.X)
+}
+
+func isSetOperand(e rules.Expr) bool {
+	_, ok := e.(*rules.SetLit)
+	return ok
+}
+
+func callName(e rules.Expr) string {
+	if c, ok := e.(*rules.Call); ok {
+		return c.Name
+	}
+	return rules.ExprString(e)
+}
+
+func (inv *inventory) cmd(cmd rules.Cmd) {
+	switch n := cmd.(type) {
+	case *rules.Assign:
+		for _, ix := range n.Idx {
+			inv.expr(ix, nil)
+		}
+		inv.expr(n.Rhs, nil)
+	case *rules.Return:
+		inv.expr(n.Val, nil)
+	case *rules.Emit:
+		for _, a := range n.Args {
+			inv.expr(a, nil)
+		}
+	case *rules.ForAllCmd:
+		inv.cmd(n.Body)
+	}
+}

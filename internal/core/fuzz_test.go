@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rules"
+)
+
+// Randomized compiler verification: generate rule bases with random
+// premises over a fixed signal bank, compile them, and check on random
+// machine states that the table lookup selects exactly the rule the
+// reference evaluator fires. This exercises atom extraction, direct
+// indexing, quantifier features, conflict resolution and gap filling
+// far beyond the hand-written programs.
+
+const fuzzDecls = `
+CONSTANT colors = {red, green, blue}
+VARIABLE a IN 0 TO 7
+VARIABLE c IN colors
+INPUT q (4) IN 0 TO 7
+INPUT s IN colors
+`
+
+// genPremise produces a random premise using the signal bank.
+func genPremise(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		leafs := []func() string{
+			func() string { return fmt.Sprintf("a %s %d", relOp(rng), rng.Intn(8)) },
+			func() string { return fmt.Sprintf("q(k) %s %d", relOp(rng), rng.Intn(8)) },
+			func() string { return fmt.Sprintf("q(%d) %s %d", rng.Intn(4), relOp(rng), rng.Intn(8)) },
+			func() string { return "s = " + color(rng) },
+			func() string { return "c = " + color(rng) },
+			func() string { return fmt.Sprintf("k = %d", rng.Intn(4)) },
+			func() string { return fmt.Sprintf("a < q(%d)", rng.Intn(4)) },
+			func() string { return fmt.Sprintf("MIN(a, q(%d)) %s %d", rng.Intn(4), relOp(rng), rng.Intn(8)) },
+			func() string { return fmt.Sprintf("k IN {%d, %d}", rng.Intn(4), rng.Intn(4)) },
+			func() string { return fmt.Sprintf("s IN {%s, %s}", color(rng), color(rng)) },
+			func() string {
+				return fmt.Sprintf("(EXISTS i IN 0 TO 3: q(i) %s %d)", relOp(rng), rng.Intn(8))
+			},
+			func() string {
+				return fmt.Sprintf("(FORALL i IN 0 TO 3: (q(i) %s %d OR q(i) = %d))",
+					relOp(rng), rng.Intn(8), rng.Intn(8))
+			},
+		}
+		return leafs[rng.Intn(len(leafs))]()
+	}
+	x := genPremise(rng, depth-1)
+	y := genPremise(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return "(" + x + " AND " + y + ")"
+	case 1:
+		return "(" + x + " OR " + y + ")"
+	default:
+		return "NOT " + x
+	}
+}
+
+func relOp(rng *rand.Rand) string {
+	return []string{"=", "<>", "<", "<=", ">", ">="}[rng.Intn(6)]
+}
+
+func color(rng *rand.Rand) string {
+	return []string{"red", "green", "blue"}[rng.Intn(3)]
+}
+
+func TestFuzzCompiledTableMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	programs := 150
+	if testing.Short() {
+		programs = 30
+	}
+	for prog := 0; prog < programs; prog++ {
+		nRules := 1 + rng.Intn(5)
+		var b strings.Builder
+		b.WriteString(fuzzDecls)
+		b.WriteString("ON f(k IN 0 TO 3)\n")
+		for r := 0; r < nRules; r++ {
+			fmt.Fprintf(&b, "  IF %s THEN RETURN(%d);\n", genPremise(rng, 2), r)
+		}
+		b.WriteString("END f;\n")
+		src := b.String()
+
+		parsed, err := rules.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: parse: %v\n%s", prog, err, src)
+		}
+		checked, err := rules.Analyze(parsed)
+		if err != nil {
+			t.Fatalf("program %d: analyze: %v\n%s", prog, err, src)
+		}
+		cb, err := CompileBase(checked, "f", CompileOptions{MaxEntries: 1 << 18})
+		if err != nil {
+			// Oversized tables are a legitimate compile refusal.
+			if strings.Contains(err.Error(), "exceeds") {
+				continue
+			}
+			t.Fatalf("program %d: compile: %v\n%s", prog, err, src)
+		}
+		colors := checked.SymbolSets["colors"]
+		for trial := 0; trial < 60; trial++ {
+			inputs := map[string]rules.Value{
+				"s": rules.SymVal(colors, int64(rng.Intn(3))),
+			}
+			for i := 0; i < 4; i++ {
+				inputs[fmt.Sprintf("q/%d", i)] = rules.Value{T: rules.IntType(0, 7), I: int64(rng.Intn(8))}
+			}
+			m := NewMachine(checked, machineInputs(inputs))
+			m.Set("a", nil, rules.Value{T: rules.IntType(0, 7), I: int64(rng.Intn(8))})
+			m.Set("c", nil, rules.SymVal(colors, int64(rng.Intn(3))))
+			arg := rules.IntVal(int64(rng.Intn(4)))
+
+			want, _, err := checked.Invoke("f", []rules.Value{arg}, m)
+			if err != nil {
+				t.Fatalf("program %d trial %d: reference: %v\n%s", prog, trial, err, src)
+			}
+			got, err := cb.LookupRule([]rules.Value{arg}, m)
+			if err != nil {
+				t.Fatalf("program %d trial %d: lookup: %v\n%s", prog, trial, err, src)
+			}
+			if want == -1 {
+				want = cb.RuleCount
+			}
+			if got != want {
+				t.Fatalf("program %d trial %d: table %d vs reference %d\n%s", prog, trial, got, want, src)
+			}
+		}
+	}
+}
+
+// The optimiser must also survive the fuzz corpus: optimisation never
+// changes which original rule fires.
+func TestFuzzOptimizePreservesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	programs := 60
+	if testing.Short() {
+		programs = 15
+	}
+	for prog := 0; prog < programs; prog++ {
+		nRules := 1 + rng.Intn(4)
+		var b strings.Builder
+		b.WriteString(fuzzDecls)
+		b.WriteString("ON f(k IN 0 TO 3)\n")
+		for r := 0; r < nRules; r++ {
+			fmt.Fprintf(&b, "  IF %s THEN RETURN(%d);\n", genPremise(rng, 2), r)
+		}
+		b.WriteString("END f;\n")
+		src := b.String()
+		parsed, err := rules.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked, err := rules.Analyze(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, rep, err := Optimize(checked, "f", CompileOptions{MaxEntries: 1 << 18})
+		if err != nil {
+			if strings.Contains(err.Error(), "exceeds") {
+				continue
+			}
+			t.Fatalf("program %d: %v\n%s", prog, err, src)
+		}
+		optProg := &rules.Program{Consts: parsed.Consts, Vars: parsed.Vars,
+			Inputs: parsed.Inputs, RuleBases: []*rules.RuleBase{opt}}
+		oc, err := rules.Analyze(optProg)
+		if err != nil {
+			t.Fatalf("program %d: reanalyze: %v\n%s", prog, err, src)
+		}
+		colors := checked.SymbolSets["colors"]
+		for trial := 0; trial < 40; trial++ {
+			inputs := map[string]rules.Value{
+				"s": rules.SymVal(colors, int64(rng.Intn(3))),
+			}
+			for i := 0; i < 4; i++ {
+				inputs[fmt.Sprintf("q/%d", i)] = rules.Value{T: rules.IntType(0, 7), I: int64(rng.Intn(8))}
+			}
+			aVal := rules.Value{T: rules.IntType(0, 7), I: int64(rng.Intn(8))}
+			cVal := rules.SymVal(colors, int64(rng.Intn(3)))
+			arg := rules.IntVal(int64(rng.Intn(4)))
+
+			m1 := NewMachine(checked, machineInputs(inputs))
+			m1.Set("a", nil, aVal)
+			m1.Set("c", nil, cVal)
+			m2 := NewMachine(oc, machineInputs(inputs))
+			m2.Set("a", nil, aVal)
+			m2.Set("c", nil, cVal)
+
+			i1, _, err := checked.Invoke("f", []rules.Value{arg}, m1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i2, _, err := oc.Invoke("f", []rules.Value{arg}, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := -1
+			if i2 >= 0 {
+				want = rep.KeptIndex[i2]
+			}
+			if i1 != want {
+				t.Fatalf("program %d trial %d: original %d vs optimised-original %d\n%s",
+					prog, trial, i1, want, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package core implements the paper's rule-based router engine
+// (Section 4.3): an event manager plus rule interpreters executing
+// analysed rule programs, the off-line ARON compiler that turns each
+// rule base into a completely filled rule table (index = directly
+// indexed small-domain signals + premise feature bits), and the
+// hardware cost model that reproduces the paper's evaluation numbers
+// (rule-table dimensions, FCFB inventory, register bits,
+// interpretation steps).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// InputProvider supplies external signals (header fields, link states,
+// buffer occupancies — the outputs of the router's Information Units).
+type InputProvider func(name string, idx []int64) (rules.Value, error)
+
+// Invocation records one rule-base execution for tracing/accounting.
+type Invocation struct {
+	Base string
+	Args []rules.Value
+	Rule int // fired rule index, -1 if none applied
+}
+
+// Machine is a software model of the "Rule Bases" block of the router:
+// registers (variable store), rule interpreters (one logical
+// interpreter per rule base) and the event manager coordinating them.
+type Machine struct {
+	checked *rules.Checked
+	inputs  InputProvider
+	store   map[string][]rules.Value
+	queue   []rules.Event
+
+	// External collects events that have no rule base in the program:
+	// commands to the data path (e.g. !send) or messages to
+	// neighbouring nodes (e.g. !send_newmessage).
+	External []rules.Event
+	// Trace records every invocation when Tracing is set.
+	Tracing bool
+	Trace   []Invocation
+	// Invocations counts rule interpretations (the paper's "steps").
+	Invocations int64
+}
+
+// NewMachine builds a machine for the analysed program. Variables are
+// initialised to the lowest value of their domain (hardware reset
+// state).
+func NewMachine(c *rules.Checked, inputs InputProvider) *Machine {
+	m := &Machine{
+		checked: c,
+		inputs:  inputs,
+		store:   make(map[string][]rules.Value),
+	}
+	for name, info := range c.Signals {
+		if info.IsInput {
+			continue
+		}
+		slots := info.Slots()
+		vals := make([]rules.Value, slots)
+		for i := range vals {
+			vals[i] = zeroValue(info.Domain)
+		}
+		m.store[name] = vals
+	}
+	return m
+}
+
+func zeroValue(t *rules.Type) rules.Value {
+	switch t.Kind {
+	case rules.TInt:
+		return rules.Value{T: t, I: t.Lo}
+	case rules.TSym:
+		return rules.SymVal(t, 0)
+	case rules.TSet:
+		return rules.Value{T: t}
+	}
+	return rules.BoolVal(false)
+}
+
+// Checked exposes the analysed program.
+func (m *Machine) Checked() *rules.Checked { return m.checked }
+
+// slot flattens a multi-dimensional index.
+func (m *Machine) slot(info *rules.SignalInfo, idx []int64) (int64, error) {
+	if len(idx) != len(info.Index) {
+		return 0, fmt.Errorf("core: %s needs %d indices, got %d", info.Name, len(info.Index), len(idx))
+	}
+	s := int64(0)
+	for i, ix := range idx {
+		size := info.Index[i].DomainSize()
+		if ix < 0 || ix >= size {
+			return 0, fmt.Errorf("core: %s index %d out of range: %d", info.Name, i, ix)
+		}
+		s = s*size + ix
+	}
+	return s, nil
+}
+
+// ReadVar implements rules.Env.
+func (m *Machine) ReadVar(name string, idx []int64) (rules.Value, error) {
+	info, ok := m.checked.Signals[name]
+	if !ok || info.IsInput {
+		return rules.Value{}, fmt.Errorf("core: unknown variable %s", name)
+	}
+	s, err := m.slot(info, idx)
+	if err != nil {
+		return rules.Value{}, err
+	}
+	return m.store[name][s], nil
+}
+
+// ReadInput implements rules.Env.
+func (m *Machine) ReadInput(name string, idx []int64) (rules.Value, error) {
+	if m.inputs == nil {
+		return rules.Value{}, fmt.Errorf("core: no input provider for %s", name)
+	}
+	return m.inputs(name, idx)
+}
+
+// Set writes a variable directly (initialisation, tests).
+func (m *Machine) Set(name string, idx []int64, v rules.Value) error {
+	info, ok := m.checked.Signals[name]
+	if !ok || info.IsInput {
+		return fmt.Errorf("core: unknown variable %s", name)
+	}
+	s, err := m.slot(info, idx)
+	if err != nil {
+		return err
+	}
+	m.store[name][s] = v
+	return nil
+}
+
+// Get reads a variable directly.
+func (m *Machine) Get(name string, idx ...int64) (rules.Value, error) {
+	return m.ReadVar(name, idx)
+}
+
+// Post enqueues an event for the event manager.
+func (m *Machine) Post(event string, args ...rules.Value) {
+	m.queue = append(m.queue, rules.Event{Name: event, Args: args})
+}
+
+// InvokeNow runs one rule interpretation of the named base
+// immediately: the first applicable rule fires, its writes are applied
+// atomically, generated events are queued (internal) or collected
+// (external). It returns the fired rule index (-1 if none) and the
+// RETURN value (nil if none).
+func (m *Machine) InvokeNow(base string, args ...rules.Value) (int, *rules.Value, error) {
+	idx, eff, err := m.checked.Invoke(base, args, m)
+	if err != nil {
+		return -1, nil, err
+	}
+	m.Invocations++
+	if m.Tracing {
+		m.Trace = append(m.Trace, Invocation{Base: base, Args: args, Rule: idx})
+	}
+	for _, w := range eff.Writes {
+		if err := m.Set(w.Name, w.Idx, w.Val); err != nil {
+			return idx, nil, err
+		}
+	}
+	for _, ev := range eff.Events {
+		if m.checked.Bases[ev.Name] != nil {
+			m.queue = append(m.queue, ev)
+		} else {
+			m.External = append(m.External, ev)
+		}
+	}
+	return idx, eff.Return, nil
+}
+
+// Pending returns the number of queued internal events.
+func (m *Machine) Pending() int { return len(m.queue) }
+
+// RunToQuiescence processes queued events until the queue drains or
+// maxSteps interpretations have run. It returns the number of
+// interpretations performed. The paper's event model executes each
+// rule atomically; asynchronicity arises only through explicitly
+// generated internal events, which is exactly this loop.
+func (m *Machine) RunToQuiescence(maxSteps int) (int, error) {
+	steps := 0
+	for len(m.queue) > 0 {
+		if steps >= maxSteps {
+			return steps, fmt.Errorf("core: event cascade exceeded %d steps", maxSteps)
+		}
+		ev := m.queue[0]
+		m.queue = m.queue[1:]
+		if _, _, err := m.InvokeNow(ev.Name, ev.Args...); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// TakeExternal returns and clears the collected external events.
+func (m *Machine) TakeExternal() []rules.Event {
+	out := m.External
+	m.External = nil
+	return out
+}

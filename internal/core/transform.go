@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rules"
+)
+
+// Rule-base transformations (the paper, Section 4.2: "a rule-based
+// specification is semantically well based allowing the application of
+// formal methods to routing algorithms, e.g. transformations"). Two
+// semantics-preserving passes are provided:
+//
+//  1. constant folding of premises (1 = 1 -> true, AND/OR/NOT over
+//     constants, comparisons of literals);
+//  2. dead-rule elimination through the compiled table: a rule that no
+//     table entry selects can never fire — it is either shadowed by
+//     earlier rules or has an unsatisfiable premise. Because every
+//     reachable machine state maps to some table entry, removing such
+//     rules is sound; the direction is conservative (rules selected
+//     only by feature-bit combinations that no real state produces are
+//     kept).
+//
+// Both passes preserve the observable behaviour of the rule base:
+// differential tests check that the optimised base fires a rule with
+// identical effects on random states.
+
+// TransformReport describes what Optimize changed.
+type TransformReport struct {
+	Base string
+	// Removed lists the original indices of eliminated rules.
+	Removed []int
+	// FoldedPremises counts rules whose premise shrank by folding.
+	FoldedPremises int
+	// KeptIndex maps new rule index -> original rule index.
+	KeptIndex []int
+}
+
+// Optimize returns a semantically equivalent copy of the rule base
+// with constant-folded premises and dead rules removed, plus a report.
+// The original program is not modified.
+func Optimize(c *rules.Checked, base string, opts CompileOptions) (*rules.RuleBase, *TransformReport, error) {
+	bi, ok := c.Bases[base]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown rule base %s", base)
+	}
+	rep := &TransformReport{Base: base}
+
+	// Pass 1: fold premises.
+	folded := make([]*rules.Rule, len(bi.RB.Rules))
+	for i, r := range bi.RB.Rules {
+		p, changed := foldExpr(c, r.Premise)
+		if changed {
+			rep.FoldedPremises++
+		}
+		folded[i] = &rules.Rule{Premise: p, Cmds: r.Cmds, Line: r.Line}
+	}
+
+	// Pass 2: compile and mark selected rules. The fold may have
+	// produced constant-false premises; the table never selects those
+	// either way.
+	cb, err := CompileBase(c, base, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	selected := make([]bool, len(folded))
+	for _, e := range cb.Table {
+		if int(e) < len(selected) {
+			selected[e] = true
+		}
+	}
+
+	out := &rules.RuleBase{Event: bi.RB.Event, Params: bi.RB.Params, Line: bi.RB.Line}
+	for i, r := range folded {
+		if !selected[i] {
+			rep.Removed = append(rep.Removed, i)
+			continue
+		}
+		out.Rules = append(out.Rules, r)
+		rep.KeptIndex = append(rep.KeptIndex, i)
+	}
+	return out, rep, nil
+}
+
+// foldExpr performs bottom-up constant folding; it returns the
+// (possibly shared) folded expression and whether anything changed.
+func foldExpr(c *rules.Checked, e rules.Expr) (rules.Expr, bool) {
+	switch n := e.(type) {
+	case *rules.Unary:
+		x, ch := foldExpr(c, n.X)
+		if n.Op == "NOT" {
+			if b, ok := constBool(x); ok {
+				return boolLit(!b, n.Line), true
+			}
+		}
+		if n.Op == "-" {
+			if lit, ok := x.(*rules.NumLit); ok {
+				return &rules.NumLit{Val: -lit.Val, Line: n.Line}, true
+			}
+		}
+		if ch {
+			return &rules.Unary{Op: n.Op, X: x, Line: n.Line}, true
+		}
+		return n, false
+	case *rules.Binary:
+		x, chx := foldExpr(c, n.X)
+		y, chy := foldExpr(c, n.Y)
+		out := &rules.Binary{Op: n.Op, X: x, Y: y, Line: n.Line}
+		switch n.Op {
+		case "AND":
+			if b, ok := constBool(x); ok {
+				if !b {
+					return boolLit(false, n.Line), true
+				}
+				return y, true
+			}
+			if b, ok := constBool(y); ok {
+				if !b {
+					return boolLit(false, n.Line), true
+				}
+				return x, true
+			}
+		case "OR":
+			if b, ok := constBool(x); ok {
+				if b {
+					return boolLit(true, n.Line), true
+				}
+				return y, true
+			}
+			if b, ok := constBool(y); ok {
+				if b {
+					return boolLit(true, n.Line), true
+				}
+				return x, true
+			}
+		case "=", "<>", "<", "<=", ">", ">=":
+			xv, okx := constInt(c, x)
+			yv, oky := constInt(c, y)
+			if okx && oky {
+				var b bool
+				switch n.Op {
+				case "=":
+					b = xv == yv
+				case "<>":
+					b = xv != yv
+				case "<":
+					b = xv < yv
+				case "<=":
+					b = xv <= yv
+				case ">":
+					b = xv > yv
+				case ">=":
+					b = xv >= yv
+				}
+				return boolLit(b, n.Line), true
+			}
+		case "+", "-", "*":
+			xv, okx := x.(*rules.NumLit)
+			yv, oky := y.(*rules.NumLit)
+			if okx && oky {
+				var v int64
+				switch n.Op {
+				case "+":
+					v = xv.Val + yv.Val
+				case "-":
+					v = xv.Val - yv.Val
+				case "*":
+					v = xv.Val * yv.Val
+				}
+				return &rules.NumLit{Val: v, Line: n.Line}, true
+			}
+		}
+		if chx || chy {
+			return out, true
+		}
+		return n, false
+	case *rules.Quant:
+		body, ch := foldExpr(c, n.Body)
+		if b, ok := constBool(body); ok {
+			// EXISTS/FORALL over a non-empty finite domain of a
+			// constant body is the body itself.
+			return boolLit(b, n.Line), true
+		}
+		if ch {
+			return &rules.Quant{Kind: n.Kind, Var: n.Var, Domain: n.Domain, Body: body, Line: n.Line}, true
+		}
+		return n, false
+	default:
+		return e, false
+	}
+}
+
+// boolLit encodes a constant boolean premise as the canonical
+// comparisons 1 = 1 / 1 = 0 (the language has no boolean literals).
+func boolLit(b bool, line int) rules.Expr {
+	rhs := int64(0)
+	if b {
+		rhs = 1
+	}
+	return &rules.Binary{Op: "=",
+		X:    &rules.NumLit{Val: 1, Line: line},
+		Y:    &rules.NumLit{Val: rhs, Line: line},
+		Line: line,
+	}
+}
+
+// constBool recognises the canonical constant comparisons produced by
+// boolLit and any comparison of two literals.
+func constBool(e rules.Expr) (bool, bool) {
+	n, ok := e.(*rules.Binary)
+	if !ok || n.Op != "=" {
+		return false, false
+	}
+	x, okx := n.X.(*rules.NumLit)
+	y, oky := n.Y.(*rules.NumLit)
+	if !okx || !oky {
+		return false, false
+	}
+	return x.Val == y.Val, true
+}
+
+// constInt evaluates literals, numeric constants and symbol ordinals.
+func constInt(c *rules.Checked, e rules.Expr) (int64, bool) {
+	switch n := e.(type) {
+	case *rules.NumLit:
+		return n.Val, true
+	case *rules.Ident:
+		if v, ok := c.NumConsts[n.Name]; ok {
+			return v, true
+		}
+		if v, ok := c.Symbols[n.Name]; ok {
+			return v.I, true
+		}
+	}
+	return 0, false
+}
+
+// OptimizeProgram runs Optimize over every rule base and returns a new
+// analysed program plus the per-base reports. The new program shares
+// declarations with the original.
+func OptimizeProgram(c *rules.Checked, opts CompileOptions) (*rules.Checked, []*TransformReport, error) {
+	next := &rules.Program{
+		Consts:   c.Prog.Consts,
+		Vars:     c.Prog.Vars,
+		Inputs:   c.Prog.Inputs,
+		Subbases: c.Prog.Subbases,
+	}
+	var reports []*TransformReport
+	for _, rb := range c.Prog.RuleBases {
+		opt, rep, err := Optimize(c, rb.Event, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		next.RuleBases = append(next.RuleBases, opt)
+		reports = append(reports, rep)
+	}
+	checked, err := rules.Analyze(next)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: optimised program fails re-analysis: %w", err)
+	}
+	return checked, reports, nil
+}

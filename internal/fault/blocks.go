@@ -1,0 +1,132 @@
+package fault
+
+import "repro/internal/topology"
+
+// BlockInfo is the result of rectangular fault-block completion on a
+// 2-D mesh. NAFTA-style algorithms deactivate some healthy nodes so
+// that every fault region becomes convex (a rectangle); messages are
+// then routed around rectangles, which needs only constant state per
+// node. The cost is a violation of the paper's condition 3: deactivated
+// healthy nodes can no longer source, sink or forward messages.
+type BlockInfo struct {
+	mesh *topology.Mesh
+	// Disabled[n] is true for nodes that are faulty or deactivated by
+	// the convex completion.
+	Disabled []bool
+	// Deactivated counts healthy nodes sacrificed by the completion.
+	Deactivated int
+	// Rounds is how many propagation waves were needed to reach the
+	// fixpoint; each wave corresponds to one neighbour-to-neighbour
+	// state exchange in hardware.
+	Rounds int
+}
+
+// dimFault reports, per dimension, whether node (x,y) observes a fault
+// or disabled node in the negative or positive direction of that
+// dimension. A faulty incident link counts like a faulty neighbour in
+// that direction; a mesh border does NOT count as a fault (fault
+// rectangles only grow from real faults).
+func dimFault(m *topology.Mesh, s *Set, disabled []bool, x, y, dx, dy int) bool {
+	nx, ny := x+dx, y+dy
+	if nx < 0 || nx >= m.W || ny < 0 || ny >= m.H {
+		return false
+	}
+	n := m.Node(x, y)
+	nb := m.Node(nx, ny)
+	if s.NodeFaulty(nb) || disabled[nb] {
+		return true
+	}
+	return s.LinkFaulty(n, nb)
+}
+
+// BuildBlocks runs the convex completion to a fixpoint: a healthy node
+// becomes deactivated when it observes a fault/deactivated neighbour
+// (or faulty link) in both mesh dimensions. This fills concave corners
+// until every fault region is rectangular, matching the paper's
+// description "concave fault patterns are completed to a convex shape
+// excluding the use of some non-faulty nodes".
+func BuildBlocks(m *topology.Mesh, s *Set) *BlockInfo {
+	b := &BlockInfo{
+		mesh:     m,
+		Disabled: make([]bool, m.Nodes()),
+	}
+	for n := range b.Disabled {
+		b.Disabled[n] = s.NodeFaulty(topology.NodeID(n))
+	}
+	for {
+		changed := false
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				n := m.Node(x, y)
+				if b.Disabled[n] {
+					continue
+				}
+				vert := dimFault(m, s, b.Disabled, x, y, 0, 1) || dimFault(m, s, b.Disabled, x, y, 0, -1)
+				horiz := dimFault(m, s, b.Disabled, x, y, 1, 0) || dimFault(m, s, b.Disabled, x, y, -1, 0)
+				if vert && horiz {
+					b.Disabled[n] = true
+					b.Deactivated++
+					changed = true
+				}
+			}
+		}
+		b.Rounds++
+		if !changed {
+			break
+		}
+	}
+	return b
+}
+
+// DisabledNode reports whether n is faulty or deactivated.
+func (b *BlockInfo) DisabledNode(n topology.NodeID) bool { return b.Disabled[n] }
+
+// IsConvex verifies the fixpoint invariant: the set of disabled nodes,
+// restricted to each connected group, forms a full rectangle. Used by
+// property tests.
+func (b *BlockInfo) IsConvex() bool {
+	m := b.mesh
+	seen := make([]bool, m.Nodes())
+	for start := 0; start < m.Nodes(); start++ {
+		if !b.Disabled[start] || seen[start] {
+			continue
+		}
+		// Flood-fill the disabled group (4-connectivity).
+		minX, minY := m.W, m.H
+		maxX, maxY := -1, -1
+		stack := []topology.NodeID{topology.NodeID(start)}
+		seen[start] = true
+		var members []topology.NodeID
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, n)
+			x, y := m.XY(n)
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			for p := 0; p < m.Ports(); p++ {
+				nb := m.Neighbor(n, p)
+				if nb == topology.Invalid || seen[nb] || !b.Disabled[nb] {
+					continue
+				}
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+		// The bounding rectangle must be entirely disabled.
+		if len(members) != (maxX-minX+1)*(maxY-minY+1) {
+			return false
+		}
+	}
+	return true
+}

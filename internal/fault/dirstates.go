@@ -1,0 +1,144 @@
+package fault
+
+import "repro/internal/topology"
+
+// DirStates holds NAFTA's propagated directional blocking flags: for a
+// node n, Blocked(d, t, n) is true when, starting at n and travelling
+// in direction t along the straight line to the mesh border, the port
+// d is blocked (by a fault, a disabled node or the border) at every
+// node on the way. A north-bound message that finds north blocked
+// locally may detour east only if some node east of it re-opens the
+// north direction — exactly what !Blocked(north, east, n_east) states.
+//
+// The flags are one bit per (d,t) pair and node; they are computed by
+// the same wave propagation as the paper's dead-end states (each node
+// combines its local observation with the flag of its t-neighbour) and
+// therefore respect NAFTA's constant-memory-per-node discipline. The
+// aggregate over whole columns ("all columns to the east have at least
+// one fault") is the coarse special case recorded by DeadEnds.
+type DirStates struct {
+	mesh *topology.Mesh
+	// blocked[d][t] is the per-node flag slice for blocked direction d
+	// while travelling in direction t (t perpendicular or equal is
+	// stored but only perpendicular pairs are meaningful).
+	blocked [topology.MeshPorts][topology.MeshPorts][]bool
+	// runs[d] is the per-node clear-run length in direction d: the
+	// number of consecutive usable hops before a fault, a disabled
+	// node or the border interrupts the straight line. The value needs
+	// only ceil(log2(max(W,H))) bits per direction and node and is
+	// propagated from the neighbour like the flags (run(n) =
+	// 1 + run(neighbour) if the first hop is clear).
+	runs [topology.MeshPorts][]int
+}
+
+// BuildDirStates computes the directional blocking flags for mesh m
+// under fault set s with block completion b (nil to use raw faults).
+func BuildDirStates(m *topology.Mesh, s *Set, b *BlockInfo) *DirStates {
+	d := &DirStates{mesh: m}
+	disabled := func(n topology.NodeID) bool {
+		if s.NodeFaulty(n) {
+			return true
+		}
+		return b != nil && b.DisabledNode(n)
+	}
+	// portBlocked(n, p): the hop through p is unusable (border, fault
+	// or disabled target).
+	portBlocked := func(n topology.NodeID, p int) bool {
+		nb := m.Neighbor(n, p)
+		if nb == topology.Invalid {
+			return true
+		}
+		return disabled(nb) || s.LinkFaulty(n, nb)
+	}
+	for dir := 0; dir < topology.MeshPorts; dir++ {
+		runs := make([]int, m.Nodes())
+		for _, n := range travelOrder(m, dir) {
+			if portBlocked(n, dir) {
+				runs[n] = 0
+			} else {
+				runs[n] = 1 + runs[m.Neighbor(n, dir)]
+			}
+		}
+		d.runs[dir] = runs
+	}
+	for dir := 0; dir < topology.MeshPorts; dir++ {
+		for travel := 0; travel < topology.MeshPorts; travel++ {
+			if travel == dir || travel == topology.OppositeMeshPort(dir) {
+				continue // only perpendicular travel is meaningful
+			}
+			flags := make([]bool, m.Nodes())
+			// Propagate against the travel direction: the flag of n
+			// depends on the flag of its travel-direction neighbour,
+			// so we start at the border the travel points to. Order
+			// nodes by decreasing coordinate along travel.
+			for _, n := range travelOrder(m, travel) {
+				local := portBlocked(n, dir)
+				// If the travel direction itself is interrupted
+				// (border, fault, disabled node) the wave ends here:
+				// nothing beyond the interruption can re-open dir for
+				// a message detouring along this line.
+				if portBlocked(n, travel) {
+					flags[n] = local
+				} else {
+					flags[n] = local && flags[m.Neighbor(n, travel)]
+				}
+			}
+			d.blocked[dir][travel] = flags
+		}
+	}
+	return d
+}
+
+// travelOrder returns all mesh nodes ordered so that each node's
+// neighbour in direction travel comes earlier (border-first sweep).
+func travelOrder(m *topology.Mesh, travel int) []topology.NodeID {
+	out := make([]topology.NodeID, 0, m.Nodes())
+	switch travel {
+	case topology.East: // sweep x descending
+		for x := m.W - 1; x >= 0; x-- {
+			for y := 0; y < m.H; y++ {
+				out = append(out, m.Node(x, y))
+			}
+		}
+	case topology.West:
+		for x := 0; x < m.W; x++ {
+			for y := 0; y < m.H; y++ {
+				out = append(out, m.Node(x, y))
+			}
+		}
+	case topology.North: // sweep y descending
+		for y := m.H - 1; y >= 0; y-- {
+			for x := 0; x < m.W; x++ {
+				out = append(out, m.Node(x, y))
+			}
+		}
+	case topology.South:
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				out = append(out, m.Node(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// ClearRun returns the number of consecutive usable hops from n in
+// direction dir before the straight line is interrupted by a fault,
+// a disabled node or the mesh border.
+func (d *DirStates) ClearRun(dir int, n topology.NodeID) int {
+	if d.runs[dir] == nil {
+		return 0
+	}
+	return d.runs[dir][n]
+}
+
+// Blocked reports whether direction dir stays blocked from n onwards
+// when travelling in direction travel (which must be perpendicular to
+// dir).
+func (d *DirStates) Blocked(dir, travel int, n topology.NodeID) bool {
+	flags := d.blocked[dir][travel]
+	if flags == nil {
+		return false
+	}
+	return flags[n]
+}

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// RandomOptions controls random fault-pattern generation.
+type RandomOptions struct {
+	Nodes int   // number of node faults
+	Links int   // number of link faults (besides node faults)
+	Seed  int64 // PRNG seed (deterministic patterns)
+	// KeepConnected retries until the surviving network is a single
+	// connected component (so delivery experiments stay well defined).
+	KeepConnected bool
+	// Avoid lists nodes that must not fail (e.g. the observation
+	// nodes of an experiment).
+	Avoid []topology.NodeID
+	// MaxTries bounds the rejection sampling (default 10000).
+	MaxTries int
+}
+
+// Random draws a random fault pattern on g according to opts. It
+// returns an error when no acceptable pattern is found within MaxTries
+// (e.g. too many faults for a connected remainder).
+func Random(g topology.Graph, opts RandomOptions) (*Set, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	maxTries := opts.MaxTries
+	if maxTries == 0 {
+		maxTries = 10000
+	}
+	avoid := make(map[topology.NodeID]bool, len(opts.Avoid))
+	for _, n := range opts.Avoid {
+		avoid[n] = true
+	}
+	links := topology.Links(g)
+	for try := 0; try < maxTries; try++ {
+		s := NewSet()
+		ok := true
+		for i := 0; i < opts.Nodes; i++ {
+			// Draw a distinct non-avoided node.
+			var n topology.NodeID
+			for attempts := 0; ; attempts++ {
+				n = topology.NodeID(rng.Intn(g.Nodes()))
+				if !avoid[n] && !s.NodeFaulty(n) {
+					break
+				}
+				if attempts > 100*g.Nodes() {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			s.FailNode(n)
+		}
+		for i := 0; ok && i < opts.Links; i++ {
+			var l topology.Link
+			for attempts := 0; ; attempts++ {
+				l = links[rng.Intn(len(links))]
+				if !s.LinkFaulty(l.A, l.B) && !s.NodeFaulty(l.A) && !s.NodeFaulty(l.B) {
+					break
+				}
+				if attempts > 100*len(links) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			s.FailLink(l.A, l.B)
+		}
+		if !ok {
+			continue
+		}
+		if opts.KeepConnected {
+			comps := topology.Components(g, s.Filter())
+			if len(comps) != 1 {
+				continue
+			}
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("fault: no acceptable random pattern after %d tries (nodes=%d links=%d on %s)",
+		maxTries, opts.Nodes, opts.Links, g.Name())
+}
+
+// Chain builds the Figure 2 scenario: a chain of faulty links attached
+// to the west border of mesh m at height y (the links cut vertically
+// between rows y and y+1 for columns 0..length-1). A node just west of
+// and above the chain must know the chain's full extent to decide on
+// which side to route a message addressed below the chain — the
+// paper's argument that purposiveness needs Omega(|F|) memory in the
+// worst case.
+func Chain(m *topology.Mesh, y, length int) (*Set, error) {
+	if y < 0 || y+1 >= m.H {
+		return nil, fmt.Errorf("fault: chain row %d out of range for %s", y, m.Name())
+	}
+	if length < 1 || length >= m.W {
+		return nil, fmt.Errorf("fault: chain length %d out of range for %s (must leave a gap)", length, m.Name())
+	}
+	s := NewSet()
+	for x := 0; x < length; x++ {
+		s.FailLink(m.Node(x, y), m.Node(x, y+1))
+	}
+	return s, nil
+}
+
+// LShape places an L-shaped (concave) pattern of node faults with the
+// corner at (x,y), one arm extending east for armE nodes and one north
+// for armN nodes. Used to exercise the convex completion.
+func LShape(m *topology.Mesh, x, y, armE, armN int) (*Set, error) {
+	if x+armE > m.W || y+armN > m.H {
+		return nil, fmt.Errorf("fault: L-shape at (%d,%d) arms (%d,%d) exceeds %s", x, y, armE, armN, m.Name())
+	}
+	s := NewSet()
+	for i := 0; i < armE; i++ {
+		s.FailNode(m.Node(x+i, y))
+	}
+	for j := 0; j < armN; j++ {
+		s.FailNode(m.Node(x, y+j))
+	}
+	return s, nil
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// EventKind distinguishes the fault-injection event types.
+type EventKind int
+
+const (
+	// NodeFault marks a node fail-stop event.
+	NodeFault EventKind = iota
+	// LinkFault marks a bidirectional link failure.
+	LinkFault
+)
+
+// Event is a timed fault injection.
+type Event struct {
+	Time int64
+	Kind EventKind
+	Node topology.NodeID // for NodeFault
+	Link topology.Link   // for LinkFault
+}
+
+// Schedule is an ordered list of fault injections applied during a
+// simulation. Per the paper's assumption iv, the simulator drains or
+// freezes affected traffic while each event's diagnosis (state
+// propagation) runs to a fixpoint.
+type Schedule struct {
+	events []Event
+	next   int
+}
+
+// NewSchedule builds a schedule from events (sorted by time
+// internally; the argument slice is not retained).
+func NewSchedule(events []Event) *Schedule {
+	ev := make([]Event, len(events))
+	copy(ev, events)
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].Time < ev[j].Time })
+	return &Schedule{events: ev}
+}
+
+// AddNodeFault appends a node-fault event (call before first ApplyUpTo).
+func (sc *Schedule) AddNodeFault(t int64, n topology.NodeID) {
+	sc.events = append(sc.events, Event{Time: t, Kind: NodeFault, Node: n})
+	sort.SliceStable(sc.events, func(i, j int) bool { return sc.events[i].Time < sc.events[j].Time })
+}
+
+// AddLinkFault appends a link-fault event.
+func (sc *Schedule) AddLinkFault(t int64, a, b topology.NodeID) {
+	sc.events = append(sc.events, Event{Time: t, Kind: LinkFault, Link: topology.MakeLink(a, b)})
+	sort.SliceStable(sc.events, func(i, j int) bool { return sc.events[i].Time < sc.events[j].Time })
+}
+
+// Pending reports whether unapplied events remain.
+func (sc *Schedule) Pending() bool { return sc.next < len(sc.events) }
+
+// NextTime returns the time of the next unapplied event, or -1 when
+// none remain.
+func (sc *Schedule) NextTime() int64 {
+	if !sc.Pending() {
+		return -1
+	}
+	return sc.events[sc.next].Time
+}
+
+// ApplyUpTo applies every event with Time <= t to set s and returns the
+// newly applied events (nil when none fired).
+func (sc *Schedule) ApplyUpTo(t int64, s *Set) []Event {
+	var fired []Event
+	for sc.next < len(sc.events) && sc.events[sc.next].Time <= t {
+		e := sc.events[sc.next]
+		switch e.Kind {
+		case NodeFault:
+			s.FailNode(e.Node)
+		case LinkFault:
+			s.FailLink(e.Link.A, e.Link.B)
+		}
+		fired = append(fired, e)
+		sc.next++
+	}
+	return fired
+}
+
+// Reset rewinds the schedule so it can be replayed on a fresh Set.
+func (sc *Schedule) Reset() { sc.next = 0 }

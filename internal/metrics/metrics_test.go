@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{2, 4, 6} {
+		a.Add(v)
+	}
+	if a.N() != 3 || a.Mean() != 4 || a.Min() != 2 || a.Max() != 6 {
+		t.Fatalf("accumulator wrong: %+v", a)
+	}
+	want := math.Sqrt((4 + 0 + 4) / 3.0)
+	if math.Abs(a.StdDev()-want) > 1e-9 {
+		t.Fatalf("stddev = %f, want %f", a.StdDev(), want)
+	}
+	var empty Accumulator
+	if empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Fatal("empty accumulator should be zero")
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestAccumulatorMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var a Accumulator
+		ok := false
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue // avoid float64 overflow in sum of squares
+			}
+			a.Add(v)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		return a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []float64{1, 12, 23, 23, 49, 120} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Bin(0) != 1 || h.Bin(1) != 1 || h.Bin(2) != 2 || h.Bin(4) != 1 {
+		t.Fatal("bin counts wrong")
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	if p := h.Percentile(0.5); p != 30 {
+		t.Fatalf("p50 = %f, want 30", p)
+	}
+	if p := h.Percentile(1.0); !math.IsInf(p, 1) {
+		t.Fatalf("p100 should be +Inf with overflow, got %f", p)
+	}
+	h2 := NewHistogram(1, 4)
+	h2.Add(-5)
+	if h2.Bin(0) != 1 {
+		t.Fatal("negative value should clamp to bin 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Demo", "name", "size", "ft")
+	tb.AddRow("beta", 1024.0, "*")
+	tb.AddRow("alpha", 64.0, "")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "name") {
+		t.Fatalf("render missing pieces:\n%s", s)
+	}
+	if !strings.Contains(s, "1024") {
+		t.Fatalf("float should render without decimals:\n%s", s)
+	}
+	tb.SortByColumn(0)
+	if tb.Cell(0, 0) != "alpha" {
+		t.Fatal("string sort failed")
+	}
+	tb.SortByColumn(1)
+	if tb.Cell(0, 1) != "64" {
+		t.Fatal("numeric sort failed")
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,size,ft\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+}

@@ -1,0 +1,140 @@
+package network
+
+import "sort"
+
+// Deadlock analysis: the watchdog in Step flags missing progress; this
+// file provides the precise check used by the test suite. A wormhole
+// deadlock is a set of messages that are all "stuck" (none of their
+// admissible next resources can ever free up without one of the others
+// moving) and mutually wait on each other. We build the wait-for graph
+// between messages and search for a cycle consisting solely of stuck
+// messages — a certificate that the routing algorithm's channel
+// dependency discipline was violated.
+
+// waitEdges returns, for message m's head at input (p,v) of router r,
+// the set of messages it currently waits on:
+//
+//   - unallocated head: the owners of every candidate output VC (the
+//     head can proceed once ANY candidate frees, so the message only
+//     counts as stuck when every candidate is owned or credit-less);
+//   - allocated head without credits: the message whose flits sit at
+//     the front of the full downstream buffer.
+func (n *Network) waitEdges(r *router, p, v int) (edges []*Message, stuck bool) {
+	ivc := &r.inputs[p][v]
+	if !ivc.routed || ivc.eject || ivc.unroutable || len(ivc.q) == 0 {
+		return nil, false
+	}
+	me := ivc.curMsg
+	if ivc.outPort < 0 {
+		if len(ivc.candidates) == 0 {
+			return nil, false
+		}
+		stuck = true
+		for _, c := range ivc.candidates {
+			out := &r.outputs[c.Port][c.VC]
+			if out.free() {
+				// A free candidate: not stuck (merely waiting for
+				// switch allocation).
+				return nil, false
+			}
+			if out.ownerMsg != nil && out.ownerMsg != me {
+				edges = append(edges, out.ownerMsg)
+			}
+		}
+		return edges, stuck
+	}
+	out := &r.outputs[ivc.outPort][ivc.outVC]
+	if out.credits > 0 {
+		return nil, false
+	}
+	// Blocked on a full downstream buffer: wait on the worm at its
+	// front.
+	down := n.g.Neighbor(r.id, ivc.outPort)
+	if down < 0 {
+		return nil, false
+	}
+	dp, ok := n.g.PortTo(down, r.id)
+	if !ok {
+		return nil, false
+	}
+	front := n.routers[down].inputs[dp][ivc.outVC].frontMsg()
+	if front != nil && front != me {
+		return []*Message{front}, true
+	}
+	// Blocked behind our own worm: pipeline backpressure, not a
+	// deadlock by itself.
+	return nil, false
+}
+
+// FindDeadlockCycle searches the wait-for graph for a cycle of stuck
+// messages and returns their IDs (nil when none exists). The check is
+// conservative: a reported cycle is a real circular wait among
+// messages none of which has a free alternative this cycle.
+func (n *Network) FindDeadlockCycle() []int64 {
+	// Collect the stuck-wait edges.
+	adj := map[*Message][]*Message{}
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				edges, stuck := n.waitEdges(r, p, v)
+				if !stuck || len(edges) == 0 {
+					continue
+				}
+				m := r.inputs[p][v].curMsg
+				adj[m] = append(adj[m], edges...)
+			}
+		}
+	}
+	// DFS cycle search restricted to stuck messages.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*Message]int{}
+	var stack []*Message
+	var cycle []*Message
+	var dfs func(m *Message) bool
+	dfs = func(m *Message) bool {
+		color[m] = grey
+		stack = append(stack, m)
+		for _, w := range adj[m] {
+			if _, isStuck := adj[w]; !isStuck {
+				continue // waits on a message that can still move
+			}
+			switch color[w] {
+			case white:
+				if dfs(w) {
+					return true
+				}
+			case grey:
+				// Found a cycle: slice it out of the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == w {
+						break
+					}
+				}
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[m] = black
+		return false
+	}
+	msgs := make([]*Message, 0, len(adj))
+	for m := range adj {
+		msgs = append(msgs, m)
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].ID < msgs[j].ID })
+	for _, m := range msgs {
+		if color[m] == white && dfs(m) {
+			ids := make([]int64, len(cycle))
+			for i, c := range cycle {
+				ids[i] = c.ID
+			}
+			return ids
+		}
+	}
+	return nil
+}

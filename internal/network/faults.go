@@ -1,0 +1,182 @@
+package network
+
+import (
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// ApplyFaults injects a new fault state into the running network,
+// honouring the paper's fault model:
+//
+//   - messages whose worm currently touches a failed router or spans a
+//     failed link are removed and counted as Killed (assumption iv: in
+//     a direct network such messages are sent to the nearest home link
+//     and reinjected by a light-weight protocol; the simulator models
+//     the removal and excludes these messages from latency stats);
+//   - messages that merely hold a routing decision across a now-dead
+//     link but have not moved any flit yet are re-routed instead;
+//   - the routing algorithm's diagnosis (state propagation) runs to
+//     its fixpoint before the next cycle (assumption iv again), via
+//     Algorithm.UpdateFaults;
+//   - all pending, unallocated routing decisions are recomputed under
+//     the new fault state.
+//
+// The fault set f replaces the previous one; use cumulative sets for
+// incremental fault sequences.
+func (n *Network) ApplyFaults(f *fault.Set) {
+	n.faults = f
+
+	killed := make(map[*Message]bool)
+
+	// 1. Messages touching failed routers (buffered flits or queued at
+	// a failed source).
+	for _, r := range n.routers {
+		if !f.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				for _, fl := range r.inputs[p][v].q {
+					killed[fl.msg] = true
+				}
+			}
+		}
+		for _, m := range r.injQ {
+			m.State = StateKilled
+			m.DoneTime = n.now
+			n.stats.Killed++
+			n.queued--
+		}
+		r.injQ = nil
+	}
+
+	// 2. Worms actively crossing a dead component: an output VC with
+	// an owner that has already sent at least one flit (remaining <
+	// Length) carries a worm that spans the attached link; if the
+	// sending router, the link or the receiving router is dead, that
+	// worm is cut.
+	for _, r := range n.routers {
+		for p := range r.outputs {
+			down := n.g.Neighbor(r.id, p)
+			for v := range r.outputs[p] {
+				out := &r.outputs[p][v]
+				if out.ownerMsg == nil || out.remaining >= out.ownerMsg.Hdr.Length {
+					continue
+				}
+				dead := f.NodeFaulty(r.id) || down == topology.Invalid ||
+					f.NodeFaulty(down) || f.LinkFaulty(r.id, down)
+				if dead {
+					killed[out.ownerMsg] = true
+				}
+			}
+		}
+	}
+
+	// 3. Remove killed worms everywhere and account for them.
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if len(ivc.q) == 0 {
+					continue
+				}
+				kept := ivc.q[:0]
+				for _, fl := range ivc.q {
+					if !killed[fl.msg] {
+						kept = append(kept, fl)
+					}
+				}
+				ivc.q = kept
+			}
+		}
+	}
+	for m := range killed {
+		if m.State == StateInFlight {
+			m.State = StateKilled
+			m.DoneTime = n.now
+			n.stats.Killed++
+			n.inFlight--
+		}
+	}
+
+	// 4. Release outputs owned by killed worms; re-route allocations
+	// that would cross a dead link but have not moved a flit yet;
+	// recompute credits from the surviving buffer occupancy.
+	for _, r := range n.routers {
+		for p := range r.outputs {
+			for v := range r.outputs[p] {
+				out := &r.outputs[p][v]
+				if out.ownerMsg != nil && killed[out.ownerMsg] {
+					n.releaseOutput(r, p, v)
+				}
+			}
+		}
+	}
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if ivc.outPort < 0 {
+					// Unallocated: recompute the decision under the
+					// new fault state next cycle.
+					if ivc.routed && !ivc.eject {
+						ivc.resetRoute()
+					}
+					continue
+				}
+				if ivc.curMsg == nil || killed[ivc.curMsg] {
+					// The worm this allocation belonged to is gone.
+					ivc.resetRoute()
+					continue
+				}
+				out := &r.outputs[ivc.outPort][ivc.outVC]
+				down := n.g.Neighbor(r.id, ivc.outPort)
+				dead := down == topology.Invalid || f.LinkFaulty(r.id, down) || f.NodeFaulty(down)
+				if dead {
+					if out.remaining == ivc.curMsg.Hdr.Length {
+						// Nothing sent yet: safe to re-route.
+						n.releaseOutput(r, ivc.outPort, ivc.outVC)
+						ivc.resetRoute()
+					}
+					// Otherwise the worm already spans the link and was
+					// killed in step 2.
+				}
+			}
+		}
+	}
+	// Pending credit returns are superseded by the from-scratch
+	// recomputation.
+	n.creditQueue = n.creditQueue[:0]
+	n.recomputeCredits()
+
+	// 5. Diagnosis phase: propagate the new fault state to a fixpoint.
+	n.alg.UpdateFaults(f)
+}
+
+// releaseOutput frees output (p,v) of router r.
+func (n *Network) releaseOutput(r *router, p, v int) {
+	out := &r.outputs[p][v]
+	out.ownerInPort, out.ownerInVC = -1, -1
+	out.ownerMsg = nil
+	out.remaining = 0
+}
+
+// recomputeCredits rebuilds every output's credit count from the
+// actual downstream buffer occupancy (used after fault surgery).
+func (n *Network) recomputeCredits() {
+	for _, r := range n.routers {
+		for p := range r.outputs {
+			down := n.g.Neighbor(r.id, p)
+			if down == topology.Invalid {
+				continue
+			}
+			dp, ok := n.g.PortTo(down, r.id)
+			if !ok {
+				continue
+			}
+			for v := range r.outputs[p] {
+				r.outputs[p][v].credits = n.cfg.BufDepth - len(n.routers[down].inputs[dp][v].q)
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package network
+
+import "fmt"
+
+// CheckInvariants validates the internal consistency of the simulator
+// state; tests call it periodically. It returns the first violation
+// found, or nil.
+func (n *Network) CheckInvariants() error {
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if p != r.injPort() && len(ivc.q) > n.cfg.BufDepth {
+					return fmt.Errorf("node %d input (%d,%d): %d flits exceed buffer depth %d",
+						r.id, p, v, len(ivc.q), n.cfg.BufDepth)
+				}
+				if ivc.outPort >= 0 {
+					out := &r.outputs[ivc.outPort][ivc.outVC]
+					if out.ownerInPort != p || out.ownerInVC != v {
+						return fmt.Errorf("node %d input (%d,%d): allocation to (%d,%d) not owned back",
+							r.id, p, v, ivc.outPort, ivc.outVC)
+					}
+					if out.ownerMsg != ivc.curMsg {
+						return fmt.Errorf("node %d output (%d,%d): owner message mismatch",
+							r.id, ivc.outPort, ivc.outVC)
+					}
+				}
+			}
+		}
+		for p := range r.outputs {
+			down := n.g.Neighbor(r.id, p)
+			for v := range r.outputs[p] {
+				out := &r.outputs[p][v]
+				if out.credits < 0 || out.credits > n.cfg.BufDepth {
+					return fmt.Errorf("node %d output (%d,%d): credits %d out of range",
+						r.id, p, v, out.credits)
+				}
+				if down >= 0 {
+					dp, ok := n.g.PortTo(down, r.id)
+					if ok {
+						occ := len(n.routers[down].inputs[dp][v].q)
+						inFlight := 0
+						for _, c := range n.creditQueue {
+							if c.node == r.id && c.port == p && c.vc == v {
+								inFlight++
+							}
+						}
+						if out.credits+occ+inFlight != n.cfg.BufDepth {
+							return fmt.Errorf("node %d output (%d,%d): credits %d + occupancy %d + in-flight %d != depth %d",
+								r.id, p, v, out.credits, occ, inFlight, n.cfg.BufDepth)
+						}
+					}
+				}
+				if out.ownerMsg == nil && out.remaining != 0 {
+					return fmt.Errorf("node %d output (%d,%d): free but remaining %d",
+						r.id, p, v, out.remaining)
+				}
+				if out.ownerMsg != nil && out.free() {
+					return fmt.Errorf("node %d output (%d,%d): owner message set but port free",
+						r.id, p, v)
+				}
+			}
+		}
+	}
+	return nil
+}

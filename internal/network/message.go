@@ -1,0 +1,99 @@
+// Package network implements a flit-level, cycle-driven simulator of a
+// wormhole-switched multicomputer network with virtual channels — the
+// substrate on which the paper's routing algorithms are evaluated.
+//
+// The router model follows the canonical four-phase pipeline: routing
+// computation (RC, performed by a routing.Algorithm and charged with
+// the algorithm's rule-interpretation step count), virtual-channel
+// allocation (VA, guided by a routing.Selector implementing the
+// adaptivity criterion), switch allocation (SA, round-robin fair per
+// input and output port) and switch traversal (ST, one flit per
+// physical link and cycle). Flow control is credit based with per-VC
+// input buffers.
+//
+// Fault injection honours the paper's assumption iv: when faults are
+// applied, messages currently touching the failed components are
+// removed (in a real direct network they would be reinjected via the
+// nearest home link) and the algorithm's diagnosis/state propagation
+// runs to its fixpoint before traffic continues.
+package network
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// MessageState describes the lifecycle stage of a message.
+type MessageState int
+
+const (
+	// StateQueued means the message waits in its source injection
+	// queue.
+	StateQueued MessageState = iota
+	// StateInFlight means at least one flit is in the network.
+	StateInFlight
+	// StateDelivered means the tail flit was ejected at the
+	// destination.
+	StateDelivered
+	// StateDropped means the routing algorithm declared the message
+	// unroutable and the network absorbed it.
+	StateDropped
+	// StateKilled means a fault event destroyed the message in
+	// transit (assumption iv: such messages are handled by a
+	// higher-level reinjection protocol and are excluded from latency
+	// statistics).
+	StateKilled
+)
+
+// Message is one wormhole message (a sequence of Length flits: one
+// head, Length-2 body, one tail; minimum length 2).
+type Message struct {
+	ID  int64
+	Hdr routing.Header
+
+	// InjectTime is the cycle the message entered the source queue.
+	InjectTime int64
+	// StartTime is the cycle its head flit first left the injection
+	// queue (-1 while queued).
+	StartTime int64
+	// DoneTime is the cycle the tail flit was ejected or the message
+	// was dropped/killed (-1 otherwise).
+	DoneTime int64
+
+	State MessageState
+	// Hops counts physical link traversals of the head flit.
+	Hops int
+	// Steps accumulates the rule-interpreter invocations spent on the
+	// message's routing decisions (paper Section 5).
+	Steps int
+	// DropNode records where an unroutable message was absorbed.
+	DropNode topology.NodeID
+
+	flitsSent int // flits that have left the injection stage
+}
+
+// Latency returns the total queue+network latency in cycles, or -1 if
+// the message was not delivered.
+func (m *Message) Latency() int64 {
+	if m.State != StateDelivered {
+		return -1
+	}
+	return m.DoneTime - m.InjectTime
+}
+
+// NetworkLatency returns the cycles between the head flit leaving the
+// injection queue and tail ejection, or -1 if not delivered.
+func (m *Message) NetworkLatency() int64 {
+	if m.State != StateDelivered || m.StartTime < 0 {
+		return -1
+	}
+	return m.DoneTime - m.StartTime
+}
+
+// flit is one flow-control unit in a buffer. Only the identity of the
+// owning message and the head/tail role matter for the simulation.
+type flit struct {
+	msg  *Message
+	head bool
+	tail bool
+}

@@ -1,0 +1,583 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Config parameterises a Network.
+type Config struct {
+	Graph     topology.Graph
+	Algorithm routing.Algorithm
+	// Selector picks among admissible outputs (default MinQueue, the
+	// NAFTA adaptivity criterion).
+	Selector routing.Selector
+	// VCs is the number of virtual channels per physical link
+	// (default Algorithm.NumVCs()).
+	VCs int
+	// BufDepth is the per-VC input buffer depth in flits (default 4).
+	BufDepth int
+	// DecisionCyclesPerStep converts rule-interpretation steps into
+	// router pipeline cycles (default 1); experiment E9 sweeps it.
+	DecisionCyclesPerStep int
+	// RecordMessages keeps every Message record for post-analysis
+	// (costs memory on long runs).
+	RecordMessages bool
+	// WatchdogCycles flags a suspected deadlock after this many
+	// cycles without any flit movement while messages are in flight
+	// (default 10000).
+	WatchdogCycles int64
+	// FavorMarked biases the switch-allocation grant toward messages
+	// marked as fault-detoured, compensating "the double disadvantage
+	// of the longer path and higher loaded links" (paper, Section 3,
+	// Scheduling and Fairness).
+	FavorMarked bool
+	// CreditDelay is the number of cycles a credit needs to travel
+	// back upstream (0 = immediate return, the idealised default).
+	// Non-zero values model the round-trip of real credit-based flow
+	// control and lower the usable buffer bandwidth accordingly.
+	CreditDelay int
+}
+
+// Stats aggregates network-level results.
+type Stats struct {
+	Cycles         int64
+	Injected       int64
+	Delivered      int64
+	Dropped        int64
+	Killed         int64
+	FlitsDelivered int64
+	HopsSum        int64
+	StepsSum       int64
+	MisroutesSum   int64
+	MarkedCount    int64
+	LatencySum     int64 // total latency (queue + network) of delivered
+	NetLatencySum  int64 // network-only latency of delivered
+	MaxLatency     int64
+	// DeadlockSuspected is set by the watchdog; the test suite treats
+	// it as a failure.
+	DeadlockSuspected bool
+}
+
+// AvgLatency returns the mean total latency of delivered messages.
+func (s *Stats) AvgLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Delivered)
+}
+
+// AvgNetLatency returns the mean network latency of delivered
+// messages.
+func (s *Stats) AvgNetLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.NetLatencySum) / float64(s.Delivered)
+}
+
+// Throughput returns delivered flits per node per cycle.
+func (s *Stats) Throughput(nodes int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.FlitsDelivered) / float64(s.Cycles) / float64(nodes)
+}
+
+// AvgSteps returns mean interpreter steps per delivered message.
+func (s *Stats) AvgSteps() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.StepsSum) / float64(s.Delivered)
+}
+
+// DeliveredRatio returns delivered/(delivered+dropped).
+func (s *Stats) DeliveredRatio() float64 {
+	t := s.Delivered + s.Dropped
+	if t == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(t)
+}
+
+// send describes one flit movement decided in the allocation phase and
+// applied atomically at the end of the cycle.
+type send struct {
+	from     *router
+	fromPort int
+	fromVC   int
+	outPort  int
+	outVC    int
+}
+
+// Network is the cycle-driven simulator instance.
+type Network struct {
+	cfg     Config
+	g       topology.Graph
+	alg     routing.Algorithm
+	sel     routing.Selector
+	routers []*router
+	faults  *fault.Set
+	now     int64
+	nextID  int64
+
+	inFlight int // messages materialised but not yet finished
+	queued   int // messages waiting in injection queues
+
+	lastProgress int64
+	stats        Stats
+	// Messages holds all records when cfg.RecordMessages is set.
+	Messages []*Message
+	// creditQueue holds in-flight credit returns when CreditDelay > 0
+	// (due cycle, upstream router/port/vc).
+	creditQueue []pendingCredit
+}
+
+// pendingCredit is one credit travelling back upstream.
+type pendingCredit struct {
+	due  int64
+	node topology.NodeID
+	port int
+	vc   int
+}
+
+// New builds a network simulator from cfg, applying defaults.
+func New(cfg Config) *Network {
+	if cfg.Graph == nil || cfg.Algorithm == nil {
+		panic("network: Config needs Graph and Algorithm")
+	}
+	if cfg.VCs == 0 {
+		cfg.VCs = cfg.Algorithm.NumVCs()
+	}
+	if cfg.VCs < cfg.Algorithm.NumVCs() {
+		panic(fmt.Sprintf("network: %s needs %d VCs, config provides %d",
+			cfg.Algorithm.Name(), cfg.Algorithm.NumVCs(), cfg.VCs))
+	}
+	if cfg.BufDepth == 0 {
+		cfg.BufDepth = 4
+	}
+	if cfg.DecisionCyclesPerStep == 0 {
+		cfg.DecisionCyclesPerStep = 1
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = routing.MinQueue{}
+	}
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = 10000
+	}
+	n := &Network{
+		cfg:    cfg,
+		g:      cfg.Graph,
+		alg:    cfg.Algorithm,
+		sel:    cfg.Selector,
+		faults: fault.NewSet(),
+	}
+	n.routers = make([]*router, cfg.Graph.Nodes())
+	for i := range n.routers {
+		n.routers[i] = newRouter(topology.NodeID(i), cfg.Graph.Ports(), cfg.VCs, cfg.BufDepth)
+	}
+	return n
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Stats returns a snapshot of the aggregated statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.Cycles = n.now
+	return s
+}
+
+// InFlight returns the number of messages materialised in the network.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Queued returns the number of messages waiting in injection queues.
+func (n *Network) Queued() int { return n.queued }
+
+// Idle reports whether no messages are queued or in flight.
+func (n *Network) Idle() bool { return n.inFlight == 0 && n.queued == 0 }
+
+// Inject enqueues a new message at src destined to dst with the given
+// flit length (>= 2). It returns the message record.
+func (n *Network) Inject(src, dst topology.NodeID, length int) *Message {
+	if length < 2 {
+		length = 2
+	}
+	m := &Message{
+		ID:         n.nextID,
+		Hdr:        routing.Header{Src: src, Dst: dst, Length: length},
+		InjectTime: n.now,
+		StartTime:  -1,
+		DoneTime:   -1,
+		State:      StateQueued,
+	}
+	n.nextID++
+	n.stats.Injected++
+	n.routers[src].injQ = append(n.routers[src].injQ, m)
+	n.queued++
+	if n.cfg.RecordMessages {
+		n.Messages = append(n.Messages, m)
+	}
+	return m
+}
+
+// LoadView implementation (the Information Units of the router
+// architecture: buffer exploitation per output).
+
+// OutFree reports whether output (port,vc) of node is unowned.
+func (n *Network) OutFree(node topology.NodeID, port, vc int) bool {
+	return n.routers[node].outputs[port][vc].free()
+}
+
+// Credits returns the free downstream buffer slots of output
+// (port,vc).
+func (n *Network) Credits(node topology.NodeID, port, vc int) int {
+	return n.routers[node].outputs[port][vc].credits
+}
+
+// QueuedFlits returns the data volume still to pass output (port,vc).
+func (n *Network) QueuedFlits(node topology.NodeID, port, vc int) int {
+	total := 0
+	for v := 0; v < n.cfg.VCs; v++ {
+		total += n.routers[node].outputs[port][v].remaining
+	}
+	return total
+}
+
+var _ routing.LoadView = (*Network)(nil)
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.deliverCredits()
+	n.injectStage()
+	n.routeStage()
+	n.allocStage()
+	moves := n.switchStage()
+	progress := n.applyMoves(moves)
+	if n.drainStage() {
+		progress = true
+	}
+	if progress {
+		n.lastProgress = n.now
+	} else if n.inFlight > 0 && n.now-n.lastProgress > n.cfg.WatchdogCycles {
+		n.stats.DeadlockSuspected = true
+	}
+	n.now++
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain runs until the network is idle or maxCycles elapse; it returns
+// true when fully drained.
+func (n *Network) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.Idle() {
+			return true
+		}
+		n.Step()
+	}
+	return n.Idle()
+}
+
+// injectStage materialises the next queued message of every node into
+// its injection pseudo-port when that port is empty.
+func (n *Network) injectStage() {
+	for _, r := range n.routers {
+		if len(r.injQ) == 0 {
+			continue
+		}
+		if n.faults.NodeFaulty(r.id) {
+			continue // killed separately in ApplyFaults
+		}
+		ivc := &r.inputs[r.injPort()][0]
+		if len(ivc.q) > 0 {
+			continue // previous message still streaming
+		}
+		m := r.injQ[0]
+		r.injQ = r.injQ[1:]
+		m.StartTime = n.now
+		m.State = StateInFlight
+		for i := 0; i < m.Hdr.Length; i++ {
+			ivc.q = append(ivc.q, flit{msg: m, head: i == 0, tail: i == m.Hdr.Length-1})
+		}
+		ivc.resetRoute()
+		n.queued--
+		n.inFlight++
+	}
+}
+
+// routeStage performs RC for every input VC whose front flit is an
+// unrouted head.
+func (n *Network) routeStage() {
+	for _, r := range n.routers {
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if ivc.routed || len(ivc.q) == 0 || !ivc.q[0].head {
+					continue
+				}
+				m := ivc.q[0].msg
+				ivc.curMsg = m
+				if m.Hdr.Dst == r.id {
+					ivc.routed = true
+					ivc.eject = true
+					ivc.decisionReady = n.now
+					continue
+				}
+				req := n.requestFor(r, p, v, m)
+				steps := n.alg.Steps(req)
+				m.Steps += steps
+				ivc.candidates = n.alg.Route(req)
+				ivc.routed = true
+				ivc.unroutable = len(ivc.candidates) == 0
+				ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
+			}
+		}
+	}
+}
+
+func (n *Network) requestFor(r *router, p, v int, m *Message) routing.Request {
+	inPort := p
+	if p == r.injPort() {
+		inPort = routing.InjectionPort
+	}
+	return routing.Request{Node: r.id, InPort: inPort, InVC: v, Hdr: &m.Hdr}
+}
+
+// allocStage performs VA: routed-but-unallocated inputs try to claim a
+// free output VC among their candidates, guided by the selector.
+func (n *Network) allocStage() {
+	for _, r := range n.routers {
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if !ivc.routed || ivc.eject || ivc.unroutable || ivc.outPort >= 0 {
+					continue
+				}
+				if n.now < ivc.decisionReady {
+					continue
+				}
+				var free []routing.Candidate
+				for _, c := range ivc.candidates {
+					if r.outputs[c.Port][c.VC].free() {
+						free = append(free, c)
+					}
+				}
+				if len(free) == 0 {
+					continue
+				}
+				m := ivc.frontMsg()
+				chosen := n.sel.Select(n, r.id, free, &m.Hdr)
+				n.alg.NoteHop(n.requestFor(r, p, v, m), chosen)
+				ivc.outPort, ivc.outVC = chosen.Port, chosen.VC
+				out := &r.outputs[chosen.Port][chosen.VC]
+				out.ownerInPort, out.ownerInVC = p, v
+				out.ownerMsg = m
+				out.remaining = m.Hdr.Length
+			}
+		}
+	}
+}
+
+// switchStage performs SA: each input port nominates one VC, each
+// output port grants one nominee; the result is the list of flit
+// movements of this cycle.
+func (n *Network) switchStage() []send {
+	var moves []send
+	for _, r := range n.routers {
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		// Nomination: one VC per input port (round-robin fairness).
+		type nominee struct{ port, vc int }
+		nomineesByOut := make(map[int][]nominee)
+		for p := range r.inputs {
+			vcs := len(r.inputs[p])
+			for off := 0; off < vcs; off++ {
+				v := (r.rrIn[p] + off) % vcs
+				ivc := &r.inputs[p][v]
+				if ivc.outPort < 0 || len(ivc.q) == 0 {
+					continue
+				}
+				out := &r.outputs[ivc.outPort][ivc.outVC]
+				if out.credits <= 0 {
+					continue
+				}
+				nomineesByOut[ivc.outPort] = append(nomineesByOut[ivc.outPort], nominee{p, v})
+				r.rrIn[p] = (v + 1) % vcs
+				break
+			}
+		}
+		// Grant: one input per output port (optionally favouring
+		// fault-detoured messages, Section 3 Scheduling and Fairness).
+		for op, noms := range nomineesByOut {
+			pick := noms[r.rrOut[op]%len(noms)]
+			if n.cfg.FavorMarked {
+				start := r.rrOut[op] % len(noms)
+				for off := 0; off < len(noms); off++ {
+					cand := noms[(start+off)%len(noms)]
+					if m := r.inputs[cand.port][cand.vc].curMsg; m != nil && m.Hdr.Marked {
+						pick = cand
+						break
+					}
+				}
+			}
+			r.rrOut[op]++
+			ivc := &r.inputs[pick.port][pick.vc]
+			moves = append(moves, send{
+				from: r, fromPort: pick.port, fromVC: pick.vc,
+				outPort: ivc.outPort, outVC: ivc.outVC,
+			})
+		}
+	}
+	return moves
+}
+
+// applyMoves executes the collected sends: pop at the source, push at
+// the downstream router, and maintain credits, ownership and message
+// accounting. It reports whether any flit moved.
+func (n *Network) applyMoves(moves []send) bool {
+	for _, mv := range moves {
+		r := mv.from
+		ivc := &r.inputs[mv.fromPort][mv.fromVC]
+		f := ivc.q[0]
+		ivc.q = ivc.q[1:]
+		n.creditReturnVC(r, mv.fromPort, mv.fromVC)
+		out := &r.outputs[mv.outPort][mv.outVC]
+		out.credits--
+		out.remaining--
+		r.sent[mv.outPort]++
+		if f.head {
+			f.msg.Hops++
+		}
+		// Deliver into the downstream input buffer.
+		down := n.g.Neighbor(r.id, mv.outPort)
+		dr := n.routers[down]
+		dp, ok := n.g.PortTo(down, r.id)
+		if !ok {
+			panic("network: inconsistent topology in applyMoves")
+		}
+		dr.inputs[dp][mv.outVC].q = append(dr.inputs[dp][mv.outVC].q, f)
+		if f.tail {
+			// The worm has fully left: release input route state and
+			// output ownership.
+			ivc.resetRoute()
+			out.ownerInPort, out.ownerInVC = -1, -1
+			out.ownerMsg = nil
+			out.remaining = 0
+		}
+	}
+	return len(moves) > 0
+}
+
+// creditReturnVC gives one credit back for a flit popped from input
+// (p,v) of router r, after the configured return latency.
+func (n *Network) creditReturnVC(r *router, p, v int) {
+	if p == r.injPort() {
+		return
+	}
+	up := n.g.Neighbor(r.id, p)
+	if up == topology.Invalid {
+		return
+	}
+	upPort, ok := n.g.PortTo(up, r.id)
+	if !ok {
+		return
+	}
+	if n.cfg.CreditDelay <= 0 {
+		n.routers[up].outputs[upPort][v].credits++
+		return
+	}
+	n.creditQueue = append(n.creditQueue, pendingCredit{
+		due: n.now + int64(n.cfg.CreditDelay), node: up, port: upPort, vc: v,
+	})
+}
+
+// deliverCredits applies due credit returns.
+func (n *Network) deliverCredits() {
+	if len(n.creditQueue) == 0 {
+		return
+	}
+	kept := n.creditQueue[:0]
+	for _, c := range n.creditQueue {
+		if c.due <= n.now {
+			n.routers[c.node].outputs[c.port][c.vc].credits++
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	n.creditQueue = kept
+}
+
+// drainStage ejects delivered flits and absorbs unroutable messages
+// (one flit per input VC per cycle). It reports whether anything
+// drained.
+func (n *Network) drainStage() bool {
+	progress := false
+	for _, r := range n.routers {
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if !ivc.routed || (!ivc.eject && !ivc.unroutable) || len(ivc.q) == 0 {
+					continue
+				}
+				if n.now < ivc.decisionReady {
+					continue
+				}
+				f := ivc.q[0]
+				ivc.q = ivc.q[1:]
+				n.creditReturnVC(r, p, v)
+				progress = true
+				if ivc.eject {
+					n.stats.FlitsDelivered++
+				}
+				if f.tail {
+					m := f.msg
+					m.DoneTime = n.now
+					if ivc.eject {
+						m.State = StateDelivered
+						n.stats.Delivered++
+						n.stats.HopsSum += int64(m.Hops)
+						n.stats.StepsSum += int64(m.Steps)
+						n.stats.MisroutesSum += int64(m.Hdr.Misroutes)
+						if m.Hdr.Marked {
+							n.stats.MarkedCount++
+						}
+						lat := m.Latency()
+						n.stats.LatencySum += lat
+						n.stats.NetLatencySum += m.NetworkLatency()
+						if lat > n.stats.MaxLatency {
+							n.stats.MaxLatency = lat
+						}
+					} else {
+						m.State = StateDropped
+						m.DropNode = r.id
+						n.stats.Dropped++
+					}
+					n.inFlight--
+					ivc.resetRoute()
+				}
+			}
+		}
+	}
+	return progress
+}

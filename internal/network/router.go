@@ -1,0 +1,118 @@
+package network
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// inputVC is the receive side of one virtual channel of one input
+// port: a FIFO flit buffer plus the routing state of the message whose
+// head is (or will be) at the front.
+type inputVC struct {
+	q []flit
+
+	// routed is true once the front message has passed RC.
+	routed bool
+	// curMsg is the message the route state belongs to (set at RC);
+	// the queue may be transiently empty while the worm streams
+	// through, so the front flit alone cannot identify it.
+	curMsg *Message
+	// decisionReady is the cycle at which the routing decision
+	// becomes available (models the decision time studied in E9).
+	decisionReady int64
+	// candidates are the admissible outputs from RC (nil + routed
+	// means unroutable -> absorb).
+	candidates []routing.Candidate
+	// unroutable marks a message being absorbed (dropped).
+	unroutable bool
+	// outPort/outVC are the allocated output (-1 before VA).
+	outPort, outVC int
+	// eject is true when the front message is at its destination.
+	eject bool
+}
+
+func (vc *inputVC) resetRoute() {
+	vc.routed = false
+	vc.curMsg = nil
+	vc.decisionReady = 0
+	vc.candidates = nil
+	vc.unroutable = false
+	vc.outPort, vc.outVC = -1, -1
+	vc.eject = false
+}
+
+// frontMsg returns the message of the front flit, or nil.
+func (vc *inputVC) frontMsg() *Message {
+	if len(vc.q) == 0 {
+		return nil
+	}
+	return vc.q[0].msg
+}
+
+// outputVC is the send side of one virtual channel of one output port.
+type outputVC struct {
+	// ownerIn identifies the input holding this output VC as
+	// (inPort, inVC); inPort == -1 means free, inPort == injection
+	// port index means the local injection stage.
+	ownerInPort, ownerInVC int
+	// ownerMsg is the message holding this output VC (nil when free);
+	// fault surgery uses it to release channels of killed worms.
+	ownerMsg *Message
+	// credits counts free flit slots in the downstream input buffer.
+	credits int
+	// remaining is the number of flits of the owning message that
+	// still have to pass this output (the NAFTA adaptivity
+	// criterion).
+	remaining int
+}
+
+func (o *outputVC) free() bool { return o.ownerInPort == -1 }
+
+// router is the per-node simulation state.
+type router struct {
+	id topology.NodeID
+	// inputs[port][vc]; port indices 0..Ports()-1 are links, index
+	// Ports() is the injection pseudo-port (with its own VC array so
+	// an injected message can claim any VC class).
+	inputs [][]inputVC
+	// outputs[port][vc] for the link ports only.
+	outputs [][]outputVC
+	// injQ is the source queue of not-yet-started messages.
+	injQ []*Message
+	// rrIn[port] is the round-robin pointer for nominating one VC per
+	// input port in SA; rrOut[port] likewise for picking one request
+	// per output port.
+	rrIn  []int
+	rrOut []int
+	// sent[port] counts flits transmitted through each output port
+	// (link-utilisation statistics).
+	sent []int64
+}
+
+func newRouter(id topology.NodeID, ports, vcs, bufDepth int) *router {
+	r := &router{
+		id:      id,
+		inputs:  make([][]inputVC, ports+1),
+		outputs: make([][]outputVC, ports),
+		rrIn:    make([]int, ports+1),
+		rrOut:   make([]int, ports),
+		sent:    make([]int64, ports),
+	}
+	for p := 0; p <= ports; p++ {
+		r.inputs[p] = make([]inputVC, vcs)
+		for v := range r.inputs[p] {
+			r.inputs[p][v].resetRoute()
+		}
+	}
+	for p := 0; p < ports; p++ {
+		r.outputs[p] = make([]outputVC, vcs)
+		for v := range r.outputs[p] {
+			r.outputs[p][v].ownerInPort = -1
+			r.outputs[p][v].credits = bufDepth
+		}
+	}
+	return r
+}
+
+// injPort returns the pseudo-port index of the injection stage.
+func (r *router) injPort() int { return len(r.inputs) - 1 }

@@ -1,0 +1,466 @@
+package routing
+
+import (
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// NAFTA is the fault-tolerant adaptive routing algorithm for 2-D meshes
+// (Cunningham/Avresky 1995) as described in Section 2.2 of the paper:
+//
+//   - fault information is propagated in waves and condensed into a
+//     constant amount of state per node: rectangular fault blocks
+//     (concave fault patterns completed to a convex shape) and
+//     directional dead-end states ("dead-end-east" = every column to
+//     the east contains a fault);
+//   - the deadlock prevention is the turn model with two virtual
+//     networks (north-last and south-last), so in the fault-free case
+//     every minimal path is available (condition 1);
+//   - messages blocked by a fault region are misrouted around it,
+//     marked, and carry a path-length counter (Section 3, lifelock
+//     avoidance); the counter bounds detours.
+//
+// The constant-state approximation intentionally violates condition 3
+// in awkward fault situations; the evaluation (experiment E6) measures
+// this.
+type NAFTA struct {
+	mesh   *topology.Mesh
+	faults *fault.Set
+	blocks *fault.BlockInfo
+	dead   *fault.DeadEnds
+	dirs   *fault.DirStates
+
+	// MaxMisroutes bounds the detour budget per message; beyond it the
+	// message is dropped (livelock avoidance). Zero means the default
+	// 4*(W+H).
+	MaxMisroutes int
+
+	// DisableBlocks turns off the convex completion (ablation E10):
+	// only directly faulty nodes/links restrict routing.
+	DisableBlocks bool
+}
+
+// NewNAFTA builds NAFTA on mesh m with no faults.
+func NewNAFTA(m *topology.Mesh) *NAFTA {
+	n := &NAFTA{mesh: m}
+	n.UpdateFaults(fault.NewSet())
+	return n
+}
+
+func (n *NAFTA) Name() string { return "nafta" }
+func (n *NAFTA) NumVCs() int  { return 2 }
+
+// UpdateFaults recomputes the fault blocks and dead-end states to
+// their fixpoint (diagnosis phase, assumption iv).
+func (n *NAFTA) UpdateFaults(f *fault.Set) {
+	n.faults = f
+	if n.DisableBlocks {
+		n.blocks = nil
+	} else {
+		n.blocks = fault.BuildBlocks(n.mesh, f)
+	}
+	n.dead = fault.BuildDeadEnds(n.mesh, f, n.blocks)
+	n.dirs = fault.BuildDirStates(n.mesh, f, n.blocks)
+}
+
+// Blocks exposes the current fault-block state (evaluation harness).
+func (n *NAFTA) Blocks() *fault.BlockInfo { return n.blocks }
+
+// DeadEnds exposes the current dead-end state (evaluation harness).
+func (n *NAFTA) DeadEnds() *fault.DeadEnds { return n.dead }
+
+// Steps reports the rule interpretations for this decision: one in the
+// fault-free network, two when fault state has to be consulted, three
+// when the exception path (misrouting) is taken — matching the paper's
+// "NAFTA in the fault-free case proceeds with one step and in the
+// worst case needs three".
+func (n *NAFTA) Steps(req Request) int {
+	if n.faults.Empty() {
+		return 1
+	}
+	if len(n.minimalCandidates(req)) > 0 {
+		return 2
+	}
+	return 3
+}
+
+func (n *NAFTA) NoteHop(req Request, chosen Candidate) {
+	if req.InPort == InjectionPort {
+		req.Hdr.VNet = chosen.VC
+	}
+	// Track non-minimal hops: the path-length counter of Section 3.
+	if !contains(n.mesh.MinimalPorts(req.Node, req.Hdr.Dst), chosen.Port) {
+		req.Hdr.Misroutes++
+		req.Hdr.Marked = true
+	}
+}
+
+func (n *NAFTA) maxMisroutes() int {
+	if n.MaxMisroutes > 0 {
+		return n.MaxMisroutes
+	}
+	return 4 * (n.mesh.W + n.mesh.H)
+}
+
+// disabled reports whether node m is unusable (faulty, or deactivated
+// by the convex completion).
+func (n *NAFTA) disabled(m topology.NodeID) bool {
+	if n.blocks != nil {
+		return n.blocks.DisabledNode(m)
+	}
+	return n.faults.NodeFaulty(m)
+}
+
+// hopOK reports whether the hop through port p is physically usable
+// and does not enter a disabled node (the destination itself is always
+// admissible if physically reachable).
+func (n *NAFTA) hopOK(cur topology.NodeID, p int, dst topology.NodeID) bool {
+	nb := n.mesh.Neighbor(cur, p)
+	if nb == topology.Invalid || !n.faults.HopUsable(cur, nb) {
+		return false
+	}
+	if nb != dst && n.disabled(nb) {
+		return false
+	}
+	return true
+}
+
+// deadEndOK evaluates the paper's literal dead-end predicate ("a
+// message destined to north-east may not use a node in state
+// dead-end-east"). The predicate is exposed for the rule-base model
+// and the E6 experiment but is NOT used for candidate filtering: on
+// whole rows/columns it degenerates for sparse fault patterns (a
+// single fault in the border row marks the entire adjacent row), and
+// the per-node propagated flags of sidewaysOK implement the same
+// protective intent with node-level accuracy.
+func (n *NAFTA) deadEndOK(cur topology.NodeID, p int, dst topology.NodeID) bool {
+	nb := n.mesh.Neighbor(cur, p)
+	if nb == dst {
+		return true
+	}
+	nx, ny := n.mesh.XY(nb)
+	dx, dy := n.mesh.XY(dst)
+	// The state only matters for a message that must continue past nb
+	// in direction p AND still has an orthogonal component (the
+	// paper's "a message destined to north-east may not use a node in
+	// state dead-end-east").
+	switch p {
+	case topology.East:
+		if dx > nx && dy != ny && n.dead.NodeDeadEnd(nb, p) {
+			return false
+		}
+	case topology.West:
+		if dx < nx && dy != ny && n.dead.NodeDeadEnd(nb, p) {
+			return false
+		}
+	case topology.North:
+		if dy > ny && dx != nx && n.dead.NodeDeadEnd(nb, p) {
+			return false
+		}
+	case topology.South:
+		if dy < ny && dx != nx && n.dead.NodeDeadEnd(nb, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// neededVertical returns the vertical direction the message still has
+// to travel (-1 if none); neededHorizontal likewise.
+func (n *NAFTA) neededVertical(cur, dst topology.NodeID) int {
+	_, cy := n.mesh.XY(cur)
+	_, dy := n.mesh.XY(dst)
+	switch {
+	case dy > cy:
+		return topology.North
+	case dy < cy:
+		return topology.South
+	}
+	return -1
+}
+
+func (n *NAFTA) neededHorizontal(cur, dst topology.NodeID) int {
+	cx, _ := n.mesh.XY(cur)
+	dx, _ := n.mesh.XY(dst)
+	switch {
+	case dx > cx:
+		return topology.East
+	case dx < cx:
+		return topology.West
+	}
+	return -1
+}
+
+// sidewaysOK applies the propagated directional blocking flags: moving
+// sideways through port t is pointless (and forbidden) when every node
+// along that line keeps the still-needed perpendicular direction
+// blocked — the message would run into the border without ever being
+// able to turn. This is the refined per-node form of the dead-end
+// states and is what lets a blocked message pick the correct side of a
+// fault chain (Figure 2).
+func (n *NAFTA) sidewaysOK(cur topology.NodeID, t int, dst topology.NodeID) bool {
+	nb := n.mesh.Neighbor(cur, t)
+	if nb == dst {
+		return true
+	}
+	if nb == topology.Invalid {
+		// Border port: physical usability is hopOK's verdict; the
+		// sideways flag does not apply.
+		return true
+	}
+	var needed int
+	switch t {
+	case topology.East, topology.West:
+		needed = n.neededVertical(cur, dst)
+	default:
+		needed = n.neededHorizontal(cur, dst)
+	}
+	if needed < 0 {
+		return true // straight-line message, flag not applicable
+	}
+	return !n.dirs.Blocked(needed, t, nb)
+}
+
+// clearTo reports whether the horizontal straight line from nb to
+// column dx is free of faults, judged by the propagated clear-run
+// state at nb.
+func (n *NAFTA) clearTo(nb topology.NodeID, dx int) bool {
+	nx, _ := n.mesh.XY(nb)
+	switch {
+	case dx > nx:
+		return n.dirs.ClearRun(topology.East, nb) >= dx-nx
+	case dx < nx:
+		return n.dirs.ClearRun(topology.West, nb) >= nx-dx
+	}
+	return true
+}
+
+// vertEntryOK guards vertical hops against the frozen-direction traps
+// of the turn model. In the south-last network the only legal way back
+// south is a straight run in the destination column, so (a) a message
+// must not enter the destination row at a point from which the
+// destination cannot be reached along that row, and (b) a misroute
+// that overshoots north is only admissible if the destination column
+// is reachable along the new row. Both tests use the per-node
+// propagated clear-run state; the mirror rules protect north-last
+// messages. This is the constant-per-node-state approximation of the
+// Omega(|F|) fault knowledge the paper's Figure 2 shows a router needs
+// for perfect purposiveness.
+func (n *NAFTA) vertEntryOK(vnet int, cur topology.NodeID, p int, dst topology.NodeID, minimal bool) bool {
+	nb := n.mesh.Neighbor(cur, p)
+	if nb == topology.Invalid || nb == dst {
+		return true
+	}
+	_, ny := n.mesh.XY(nb)
+	dx, dy := n.mesh.XY(dst)
+	switch {
+	case vnet == VNSouthLast && p == topology.North:
+		if minimal && ny == dy {
+			// Entering the destination row: the message must be able
+			// to finish along it or escape north again later; if the
+			// row is the border there is no later.
+			if ny == n.mesh.H-1 {
+				return n.clearTo(nb, dx)
+			}
+			return true
+		}
+		if !minimal && ny == n.mesh.H-1 {
+			// Overshooting onto the top border row: no further
+			// escalation is possible, the run must reach the
+			// destination column.
+			return n.clearTo(nb, dx)
+		}
+	case vnet == VNNorthLast && p == topology.South:
+		if minimal && ny == dy {
+			if ny == 0 {
+				return n.clearTo(nb, dx)
+			}
+			return true
+		}
+		if !minimal && ny == 0 {
+			return n.clearTo(nb, dx)
+		}
+	}
+	return true
+}
+
+// lastDir returns the direction of the previous hop (the direction the
+// message was travelling when it arrived), or -1 at injection.
+func lastDir(inPort int) int {
+	if inPort == InjectionPort {
+		return -1
+	}
+	return topology.OppositeMeshPort(inPort)
+}
+
+// vnAllowed enforces the turn-model restriction of the message's
+// virtual network: once a message has moved in the network's "last"
+// direction it may only continue straight.
+func vnAllowed(vnet, last, p int) bool {
+	if vnet == VNSouthLast && last == topology.South {
+		return p == topology.South
+	}
+	if vnet == VNNorthLast && last == topology.North {
+		return p == topology.North
+	}
+	return true
+}
+
+// lastDirEntryOK guards entry into the frozen direction: in the
+// south-last network a message may move south only if that is a
+// straight shot at the destination (same column, destination south),
+// because afterwards it cannot turn any more. Mirror rule for north in
+// the north-last network.
+func (n *NAFTA) lastDirEntryOK(vnet int, cur topology.NodeID, p int, dst topology.NodeID) bool {
+	cx, cy := n.mesh.XY(cur)
+	dx, dy := n.mesh.XY(dst)
+	if vnet == VNSouthLast && p == topology.South {
+		return cx == dx && dy < cy
+	}
+	if vnet == VNNorthLast && p == topology.North {
+		return cx == dx && dy > cy
+	}
+	return true
+}
+
+// minimalCandidates computes set2 ∩ set1: minimal ports that survive
+// the fault, block, dead-end, turn-model and freeze restrictions.
+func (n *NAFTA) minimalCandidates(req Request) []Candidate {
+	vnet := n.vnet(req)
+	last := lastDir(req.InPort)
+	// Offer horizontal ports first: vertical moves are the ones the
+	// turn model makes hard to undo, so the deterministic tie-break
+	// (and the FirstFit ablation selector) should delay them.
+	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
+	ordered := make([]int, 0, len(minimal))
+	for _, p := range minimal {
+		if p == topology.East || p == topology.West {
+			ordered = append(ordered, p)
+		}
+	}
+	for _, p := range minimal {
+		if p == topology.North || p == topology.South {
+			ordered = append(ordered, p)
+		}
+	}
+	var out []Candidate
+	for _, p := range ordered {
+		if !vnAllowed(vnet, last, p) {
+			continue
+		}
+		// Never bounce straight back: the previous router has just
+		// been tried and sending the message back re-creates the same
+		// decision, a ping-pong livelock.
+		if last >= 0 && p == topology.OppositeMeshPort(last) {
+			continue
+		}
+		if !n.lastDirEntryOK(vnet, req.Node, p, req.Hdr.Dst) {
+			continue
+		}
+		if !n.hopOK(req.Node, p, req.Hdr.Dst) || !n.sidewaysOK(req.Node, p, req.Hdr.Dst) {
+			continue
+		}
+		if !n.vertEntryOK(vnet, req.Node, p, req.Hdr.Dst, true) {
+			continue
+		}
+		out = append(out, Candidate{Port: p, VC: vnet})
+	}
+	return out
+}
+
+// misrouteCandidates computes the exception outputs: non-minimal ports
+// that keep the message routable (no 180-degree reversal, turn rules
+// respected, no disabled or dead-end entry).
+func (n *NAFTA) misrouteCandidates(req Request) []Candidate {
+	vnet := n.vnet(req)
+	last := lastDir(req.InPort)
+	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
+	var out []Candidate
+	for p := 0; p < n.mesh.Ports(); p++ {
+		if contains(minimal, p) {
+			continue // not a misroute
+		}
+		if last >= 0 && p == topology.OppositeMeshPort(last) {
+			continue // 180-degree reversal
+		}
+		if !vnAllowed(vnet, last, p) {
+			continue
+		}
+		// Never misroute into the frozen direction: there is no way
+		// back out of it.
+		if (vnet == VNSouthLast && p == topology.South) ||
+			(vnet == VNNorthLast && p == topology.North) {
+			continue
+		}
+		if !n.hopOK(req.Node, p, req.Hdr.Dst) || !n.sidewaysOK(req.Node, p, req.Hdr.Dst) {
+			continue
+		}
+		if !n.vertEntryOK(vnet, req.Node, p, req.Hdr.Dst, false) {
+			continue
+		}
+		out = append(out, Candidate{Port: p, VC: vnet})
+	}
+	return out
+}
+
+func (n *NAFTA) vnet(req Request) int {
+	if req.InPort == InjectionPort {
+		return vnetFor(n.mesh, req.Node, req.Hdr.Dst)
+	}
+	return req.Hdr.VNet
+}
+
+func (n *NAFTA) Route(req Request) []Candidate {
+	if cands := n.minimalCandidates(req); len(cands) > 0 {
+		return cands
+	}
+	// Exception path: misroute around the fault region, within the
+	// detour budget.
+	if req.Hdr.Misroutes >= n.maxMisroutes() {
+		return nil
+	}
+	return n.misrouteCandidates(req)
+}
+
+// PortFact is the per-direction fault knowledge of one routing
+// decision, as produced by the router's Information Units. The
+// rule-based implementation of NAFTA consumes these as inputs, and the
+// equivalence tests compare its decisions against this package's
+// native implementation.
+type PortFact struct {
+	// Usable: the hop is physically intact and does not enter a
+	// disabled (fault-block) node.
+	Usable bool
+	// Sideways: the propagated directional blocking flag admits the
+	// hop (sidewaysOK).
+	Sideways bool
+	// EntryMinimal: the frozen-direction entry guard admits the hop
+	// as a minimal move.
+	EntryMinimal bool
+	// EntryMisroute: the guard admits the hop as a misroute.
+	EntryMisroute bool
+	// Minimal: the hop reduces the distance to the destination.
+	Minimal bool
+}
+
+// PortFacts computes the fault-knowledge inputs of a decision for all
+// four mesh ports.
+func (n *NAFTA) PortFacts(req Request) [topology.MeshPorts]PortFact {
+	var out [topology.MeshPorts]PortFact
+	vnet := n.vnet(req)
+	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
+	for p := 0; p < topology.MeshPorts; p++ {
+		out[p] = PortFact{
+			Usable:        n.hopOK(req.Node, p, req.Hdr.Dst),
+			Sideways:      n.sidewaysOK(req.Node, p, req.Hdr.Dst),
+			EntryMinimal:  n.vertEntryOK(vnet, req.Node, p, req.Hdr.Dst, true),
+			EntryMisroute: n.vertEntryOK(vnet, req.Node, p, req.Hdr.Dst, false),
+			Minimal:       contains(minimal, p),
+		}
+	}
+	return out
+}
+
+// VNetOf exposes the virtual network the algorithm assigns to the
+// request (injection) or reads from the header (in flight).
+func (n *NAFTA) VNetOf(req Request) int { return n.vnet(req) }

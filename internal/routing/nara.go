@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// Virtual-network identifiers for the turn-model scheme shared by NARA
+// and NAFTA. Each virtual network occupies one virtual channel per
+// physical link; messages never change networks in flight, so the two
+// channel dependency graphs stay disjoint and each is acyclic by the
+// turn model (Glass/Ni): the north-last network prohibits turns out of
+// north, the south-last network turns out of south.
+const (
+	// VNNorthLast carries south-bound messages (they never need to
+	// leave a northward move, so prohibiting turns out of north does
+	// not restrict their minimal adaptivity).
+	VNNorthLast = 0
+	// VNSouthLast carries north-bound messages.
+	VNSouthLast = 1
+)
+
+// vnetFor picks the virtual network for a message at injection: a
+// message that must travel north gets the south-last network (N, E, W
+// freely mixable there), a south-bound one the north-last network.
+// Row-only messages (dy == cy) normally use south-last (fault detours
+// then go north, which that network allows freely); on the top row,
+// where no northern detour exists, they use north-last so a southern
+// detour remains legal.
+func vnetFor(m *topology.Mesh, cur, dst topology.NodeID) int {
+	_, cy := m.XY(cur)
+	_, dy := m.XY(dst)
+	switch {
+	case dy < cy:
+		return VNNorthLast
+	case dy > cy:
+		return VNSouthLast
+	case cy == m.H-1:
+		return VNNorthLast
+	}
+	return VNSouthLast
+}
+
+// NARA is the non-fault-tolerant fully adaptive minimal routing
+// algorithm for 2-D meshes from which NAFTA is derived (the paper uses
+// the pair to isolate the cost of fault tolerance). It offers every
+// minimal path for selection (condition 1) using two virtual channels
+// and one rule interpretation per message.
+type NARA struct {
+	mesh   *topology.Mesh
+	faults *fault.Set
+}
+
+// NewNARA builds NARA on mesh m.
+func NewNARA(m *topology.Mesh) *NARA {
+	return &NARA{mesh: m, faults: fault.NewSet()}
+}
+
+func (n *NARA) Name() string      { return "nara" }
+func (n *NARA) NumVCs() int       { return 2 }
+func (n *NARA) Steps(Request) int { return 1 }
+
+// UpdateFaults stores the set; NARA itself does not react to faults
+// (messages whose minimal ports are all broken become unroutable).
+func (n *NARA) UpdateFaults(f *fault.Set) { n.faults = f }
+
+func (n *NARA) NoteHop(req Request, chosen Candidate) {
+	if req.InPort == InjectionPort {
+		req.Hdr.VNet = chosen.VC
+	}
+}
+
+func (n *NARA) Route(req Request) []Candidate {
+	vnet := req.Hdr.VNet
+	if req.InPort == InjectionPort {
+		vnet = vnetFor(n.mesh, req.Node, req.Hdr.Dst)
+	}
+	// Same horizontal-first candidate order as NAFTA: the paper
+	// requires the stripped algorithm to behave exactly like the
+	// fault-tolerant one in a fault-free network.
+	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
+	var out []Candidate
+	for _, p := range minimal {
+		if p != topology.East && p != topology.West {
+			continue
+		}
+		if n.faults.PortUsable(n.mesh, req.Node, p) {
+			out = append(out, Candidate{Port: p, VC: vnet})
+		}
+	}
+	for _, p := range minimal {
+		if p != topology.North && p != topology.South {
+			continue
+		}
+		if n.faults.PortUsable(n.mesh, req.Node, p) {
+			out = append(out, Candidate{Port: p, VC: vnet})
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// NegHop implements the negative-hop deadlock prevention scheme the
+// paper cites from [BoC96] in its Section 3 cost analysis: nodes are
+// coloured so that adjacent nodes differ (any bipartite topology); a
+// hop toward a lower colour is "negative", and a message travelling on
+// virtual-channel level L moves to level L+1 on every negative hop.
+// Channel levels only ever increase, so the channel dependency graph
+// is acyclic for COMPLETELY ARBITRARY paths — minimal, adaptive or
+// misrouted — which is exactly why the paper singles the scheme out:
+// "using the negative hop scheme ... no changes to the deadlock
+// avoidance are necessary at all" when faults force detours.
+//
+// The price is the paper's point too: the number of virtual channels
+// grows with the network diameter (every other hop of a path is
+// negative on a 2-coloured topology), i.e. fault tolerance is bought
+// with VC hardware instead of per-node fault state. NegHop keeps NO
+// distributed fault state at all — only the local link status — and
+// its delivery under faults is bounded by the VC budget, which
+// experiment E11 quantifies against NAFTA's 2-VC + state design.
+type NegHop struct {
+	g      topology.Graph
+	faults *fault.Set
+	color  []uint8
+	vcs    int
+	// Marked messages whose level budget ran out are dropped; the
+	// counter makes the loss observable in experiments.
+	Exhausted int64
+}
+
+// NewNegHop builds the scheme on a bipartite topology with the given
+// number of virtual channels (the level budget). It returns an error
+// if the graph is not 2-colourable or vcs < 2.
+func NewNegHop(g topology.Graph, vcs int) (*NegHop, error) {
+	if vcs < 2 {
+		return nil, fmt.Errorf("routing: neghop needs at least 2 VCs, got %d", vcs)
+	}
+	color := make([]uint8, g.Nodes())
+	seen := make([]bool, g.Nodes())
+	for start := 0; start < g.Nodes(); start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue := []topology.NodeID{topology.NodeID(start)}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for p := 0; p < g.Ports(); p++ {
+				m := g.Neighbor(n, p)
+				if m == topology.Invalid {
+					continue
+				}
+				if !seen[m] {
+					seen[m] = true
+					color[m] = 1 - color[n]
+					queue = append(queue, m)
+				} else if color[m] == color[n] {
+					return nil, fmt.Errorf("routing: %s is not bipartite, negative-hop colouring impossible", g.Name())
+				}
+			}
+		}
+	}
+	return &NegHop{g: g, faults: fault.NewSet(), color: color, vcs: vcs}, nil
+}
+
+func (n *NegHop) Name() string { return fmt.Sprintf("neghop%d", n.vcs) }
+func (n *NegHop) NumVCs() int  { return n.vcs }
+
+// Steps is one interpretation: the scheme needs no fault-state lookup
+// at all, the decision depends only on header and local link status.
+func (n *NegHop) Steps(Request) int { return 1 }
+
+// UpdateFaults only stores the set: there is no diagnosis phase, no
+// state propagation, nothing to recompute — the scheme's defining
+// property.
+func (n *NegHop) UpdateFaults(f *fault.Set) { n.faults = f }
+
+// negHopTo reports whether the hop from a to b is negative (descends
+// in colour).
+func (n *NegHop) negHopTo(a, b topology.NodeID) bool {
+	return n.color[a] == 1 && n.color[b] == 0
+}
+
+// levelAfter returns the VC level a message at level l occupies after
+// the hop a->b, or -1 if the budget is exhausted.
+func (n *NegHop) levelAfter(l int, a, b topology.NodeID) int {
+	if n.negHopTo(a, b) {
+		l++
+	}
+	if l >= n.vcs {
+		return -1
+	}
+	return l
+}
+
+// minimalPorts returns the profitable ports (strictly distance
+// reducing) using the topology's own metric.
+func (n *NegHop) minimalPorts(cur, dst topology.NodeID) []int {
+	type minimaler interface {
+		MinimalPorts(a, b topology.NodeID) []int
+	}
+	if m, ok := n.g.(minimaler); ok {
+		return m.MinimalPorts(cur, dst)
+	}
+	// Generic fallback: BFS distance comparison.
+	dist := topology.BFSDist(n.g, dst, nil)
+	var out []int
+	for p := 0; p < n.g.Ports(); p++ {
+		nb := n.g.Neighbor(cur, p)
+		if nb != topology.Invalid && dist[nb] >= 0 && dist[nb] < dist[cur] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (n *NegHop) Route(req Request) []Candidate {
+	cur, dst := req.Node, req.Hdr.Dst
+	level := req.Hdr.NegHops
+	usable := func(p int) (topology.NodeID, int, bool) {
+		nb := n.g.Neighbor(cur, p)
+		if nb == topology.Invalid || !n.faults.HopUsable(cur, nb) {
+			return nb, 0, false
+		}
+		l := n.levelAfter(level, cur, nb)
+		if l < 0 {
+			return nb, 0, false
+		}
+		return nb, l, true
+	}
+	// Note that on a 2-coloured topology the level delta of a hop is
+	// a property of the CURRENT node (all hops out of a colour-1 node
+	// are negative), so candidate ordering cannot conserve levels —
+	// only shorter paths can, and without fault state the scheme has
+	// no way to plan them. That blind spot is the measured trade-off
+	// of experiment E11.
+	minimal := n.minimalPorts(cur, dst)
+	var out []Candidate
+	for _, p := range minimal {
+		if _, l, ok := usable(p); ok {
+			out = append(out, Candidate{Port: p, VC: l})
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	// Misroute: any usable port except an immediate reversal; the
+	// acyclic channel levels make this safe without further rules.
+	for p := 0; p < n.g.Ports(); p++ {
+		if contains(minimal, p) || p == req.InPort {
+			continue
+		}
+		if _, l, ok := usable(p); ok {
+			out = append(out, Candidate{Port: p, VC: l})
+		}
+	}
+	if len(out) == 0 {
+		n.Exhausted++
+	}
+	return out
+}
+
+func (n *NegHop) NoteHop(req Request, chosen Candidate) {
+	nb := n.g.Neighbor(req.Node, chosen.Port)
+	if n.negHopTo(req.Node, nb) {
+		req.Hdr.NegHops++
+	}
+	if !contains(n.minimalPorts(req.Node, req.Hdr.Dst), chosen.Port) {
+		req.Hdr.Misroutes++
+		req.Hdr.Marked = true
+	}
+}
+
+var _ Algorithm = (*NegHop)(nil)

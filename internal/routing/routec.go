@@ -1,0 +1,437 @@
+package routing
+
+import (
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// NodeState is ROUTE_C's per-node safety state (Chiu/Wu 1996). The
+// states form the finite lattice safe < ounsafe < sunsafe < faulty in
+// which the propagation scheme computes monotone updates, which is why
+// it "settles fast" (the paper: the way error states are combined
+// forms a partial order).
+type NodeState int
+
+const (
+	// StateSafe marks a fully usable node.
+	StateSafe NodeState = iota
+	// StateOUnsafe (ordinarily unsafe) marks a node with at least two
+	// not-safe neighbours; routing avoids it when alternatives exist.
+	StateOUnsafe
+	// StateSUnsafe (strongly unsafe) marks a node with at least two
+	// faulty neighbours or two faulty incident links; routing treats
+	// it as a last resort.
+	StateSUnsafe
+	// StateFaulty marks a failed node.
+	StateFaulty
+)
+
+// String returns the state mnemonic used in the paper's Figure 4.
+func (s NodeState) String() string {
+	switch s {
+	case StateSafe:
+		return "safe"
+	case StateOUnsafe:
+		return "ounsafe"
+	case StateSUnsafe:
+		return "sunsafe"
+	case StateFaulty:
+		return "faulty"
+	}
+	return "invalid"
+}
+
+// ROUTE_C virtual-channel layout. The paper: ROUTE_C "uses five virtual
+// channels"; deadlock avoidance first uses all links with increasing
+// addresses, then all links with decreasing addresses [Kon90], and
+// "by applying the method from [BoC96] three additional virtual
+// channels suffice" for the fault detours.
+const (
+	routecVCUp      = 0 // ascending phase
+	routecVCDown    = 1 // descending phase
+	routecVCDetour0 = 2 // first detour level; levels 1..3 map to VCs 2..4
+	routecMaxDetour = 3
+)
+
+// RouteC is the fault-tolerant hypercube routing algorithm ROUTE_C.
+// Every routing decision takes exactly two rule interpretations
+// (decide_dir, then decide_vc), matching the paper's Section 5.
+type RouteC struct {
+	cube   *topology.Hypercube
+	faults *fault.Set
+	states []NodeState
+	// PropagationRounds records how many neighbour-exchange waves the
+	// last UpdateFaults needed to settle (the paper argues the partial
+	// order makes this fast).
+	PropagationRounds int
+}
+
+// NewRouteC builds ROUTE_C on hypercube h with no faults.
+func NewRouteC(h *topology.Hypercube) *RouteC {
+	r := &RouteC{cube: h}
+	r.UpdateFaults(fault.NewSet())
+	return r
+}
+
+func (r *RouteC) Name() string { return "routec" }
+
+// NumVCs is five: up, down, and three detour channels.
+func (r *RouteC) NumVCs() int { return 5 }
+
+// Steps is always two: decide_dir followed by decide_vc.
+func (r *RouteC) Steps(Request) int { return 2 }
+
+// States exposes the per-node safety states (evaluation harness and
+// the rule-base equivalence tests).
+func (r *RouteC) States() []NodeState { return r.states }
+
+// TotallyUnsafe reports whether no safe node remains, the easily
+// detected global state under which condition 3 can no longer be
+// guaranteed ("this will only occur if more than n-1 nodes are
+// faulty").
+func (r *RouteC) TotallyUnsafe() bool {
+	for _, s := range r.states {
+		if s == StateSafe {
+			return false
+		}
+	}
+	return true
+}
+
+// notSafeOver reports whether, seen from node n over port p, the
+// neighbour appears not safe: the link is faulty (perceived state
+// lfault), the neighbour failed, or the neighbour's propagated state
+// is unsafe.
+func (r *RouteC) notSafeOver(n topology.NodeID, p int, states []NodeState) bool {
+	nb := r.cube.Neighbor(n, p)
+	if nb == topology.Invalid {
+		return false
+	}
+	if r.faults.LinkFaulty(n, nb) || r.faults.NodeFaulty(nb) {
+		return true
+	}
+	return states[nb] != StateSafe
+}
+
+// UpdateFaults recomputes the node states by the wave propagation of
+// Figure 4, iterated to the fixpoint: a node with two directly faulty
+// neighbours or faulty incident links becomes strongly unsafe, a node
+// with three not-safe neighbours becomes ordinarily unsafe. Updates are
+// monotone in the state lattice, so the loop terminates after at most
+// Nodes() rounds.
+func (r *RouteC) UpdateFaults(f *fault.Set) {
+	r.faults = f
+	n := r.cube.Nodes()
+	states := make([]NodeState, n)
+	for i := 0; i < n; i++ {
+		if f.NodeFaulty(topology.NodeID(i)) {
+			states[i] = StateFaulty
+		}
+	}
+	rounds := 0
+	for {
+		changed := false
+		next := make([]NodeState, n)
+		copy(next, states)
+		for i := 0; i < n; i++ {
+			id := topology.NodeID(i)
+			if states[i] == StateFaulty {
+				continue
+			}
+			direct := f.FaultyNeighbors(r.cube, id) + f.FaultyIncidentLinks(r.cube, id)
+			notSafe := 0
+			for p := 0; p < r.cube.Ports(); p++ {
+				if r.notSafeOver(id, p, states) {
+					notSafe++
+				}
+			}
+			var s NodeState
+			switch {
+			case direct >= 2:
+				s = StateSUnsafe
+			case notSafe >= 3:
+				// The paper's Figure 4 fires the escalation when
+				// number_unsafe already equals 2 and a third not-safe
+				// notification arrives, i.e. at three not-safe
+				// neighbours; a lower threshold lets the ounsafe
+				// state percolate across the whole cube.
+				s = StateOUnsafe
+			default:
+				s = StateSafe
+			}
+			// Monotone: states never improve during one diagnosis
+			// phase.
+			if s > next[i] {
+				next[i] = s
+				changed = true
+			}
+		}
+		states = next
+		rounds++
+		if !changed {
+			break
+		}
+	}
+	r.states = states
+	r.PropagationRounds = rounds
+}
+
+func (r *RouteC) NoteHop(req Request, chosen Candidate) {
+	cur, dst := req.Node, req.Hdr.Dst
+	minimal := contains(r.cube.MinimalPorts(cur, dst), chosen.Port)
+	if !minimal {
+		req.Hdr.Misroutes++
+		req.Hdr.Marked = true
+		if req.Hdr.DetourLevel < routecMaxDetour {
+			req.Hdr.DetourLevel++
+		}
+		// The detour hop is the first hop of the new level's virtual
+		// channel, so its direction class dictates the level's
+		// starting phase: an address-increasing entry starts the
+		// level ascending (ups then downs, all address-monotone on
+		// that channel), an address-decreasing entry locks the level
+		// descending. Without this rule a down-type entry followed by
+		// up-hops on the same level channel closes a cyclic channel
+		// dependency — a real wormhole deadlock, caught by the
+		// network's wait-for-graph analyser.
+		if cur&(1<<chosen.Port) == 0 {
+			req.Hdr.Phase = 0
+		} else {
+			req.Hdr.Phase = 1
+		}
+		return
+	}
+	// A minimal ascending hop taken while descending is a level bump:
+	// it moves the message onto the next level's channel in phase 0.
+	if req.Hdr.Phase == 1 && cur&(1<<chosen.Port) == 0 {
+		if req.Hdr.DetourLevel < routecMaxDetour {
+			req.Hdr.DetourLevel++
+		}
+		req.Hdr.Phase = 0
+	}
+	// Minimal hops keep the phase monotone within the level: once
+	// descending, a level never ascends again.
+	next := r.cube.Neighbor(cur, chosen.Port)
+	if req.Hdr.Phase == 0 && len(r.cube.UpPorts(next, dst)) == 0 {
+		req.Hdr.Phase = 1
+	}
+}
+
+// vcFor maps the message's phase and detour level to its virtual
+// channel: detour levels claim the three extra channels, otherwise the
+// phase picks up/down.
+func vcFor(hdr *Header) int {
+	if hdr.DetourLevel > 0 {
+		return routecVCDetour0 + hdr.DetourLevel - 1
+	}
+	if hdr.Phase == 1 {
+		return routecVCDown
+	}
+	return routecVCUp
+}
+
+// usable reports whether the hop via port p is physically possible.
+func (r *RouteC) usable(n topology.NodeID, p int) bool {
+	return r.faults.PortUsable(r.cube, n, p)
+}
+
+// preferSafe keeps, among the given ports, only those with the best
+// (lowest) neighbour state; the destination always counts as best so
+// the final hop is never filtered away.
+func (r *RouteC) preferSafe(n topology.NodeID, ports []int, dst topology.NodeID) []int {
+	best := StateFaulty
+	for _, p := range ports {
+		nb := r.cube.Neighbor(n, p)
+		s := r.states[nb]
+		if nb == dst {
+			s = StateSafe
+		}
+		if s < best {
+			best = s
+		}
+	}
+	var out []int
+	for _, p := range ports {
+		nb := r.cube.Neighbor(n, p)
+		s := r.states[nb]
+		if nb == dst {
+			s = StateSafe
+		}
+		if s == best {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// hop kinds produced by decideDir: a minimal hop on the current
+// level, a level bump (minimal ascending hop that re-opens phase 0 on
+// the next detour channel after a descending-entry level ran dry), or
+// a genuine detour (non-minimal hop onto the next level).
+const (
+	kindMinimal = iota
+	kindBump
+	kindDetour
+)
+
+// decideDir is the first rule interpretation: compute the admissible
+// output ports (set 2 from the up/down scheme intersected with set 1
+// from the fault states).
+func (r *RouteC) decideDir(req Request) (ports []int, kind int) {
+	cur, dst := req.Node, req.Hdr.Dst
+	// Minimal ports, honouring the up-before-down order. The order is
+	// kept inside detour levels as well (each level re-runs ascent
+	// then descent), so channel dependencies within a level stay
+	// address-monotone.
+	var minimal []int
+	if up := r.cube.UpPorts(cur, dst); len(up) > 0 && req.Hdr.Phase == 0 {
+		minimal = up
+	} else {
+		minimal = r.cube.DownPorts(cur, dst)
+	}
+	var usableMin []int
+	for _, p := range minimal {
+		// A minimal port can only equal the arrival port right after
+		// a detour; bouncing straight back would re-create the
+		// decision that caused the detour (ping-pong livelock).
+		if p == req.InPort {
+			continue
+		}
+		if r.usable(cur, p) {
+			usableMin = append(usableMin, p)
+		}
+	}
+	if len(usableMin) > 0 {
+		return r.preferSafe(cur, usableMin, dst), kindMinimal
+	}
+	// In phase 0 the down-ports may still be intact: fall through to
+	// them before declaring a detour (phase change is minimal, not a
+	// misroute).
+	if req.Hdr.Phase == 0 {
+		var down []int
+		for _, p := range r.cube.DownPorts(cur, dst) {
+			if p == req.InPort {
+				continue
+			}
+			if r.usable(cur, p) {
+				down = append(down, p)
+			}
+		}
+		if len(down) > 0 {
+			return r.preferSafe(cur, down, dst), kindMinimal
+		}
+	}
+	// Level bump: a descending-entry level cannot ascend (the channel
+	// discipline forbids down->up edges within a level), but pending
+	// ascending work can continue on the NEXT level's channel — a
+	// minimal hop, no misroute, one level consumed. Cross-level edges
+	// only ascend, so the dependency graph stays acyclic.
+	if req.Hdr.Phase == 1 && req.Hdr.DetourLevel < routecMaxDetour {
+		var ups []int
+		for _, p := range r.cube.UpPorts(cur, dst) {
+			if p == req.InPort {
+				continue
+			}
+			if r.usable(cur, p) {
+				ups = append(ups, p)
+			}
+		}
+		if len(ups) > 0 {
+			return r.preferSafe(cur, ups, dst), kindBump
+		}
+	}
+	// Detour: any usable non-minimal port, if budget remains.
+	if req.Hdr.DetourLevel >= routecMaxDetour {
+		return nil, kindDetour
+	}
+	allMin := r.cube.MinimalPorts(cur, dst)
+	var out []int
+	for p := 0; p < r.cube.Ports(); p++ {
+		if contains(allMin, p) || !r.usable(cur, p) {
+			continue
+		}
+		// Do not bounce straight back.
+		if req.InPort >= 0 && p == req.InPort {
+			continue
+		}
+		out = append(out, p)
+	}
+	return r.preferSafe(cur, out, dst), kindDetour
+}
+
+// decideVC is the second rule interpretation: attach the virtual
+// channel mandated by phase and detour level. Bumps and detours both
+// claim the next level's channel.
+func (r *RouteC) decideVC(req Request, ports []int, kind int) []Candidate {
+	var out []Candidate
+	for _, p := range ports {
+		h := *req.Hdr
+		switch kind {
+		case kindDetour, kindBump:
+			if h.DetourLevel < routecMaxDetour {
+				h.DetourLevel++
+			}
+		default:
+			if contains(r.cube.UpPorts(req.Node, req.Hdr.Dst), p) {
+				h.Phase = 0
+			} else {
+				h.Phase = 1
+			}
+		}
+		out = append(out, Candidate{Port: p, VC: vcFor(&h)})
+	}
+	return out
+}
+
+func (r *RouteC) Route(req Request) []Candidate {
+	ports, kind := r.decideDir(req)
+	if len(ports) == 0 {
+		return nil
+	}
+	return r.decideVC(req, ports, kind)
+}
+
+// RouteCNFT is the stripped-down, non-fault-tolerant variant of
+// ROUTE_C used in the paper's overhead comparison: the same up/down
+// minimal routing, but no node states, no detours, and only the two
+// base virtual channels; it behaves exactly like ROUTE_C in a
+// fault-free network and needs a single rule interpretation per
+// message.
+type RouteCNFT struct {
+	cube   *topology.Hypercube
+	faults *fault.Set
+}
+
+// NewRouteCNFT builds the stripped variant on hypercube h.
+func NewRouteCNFT(h *topology.Hypercube) *RouteCNFT {
+	return &RouteCNFT{cube: h, faults: fault.NewSet()}
+}
+
+func (r *RouteCNFT) Name() string              { return "routec-nft" }
+func (r *RouteCNFT) NumVCs() int               { return 2 }
+func (r *RouteCNFT) Steps(Request) int         { return 1 }
+func (r *RouteCNFT) UpdateFaults(f *fault.Set) { r.faults = f }
+
+func (r *RouteCNFT) NoteHop(req Request, chosen Candidate) {
+	next := r.cube.Neighbor(req.Node, chosen.Port)
+	if len(r.cube.UpPorts(next, req.Hdr.Dst)) == 0 {
+		req.Hdr.Phase = 1
+	}
+}
+
+func (r *RouteCNFT) Route(req Request) []Candidate {
+	cur, dst := req.Node, req.Hdr.Dst
+	ports := r.cube.UpPorts(cur, dst)
+	vc := routecVCUp
+	if len(ports) == 0 || req.Hdr.Phase == 1 {
+		ports = r.cube.DownPorts(cur, dst)
+		vc = routecVCDown
+	}
+	var out []Candidate
+	for _, p := range ports {
+		if r.faults.PortUsable(r.cube, cur, p) {
+			out = append(out, Candidate{Port: p, VC: vc})
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package routing defines the routing-algorithm interface of the
+// reproduced router and implements the algorithms discussed in the
+// paper:
+//
+//   - XY dimension-order routing (mesh) and e-cube routing (hypercube),
+//     the oblivious baselines the flexible router must be competitive
+//     with (Section 1);
+//   - spanning-tree routing, the strawman fault-tolerant algorithm of
+//     Section 2.1;
+//   - NARA, the non-fault-tolerant fully adaptive minimal mesh
+//     algorithm underlying NAFTA;
+//   - NAFTA (Cunningham/Avresky), fault-tolerant adaptive routing for
+//     2-D meshes with convex fault-block completion and dead-end
+//     states;
+//   - ROUTE_C (Chiu/Wu), fault-tolerant routing for hypercubes with
+//     safe/unsafe node states and five virtual channels, plus its
+//     stripped-down non-fault-tolerant variant.
+//
+// Every algorithm separates the two sets of the paper's common
+// structure: fault knowledge restricts the usable outputs (set 1), the
+// topological/deadlock rules produce the admissible outputs toward the
+// destination (set 2), and the selection policy picks one element of
+// the intersection according to an adaptivity criterion.
+package routing
+
+import (
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// InjectionPort is the InPort value of a request for a message that is
+// being injected at its source node.
+const InjectionPort = -1
+
+// Header carries the routing-relevant state of a message. The paper's
+// Section 3 (lifelock avoidance) requires that routers can modify
+// headers of messages detoured by faults; the fault-tolerance fields
+// below are exactly that mutable state.
+type Header struct {
+	Src, Dst topology.NodeID
+	Length   int // message length in flits, including head and tail
+
+	// Misroutes counts non-minimal hops taken so far (the "path
+	// length counter" of Section 3).
+	Misroutes int
+	// Marked flags a message that was diverted by a fault and is
+	// treated exceptionally (NAFTA's test_exception rule base).
+	Marked bool
+	// Phase is ROUTE_C's routing phase: 0 while ascending (links with
+	// increasing addresses), 1 while descending.
+	Phase int
+	// DetourLevel is ROUTE_C's hops-so-far escape level; it selects
+	// among the extra virtual channels and is bounded, ensuring
+	// livelock freedom.
+	DetourLevel int
+	// VNet is NAFTA's virtual network: 0 = north-last (for south-bound
+	// messages), 1 = south-last (for north-bound messages).
+	VNet int
+	// NegHops counts colour-descending hops for the negative-hop
+	// scheme; it is the message's virtual-channel level there.
+	NegHops int
+	// Dateline flags that the message crossed the current ring's
+	// wrap-around link (torus dateline VC discipline).
+	Dateline int
+}
+
+// Request is the input of one routing decision.
+type Request struct {
+	// Node is the router making the decision.
+	Node topology.NodeID
+	// InPort is the arrival port, or InjectionPort at the source.
+	InPort int
+	// InVC is the arrival virtual channel (0 at injection).
+	InVC int
+	// Hdr is the message header; Route must not modify it (NoteHop
+	// performs the updates once a hop is committed).
+	Hdr *Header
+}
+
+// Candidate is one admissible output: physical port plus virtual
+// channel.
+type Candidate struct {
+	Port int
+	VC   int
+}
+
+// Algorithm is a routing algorithm instance bound to one topology. An
+// instance holds the distributed fault state of all routers (the
+// simulator is cycle-driven and the paper's assumption iv lets the
+// diagnosis phase complete atomically, so central storage of the
+// per-node states is behaviourally equivalent; the states themselves
+// are still computed by neighbour-local propagation rules).
+type Algorithm interface {
+	// Name returns a short identifier, e.g. "nafta".
+	Name() string
+	// NumVCs returns the number of virtual channels per physical link
+	// the algorithm requires.
+	NumVCs() int
+	// Route returns the admissible outputs for the request. An empty
+	// result means the message is unroutable at this node under the
+	// current fault state (the simulator drops and records it); a
+	// fault-tolerant algorithm must keep the result non-empty whenever
+	// the paper's condition 3 holds.
+	Route(req Request) []Candidate
+	// Steps returns the number of rule-interpreter invocations this
+	// decision costs on the rule-based router (paper Section 5: NARA
+	// 1, NAFTA 1 fault-free to 3 worst case, ROUTE_C always 2).
+	Steps(req Request) int
+	// NoteHop informs the algorithm that the message was actually
+	// forwarded through chosen so it can update the header's
+	// fault-tolerance state (phase changes, misroute marking).
+	NoteHop(req Request, chosen Candidate)
+	// UpdateFaults recomputes the distributed fault state to its
+	// fixpoint after the fault set changed (assumption iv: no traffic
+	// during the diagnosis phase).
+	UpdateFaults(f *fault.Set)
+}
+
+// LoadView exposes the local load information a selection policy may
+// consult (buffer exploitation, as produced by the paper's Information
+// Units).
+type LoadView interface {
+	// OutFree reports whether output (port,vc) of node is currently
+	// not owned by any message.
+	OutFree(node topology.NodeID, port, vc int) bool
+	// Credits returns the free flit slots in the downstream buffer of
+	// output (port,vc).
+	Credits(node topology.NodeID, port, vc int) int
+	// QueuedFlits returns the amount of data (flits) still to be
+	// transmitted by the message currently owning output (port,vc); 0
+	// if free. This is NAFTA's adaptivity criterion ("the amount of
+	// data that still has to pass a node").
+	QueuedFlits(node topology.NodeID, port, vc int) int
+}
+
+// Selector picks one candidate among the admissible ones. The
+// simulator only offers candidates whose output VC is free.
+type Selector interface {
+	Name() string
+	Select(view LoadView, node topology.NodeID, cands []Candidate, hdr *Header) Candidate
+}
+
+// ---------------------------------------------------------------------
+// Selection policies (adaptivity criteria).
+
+// FirstFit always picks the first candidate; with the deterministic
+// candidate order of the algorithms this yields an oblivious tie-break
+// and serves as the adaptivity-off ablation.
+type FirstFit struct{}
+
+func (FirstFit) Name() string { return "firstfit" }
+
+func (FirstFit) Select(_ LoadView, _ topology.NodeID, cands []Candidate, _ *Header) Candidate {
+	return cands[0]
+}
+
+// MaxCredit picks the candidate with the most downstream credits
+// (least full buffer), a local load measure.
+type MaxCredit struct{}
+
+func (MaxCredit) Name() string { return "maxcredit" }
+
+func (MaxCredit) Select(v LoadView, node topology.NodeID, cands []Candidate, _ *Header) Candidate {
+	best := cands[0]
+	bestC := v.Credits(node, best.Port, best.VC)
+	for _, c := range cands[1:] {
+		if cr := v.Credits(node, c.Port, c.VC); cr > bestC {
+			best, bestC = c, cr
+		}
+	}
+	return best
+}
+
+// MinQueue implements NAFTA's adaptivity criterion: prefer the output
+// whose physical port has the least data still to pass (summed over
+// its VCs), using credits as tie-break.
+type MinQueue struct{}
+
+func (MinQueue) Name() string { return "minqueue" }
+
+func (MinQueue) Select(v LoadView, node topology.NodeID, cands []Candidate, _ *Header) Candidate {
+	best := cands[0]
+	bestQ := v.QueuedFlits(node, best.Port, best.VC)
+	bestC := v.Credits(node, best.Port, best.VC)
+	for _, c := range cands[1:] {
+		q := v.QueuedFlits(node, c.Port, c.VC)
+		cr := v.Credits(node, c.Port, c.VC)
+		if q < bestQ || (q == bestQ && cr > bestC) {
+			best, bestQ, bestC = c, q, cr
+		}
+	}
+	return best
+}
+
+// RoundRobin cycles through candidates per node, giving a fair,
+// load-oblivious spread (ablation policy).
+type RoundRobin struct {
+	counters map[topology.NodeID]int
+}
+
+// NewRoundRobin returns a RoundRobin selector.
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{counters: make(map[topology.NodeID]int)}
+}
+
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+func (r *RoundRobin) Select(_ LoadView, node topology.NodeID, cands []Candidate, _ *Header) Candidate {
+	i := r.counters[node] % len(cands)
+	r.counters[node]++
+	return cands[i]
+}
+
+// contains reports whether ports contains p.
+func contains(ports []int, p int) bool {
+	for _, q := range ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

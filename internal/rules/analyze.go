@@ -1,0 +1,675 @@
+package rules
+
+import "fmt"
+
+// SignalInfo describes a declared variable or input: its index
+// domains and value domain, fully resolved to types.
+type SignalInfo struct {
+	Name   string
+	Index  []*Type // nil for scalars
+	Domain *Type
+	// IsInput is true for INPUT declarations (read-only, externally
+	// supplied).
+	IsInput bool
+	Line    int
+}
+
+// Slots returns the number of storage slots (product of index domain
+// sizes, 1 for scalars).
+func (s *SignalInfo) Slots() int64 {
+	n := int64(1)
+	for _, ix := range s.Index {
+		n *= ix.DomainSize()
+	}
+	return n
+}
+
+// Bits returns the total register bits the signal occupies.
+func (s *SignalInfo) Bits() int64 {
+	return s.Slots() * int64(s.Domain.Bits())
+}
+
+// BaseInfo is the resolved form of a rule base.
+type BaseInfo struct {
+	RB     *RuleBase
+	Params []*SignalInfo // parameter name + domain (Index nil)
+	// ReturnType is the unified type of all RETURN commands, nil if
+	// the base never returns a value.
+	ReturnType *Type
+}
+
+// Checked is a semantically analysed program.
+type Checked struct {
+	Prog *Program
+	// SymbolSets maps a set name to its symbol type.
+	SymbolSets map[string]*Type
+	// Symbols maps each symbol name to its value.
+	Symbols map[string]Value
+	// NumConsts maps numeric constant names to values.
+	NumConsts map[string]int64
+	// Signals maps variable and input names to their info.
+	Signals map[string]*SignalInfo
+	// Bases maps event names to their rule bases.
+	Bases map[string]*BaseInfo
+	// Subs maps subbase names to their info. Subbases are purely
+	// functional (rules contain exactly one RETURN) and may only call
+	// subbases declared before them, which rules out recursion.
+	Subs map[string]*BaseInfo
+}
+
+// Builtin functions and the FCFB they occupy (paper Section 4.3: "only
+// few universal blocks are necessary ... one very common function is
+// the selection of a minimal value").
+var builtins = map[string]bool{
+	"MIN": true, "MAX": true, "ABS": true, "MEET": true, "DIST": true,
+}
+
+// Analyze performs name resolution and type checking.
+func Analyze(prog *Program) (*Checked, error) {
+	c := &Checked{
+		Prog:       prog,
+		SymbolSets: make(map[string]*Type),
+		Symbols:    make(map[string]Value),
+		NumConsts:  make(map[string]int64),
+		Signals:    make(map[string]*SignalInfo),
+		Bases:      make(map[string]*BaseInfo),
+		Subs:       make(map[string]*BaseInfo),
+	}
+	// Constants first (symbol sets, then numeric constants that may
+	// reference earlier ones).
+	for _, d := range prog.Consts {
+		if _, dup := c.SymbolSets[d.Name]; dup {
+			return nil, errAt(d.Line, 1, "duplicate constant %s", d.Name)
+		}
+		if _, dup := c.NumConsts[d.Name]; dup {
+			return nil, errAt(d.Line, 1, "duplicate constant %s", d.Name)
+		}
+		if d.Symbols != nil {
+			t := &Type{Kind: TSym, SetName: d.Name, Symbols: d.Symbols}
+			if len(d.Symbols) > 64 {
+				return nil, errAt(d.Line, 1, "symbol set %s too large (max 64)", d.Name)
+			}
+			c.SymbolSets[d.Name] = t
+			for i, s := range d.Symbols {
+				if _, dup := c.Symbols[s]; dup {
+					return nil, errAt(d.Line, 1, "duplicate symbol %s", s)
+				}
+				c.Symbols[s] = SymVal(t, int64(i))
+			}
+			continue
+		}
+		v, err := c.constEval(d.Value)
+		if err != nil {
+			return nil, err
+		}
+		c.NumConsts[d.Name] = v
+	}
+	for _, d := range prog.Vars {
+		if err := c.addSignal(d.Name, d.Index, d.Domain, false, d.Line); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range prog.Inputs {
+		if err := c.addSignal(d.Name, d.Index, d.Domain, true, d.Line); err != nil {
+			return nil, err
+		}
+	}
+	// Subbases: processed in declaration order so a subbase can only
+	// call subbases declared before it (no recursion possible).
+	for _, rb := range prog.Subbases {
+		if _, dup := c.Subs[rb.Event]; dup {
+			return nil, errAt(rb.Line, 1, "duplicate subbase %s", rb.Event)
+		}
+		if builtins[rb.Event] {
+			return nil, errAt(rb.Line, 1, "subbase %s shadows a builtin", rb.Event)
+		}
+		bi := &BaseInfo{RB: rb}
+		scope := newScope(nil)
+		for _, p := range rb.Params {
+			t, err := c.resolveDomain(p.Domain)
+			if err != nil {
+				return nil, err
+			}
+			bi.Params = append(bi.Params, &SignalInfo{Name: p.Name, Domain: t, Line: p.Line})
+			scope.bind(p.Name, t)
+		}
+		if len(rb.Rules) == 0 {
+			return nil, errAt(rb.Line, 1, "subbase %s has no rules", rb.Event)
+		}
+		for _, r := range rb.Rules {
+			pt, err := c.checkExpr(r.Premise, scope)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Kind != TBool {
+				return nil, errAt(r.Line, 1, "premise in subbase %s is %s, want bool", rb.Event, pt)
+			}
+			// Purely functional: exactly one RETURN per rule.
+			if len(r.Cmds) != 1 {
+				return nil, errAt(r.Line, 1, "subbase %s rules must contain exactly one RETURN", rb.Event)
+			}
+			ret, ok := r.Cmds[0].(*Return)
+			if !ok {
+				return nil, errAt(r.Line, 1, "subbase %s rules may only RETURN (purely functional)", rb.Event)
+			}
+			rt, err := c.checkExpr(ret.Val, scope)
+			if err != nil {
+				return nil, err
+			}
+			if bi.ReturnType == nil {
+				bi.ReturnType = rt
+			} else if !Compatible(bi.ReturnType, rt) {
+				return nil, errAt(r.Line, 1, "inconsistent RETURN types in subbase %s", rb.Event)
+			} else if bi.ReturnType.Kind == TInt {
+				lo, hi := bi.ReturnType.Lo, bi.ReturnType.Hi
+				if rt.Lo < lo {
+					lo = rt.Lo
+				}
+				if rt.Hi > hi {
+					hi = rt.Hi
+				}
+				bi.ReturnType = IntType(lo, hi)
+			}
+		}
+		c.Subs[rb.Event] = bi
+	}
+
+	// Rule bases: resolve params, then check rules.
+	for _, rb := range prog.RuleBases {
+		if _, dup := c.Bases[rb.Event]; dup {
+			return nil, errAt(rb.Line, 1, "duplicate rule base %s", rb.Event)
+		}
+		bi := &BaseInfo{RB: rb}
+		for _, p := range rb.Params {
+			t, err := c.resolveDomain(p.Domain)
+			if err != nil {
+				return nil, err
+			}
+			bi.Params = append(bi.Params, &SignalInfo{Name: p.Name, Domain: t, Line: p.Line})
+		}
+		c.Bases[rb.Event] = bi
+	}
+	for _, rb := range prog.RuleBases {
+		bi := c.Bases[rb.Event]
+		scope := newScope(nil)
+		for _, p := range bi.Params {
+			scope.bind(p.Name, p.Domain)
+		}
+		for _, r := range rb.Rules {
+			pt, err := c.checkExpr(r.Premise, scope)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Kind != TBool {
+				return nil, errAt(r.Line, 1, "premise of rule in %s is %s, want bool", rb.Event, pt)
+			}
+			for _, cmd := range r.Cmds {
+				if err := c.checkCmd(cmd, scope, bi); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Checked) addSignal(name string, idx []*DomainExpr, dom *DomainExpr, isInput bool, line int) error {
+	if _, dup := c.Signals[name]; dup {
+		return errAt(line, 1, "duplicate declaration %s", name)
+	}
+	if _, dup := c.Symbols[name]; dup {
+		return errAt(line, 1, "%s already declared as symbol", name)
+	}
+	info := &SignalInfo{Name: name, IsInput: isInput, Line: line}
+	for _, ix := range idx {
+		t, err := c.resolveDomain(ix)
+		if err != nil {
+			return err
+		}
+		info.Index = append(info.Index, t)
+	}
+	t, err := c.resolveDomain(dom)
+	if err != nil {
+		return err
+	}
+	info.Domain = t
+	c.Signals[name] = info
+	return nil
+}
+
+// constEval evaluates a compile-time constant integer expression.
+func (c *Checked) constEval(e Expr) (int64, error) {
+	switch n := e.(type) {
+	case *NumLit:
+		return n.Val, nil
+	case *Ident:
+		if v, ok := c.NumConsts[n.Name]; ok {
+			return v, nil
+		}
+		return 0, errAt(n.Line, 1, "%s is not a numeric constant", n.Name)
+	case *Unary:
+		if n.Op == "-" {
+			v, err := c.constEval(n.X)
+			return -v, err
+		}
+	case *Binary:
+		x, err := c.constEval(n.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := c.constEval(n.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		}
+	}
+	return 0, fmt.Errorf("rules: expression is not compile-time constant")
+}
+
+// resolveDomain turns a syntactic domain into a type.
+func (c *Checked) resolveDomain(d *DomainExpr) (*Type, error) {
+	switch {
+	case d == nil:
+		return nil, fmt.Errorf("rules: missing domain")
+	case d.Symbols != nil:
+		// Inline symbol sets must reference already-declared symbols
+		// of one set: the domain is the subset's host type (we keep
+		// the full host type so ordinals stay stable).
+		if len(d.Symbols) == 0 {
+			return nil, errAt(d.Line, 1, "empty symbol set")
+		}
+		first, ok := c.Symbols[d.Symbols[0]]
+		if !ok {
+			return nil, errAt(d.Line, 1, "unknown symbol %s", d.Symbols[0])
+		}
+		return first.T, nil
+	case d.Count != nil:
+		n, err := c.constEval(d.Count)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, errAt(d.Line, 1, "domain size %d must be positive", n)
+		}
+		return IntType(0, n-1), nil
+	case d.Ref != "":
+		if t, ok := c.SymbolSets[d.Ref]; ok {
+			return t, nil
+		}
+		if v, ok := c.NumConsts[d.Ref]; ok {
+			// A bare numeric constant N denotes the index range
+			// 0..N-1 (e.g. VARIABLE x (dirs) IN ...).
+			if v < 1 {
+				return nil, errAt(d.Line, 1, "domain size %d must be positive", v)
+			}
+			return IntType(0, v-1), nil
+		}
+		return nil, errAt(d.Line, 1, "unknown domain %s", d.Ref)
+	default:
+		lo, err := c.constEval(d.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.constEval(d.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, errAt(d.Line, 1, "empty range %d TO %d", lo, hi)
+		}
+		return IntType(lo, hi), nil
+	}
+}
+
+// scope is a lexical binding environment for parameters and
+// quantifier variables.
+type scope struct {
+	parent *scope
+	names  map[string]*Type
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: make(map[string]*Type)}
+}
+
+func (s *scope) bind(name string, t *Type) { s.names[name] = t }
+
+func (s *scope) lookup(name string) (*Type, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if t, ok := cur.names[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// checkExpr type-checks an expression and returns its type.
+func (c *Checked) checkExpr(e Expr, sc *scope) (*Type, error) {
+	switch n := e.(type) {
+	case *NumLit:
+		return IntType(n.Val, n.Val), nil
+	case *Ident:
+		if t, ok := sc.lookup(n.Name); ok {
+			return t, nil
+		}
+		if v, ok := c.Symbols[n.Name]; ok {
+			return v.T, nil
+		}
+		if v, ok := c.NumConsts[n.Name]; ok {
+			return IntType(v, v), nil
+		}
+		if info, ok := c.Signals[n.Name]; ok {
+			if len(info.Index) != 0 {
+				return nil, errAt(n.Line, 1, "%s is indexed (%d dims)", n.Name, len(info.Index))
+			}
+			return info.Domain, nil
+		}
+		return nil, errAt(n.Line, 1, "unknown identifier %s", n.Name)
+	case *Call:
+		return c.checkCall(n, sc)
+	case *Unary:
+		xt, err := c.checkExpr(n.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			if xt.Kind != TBool {
+				return nil, errAt(n.Line, 1, "NOT needs bool, got %s", xt)
+			}
+			return BoolType, nil
+		}
+		if xt.Kind != TInt {
+			return nil, errAt(n.Line, 1, "unary - needs integer, got %s", xt)
+		}
+		return IntType(-xt.Hi, -xt.Lo), nil
+	case *Binary:
+		return c.checkBinary(n, sc)
+	case *SetLit:
+		if len(n.Elems) == 0 {
+			return nil, errAt(n.Line, 1, "empty set literal has no type")
+		}
+		var elem *Type
+		for _, el := range n.Elems {
+			t, err := c.checkExpr(el, sc)
+			if err != nil {
+				return nil, err
+			}
+			if elem == nil {
+				elem = t
+			} else if !Compatible(elem, t) {
+				return nil, errAt(n.Line, 1, "mixed set literal: %s vs %s", elem, t)
+			}
+		}
+		host := elem
+		if host.Kind == TInt {
+			// Widen to a small canonical range so membership masks
+			// line up; sets over integers must stay within 0..63.
+			host = IntType(0, 63)
+		}
+		return &Type{Kind: TSet, Elem: host}, nil
+	case *Quant:
+		dt, err := c.resolveDomain(n.Domain)
+		if err != nil {
+			return nil, err
+		}
+		inner := newScope(sc)
+		inner.bind(n.Var, dt)
+		bt, err := c.checkExpr(n.Body, inner)
+		if err != nil {
+			return nil, err
+		}
+		if bt.Kind != TBool {
+			return nil, errAt(n.Line, 1, "%s body must be bool, got %s", n.Kind, bt)
+		}
+		return BoolType, nil
+	}
+	return nil, fmt.Errorf("rules: unhandled expression %T", e)
+}
+
+func (c *Checked) checkCall(n *Call, sc *scope) (*Type, error) {
+	if info, ok := c.Signals[n.Name]; ok {
+		if len(n.Args) != len(info.Index) {
+			return nil, errAt(n.Line, 1, "%s has %d index dims, got %d args", n.Name, len(info.Index), len(n.Args))
+		}
+		for i, a := range n.Args {
+			at, err := c.checkExpr(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			want := info.Index[i]
+			if !indexCompatible(want, at) {
+				return nil, errAt(n.Line, 1, "%s index %d: %s not usable for %s", n.Name, i, at, want)
+			}
+		}
+		return info.Domain, nil
+	}
+	if sub, ok := c.Subs[n.Name]; ok {
+		if len(n.Args) != len(sub.Params) {
+			return nil, errAt(n.Line, 1, "subbase %s needs %d args, got %d", n.Name, len(sub.Params), len(n.Args))
+		}
+		for i, a := range n.Args {
+			at, err := c.checkExpr(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			want := sub.Params[i].Domain
+			if !Compatible(want, at) && !indexCompatible(want, at) {
+				return nil, errAt(n.Line, 1, "subbase %s arg %d: %s does not match %s", n.Name, i, at, want)
+			}
+		}
+		return sub.ReturnType, nil
+	}
+	if !builtins[n.Name] {
+		return nil, errAt(n.Line, 1, "unknown function or signal %s", n.Name)
+	}
+	var argT []*Type
+	for _, a := range n.Args {
+		t, err := c.checkExpr(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		argT = append(argT, t)
+	}
+	switch n.Name {
+	case "ABS":
+		if len(argT) != 1 || argT[0].Kind != TInt {
+			return nil, errAt(n.Line, 1, "ABS needs one integer")
+		}
+		hi := argT[0].Hi
+		if -argT[0].Lo > hi {
+			hi = -argT[0].Lo
+		}
+		return IntType(0, hi), nil
+	case "MIN", "MAX", "DIST":
+		if len(argT) != 2 || argT[0].Kind != TInt || argT[1].Kind != TInt {
+			return nil, errAt(n.Line, 1, "%s needs two integers", n.Name)
+		}
+		lo, hi := argT[0].Lo, argT[0].Hi
+		if argT[1].Lo < lo {
+			lo = argT[1].Lo
+		}
+		if argT[1].Hi > hi {
+			hi = argT[1].Hi
+		}
+		if n.Name == "DIST" {
+			return IntType(0, hi-lo), nil
+		}
+		return IntType(lo, hi), nil
+	case "MEET":
+		if len(argT) != 2 || argT[0].Kind != TSym || !Compatible(argT[0], argT[1]) {
+			return nil, errAt(n.Line, 1, "MEET needs two symbols of one set")
+		}
+		return argT[0], nil
+	}
+	return nil, errAt(n.Line, 1, "unhandled builtin %s", n.Name)
+}
+
+// indexCompatible reports whether a value of type got can index a
+// dimension of type want.
+func indexCompatible(want, got *Type) bool {
+	if want.Kind == TSym {
+		return Compatible(want, got)
+	}
+	return got.Kind == TInt
+}
+
+func (c *Checked) checkBinary(n *Binary, sc *scope) (*Type, error) {
+	xt, err := c.checkExpr(n.X, sc)
+	if err != nil {
+		return nil, err
+	}
+	yt, err := c.checkExpr(n.Y, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "AND", "OR":
+		if xt.Kind != TBool || yt.Kind != TBool {
+			return nil, errAt(n.Line, 1, "%s needs booleans", n.Op)
+		}
+		return BoolType, nil
+	case "=", "<>":
+		if !Compatible(xt, yt) {
+			return nil, errAt(n.Line, 1, "cannot compare %s with %s", xt, yt)
+		}
+		return BoolType, nil
+	case "<", "<=", ">", ">=":
+		ordered := (xt.Kind == TInt && yt.Kind == TInt) ||
+			(xt.Kind == TSym && Compatible(xt, yt))
+		if !ordered {
+			return nil, errAt(n.Line, 1, "cannot order %s with %s", xt, yt)
+		}
+		return BoolType, nil
+	case "IN":
+		if yt.Kind != TSet {
+			return nil, errAt(n.Line, 1, "IN needs a set on the right, got %s", yt)
+		}
+		if yt.Elem.Kind == TSym && !Compatible(xt, yt.Elem) {
+			return nil, errAt(n.Line, 1, "cannot test %s membership in %s", xt, yt)
+		}
+		if yt.Elem.Kind == TInt && xt.Kind != TInt {
+			return nil, errAt(n.Line, 1, "cannot test %s membership in %s", xt, yt)
+		}
+		return BoolType, nil
+	case "+", "-":
+		if xt.Kind == TSet && Compatible(xt, yt) {
+			return xt, nil // set union / subtraction
+		}
+		if xt.Kind != TInt || yt.Kind != TInt {
+			return nil, errAt(n.Line, 1, "%s needs integers or sets", n.Op)
+		}
+		if n.Op == "+" {
+			return IntType(xt.Lo+yt.Lo, xt.Hi+yt.Hi), nil
+		}
+		return IntType(xt.Lo-yt.Hi, xt.Hi-yt.Lo), nil
+	case "*":
+		if xt.Kind != TInt || yt.Kind != TInt {
+			return nil, errAt(n.Line, 1, "* needs integers")
+		}
+		// Conservative bounds.
+		cands := []int64{xt.Lo * yt.Lo, xt.Lo * yt.Hi, xt.Hi * yt.Lo, xt.Hi * yt.Hi}
+		lo, hi := cands[0], cands[0]
+		for _, v := range cands[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return IntType(lo, hi), nil
+	}
+	return nil, errAt(n.Line, 1, "unhandled operator %s", n.Op)
+}
+
+func (c *Checked) checkCmd(cmd Cmd, sc *scope, bi *BaseInfo) error {
+	switch n := cmd.(type) {
+	case *Assign:
+		info, ok := c.Signals[n.Name]
+		if !ok {
+			return errAt(n.Line, 1, "assignment to unknown variable %s", n.Name)
+		}
+		if info.IsInput {
+			return errAt(n.Line, 1, "cannot assign to input %s", n.Name)
+		}
+		if len(n.Idx) != len(info.Index) {
+			return errAt(n.Line, 1, "%s has %d index dims, got %d", n.Name, len(info.Index), len(n.Idx))
+		}
+		for i, a := range n.Idx {
+			at, err := c.checkExpr(a, sc)
+			if err != nil {
+				return err
+			}
+			if !indexCompatible(info.Index[i], at) {
+				return errAt(n.Line, 1, "%s index %d: %s not usable for %s", n.Name, i, at, info.Index[i])
+			}
+		}
+		rt, err := c.checkExpr(n.Rhs, sc)
+		if err != nil {
+			return err
+		}
+		if !Compatible(info.Domain, rt) {
+			return errAt(n.Line, 1, "cannot assign %s to %s (%s)", rt, n.Name, info.Domain)
+		}
+		return nil
+	case *Return:
+		rt, err := c.checkExpr(n.Val, sc)
+		if err != nil {
+			return err
+		}
+		if bi.ReturnType == nil {
+			bi.ReturnType = rt
+		} else if !Compatible(bi.ReturnType, rt) {
+			return errAt(n.Line, 1, "inconsistent RETURN types in %s: %s vs %s", bi.RB.Event, bi.ReturnType, rt)
+		} else if bi.ReturnType.Kind == TInt {
+			// Unify integer ranges.
+			lo, hi := bi.ReturnType.Lo, bi.ReturnType.Hi
+			if rt.Lo < lo {
+				lo = rt.Lo
+			}
+			if rt.Hi > hi {
+				hi = rt.Hi
+			}
+			bi.ReturnType = IntType(lo, hi)
+		}
+		return nil
+	case *Emit:
+		// Events may target another rule base (args must match its
+		// parameters) or leave the rule engine (messages to
+		// neighbouring nodes, data-path commands like !send); the
+		// latter are only arity-unchecked, their args still need to
+		// type-check.
+		target := c.Bases[n.Event]
+		for i, a := range n.Args {
+			at, err := c.checkExpr(a, sc)
+			if err != nil {
+				return err
+			}
+			if target != nil && i < len(target.Params) {
+				if !indexCompatible(target.Params[i].Domain, at) && !Compatible(target.Params[i].Domain, at) {
+					return errAt(n.Line, 1, "event %s arg %d: %s does not match %s", n.Event, i, at, target.Params[i].Domain)
+				}
+			}
+		}
+		if target != nil && len(n.Args) != len(target.Params) {
+			return errAt(n.Line, 1, "event %s needs %d args, got %d", n.Event, len(target.Params), len(n.Args))
+		}
+		return nil
+	case *ForAllCmd:
+		dt, err := c.resolveDomain(n.Domain)
+		if err != nil {
+			return err
+		}
+		inner := newScope(sc)
+		inner.bind(n.Var, dt)
+		return c.checkCmd(n.Body, inner, bi)
+	}
+	return fmt.Errorf("rules: unhandled command %T", cmd)
+}

@@ -1,0 +1,195 @@
+package rules
+
+// The abstract syntax tree of a rule program. Position fields carry
+// the source location for diagnostics.
+
+// Program is a parsed rule program: declarations plus event-triggered
+// rule bases.
+type Program struct {
+	Consts    []*ConstDecl
+	Vars      []*VarDecl
+	Inputs    []*InputDecl
+	Subbases  []*RuleBase // purely functional rule sets (SUBBASE ... END)
+	RuleBases []*RuleBase
+}
+
+// RuleBaseByName returns the rule base with the given event name, or
+// nil.
+func (p *Program) RuleBaseByName(name string) *RuleBase {
+	for _, rb := range p.RuleBases {
+		if rb.Event == name {
+			return rb
+		}
+	}
+	return nil
+}
+
+// ConstDecl declares either a named symbol set (a type whose elements
+// become symbolic constants) or a named numeric constant:
+//
+//	CONSTANT fault_states = {safe, faulty, ounsafe}
+//	CONSTANT dirs = 4
+type ConstDecl struct {
+	Name    string
+	Symbols []string // non-nil: symbol-set declaration
+	Value   Expr     // non-nil: numeric constant expression
+	Line    int
+}
+
+// DomainExpr is a syntactic domain: an integer range `lo TO hi`, a
+// reference to a named symbol set, or an inline symbol set.
+type DomainExpr struct {
+	Lo, Hi  Expr     // integer range when Lo != nil
+	Ref     string   // named set/constant reference
+	Symbols []string // inline symbol set
+	Count   Expr     // bare constant N meaning the range 0..N-1
+	Line    int
+}
+
+// VarDecl declares internal state:
+//
+//	VARIABLE number_unsafe IN 0 TO dirs
+//	VARIABLE neighb_state (dirs) IN fault_states
+type VarDecl struct {
+	Name   string
+	Index  []*DomainExpr // nil for scalars
+	Domain *DomainExpr
+	Line   int
+}
+
+// InputDecl declares an externally supplied, read-only signal (header
+// fields, link states, buffer occupancies):
+//
+//	INPUT new_state (dirs) IN fault_states
+type InputDecl struct {
+	Name   string
+	Index  []*DomainExpr
+	Domain *DomainExpr
+	Line   int
+}
+
+// RuleBase is an event handler (ON <event>(<params>) rules END;) or,
+// with IsSub set, a subbase: a purely functional set of rules usable
+// like a function in premises and conclusions (the paper, Section 4.2:
+// "the invocation of a subbase does not imply a sequential processing
+// order because of the fully functional interpretation").
+type RuleBase struct {
+	Event  string
+	Params []*Param
+	Rules  []*Rule
+	IsSub  bool
+	Line   int
+}
+
+// Param is an event parameter with its finite domain.
+type Param struct {
+	Name   string
+	Domain *DomainExpr
+	Line   int
+}
+
+// Rule is IF premise THEN commands;
+type Rule struct {
+	Premise Expr
+	Cmds    []Cmd
+	Line    int
+}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Val  int64
+	Line int
+}
+
+// Ident references a constant, symbol, variable, input, parameter or
+// quantifier variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Call is an indexed access (variable/input) or builtin function
+// application: name(arg, ...).
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Unary is NOT e or -e.
+type Unary struct {
+	Op   string // "NOT" | "-"
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation: AND OR = <> < <= > >= + - * IN.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// SetLit is {a, b, c} — a set of symbols or integer expressions.
+type SetLit struct {
+	Elems []Expr
+	Line  int
+}
+
+// Quant is EXISTS/FORALL v IN domain: body.
+type Quant struct {
+	Kind   string // "EXISTS" | "FORALL"
+	Var    string
+	Domain *DomainExpr
+	Body   Expr
+	Line   int
+}
+
+func (*NumLit) exprNode() {}
+func (*Ident) exprNode()  {}
+func (*Call) exprNode()   {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*SetLit) exprNode() {}
+func (*Quant) exprNode()  {}
+
+// Cmd is a conclusion command.
+type Cmd interface{ cmdNode() }
+
+// Assign writes a variable (possibly indexed): lhs(args) <- rhs.
+type Assign struct {
+	Name string
+	Idx  []Expr
+	Rhs  Expr
+	Line int
+}
+
+// Return produces the rule base's result value: RETURN(expr).
+type Return struct {
+	Val  Expr
+	Line int
+}
+
+// Emit generates an event: !name(args).
+type Emit struct {
+	Event string
+	Args  []Expr
+	Line  int
+}
+
+// ForAllCmd replicates a command over a finite domain:
+// FORALL i IN dirs: !send(i).
+type ForAllCmd struct {
+	Var    string
+	Domain *DomainExpr
+	Body   Cmd
+	Line   int
+}
+
+func (*Assign) cmdNode()    {}
+func (*Return) cmdNode()    {}
+func (*Emit) cmdNode()      {}
+func (*ForAllCmd) cmdNode() {}

@@ -1,0 +1,407 @@
+package rules
+
+import "fmt"
+
+// Env supplies the current state to the reference evaluator: internal
+// variables and external inputs. The evaluator never writes through
+// Env; conclusions are collected as Effects and applied by the caller,
+// which gives the paper's parallel-conclusion semantics for free (all
+// right-hand sides are evaluated against the pre-state).
+type Env interface {
+	ReadVar(name string, idx []int64) (Value, error)
+	ReadInput(name string, idx []int64) (Value, error)
+}
+
+// Write is one pending variable assignment.
+type Write struct {
+	Name string
+	Idx  []int64
+	Val  Value
+}
+
+// Event is one generated event.
+type Event struct {
+	Name string
+	Args []Value
+}
+
+// Effects is the result of firing one rule.
+type Effects struct {
+	Writes []Write
+	Events []Event
+	Return *Value
+}
+
+// Invoke evaluates the premises of the named rule base under the given
+// event arguments and environment, fires the first applicable rule
+// (declaration order — the paper leaves the choice to the
+// implementation) and returns its index and effects. ruleIdx is -1
+// when no rule applies.
+func (c *Checked) Invoke(base string, args []Value, env Env) (ruleIdx int, eff *Effects, err error) {
+	bi, ok := c.Bases[base]
+	if !ok {
+		return -1, nil, fmt.Errorf("rules: unknown rule base %s", base)
+	}
+	if len(args) != len(bi.Params) {
+		return -1, nil, fmt.Errorf("rules: %s needs %d args, got %d", base, len(bi.Params), len(args))
+	}
+	sc := map[string]Value{}
+	for i, p := range bi.Params {
+		sc[p.Name] = args[i]
+	}
+	for i, r := range bi.RB.Rules {
+		v, err := c.EvalExpr(r.Premise, sc, env)
+		if err != nil {
+			return -1, nil, fmt.Errorf("rules: %s rule %d premise: %w", base, i, err)
+		}
+		if !v.B {
+			continue
+		}
+		eff := &Effects{}
+		for _, cmd := range r.Cmds {
+			if err := c.execCmd(cmd, sc, env, eff); err != nil {
+				return -1, nil, fmt.Errorf("rules: %s rule %d: %w", base, i, err)
+			}
+		}
+		return i, eff, nil
+	}
+	return -1, &Effects{}, nil
+}
+
+func (c *Checked) execCmd(cmd Cmd, sc map[string]Value, env Env, eff *Effects) error {
+	switch n := cmd.(type) {
+	case *Assign:
+		idx := make([]int64, len(n.Idx))
+		for i, a := range n.Idx {
+			v, err := c.EvalExpr(a, sc, env)
+			if err != nil {
+				return err
+			}
+			ord, err := v.Ord()
+			if err != nil {
+				return err
+			}
+			idx[i] = ord
+		}
+		v, err := c.EvalExpr(n.Rhs, sc, env)
+		if err != nil {
+			return err
+		}
+		// Clamp integers into the variable's declared range (finite
+		// hardware registers saturate).
+		info := c.Signals[n.Name]
+		if info.Domain.Kind == TInt {
+			if v.I < info.Domain.Lo {
+				v.I = info.Domain.Lo
+			}
+			if v.I > info.Domain.Hi {
+				v.I = info.Domain.Hi
+			}
+			v.T = info.Domain
+		}
+		eff.Writes = append(eff.Writes, Write{Name: n.Name, Idx: idx, Val: v})
+		return nil
+	case *Return:
+		v, err := c.EvalExpr(n.Val, sc, env)
+		if err != nil {
+			return err
+		}
+		eff.Return = &v
+		return nil
+	case *Emit:
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := c.EvalExpr(a, sc, env)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		eff.Events = append(eff.Events, Event{Name: n.Event, Args: args})
+		return nil
+	case *ForAllCmd:
+		dt, err := c.resolveDomain(n.Domain)
+		if err != nil {
+			return err
+		}
+		for _, v := range enumerate(dt) {
+			saved, had := sc[n.Var]
+			sc[n.Var] = v
+			err := c.execCmd(n.Body, sc, env, eff)
+			if had {
+				sc[n.Var] = saved
+			} else {
+				delete(sc, n.Var)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled command %T", cmd)
+}
+
+// EvalExpr evaluates an expression under scope sc (parameters and
+// quantifier variables) and environment env.
+func (c *Checked) EvalExpr(e Expr, sc map[string]Value, env Env) (Value, error) {
+	switch n := e.(type) {
+	case *NumLit:
+		return IntVal(n.Val), nil
+	case *Ident:
+		if v, ok := sc[n.Name]; ok {
+			return v, nil
+		}
+		if v, ok := c.Symbols[n.Name]; ok {
+			return v, nil
+		}
+		if v, ok := c.NumConsts[n.Name]; ok {
+			return IntVal(v), nil
+		}
+		if info, ok := c.Signals[n.Name]; ok {
+			if info.IsInput {
+				return env.ReadInput(n.Name, nil)
+			}
+			return env.ReadVar(n.Name, nil)
+		}
+		return Value{}, fmt.Errorf("unknown identifier %s", n.Name)
+	case *Call:
+		return c.evalCall(n, sc, env)
+	case *Unary:
+		x, err := c.EvalExpr(n.X, sc, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.Op == "NOT" {
+			return BoolVal(!x.B), nil
+		}
+		return IntVal(-x.I), nil
+	case *Binary:
+		return c.evalBinary(n, sc, env)
+	case *SetLit:
+		return c.evalSetLit(n, sc, env)
+	case *Quant:
+		dt, err := c.resolveDomain(n.Domain)
+		if err != nil {
+			return Value{}, err
+		}
+		result := n.Kind == "FORALL" // identity: FORALL=true, EXISTS=false
+		for _, v := range enumerate(dt) {
+			saved, had := sc[n.Var]
+			sc[n.Var] = v
+			b, err := c.EvalExpr(n.Body, sc, env)
+			if had {
+				sc[n.Var] = saved
+			} else {
+				delete(sc, n.Var)
+			}
+			if err != nil {
+				return Value{}, err
+			}
+			if n.Kind == "EXISTS" && b.B {
+				return BoolVal(true), nil
+			}
+			if n.Kind == "FORALL" && !b.B {
+				return BoolVal(false), nil
+			}
+		}
+		return BoolVal(result), nil
+	}
+	return Value{}, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (c *Checked) evalCall(n *Call, sc map[string]Value, env Env) (Value, error) {
+	if info, ok := c.Signals[n.Name]; ok {
+		idx := make([]int64, len(n.Args))
+		for i, a := range n.Args {
+			v, err := c.EvalExpr(a, sc, env)
+			if err != nil {
+				return Value{}, err
+			}
+			ord, err := v.Ord()
+			if err != nil {
+				return Value{}, err
+			}
+			// Normalise symbol/int ordinals to zero-based slot
+			// numbers.
+			if info.Index[i].Kind == TInt {
+				ord -= info.Index[i].Lo
+			}
+			if ord < 0 || ord >= info.Index[i].DomainSize() {
+				return Value{}, fmt.Errorf("%s index %d out of range (%d)", n.Name, i, ord)
+			}
+			idx[i] = ord
+		}
+		if info.IsInput {
+			return env.ReadInput(n.Name, idx)
+		}
+		return env.ReadVar(n.Name, idx)
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := c.EvalExpr(a, sc, env)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	// Subbases: purely functional — the first rule whose premise
+	// holds yields the value.
+	if sub, ok := c.Subs[n.Name]; ok {
+		inner := map[string]Value{}
+		for i, p := range sub.Params {
+			inner[p.Name] = args[i]
+		}
+		for _, r := range sub.RB.Rules {
+			b, err := c.EvalExpr(r.Premise, inner, env)
+			if err != nil {
+				return Value{}, err
+			}
+			if b.B {
+				return c.EvalExpr(r.Cmds[0].(*Return).Val, inner, env)
+			}
+		}
+		return Value{}, fmt.Errorf("subbase %s: no rule applies", n.Name)
+	}
+	// Builtins.
+	switch n.Name {
+	case "ABS":
+		v := args[0].I
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v), nil
+	case "MIN":
+		if args[0].I <= args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "MAX":
+		if args[0].I >= args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	case "DIST":
+		d := args[0].I - args[1].I
+		if d < 0 {
+			d = -d
+		}
+		return IntVal(d), nil
+	case "MEET":
+		// Lattice meet toward the worst state: symbol sets are
+		// declared best-first (safe < ... < faulty), so the meet is
+		// the larger ordinal.
+		if args[0].I >= args[1].I {
+			return args[0], nil
+		}
+		return args[1], nil
+	}
+	return Value{}, fmt.Errorf("unknown function %s", n.Name)
+}
+
+func (c *Checked) evalBinary(n *Binary, sc map[string]Value, env Env) (Value, error) {
+	x, err := c.EvalExpr(n.X, sc, env)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit logic.
+	if n.Op == "AND" && !x.B {
+		return BoolVal(false), nil
+	}
+	if n.Op == "OR" && x.B {
+		return BoolVal(true), nil
+	}
+	y, err := c.EvalExpr(n.Y, sc, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case "AND", "OR":
+		return BoolVal(y.B), nil
+	case "=":
+		return BoolVal(x.Equal(y)), nil
+	case "<>":
+		return BoolVal(!x.Equal(y)), nil
+	case "<":
+		return BoolVal(x.I < y.I), nil
+	case "<=":
+		return BoolVal(x.I <= y.I), nil
+	case ">":
+		return BoolVal(x.I > y.I), nil
+	case ">=":
+		return BoolVal(x.I >= y.I), nil
+	case "IN":
+		ord, err := setOrdinal(y.T.Elem, x)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolVal(y.Mask&(1<<ord) != 0), nil
+	case "+":
+		if x.T.Kind == TSet {
+			return Value{T: x.T, Mask: x.Mask | y.Mask}, nil
+		}
+		return IntVal(x.I + y.I), nil
+	case "-":
+		if x.T.Kind == TSet {
+			return Value{T: x.T, Mask: x.Mask &^ y.Mask}, nil
+		}
+		return IntVal(x.I - y.I), nil
+	case "*":
+		return IntVal(x.I * y.I), nil
+	}
+	return Value{}, fmt.Errorf("unhandled operator %s", n.Op)
+}
+
+func (c *Checked) evalSetLit(n *SetLit, sc map[string]Value, env Env) (Value, error) {
+	var elem *Type
+	var mask uint64
+	for _, el := range n.Elems {
+		v, err := c.EvalExpr(el, sc, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if elem == nil {
+			if v.T.Kind == TInt {
+				elem = IntType(0, 63)
+			} else {
+				elem = v.T
+			}
+		}
+		ord, err := setOrdinal(elem, v)
+		if err != nil {
+			return Value{}, err
+		}
+		if ord >= 64 {
+			return Value{}, fmt.Errorf("set element ordinal %d exceeds 63", ord)
+		}
+		mask |= 1 << ord
+	}
+	return Value{T: &Type{Kind: TSet, Elem: elem}, Mask: mask}, nil
+}
+
+// FireRule executes the conclusion of one specific rule of a base
+// (selected externally, e.g. by a compiled ARON table lookup) and
+// returns its effects. It does not evaluate the premise.
+func (c *Checked) FireRule(base string, ruleIdx int, args []Value, env Env) (*Effects, error) {
+	bi, ok := c.Bases[base]
+	if !ok {
+		return nil, fmt.Errorf("rules: unknown rule base %s", base)
+	}
+	if ruleIdx < 0 || ruleIdx >= len(bi.RB.Rules) {
+		return nil, fmt.Errorf("rules: %s has no rule %d", base, ruleIdx)
+	}
+	if len(args) != len(bi.Params) {
+		return nil, fmt.Errorf("rules: %s needs %d args, got %d", base, len(bi.Params), len(args))
+	}
+	sc := map[string]Value{}
+	for i, p := range bi.Params {
+		sc[p.Name] = args[i]
+	}
+	eff := &Effects{}
+	for _, cmd := range bi.RB.Rules[ruleIdx].Cmds {
+		if err := c.execCmd(cmd, sc, env, eff); err != nil {
+			return nil, fmt.Errorf("rules: %s rule %d: %w", base, ruleIdx, err)
+		}
+	}
+	return eff, nil
+}

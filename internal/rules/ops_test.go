@@ -1,0 +1,150 @@
+package rules
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: ApplyBinary on integers agrees with Go's operators.
+func TestApplyBinaryIntProperties(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := IntVal(int64(a)), IntVal(int64(b))
+		cases := []struct {
+			op   string
+			want bool
+		}{
+			{"=", a == b}, {"<>", a != b},
+			{"<", a < b}, {"<=", a <= b},
+			{">", a > b}, {">=", a >= b},
+		}
+		for _, c := range cases {
+			v, err := ApplyBinary(c.op, x, y)
+			if err != nil || v.B != c.want {
+				return false
+			}
+		}
+		sum, err := ApplyBinary("+", x, y)
+		if err != nil || sum.I != int64(a)+int64(b) {
+			return false
+		}
+		diff, err := ApplyBinary("-", x, y)
+		if err != nil || diff.I != int64(a)-int64(b) {
+			return false
+		}
+		prod, err := ApplyBinary("*", x, y)
+		return err == nil && prod.I == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set union and subtraction behave like bitset algebra and
+// IN agrees with the mask.
+func TestSetAlgebraProperties(t *testing.T) {
+	host := IntType(0, 63)
+	setOf := func(mask uint64) Value {
+		return Value{T: &Type{Kind: TSet, Elem: host}, Mask: mask}
+	}
+	f := func(a, b uint64, elemRaw uint8) bool {
+		elem := int64(elemRaw % 64)
+		u, err := ApplyBinary("+", setOf(a), setOf(b))
+		if err != nil || u.Mask != a|b {
+			return false
+		}
+		d, err := ApplyBinary("-", setOf(a), setOf(b))
+		if err != nil || d.Mask != a&^b {
+			return false
+		}
+		in, err := ApplyBinary("IN", Value{T: host, I: elem}, setOf(a))
+		if err != nil {
+			return false
+		}
+		return in.B == (a&(1<<uint(elem)) != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MIN/MAX/ABS/DIST/MEET builtins satisfy their algebraic
+// identities.
+func TestBuiltinProperties(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := IntVal(int64(a)), IntVal(int64(b))
+		mn, err1 := ApplyBuiltin("MIN", []Value{x, y})
+		mx, err2 := ApplyBuiltin("MAX", []Value{x, y})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// min+max = a+b, min <= max
+		if mn.I+mx.I != int64(a)+int64(b) || mn.I > mx.I {
+			return false
+		}
+		// DIST symmetric and = |a-b|
+		d1, _ := ApplyBuiltin("DIST", []Value{x, y})
+		d2, _ := ApplyBuiltin("DIST", []Value{y, x})
+		if d1.I != d2.I || d1.I != abs64(int64(a)-int64(b)) {
+			return false
+		}
+		// ABS
+		av, _ := ApplyBuiltin("ABS", []Value{x})
+		if av.I != abs64(int64(a)) {
+			return false
+		}
+		// MEET = max ordinal (lattice toward worst)
+		m, _ := ApplyBuiltin("MEET", []Value{x, y})
+		return m.I == mx.I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Property: MakeSet is order independent and idempotent on duplicates.
+func TestMakeSetProperties(t *testing.T) {
+	f := func(elemsRaw []uint8) bool {
+		if len(elemsRaw) == 0 {
+			return true
+		}
+		fwd := make([]Value, len(elemsRaw))
+		rev := make([]Value, len(elemsRaw))
+		for i, e := range elemsRaw {
+			fwd[i] = IntVal(int64(e % 64))
+			rev[len(elemsRaw)-1-i] = IntVal(int64(e % 64))
+		}
+		a, err1 := MakeSet(fwd)
+		b, err2 := MakeSet(rev)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Mask != b.Mask {
+			return false
+		}
+		// Doubling the elements changes nothing.
+		c, err := MakeSet(append(fwd, fwd...))
+		return err == nil && c.Mask == a.Mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBuiltinErrors(t *testing.T) {
+	if _, err := ApplyBuiltin("MIN", []Value{IntVal(1)}); err == nil {
+		t.Fatal("arity error expected")
+	}
+	if _, err := ApplyBuiltin("NOSUCH", nil); err == nil {
+		t.Fatal("unknown builtin should error")
+	}
+	if _, err := ApplyBinary("IN", IntVal(1), IntVal(2)); err == nil {
+		t.Fatal("IN needs a set")
+	}
+}

@@ -1,0 +1,650 @@
+package rules
+
+import "strconv"
+
+// Parse lexes and parses a rule program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.cur()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = kindName(kind)
+		}
+		return t, errAt(t.Line, t.Col, "expected %s, found %s", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func kindName(k TokKind) string {
+	switch k {
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokSemi:
+		return "';'"
+	case TokColon:
+		return "':'"
+	case TokAssign:
+		return "'<-'"
+	case TokRBrace:
+		return "'}'"
+	}
+	return "token"
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokEOF:
+			return prog, nil
+		case t.Kind == TokKeyword && t.Text == "CONSTANT":
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, d)
+		case t.Kind == TokKeyword && t.Text == "VARIABLE":
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, d)
+		case t.Kind == TokKeyword && t.Text == "INPUT":
+			d, err := p.inputDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Inputs = append(prog.Inputs, d)
+		case t.Kind == TokKeyword && t.Text == "ON":
+			rb, err := p.ruleBase()
+			if err != nil {
+				return nil, err
+			}
+			prog.RuleBases = append(prog.RuleBases, rb)
+		case t.Kind == TokKeyword && t.Text == "SUBBASE":
+			rb, err := p.ruleBase()
+			if err != nil {
+				return nil, err
+			}
+			rb.IsSub = true
+			prog.Subbases = append(prog.Subbases, rb)
+		default:
+			return nil, errAt(t.Line, t.Col, "expected declaration or rule base, found %s", t)
+		}
+	}
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	kw := p.next() // CONSTANT
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEq, ""); err != nil {
+		return nil, err
+	}
+	d := &ConstDecl{Name: name.Text, Line: kw.Line}
+	if p.cur().Kind == TokLBrace {
+		syms, err := p.symbolSet()
+		if err != nil {
+			return nil, err
+		}
+		d.Symbols = syms
+		return d, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	d.Value = e
+	return d, nil
+}
+
+func (p *parser) symbolSet() ([]string, error) {
+	if _, err := p.expect(TokLBrace, ""); err != nil {
+		return nil, err
+	}
+	var syms []string
+	for {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		syms = append(syms, t.Text)
+		if p.accept(TokComma, "") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace, ""); err != nil {
+		return nil, err
+	}
+	return syms, nil
+}
+
+func (p *parser) domain() (*DomainExpr, error) {
+	t := p.cur()
+	if t.Kind == TokLBrace {
+		syms, err := p.symbolSet()
+		if err != nil {
+			return nil, err
+		}
+		return &DomainExpr{Symbols: syms, Line: t.Line}, nil
+	}
+	// Either `expr TO expr` or a single identifier referencing a
+	// named set. Parse an expression first; if TO follows, it is a
+	// range.
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "TO") {
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &DomainExpr{Lo: lo, Hi: hi, Line: t.Line}, nil
+	}
+	if id, ok := lo.(*Ident); ok {
+		return &DomainExpr{Ref: id.Name, Line: t.Line}, nil
+	}
+	// A bare constant expression N denotes the index range 0..N-1
+	// (the paper's "VARIABLE neighb_state (dirs)" style).
+	return &DomainExpr{Count: lo, Line: t.Line}, nil
+}
+
+func (p *parser) indexDomains() ([]*DomainExpr, error) {
+	if !p.accept(TokLParen, "") {
+		return nil, nil
+	}
+	var idx []*DomainExpr
+	for {
+		d, err := p.domain()
+		if err != nil {
+			return nil, err
+		}
+		idx = append(idx, d)
+		if p.accept(TokComma, "") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen, ""); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func (p *parser) varDecl() (*VarDecl, error) {
+	kw := p.next() // VARIABLE
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.indexDomains()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "IN"); err != nil {
+		return nil, err
+	}
+	dom, err := p.domain()
+	if err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name.Text, Index: idx, Domain: dom, Line: kw.Line}, nil
+}
+
+func (p *parser) inputDecl() (*InputDecl, error) {
+	kw := p.next() // INPUT
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.indexDomains()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "IN"); err != nil {
+		return nil, err
+	}
+	dom, err := p.domain()
+	if err != nil {
+		return nil, err
+	}
+	return &InputDecl{Name: name.Text, Index: idx, Domain: dom, Line: kw.Line}, nil
+}
+
+func (p *parser) ruleBase() (*RuleBase, error) {
+	kw := p.next() // ON
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	rb := &RuleBase{Event: name.Text, Line: kw.Line}
+	if p.accept(TokLParen, "") {
+		if !p.accept(TokRParen, "") {
+			for {
+				pn, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokKeyword, "IN"); err != nil {
+					return nil, err
+				}
+				dom, err := p.domain()
+				if err != nil {
+					return nil, err
+				}
+				rb.Params = append(rb.Params, &Param{Name: pn.Text, Domain: dom, Line: pn.Line})
+				if p.accept(TokComma, "") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen, ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for p.cur().Kind == TokKeyword && p.cur().Text == "IF" {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		rb.Rules = append(rb.Rules, r)
+	}
+	if _, err := p.expect(TokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	endName, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if endName.Text != rb.Event {
+		return nil, errAt(endName.Line, endName.Col, "END %s does not match ON %s", endName.Text, rb.Event)
+	}
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+func (p *parser) rule() (*Rule, error) {
+	kw := p.next() // IF
+	prem, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+		return nil, err
+	}
+	var cmds []Cmd
+	for {
+		c, err := p.cmd()
+		if err != nil {
+			return nil, err
+		}
+		cmds = append(cmds, c)
+		if p.accept(TokComma, "") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokSemi, ""); err != nil {
+		return nil, err
+	}
+	return &Rule{Premise: prem, Cmds: cmds, Line: kw.Line}, nil
+}
+
+func (p *parser) cmd() (Cmd, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "RETURN":
+		p.next()
+		if _, err := p.expect(TokLParen, ""); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ""); err != nil {
+			return nil, err
+		}
+		return &Return{Val: e, Line: t.Line}, nil
+	case t.Kind == TokBang:
+		p.next()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if p.accept(TokLParen, "") {
+			if !p.accept(TokRParen, "") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(TokComma, "") {
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(TokRParen, ""); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &Emit{Event: name.Text, Args: args, Line: t.Line}, nil
+	case t.Kind == TokKeyword && t.Text == "FORALL":
+		p.next()
+		v, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		dom, err := p.domain()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon, ""); err != nil {
+			return nil, err
+		}
+		body, err := p.cmd()
+		if err != nil {
+			return nil, err
+		}
+		return &ForAllCmd{Var: v.Text, Domain: dom, Body: body, Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		name := p.next()
+		var idx []Expr
+		if p.accept(TokLParen, "") {
+			if !p.accept(TokRParen, "") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					idx = append(idx, a)
+					if p.accept(TokComma, "") {
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(TokRParen, ""); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := p.expect(TokAssign, ""); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Name: name.Text, Idx: idx, Rhs: rhs, Line: t.Line}, nil
+	}
+	return nil, errAt(t.Line, t.Col, "expected command, found %s", t)
+}
+
+// Expression parsing with precedence OR < AND < NOT < rel < add < mul.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokKeyword && p.cur().Text == "OR" {
+		op := p.next()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: "OR", X: x, Y: y, Line: op.Line}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokKeyword && p.cur().Text == "AND" {
+		op := p.next()
+		y, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: "AND", X: x, Y: y, Line: op.Line}
+	}
+	return x, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword && t.Text == "NOT" {
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x, Line: t.Line}, nil
+	}
+	if t.Kind == TokKeyword && (t.Text == "EXISTS" || t.Text == "FORALL") {
+		p.next()
+		v, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		dom, err := p.domain()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon, ""); err != nil {
+			return nil, err
+		}
+		body, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Quant{Kind: t.Text, Var: v.Text, Domain: dom, Body: body, Line: t.Line}, nil
+	}
+	return p.relExpr()
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	var op string
+	switch {
+	case t.Kind == TokEq:
+		op = "="
+	case t.Kind == TokNeq:
+		op = "<>"
+	case t.Kind == TokLt:
+		op = "<"
+	case t.Kind == TokLe:
+		op = "<="
+	case t.Kind == TokGt:
+		op = ">"
+	case t.Kind == TokGe:
+		op = ">="
+	case t.Kind == TokKeyword && t.Text == "IN":
+		op = "IN"
+	default:
+		return x, nil
+	}
+	p.next()
+	y, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, X: x, Y: y, Line: t.Line}, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPlus && t.Kind != TokMinus {
+			return x, nil
+		}
+		p.next()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := "+"
+		if t.Kind == TokMinus {
+			op = "-"
+		}
+		x = &Binary{Op: op, X: x, Y: y, Line: t.Line}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokStar {
+		t := p.next()
+		y, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: "*", X: x, Y: y, Line: t.Line}
+	}
+	return x, nil
+}
+
+func (p *parser) factor() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errAt(t.Line, t.Col, "bad number %q", t.Text)
+		}
+		return &NumLit{Val: v, Line: t.Line}, nil
+	case TokMinus:
+		p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, Line: t.Line}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ""); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBrace:
+		p.next()
+		lit := &SetLit{Line: t.Line}
+		if !p.accept(TokRBrace, "") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lit.Elems = append(lit.Elems, e)
+				if p.accept(TokComma, "") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRBrace, ""); err != nil {
+				return nil, err
+			}
+		}
+		return lit, nil
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			p.next()
+			call := &Call{Name: t.Text, Line: t.Line}
+			if !p.accept(TokRParen, "") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(TokComma, "") {
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(TokRParen, ""); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	}
+	return nil, errAt(t.Line, t.Col, "expected expression, found %s", t)
+}

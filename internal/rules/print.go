@@ -1,0 +1,55 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExprString renders an expression in canonical concrete syntax; the
+// compiler uses it as a structural identity key for premise atoms and
+// signal occurrences.
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case *NumLit:
+		return fmt.Sprint(n.Val)
+	case *Ident:
+		return n.Name
+	case *Call:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = ExprString(a)
+		}
+		return n.Name + "(" + strings.Join(args, ",") + ")"
+	case *Unary:
+		if n.Op == "NOT" {
+			return "NOT " + ExprString(n.X)
+		}
+		return "-" + ExprString(n.X)
+	case *Binary:
+		return "(" + ExprString(n.X) + " " + n.Op + " " + ExprString(n.Y) + ")"
+	case *SetLit:
+		elems := make([]string, len(n.Elems))
+		for i, el := range n.Elems {
+			elems[i] = ExprString(el)
+		}
+		return "{" + strings.Join(elems, ",") + "}"
+	case *Quant:
+		return fmt.Sprintf("%s %s IN %s: %s", n.Kind, n.Var, domainString(n.Domain), ExprString(n.Body))
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func domainString(d *DomainExpr) string {
+	switch {
+	case d == nil:
+		return "?"
+	case d.Symbols != nil:
+		return "{" + strings.Join(d.Symbols, ",") + "}"
+	case d.Ref != "":
+		return d.Ref
+	case d.Count != nil:
+		return ExprString(d.Count)
+	default:
+		return ExprString(d.Lo) + " TO " + ExprString(d.Hi)
+	}
+}

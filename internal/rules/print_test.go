@@ -1,0 +1,154 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprStringForms(t *testing.T) {
+	src := `
+CONSTANT states = {a, b}
+CONSTANT n = 2 * 3 + 1 - 2
+VARIABLE v (n) IN states
+INPUT q (4) IN 0 TO 7
+ON f(k IN 0 TO 3)
+  IF NOT (k = 1) AND (q(k) < 6 OR k IN {0, 2}) AND
+     (EXISTS i IN 0 TO 3: (q(i) >= 2 AND MIN(q(i), 5) <> 0)) THEN
+     v(0) <- a,
+     FORALL j IN 0 TO 1: !notify(j, -1),
+     RETURN(k + 1);
+END f;
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	r := prog.RuleBases[0].Rules[0]
+	p := ExprString(r.Premise)
+	for _, frag := range []string{"NOT (k = 1)", "(q(k) < 6)", "k IN {0,2}", "EXISTS i IN 0 TO 3", "MIN(q(i),5)"} {
+		if !strings.Contains(p, frag) {
+			t.Fatalf("premise rendering missing %q:\n%s", frag, p)
+		}
+	}
+	cmds := make([]string, len(r.Cmds))
+	for i, c := range r.Cmds {
+		cmds[i] = CmdString(c)
+	}
+	if cmds[0] != "v(0) <- a" {
+		t.Fatalf("assign rendering: %q", cmds[0])
+	}
+	if !strings.HasPrefix(cmds[1], "FORALL j IN 0 TO 1: !notify(j, -1)") {
+		t.Fatalf("forall rendering: %q", cmds[1])
+	}
+	if cmds[2] != "RETURN((k + 1))" {
+		t.Fatalf("return rendering: %q", cmds[2])
+	}
+	// Constant evaluation of the declaration: 2*3+1-2 = 5.
+	c, _ := Analyze(prog)
+	if c.NumConsts["n"] != 5 {
+		t.Fatalf("constEval: n = %d", c.NumConsts["n"])
+	}
+}
+
+func TestProgramStringRoundTripInPackage(t *testing.T) {
+	prog, err := Parse(figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ProgramString(prog)
+	again, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if ProgramString(again) != printed {
+		t.Fatal("printer is not a fixed point")
+	}
+	if _, err := Analyze(again); err != nil {
+		t.Fatalf("analyze reprinted: %v", err)
+	}
+}
+
+func TestFireRuleDirect(t *testing.T) {
+	c := analyzeSrc(t, figure4)
+	env := &mapEnv{
+		vars: map[string]Value{
+			"number_unsafe": {T: IntType(0, 4), I: 0},
+			"number_faulty": {T: IntType(0, 4), I: 0},
+			"state":         c.Symbols["safe"],
+		},
+		inputs: map[string]Value{"new_state/1": c.Symbols["faulty"]},
+	}
+	// Fire rule 0 explicitly (bypassing premise evaluation, as the
+	// compiled table does).
+	eff, err := c.FireRule("update_state", 0, []Value{IntVal(1)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Writes) != 3 {
+		t.Fatalf("writes: %+v", eff.Writes)
+	}
+	// Error paths.
+	if _, err := c.FireRule("nosuch", 0, nil, env); err == nil {
+		t.Fatal("unknown base")
+	}
+	if _, err := c.FireRule("update_state", 99, []Value{IntVal(1)}, env); err == nil {
+		t.Fatal("rule index out of range")
+	}
+	if _, err := c.FireRule("update_state", 0, nil, env); err == nil {
+		t.Fatal("arity mismatch")
+	}
+}
+
+func TestResolveDomainForms(t *testing.T) {
+	c := analyzeSrc(t, "CONSTANT states = {x, y, z}\nCONSTANT k = 4\nVARIABLE a (k) IN states\nVARIABLE b IN {y, z}\nVARIABLE c2 IN 1 TO k")
+	if c.Signals["a"].Index[0].DomainSize() != 4 {
+		t.Fatal("count domain wrong")
+	}
+	if c.Signals["b"].Domain.SetName != "states" {
+		t.Fatal("inline symbol subset should resolve to the host set")
+	}
+	if c.Signals["c2"].Domain.Lo != 1 || c.Signals["c2"].Domain.Hi != 4 {
+		t.Fatal("range domain wrong")
+	}
+	// Errors: unknown symbol in inline set, unknown ref, empty range.
+	for _, src := range []string{
+		"VARIABLE v IN {nosuch}",
+		"VARIABLE v IN nosuchset",
+		"VARIABLE v IN 5 TO 2",
+		"CONSTANT z = 0\nVARIABLE v (z) IN 0 TO 1",
+	} {
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := Analyze(prog); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestMulAndComparisonTyping(t *testing.T) {
+	c := analyzeSrc(t, `
+ON f(a IN 0 TO 3, b IN 0 TO 3)
+  IF a * b >= 6 THEN RETURN(1);
+  IF a * b < 2 THEN RETURN(2);
+  IF 1 = 1 THEN RETURN(0);
+END f;
+`)
+	env := &mapEnv{}
+	idx, _, err := c.Invoke("f", []Value{IntVal(3), IntVal(2)}, env)
+	if err != nil || idx != 0 {
+		t.Fatalf("3*2: rule %d err %v", idx, err)
+	}
+	idx, _, err = c.Invoke("f", []Value{IntVal(1), IntVal(1)}, env)
+	if err != nil || idx != 1 {
+		t.Fatalf("1*1: rule %d err %v", idx, err)
+	}
+	idx, _, err = c.Invoke("f", []Value{IntVal(2), IntVal(2)}, env)
+	if err != nil || idx != 2 {
+		t.Fatalf("2*2: rule %d err %v", idx, err)
+	}
+}

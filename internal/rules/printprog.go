@@ -1,0 +1,89 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProgramString renders an entire program back to concrete syntax. The
+// output re-parses to an equivalent program (round-trip property,
+// checked by tests), which makes the printer usable for emitting
+// transformed programs (core.Optimize) as source again.
+func ProgramString(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Consts {
+		if d.Symbols != nil {
+			fmt.Fprintf(&b, "CONSTANT %s = {%s}\n", d.Name, strings.Join(d.Symbols, ", "))
+		} else {
+			fmt.Fprintf(&b, "CONSTANT %s = %s\n", d.Name, ExprString(d.Value))
+		}
+	}
+	for _, d := range p.Vars {
+		fmt.Fprintf(&b, "VARIABLE %s%s IN %s\n", d.Name, indexString(d.Index), domainString(d.Domain))
+	}
+	for _, d := range p.Inputs {
+		fmt.Fprintf(&b, "INPUT %s%s IN %s\n", d.Name, indexString(d.Index), domainString(d.Domain))
+	}
+	for _, rb := range p.Subbases {
+		writeBase(&b, rb, "SUBBASE")
+	}
+	for _, rb := range p.RuleBases {
+		writeBase(&b, rb, "ON")
+	}
+	return b.String()
+}
+
+func indexString(idx []*DomainExpr) string {
+	if len(idx) == 0 {
+		return ""
+	}
+	parts := make([]string, len(idx))
+	for i, d := range idx {
+		parts[i] = domainString(d)
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}
+
+func writeBase(b *strings.Builder, rb *RuleBase, kw string) {
+	params := make([]string, len(rb.Params))
+	for i, p := range rb.Params {
+		params[i] = fmt.Sprintf("%s IN %s", p.Name, domainString(p.Domain))
+	}
+	fmt.Fprintf(b, "%s %s(%s)\n", kw, rb.Event, strings.Join(params, ", "))
+	for _, r := range rb.Rules {
+		fmt.Fprintf(b, "  IF %s THEN\n", ExprString(r.Premise))
+		cmds := make([]string, len(r.Cmds))
+		for i, c := range r.Cmds {
+			cmds[i] = "     " + CmdString(c)
+		}
+		fmt.Fprintf(b, "%s;\n", strings.Join(cmds, ",\n"))
+	}
+	fmt.Fprintf(b, "END %s;\n", rb.Event)
+}
+
+// CmdString renders one conclusion command.
+func CmdString(c Cmd) string {
+	switch n := c.(type) {
+	case *Assign:
+		lhs := n.Name
+		if len(n.Idx) > 0 {
+			parts := make([]string, len(n.Idx))
+			for i, ix := range n.Idx {
+				parts[i] = ExprString(ix)
+			}
+			lhs += "(" + strings.Join(parts, ", ") + ")"
+		}
+		return fmt.Sprintf("%s <- %s", lhs, ExprString(n.Rhs))
+	case *Return:
+		return fmt.Sprintf("RETURN(%s)", ExprString(n.Val))
+	case *Emit:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("!%s(%s)", n.Event, strings.Join(args, ", "))
+	case *ForAllCmd:
+		return fmt.Sprintf("FORALL %s IN %s: %s", n.Var, domainString(n.Domain), CmdString(n.Body))
+	}
+	return fmt.Sprintf("<%T>", c)
+}

@@ -1,0 +1,440 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mapEnv is a simple test environment.
+type mapEnv struct {
+	vars   map[string]Value
+	inputs map[string]Value
+}
+
+func key(name string, idx []int64) string {
+	if len(idx) == 0 {
+		return name
+	}
+	parts := make([]string, len(idx)+1)
+	parts[0] = name
+	for i, v := range idx {
+		parts[i+1] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, "/")
+}
+
+func (m *mapEnv) ReadVar(name string, idx []int64) (Value, error) {
+	v, ok := m.vars[key(name, idx)]
+	if !ok {
+		return Value{}, fmt.Errorf("unset var %s", key(name, idx))
+	}
+	return v, nil
+}
+
+func (m *mapEnv) ReadInput(name string, idx []int64) (Value, error) {
+	v, ok := m.inputs[key(name, idx)]
+	if !ok {
+		return Value{}, fmt.Errorf("unset input %s", key(name, idx))
+	}
+	return v, nil
+}
+
+// figure4 is the paper's Figure 4 excerpt (ROUTE_C state update),
+// transcribed into the concrete syntax of this implementation.
+const figure4 = `
+-- it is assumed that the event update_state occurs
+-- if a neighbouring node fails, or the neighbour's
+-- state changes, or a link to it
+
+CONSTANT fault_states = {safe, ounsafe, sunsafe, lfault, faulty}
+CONSTANT dirs = 4
+
+VARIABLE number_unsafe IN 0 TO dirs
+VARIABLE number_faulty IN 0 TO dirs
+VARIABLE state IN fault_states
+VARIABLE neighb_state (dirs) IN fault_states
+
+INPUT new_state (dirs) IN fault_states
+
+ON update_state(dir IN 0 TO 3)
+  -- the first neighbour gets faulty, just note it
+  IF new_state(dir) IN {faulty, lfault} AND number_faulty = 0 THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1,
+     number_unsafe <- number_unsafe + 1;
+  -- now too many neighbours are unsafe, change state and propagate
+  IF new_state(dir) IN {sunsafe, ounsafe} AND state = safe AND number_unsafe = 2 THEN
+     state <- ounsafe,
+     number_unsafe <- number_unsafe + 1,
+     FORALL i IN 0 TO 3: !send_newmessage(i, ounsafe),
+     neighb_state(dir) <- new_state(dir);
+END update_state;
+`
+
+func analyzeSrc(t *testing.T, src string) *Checked {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	c, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return c
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("IF x<-3 <= y -- comment\nTHEN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokKeyword, TokIdent, TokAssign, TokNumber, TokLe, TokIdent, TokKeyword, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want kind %d", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexError(t *testing.T) {
+	if _, err := Lex("a ? b"); err == nil {
+		t.Fatal("expected lex error for '?'")
+	}
+}
+
+func TestParseFigure4(t *testing.T) {
+	prog, err := Parse(figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Consts) != 2 || len(prog.Vars) != 4 || len(prog.Inputs) != 1 {
+		t.Fatalf("decl counts wrong: %d consts, %d vars, %d inputs",
+			len(prog.Consts), len(prog.Vars), len(prog.Inputs))
+	}
+	rb := prog.RuleBaseByName("update_state")
+	if rb == nil || len(rb.Rules) != 2 || len(rb.Params) != 1 {
+		t.Fatalf("rule base wrong: %+v", rb)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"CONSTANT",
+		"CONSTANT x =",
+		"VARIABLE v IN",
+		"ON foo() IF x THEN RETURN(1); END bar;",
+		"ON foo() IF THEN RETURN(1); END foo;",
+		"ON foo() IF 1=1 THEN; END foo;",
+		"garbage",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}
+
+func TestAnalyzeFigure4(t *testing.T) {
+	c := analyzeSrc(t, figure4)
+	st := c.Signals["state"]
+	if st == nil || st.Domain.Kind != TSym || st.Domain.SetName != "fault_states" {
+		t.Fatalf("state signal wrong: %+v", st)
+	}
+	if got := st.Bits(); got != 3 {
+		t.Fatalf("state bits = %d, want 3 (5 symbols)", got)
+	}
+	ns := c.Signals["neighb_state"]
+	if ns.Slots() != 4 || ns.Bits() != 12 {
+		t.Fatalf("neighb_state slots=%d bits=%d", ns.Slots(), ns.Bits())
+	}
+	nu := c.Signals["number_unsafe"]
+	if nu.Domain.Lo != 0 || nu.Domain.Hi != 4 || nu.Bits() != 3 {
+		t.Fatalf("number_unsafe domain wrong: %+v (bits %d)", nu.Domain, nu.Bits())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bad := []string{
+		// premise not boolean
+		"ON f() IF 1+1 THEN RETURN(1); END f;",
+		// unknown identifier
+		"ON f() IF x = 1 THEN RETURN(1); END f;",
+		// assignment to input
+		"INPUT i IN 0 TO 3\nON f() IF 1=1 THEN i <- 2; END f;",
+		// wrong index count
+		"VARIABLE v (4) IN 0 TO 3\nON f() IF 1=1 THEN v <- 2; END f;",
+		// incompatible comparison
+		"CONSTANT s = {a, b}\nVARIABLE v IN s\nON f() IF v = 3 THEN v <- a; END f;",
+		// duplicate rule base
+		"ON f() IF 1=1 THEN RETURN(1); END f;\nON f() IF 1=1 THEN RETURN(1); END f;",
+		// event arg count mismatch
+		"ON g(x IN 0 TO 1) IF 1=1 THEN RETURN(x); END g;\nON f() IF 1=1 THEN !g(); END f;",
+		// inconsistent RETURN types
+		"CONSTANT s = {a, b}\nON f(x IN 0 TO 1) IF x=0 THEN RETURN(1); IF x=1 THEN RETURN(a); END f;",
+	}
+	for _, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse error for %q: %v", src, err)
+			continue
+		}
+		if _, err := Analyze(prog); err == nil {
+			t.Errorf("no analyze error for %q", src)
+		}
+	}
+}
+
+func TestInvokeFigure4FirstRule(t *testing.T) {
+	c := analyzeSrc(t, figure4)
+	fs := c.SymbolSets["fault_states"]
+	sym := func(name string) Value {
+		v, ok := c.Symbols[name]
+		if !ok {
+			t.Fatalf("missing symbol %s", name)
+		}
+		return v
+	}
+	env := &mapEnv{
+		vars: map[string]Value{
+			"number_unsafe": {T: IntType(0, 4), I: 0},
+			"number_faulty": {T: IntType(0, 4), I: 0},
+			"state":         sym("safe"),
+		},
+		inputs: map[string]Value{
+			"new_state/2": sym("faulty"),
+		},
+	}
+	idx, eff, err := c.Invoke("update_state", []Value{IntVal(2)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("rule %d fired, want 0", idx)
+	}
+	if len(eff.Writes) != 3 {
+		t.Fatalf("writes: %+v", eff.Writes)
+	}
+	// neighb_state(2) <- faulty; counters incremented.
+	var sawNeighb, sawFaulty, sawUnsafe bool
+	for _, w := range eff.Writes {
+		switch w.Name {
+		case "neighb_state":
+			if len(w.Idx) != 1 || w.Idx[0] != 2 || !w.Val.Equal(sym("faulty")) {
+				t.Fatalf("neighb_state write wrong: %+v", w)
+			}
+			sawNeighb = true
+		case "number_faulty":
+			if w.Val.I != 1 {
+				t.Fatalf("number_faulty = %d", w.Val.I)
+			}
+			sawFaulty = true
+		case "number_unsafe":
+			if w.Val.I != 1 {
+				t.Fatalf("number_unsafe = %d", w.Val.I)
+			}
+			sawUnsafe = true
+		}
+	}
+	if !sawNeighb || !sawFaulty || !sawUnsafe {
+		t.Fatal("missing writes")
+	}
+	_ = fs
+}
+
+func TestInvokeFigure4SecondRuleEmitsWave(t *testing.T) {
+	c := analyzeSrc(t, figure4)
+	sym := func(name string) Value { return c.Symbols[name] }
+	env := &mapEnv{
+		vars: map[string]Value{
+			"number_unsafe": {T: IntType(0, 4), I: 2},
+			"number_faulty": {T: IntType(0, 4), I: 1},
+			"state":         sym("safe"),
+		},
+		inputs: map[string]Value{
+			"new_state/1": sym("ounsafe"),
+		},
+	}
+	idx, eff, err := c.Invoke("update_state", []Value{IntVal(1)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("rule %d fired, want 1", idx)
+	}
+	// FORALL i IN 0 TO 3 generates four send_newmessage events.
+	if len(eff.Events) != 4 {
+		t.Fatalf("events: %+v", eff.Events)
+	}
+	for i, ev := range eff.Events {
+		if ev.Name != "send_newmessage" || ev.Args[0].I != int64(i) || !ev.Args[1].Equal(sym("ounsafe")) {
+			t.Fatalf("event %d wrong: %+v", i, ev)
+		}
+	}
+}
+
+func TestInvokeNoRuleApplies(t *testing.T) {
+	c := analyzeSrc(t, figure4)
+	sym := func(name string) Value { return c.Symbols[name] }
+	env := &mapEnv{
+		vars: map[string]Value{
+			"number_unsafe": {T: IntType(0, 4), I: 0},
+			"number_faulty": {T: IntType(0, 4), I: 1}, // first rule premise fails
+			"state":         sym("safe"),
+		},
+		inputs: map[string]Value{
+			"new_state/0": sym("safe"),
+		},
+	}
+	idx, eff, err := c.Invoke("update_state", []Value{IntVal(0)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != -1 || len(eff.Writes) != 0 {
+		t.Fatalf("expected no rule, got %d (%+v)", idx, eff)
+	}
+}
+
+func TestQuantifiersAndBuiltins(t *testing.T) {
+	src := `
+INPUT queue (4) IN 0 TO 7
+ON pick()
+  IF EXISTS i IN 0 TO 3: (queue(i) = 0 AND
+      (FORALL j IN 0 TO 3: queue(i) <= queue(j))) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END pick;
+
+ON arith(a IN 0 TO 7, b IN 0 TO 7)
+  IF MIN(a,b) = 2 AND MAX(a,b) = 5 AND ABS(a-b) = 3 AND DIST(a,b) = 3 THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END arith;
+`
+	c := analyzeSrc(t, src)
+	env := &mapEnv{inputs: map[string]Value{
+		"queue/0": IntVal(3), "queue/1": IntVal(0), "queue/2": IntVal(5), "queue/3": IntVal(1),
+	}}
+	idx, eff, err := c.Invoke("pick", nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || eff.Return == nil || eff.Return.I != 1 {
+		t.Fatalf("pick: idx=%d eff=%+v", idx, eff)
+	}
+	// No zero queue: second rule fires.
+	env.inputs["queue/1"] = IntVal(2)
+	idx, eff, err = c.Invoke("pick", nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || eff.Return.I != 0 {
+		t.Fatalf("pick fallback: idx=%d", idx)
+	}
+	idx, _, err = c.Invoke("arith", []Value{IntVal(5), IntVal(2)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("arith: rule %d", idx)
+	}
+}
+
+func TestSetOperationsAndMeet(t *testing.T) {
+	src := `
+CONSTANT states = {good, soso, bad}
+VARIABLE s IN states
+VARIABLE pool IN 0 TO 7
+ON combine(x IN states)
+  IF MEET(s, x) = bad THEN RETURN(2);
+  IF MEET(s, x) = soso THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END combine;
+
+ON setops(k IN 0 TO 5)
+  IF k IN {1, 3} + {5} THEN RETURN(1);
+  IF k IN {0, 1, 2, 3, 4, 5} - {0, 2, 4} THEN RETURN(2);
+  IF 1 = 1 THEN RETURN(0);
+END setops;
+`
+	c := analyzeSrc(t, src)
+	env := &mapEnv{vars: map[string]Value{"s": c.Symbols["soso"], "pool": IntVal(0)}}
+	idx, _, err := c.Invoke("combine", []Value{c.Symbols["good"]}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("MEET(soso,good) should be soso (rule 1), got rule %d", idx)
+	}
+	idx, _, err = c.Invoke("combine", []Value{c.Symbols["bad"]}, env)
+	if err != nil || idx != 0 {
+		t.Fatalf("MEET(soso,bad) should be bad: %d %v", idx, err)
+	}
+	// {1,3}+{5} = {1,3,5}; {0..5}-{0,2,4} = {1,3,5}: odd k hits rule
+	// 0 (union), even k falls through both memberships to rule 2.
+	cases := map[int64]int{1: 0, 3: 0, 5: 0, 0: 2, 2: 2, 4: 2}
+	for k, wantRule := range cases {
+		idx, _, err := c.Invoke("setops", []Value{IntVal(k)}, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != wantRule {
+			t.Fatalf("setops(%d): rule %d, want %d", k, idx, wantRule)
+		}
+	}
+}
+
+func TestAssignClampsToDomain(t *testing.T) {
+	src := `
+VARIABLE ctr IN 0 TO 3
+ON bump()
+  IF 1 = 1 THEN ctr <- ctr + 1;
+END bump;
+`
+	c := analyzeSrc(t, src)
+	env := &mapEnv{vars: map[string]Value{"ctr": {T: IntType(0, 3), I: 3}}}
+	_, eff, err := c.Invoke("bump", nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff.Writes[0].Val.I != 3 {
+		t.Fatalf("saturating counter should clamp at 3, got %d", eff.Writes[0].Val.I)
+	}
+}
+
+func TestParallelConclusionSemantics(t *testing.T) {
+	// Both writes must read the pre-state: after firing, x and y are
+	// swapped.
+	src := `
+VARIABLE x IN 0 TO 7
+VARIABLE y IN 0 TO 7
+ON swap()
+  IF 1 = 1 THEN x <- y, y <- x;
+END swap;
+`
+	c := analyzeSrc(t, src)
+	env := &mapEnv{vars: map[string]Value{"x": IntVal(1), "y": IntVal(2)}}
+	_, eff, err := c.Invoke("swap", nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, w := range eff.Writes {
+		got[w.Name] = w.Val.I
+	}
+	if got["x"] != 2 || got["y"] != 1 {
+		t.Fatalf("parallel swap failed: %+v", got)
+	}
+}
+
+func TestTypeBits(t *testing.T) {
+	if IntType(0, 4).Bits() != 3 || IntType(0, 1).Bits() != 1 || IntType(0, 0).Bits() != 1 {
+		t.Fatal("int bits wrong")
+	}
+	sym := &Type{Kind: TSym, SetName: "s", Symbols: []string{"a", "b", "c", "d", "e"}}
+	if sym.Bits() != 3 || sym.DomainSize() != 5 {
+		t.Fatal("symbol bits wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package rules
+
+import "testing"
+
+// The paper's NARA excerpt uses "minimal(dx,dy)" as a modularised
+// predicate; subbases are the language feature for it.
+const subbaseSrc = `
+CONSTANT signs = {neg, zero, pos}
+
+INPUT dxsign IN signs
+INPUT dysign IN signs
+INPUT load (4) IN 0 TO 15
+
+SUBBASE wants_east()
+  IF dxsign = pos THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END wants_east;
+
+SUBBASE lighter(i IN 0 TO 3, j IN 0 TO 3)
+  IF load(i) < load(j) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END lighter;
+
+ON decide(invc IN 0 TO 1)
+  IF wants_east() = 1 AND lighter(1, 0) = 1 THEN RETURN(1);
+  IF wants_east() = 1 THEN RETURN(0);
+  IF 1 = 1 THEN RETURN(3);
+END decide;
+`
+
+func TestSubbaseParseAnalyze(t *testing.T) {
+	prog, err := Parse(subbaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Subbases) != 2 || len(prog.RuleBases) != 1 {
+		t.Fatalf("subbases=%d bases=%d", len(prog.Subbases), len(prog.RuleBases))
+	}
+	c, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Subs["wants_east"] == nil || c.Subs["lighter"] == nil {
+		t.Fatal("subbase info missing")
+	}
+	if c.Subs["lighter"].ReturnType.Kind != TInt {
+		t.Fatal("return type wrong")
+	}
+}
+
+func TestSubbaseEvaluation(t *testing.T) {
+	c := analyzeSrc(t, subbaseSrc)
+	env := &mapEnv{inputs: map[string]Value{
+		"dxsign": c.Symbols["pos"],
+		"dysign": c.Symbols["zero"],
+		"load/0": IntVal(9), "load/1": IntVal(2),
+		"load/2": IntVal(0), "load/3": IntVal(0),
+	}}
+	idx, eff, err := c.Invoke("decide", []Value{IntVal(0)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 || eff.Return.I != 1 {
+		t.Fatalf("east+lighter should pick rule 0 -> 1, got rule %d", idx)
+	}
+	// Heavier east output: falls to rule 1.
+	env.inputs["load/1"] = IntVal(12)
+	idx, eff, err = c.Invoke("decide", []Value{IntVal(0)}, env)
+	if err != nil || idx != 1 || eff.Return.I != 0 {
+		t.Fatalf("rule %d ret %v err %v", idx, eff.Return, err)
+	}
+	// Not east at all: default rule.
+	env.inputs["dxsign"] = c.Symbols["neg"]
+	idx, eff, err = c.Invoke("decide", []Value{IntVal(0)}, env)
+	if err != nil || idx != 2 || eff.Return.I != 3 {
+		t.Fatalf("rule %d ret %v err %v", idx, eff.Return, err)
+	}
+}
+
+func TestSubbaseErrors(t *testing.T) {
+	bad := []string{
+		// forward reference (and thus recursion) is impossible
+		"SUBBASE a()\n IF b() = 1 THEN RETURN(1);\nEND a;\nSUBBASE b()\n IF 1 = 1 THEN RETURN(1);\nEND b;",
+		// self recursion
+		"SUBBASE a()\n IF a() = 1 THEN RETURN(1);\nEND a;",
+		// non-RETURN command
+		"VARIABLE x IN 0 TO 3\nSUBBASE a()\n IF 1 = 1 THEN x <- 2;\nEND a;",
+		// two commands
+		"SUBBASE a()\n IF 1 = 1 THEN RETURN(1), RETURN(2);\nEND a;",
+		// empty subbase
+		"SUBBASE a()\nEND a;",
+		// arg count mismatch
+		"SUBBASE a(k IN 0 TO 3)\n IF 1 = 1 THEN RETURN(k);\nEND a;\nON f()\n IF a() = 1 THEN RETURN(1);\nEND f;",
+		// duplicate
+		"SUBBASE a()\n IF 1=1 THEN RETURN(1);\nEND a;\nSUBBASE a()\n IF 1=1 THEN RETURN(1);\nEND a;",
+	}
+	for _, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := Analyze(prog); err == nil {
+			t.Errorf("no analyze error for:\n%s", src)
+		}
+	}
+}
+
+func TestSubbaseNoRuleApplies(t *testing.T) {
+	src := `
+INPUT x IN 0 TO 3
+SUBBASE partial()
+  IF x = 0 THEN RETURN(1);
+END partial;
+ON f()
+  IF partial() = 1 THEN RETURN(1);
+END f;
+`
+	c := analyzeSrc(t, src)
+	env := &mapEnv{inputs: map[string]Value{"x": IntVal(2)}}
+	if _, _, err := c.Invoke("f", nil, env); err == nil {
+		t.Fatal("partial subbase with no applicable rule should error")
+	}
+}

@@ -1,0 +1,196 @@
+package rules
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TypeKind enumerates the finite data types of the language (the
+// paper: "the available data types [are] integers within finite
+// ranges, discrete symbols, ... and subsets of these").
+type TypeKind int
+
+const (
+	// TInt is an integer within a finite range [Lo, Hi].
+	TInt TypeKind = iota
+	// TSym is an element of a named, ordered symbol set.
+	TSym
+	// TBool is the premise type.
+	TBool
+	// TSet is a subset of a symbol set or small integer range.
+	TSet
+)
+
+// Type describes a finite value domain.
+type Type struct {
+	Kind    TypeKind
+	Lo, Hi  int64    // TInt bounds (inclusive)
+	SetName string   // TSym: declaring set name
+	Symbols []string // TSym: ordered member names
+	Elem    *Type    // TSet: element type
+}
+
+// IntType builds a finite integer range type.
+func IntType(lo, hi int64) *Type {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return &Type{Kind: TInt, Lo: lo, Hi: hi}
+}
+
+// BoolType is the premise type singleton.
+var BoolType = &Type{Kind: TBool}
+
+// DomainSize returns the number of distinct values of the type.
+func (t *Type) DomainSize() int64 {
+	switch t.Kind {
+	case TInt:
+		return t.Hi - t.Lo + 1
+	case TSym:
+		return int64(len(t.Symbols))
+	case TBool:
+		return 2
+	case TSet:
+		return 1 << uint(t.Elem.DomainSize())
+	}
+	return 0
+}
+
+// Bits returns the number of bits needed to encode a value of t.
+func (t *Type) Bits() int {
+	n := t.DomainSize()
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// Compatible reports whether values of a and b can be compared or
+// assigned to one another.
+func Compatible(a, b *Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TSym:
+		return a.SetName == b.SetName
+	case TSet:
+		return Compatible(a.Elem, b.Elem)
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return fmt.Sprintf("%d TO %d", t.Lo, t.Hi)
+	case TSym:
+		return t.SetName
+	case TBool:
+		return "bool"
+	case TSet:
+		return "set of " + t.Elem.String()
+	}
+	return "invalid"
+}
+
+// Value is a runtime value: an integer, a symbol (by ordinal), a
+// boolean or a small set (bitmask over element ordinals).
+type Value struct {
+	T    *Type
+	I    int64  // TInt value or TSym ordinal
+	B    bool   // TBool
+	Mask uint64 // TSet membership bitmask
+}
+
+// IntVal builds an integer value.
+func IntVal(v int64) Value { return Value{T: IntType(v, v), I: v} }
+
+// BoolVal builds a boolean value.
+func BoolVal(b bool) Value { return Value{T: BoolType, B: b} }
+
+// SymVal builds a symbol value of type t with the given ordinal.
+func SymVal(t *Type, ord int64) Value { return Value{T: t, I: ord} }
+
+// Ord returns the ordinal of a TInt or TSym value within its domain
+// (used for array indexing and table-index construction).
+func (v Value) Ord() (int64, error) {
+	switch v.T.Kind {
+	case TInt:
+		return v.I, nil
+	case TSym:
+		return v.I, nil
+	case TBool:
+		if v.B {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("rules: value of type %s has no ordinal", v.T)
+}
+
+// Equal compares two values (types must be compatible).
+func (v Value) Equal(w Value) bool {
+	switch v.T.Kind {
+	case TBool:
+		return v.B == w.B
+	case TSet:
+		return v.Mask == w.Mask
+	default:
+		return v.I == w.I
+	}
+}
+
+func (v Value) String() string {
+	switch v.T.Kind {
+	case TBool:
+		return fmt.Sprintf("%v", v.B)
+	case TSym:
+		if v.I >= 0 && int(v.I) < len(v.T.Symbols) {
+			return v.T.Symbols[v.I]
+		}
+		return fmt.Sprintf("sym#%d", v.I)
+	case TSet:
+		return fmt.Sprintf("set(%b)", v.Mask)
+	default:
+		return fmt.Sprintf("%d", v.I)
+	}
+}
+
+// enumerate lists every value of a TInt or TSym type in ordinal
+// order (used by quantifier expansion and the table compiler).
+func enumerate(t *Type) []Value {
+	switch t.Kind {
+	case TInt:
+		out := make([]Value, 0, t.DomainSize())
+		for v := t.Lo; v <= t.Hi; v++ {
+			out = append(out, Value{T: t, I: v})
+		}
+		return out
+	case TSym:
+		out := make([]Value, 0, len(t.Symbols))
+		for i := range t.Symbols {
+			out = append(out, Value{T: t, I: int64(i)})
+		}
+		return out
+	}
+	return nil
+}
+
+// setOrdinal maps a value to its bit position within element type
+// elem.
+func setOrdinal(elem *Type, v Value) (uint, error) {
+	switch elem.Kind {
+	case TInt:
+		if v.I < elem.Lo || v.I > elem.Hi {
+			return 0, fmt.Errorf("rules: %s outside set element range %s", v, elem)
+		}
+		return uint(v.I - elem.Lo), nil
+	case TSym:
+		return uint(v.I), nil
+	}
+	return 0, fmt.Errorf("rules: bad set element type %s", elem)
+}

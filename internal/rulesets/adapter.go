@@ -1,0 +1,194 @@
+package rulesets
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/rules"
+	"repro/internal/topology"
+)
+
+// RuleNAFTA is a routing.Algorithm whose routing decisions are made by
+// the compiled NAFTA rule program: the ARON tables of
+// incoming_message, in_message_ft and test_exception select the rule,
+// and the conclusion processing executes it. The native NAFTA instance
+// supplies the distributed fault state (it plays the role of the
+// router's Information Units), while every per-message decision flows
+// through the rule interpreter — the paper's execution model.
+type RuleNAFTA struct {
+	mesh   *topology.Mesh
+	native *routing.NAFTA
+	prog   *Program
+	ff     *core.CompiledBase // incoming_message (fault-free path)
+	ft     *core.CompiledBase // in_message_ft
+	ex     *core.CompiledBase // test_exception
+	loads  routing.LoadView
+	faults *fault.Set
+	// Lookups counts table lookups (interpretation steps actually
+	// executed).
+	Lookups int64
+}
+
+// NewRuleNAFTA compiles the NAFTA program and binds it to mesh m.
+func NewRuleNAFTA(m *topology.Mesh) (*RuleNAFTA, error) {
+	p, err := LoadNAFTA()
+	if err != nil {
+		return nil, err
+	}
+	r := &RuleNAFTA{
+		mesh:   m,
+		native: routing.NewNAFTA(m),
+		prog:   p,
+		faults: fault.NewSet(),
+	}
+	for _, b := range []struct {
+		name string
+		dst  **core.CompiledBase
+	}{
+		{"incoming_message", &r.ff},
+		{"in_message_ft", &r.ft},
+		{"test_exception", &r.ex},
+	} {
+		cb, err := core.CompileBase(p.Checked, b.name, core.CompileOptions{})
+		if err != nil {
+			return nil, err
+		}
+		*b.dst = cb
+	}
+	return r, nil
+}
+
+// AttachLoads wires the network's load view into the rule inputs (the
+// buffer-exploitation signals of the Information Units). Without it
+// the adaptivity tie-break defaults to the horizontal output.
+func (r *RuleNAFTA) AttachLoads(v routing.LoadView) { r.loads = v }
+
+func (r *RuleNAFTA) Name() string { return "rule-nafta" }
+func (r *RuleNAFTA) NumVCs() int  { return r.native.NumVCs() }
+
+func (r *RuleNAFTA) Steps(req routing.Request) int { return r.native.Steps(req) }
+
+func (r *RuleNAFTA) NoteHop(req routing.Request, chosen routing.Candidate) {
+	r.native.NoteHop(req, chosen)
+}
+
+func (r *RuleNAFTA) UpdateFaults(f *fault.Set) {
+	r.faults = f
+	r.native.UpdateFaults(f)
+}
+
+// inputsFor builds the rule-program input environment of one decision.
+func (r *RuleNAFTA) inputsFor(req routing.Request) core.InputProvider {
+	c := r.prog.Checked
+	facts := r.native.PortFacts(req)
+	cx, cy := r.mesh.XY(req.Node)
+	dx, dy := r.mesh.XY(req.Hdr.Dst)
+	vnet := r.native.VNetOf(req)
+	lastdir := 4
+	if req.InPort != routing.InjectionPort {
+		lastdir = topology.OppositeMeshPort(req.InPort)
+	}
+	signs := c.SymbolSets["signs"]
+	sign := func(v int) rules.Value {
+		switch {
+		case v < 0:
+			return rules.SymVal(signs, 0)
+		case v == 0:
+			return rules.SymVal(signs, 1)
+		default:
+			return rules.SymVal(signs, 2)
+		}
+	}
+	bit := func(b bool) rules.Value {
+		if b {
+			return rules.Value{T: rules.IntType(0, 1), I: 1}
+		}
+		return rules.Value{T: rules.IntType(0, 1), I: 0}
+	}
+	load := func(p int) int {
+		if r.loads == nil {
+			return 0
+		}
+		return r.loads.QueuedFlits(req.Node, p, 0)
+	}
+	vPort, hPort := -1, -1
+	if dy > cy {
+		vPort = topology.North
+	} else if dy < cy {
+		vPort = topology.South
+	}
+	if dx > cx {
+		hPort = topology.East
+	} else if dx < cx {
+		hPort = topology.West
+	}
+	vlight := false
+	if vPort >= 0 && hPort >= 0 {
+		vlight = load(vPort) < load(hPort)
+	}
+	msglen := req.Hdr.Length
+	if msglen > 31 {
+		msglen = 31
+	}
+	vals := map[string]rules.Value{
+		"dxsign":  sign(dx - cx),
+		"dysign":  sign(dy - cy),
+		"invnet":  {T: rules.IntType(0, 1), I: int64(vnet)},
+		"lastdir": {T: rules.IntType(0, 4), I: int64(lastdir)},
+		"msglen":  {T: rules.IntType(0, 31), I: int64(msglen)},
+		"budget":  bit(req.Hdr.Misroutes < 4*(r.mesh.W+r.mesh.H)),
+		"vlight":  bit(vlight),
+	}
+	for p := 0; p < topology.MeshPorts; p++ {
+		vals[fmt.Sprintf("avail/%d", p)] = bit(facts[p].Usable)
+		vals[fmt.Sprintf("avfault/%d", p)] = bit(facts[p].Usable && facts[p].Sideways && facts[p].EntryMinimal)
+		vals[fmt.Sprintf("misok/%d", p)] = bit(facts[p].Usable && facts[p].Sideways && facts[p].EntryMisroute)
+	}
+	return func(name string, idx []int64) (rules.Value, error) {
+		k := name
+		for _, i := range idx {
+			k += fmt.Sprintf("/%d", i)
+		}
+		v, ok := vals[k]
+		if !ok {
+			return rules.Value{}, fmt.Errorf("rule-nafta: unset input %s", k)
+		}
+		return v, nil
+	}
+}
+
+// Route performs the decision through the compiled rule tables: the
+// table lookup selects the applicable rule and the conclusion is
+// executed for its RETURN value. An empty result means unroutable.
+func (r *RuleNAFTA) Route(req routing.Request) []routing.Candidate {
+	c := r.prog.Checked
+	env := core.NewMachine(c, r.inputsFor(req))
+	args := []rules.Value{rules.IntVal(0)}
+	decide := func(cb *core.CompiledBase) (int, bool) {
+		r.Lookups++
+		idx, err := cb.LookupRule(args, env)
+		if err != nil || idx >= cb.RuleCount {
+			return 0, false
+		}
+		eff, err := c.FireRule(cb.Base, idx, args, env)
+		if err != nil || eff.Return == nil {
+			return 0, false
+		}
+		return int(eff.Return.I), true
+	}
+	primary := r.ft
+	if r.faults.Empty() {
+		primary = r.ff
+	}
+	if port, ok := decide(primary); ok {
+		return []routing.Candidate{{Port: port, VC: r.native.VNetOf(req)}}
+	}
+	if port, ok := decide(r.ex); ok {
+		return []routing.Candidate{{Port: port, VC: r.native.VNetOf(req)}}
+	}
+	return nil
+}
+
+var _ routing.Algorithm = (*RuleNAFTA)(nil)

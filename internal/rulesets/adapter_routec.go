@@ -1,0 +1,224 @@
+package rulesets
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/rules"
+	"repro/internal/topology"
+)
+
+// RuleRouteC drives a hypercube network through the compiled ROUTE_C
+// rule program: decide_dir's table selects the output mode, decide_vc's
+// table the virtual channel — the paper's two interpretations per
+// decision. The native instance keeps the distributed safe/unsafe
+// states (the Information Units); the per-mode priority selection runs
+// in the conclusion processing, modelled here by a small priority
+// encoder over the same input lines.
+type RuleRouteC struct {
+	cube   *topology.Hypercube
+	native *routing.RouteC
+	prog   *Program
+	dir    *core.CompiledBase
+	vc     *core.CompiledBase
+	faults *fault.Set
+	// Lookups counts rule-table lookups (two per decision).
+	Lookups int64
+}
+
+// NewRuleRouteC compiles ROUTE_C for cube h (adaptivity width 2).
+func NewRuleRouteC(h *topology.Hypercube) (*RuleRouteC, error) {
+	p, err := LoadRouteC(h.Dim, 2)
+	if err != nil {
+		return nil, err
+	}
+	r := &RuleRouteC{
+		cube:   h,
+		native: routing.NewRouteC(h),
+		prog:   p,
+		faults: fault.NewSet(),
+	}
+	if r.dir, err = core.CompileBase(p.Checked, "decide_dir", core.CompileOptions{}); err != nil {
+		return nil, err
+	}
+	if r.vc, err = core.CompileBase(p.Checked, "decide_vc", core.CompileOptions{}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RuleRouteC) Name() string { return "rule-routec" }
+func (r *RuleRouteC) NumVCs() int  { return r.native.NumVCs() }
+
+// Steps is always two interpretations (decide_dir, decide_vc).
+func (r *RuleRouteC) Steps(routing.Request) int { return 2 }
+
+func (r *RuleRouteC) NoteHop(req routing.Request, chosen routing.Candidate) {
+	r.native.NoteHop(req, chosen)
+}
+
+func (r *RuleRouteC) UpdateFaults(f *fault.Set) {
+	r.faults = f
+	r.native.UpdateFaults(f)
+}
+
+// lines holds the per-decision input lines shared by the rule tables
+// and the conclusion-processing priority encoder.
+type cubeLines struct {
+	diff, up, ok, safe, notback []bool
+	// stateClass carries the full neighbour-state ordering for the
+	// conclusion-processing priority encoder (0 = safe or the
+	// destination, then ounsafe, sunsafe, faulty).
+	stateClass []int
+}
+
+func (r *RuleRouteC) linesFor(req routing.Request) cubeLines {
+	d := r.cube.Dim
+	l := cubeLines{
+		diff:       make([]bool, d),
+		up:         make([]bool, d),
+		ok:         make([]bool, d),
+		safe:       make([]bool, d),
+		notback:    make([]bool, d),
+		stateClass: make([]int, d),
+	}
+	states := r.native.States()
+	for i := 0; i < d; i++ {
+		nb := r.cube.Neighbor(req.Node, i)
+		l.diff[i] = req.Node&(1<<i) != req.Hdr.Dst&(1<<i)
+		l.up[i] = req.Node&(1<<i) == 0
+		l.ok[i] = r.faults.PortUsable(r.cube, req.Node, i)
+		l.safe[i] = nb == req.Hdr.Dst || states[nb] == routing.StateSafe
+		l.notback[i] = i != req.InPort
+		if nb == req.Hdr.Dst {
+			l.stateClass[i] = 0
+		} else {
+			l.stateClass[i] = int(states[nb])
+		}
+	}
+	return l
+}
+
+func (r *RuleRouteC) providerFor(req routing.Request, l cubeLines, takingDetour bool, outPhase int) core.InputProvider {
+	bit := func(b bool) rules.Value {
+		if b {
+			return rules.Value{T: rules.IntType(0, 1), I: 1}
+		}
+		return rules.Value{T: rules.IntType(0, 1), I: 0}
+	}
+	return func(name string, idx []int64) (rules.Value, error) {
+		switch name {
+		case "diffb":
+			return bit(l.diff[idx[0]]), nil
+		case "upb":
+			return bit(l.up[idx[0]]), nil
+		case "okl":
+			return bit(l.ok[idx[0]]), nil
+		case "nbsafe":
+			return bit(l.safe[idx[0]]), nil
+		case "notback":
+			return bit(l.notback[idx[0]]), nil
+		case "phase":
+			return rules.Value{T: rules.IntType(0, 1), I: int64(outPhase)}, nil
+		case "level":
+			return rules.Value{T: rules.IntType(0, 3), I: int64(req.Hdr.DetourLevel)}, nil
+		case "taking_detour":
+			return bit(takingDetour), nil
+		case "new_state":
+			return r.prog.Checked.Symbols["safe"], nil
+		case "adapt_load":
+			return rules.Value{T: rules.IntType(0, 3)}, nil
+		}
+		return rules.Value{}, fmt.Errorf("rule-routec: unset input %s", name)
+	}
+}
+
+// decide runs one compiled table and returns the RETURN value ordinal.
+func (r *RuleRouteC) decide(cb *core.CompiledBase, env rules.Env, args ...rules.Value) (int64, error) {
+	r.Lookups++
+	idx, err := cb.LookupRule(args, env)
+	if err != nil {
+		return 0, err
+	}
+	if idx >= cb.RuleCount {
+		return 0, fmt.Errorf("rule-routec: %s selected no rule", cb.Base)
+	}
+	eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, env)
+	if err != nil || eff.Return == nil {
+		return 0, fmt.Errorf("rule-routec: %s rule %d has no value (%v)", cb.Base, idx, err)
+	}
+	return eff.Return.I, nil
+}
+
+// portsForMode is the conclusion-processing priority logic: expand a
+// decide_dir mode back into the admissible ports, lowest dimension
+// first.
+func (r *RuleRouteC) portsForMode(mode string, l cubeLines, hdrPhase int) ([]int, bool) {
+	d := r.cube.Dim
+	var eligible func(i int) bool
+	detour := false
+	switch mode {
+	case "up_safe", "up_any":
+		eligible = func(i int) bool { return l.diff[i] && l.up[i] && l.ok[i] && l.notback[i] }
+	case "down_safe", "down_any":
+		eligible = func(i int) bool { return l.diff[i] && !l.up[i] && l.ok[i] && l.notback[i] }
+	case "bump_safe", "bump_any":
+		// Minimal ascending hops that claim the next level's channel
+		// (a descending-entry level ran out of down work).
+		eligible = func(i int) bool { return l.diff[i] && l.up[i] && l.ok[i] && l.notback[i] }
+		detour = true // bump and detour share the level+1 VC mapping
+	case "detour_safe", "detour_any":
+		eligible = func(i int) bool { return !l.diff[i] && l.ok[i] && l.notback[i] }
+		detour = true
+	default:
+		return nil, false
+	}
+	// The same best-state preference the native preferSafe applies:
+	// keep only the dimensions with the lowest state class.
+	best := 1 << 30
+	for i := 0; i < d; i++ {
+		if eligible(i) && l.stateClass[i] < best {
+			best = l.stateClass[i]
+		}
+	}
+	var out []int
+	for i := 0; i < d; i++ {
+		if eligible(i) && l.stateClass[i] == best {
+			out = append(out, i)
+		}
+	}
+	return out, detour
+}
+
+func (r *RuleRouteC) Route(req routing.Request) []routing.Candidate {
+	c := r.prog.Checked
+	l := r.linesFor(req)
+	env := core.NewMachine(c, r.providerFor(req, l, false, req.Hdr.Phase))
+	modeOrd, err := r.decide(r.dir, env)
+	if err != nil {
+		return nil
+	}
+	mode := c.SymbolSets["modes"].Symbols[modeOrd]
+	if mode == "blocked" || mode == "arrived" {
+		return nil
+	}
+	ports, detour := r.portsForMode(mode, l, req.Hdr.Phase)
+	var cands []routing.Candidate
+	for _, p := range ports {
+		outPhase := 1
+		if l.up[p] && l.diff[p] {
+			outPhase = 0
+		}
+		vcEnv := core.NewMachine(c, r.providerFor(req, l, detour, outPhase))
+		vcOrd, err := r.decide(r.vc, vcEnv, c.Symbols[mode])
+		if err != nil {
+			return nil
+		}
+		cands = append(cands, routing.Candidate{Port: p, VC: int(vcOrd)})
+	}
+	return cands
+}
+
+var _ routing.Algorithm = (*RuleRouteC)(nil)

@@ -1,0 +1,305 @@
+package rulesets
+
+// The NAFTA rule program. Directions are encoded 0=north, 1=east,
+// 2=south, 3=west (matching internal/topology); lastdir 4 means the
+// message is being injected. The virtual networks are 0=north-last,
+// 1=south-last (matching internal/routing).
+//
+// Position information reaches the rules pre-compared as sign inputs
+// (dxsign = sign of xdes-xpos): on the ARON interpreter these are the
+// outputs of the coordinate-comparison FCFBs of the premise
+// processing, and keeping them as three-valued signals instead of raw
+// coordinates is what keeps the rule tables small (the alternative is
+// measured by the compiler ablation options).
+const naftaDecls = `
+-- NAFTA for 2-D meshes: declarations
+CONSTANT dirs = 4
+CONSTANT signs = {neg, zero, pos}
+CONSTANT nodestates = {active, deactivated}
+
+-- message interface (header information)
+INPUT dxsign IN signs
+INPUT dysign IN signs
+INPUT invnet IN 0 TO 1
+INPUT lastdir IN 0 TO 4
+INPUT msglen IN 0 TO 31
+INPUT budget IN 0 TO 1
+
+-- information units (per-output fault and load knowledge)
+INPUT avail (dirs) IN 0 TO 1
+INPUT avfault (dirs) IN 0 TO 1
+INPUT misok (dirs) IN 0 TO 1
+INPUT vlight IN 0 TO 1
+INPUT nb_state (dirs) IN nodestates
+INPUT nb_colfault (dirs) IN 0 TO 1
+INPUT nb_run (dirs) IN 0 TO 31
+INPUT link_fail (dirs) IN 0 TO 1
+INPUT info_load (dirs) IN 0 TO 255
+INPUT vertfault IN 0 TO 1
+INPUT horizfault IN 0 TO 1
+INPUT announce IN 0 TO 1
+
+-- registers of the non-fault-tolerant core (NARA)
+VARIABLE out_queue (dirs) IN 0 TO 255
+VARIABLE mean_queue (dirs) IN 0 TO 255
+VARIABLE fair_cnt (dirs) IN 0 TO 15
+VARIABLE rr_last IN 0 TO 3
+VARIABLE info_seq IN 0 TO 255
+`
+
+const naftaFTDecls = `
+-- additional registers for fault tolerance
+VARIABLE node_state IN nodestates
+VARIABLE deadend (dirs) IN 0 TO 1
+VARIABLE lineblocked (dirs) IN 0 TO 1
+VARIABLE clearrun (dirs) IN 0 TO 31
+VARIABLE nb_faulty IN 0 TO 4
+`
+
+// naftaNFTBases are the rule bases NARA (the non-fault-tolerant
+// variant) needs too.
+const naftaNFTBases = `
+-- Fault-free routing decision: fully adaptive minimal with the
+-- least-remaining-data criterion; horizontal outputs have priority on
+-- load ties.
+ON incoming_message(invc IN 0 TO 1)
+  IF dxsign = pos AND avail(1) = 1 AND
+     NOT ((dysign = pos AND avail(0) = 1 OR dysign = neg AND avail(2) = 1) AND vlight = 1) THEN
+     RETURN(1), out_queue(1) <- out_queue(1) + msglen;
+  IF dxsign = neg AND avail(3) = 1 AND
+     NOT ((dysign = pos AND avail(0) = 1 OR dysign = neg AND avail(2) = 1) AND vlight = 1) THEN
+     RETURN(3), out_queue(3) <- out_queue(3) + msglen;
+  IF dysign = pos AND avail(0) = 1 THEN
+     RETURN(0), out_queue(0) <- out_queue(0) + msglen;
+  IF dysign = neg AND avail(2) = 1 THEN
+     RETURN(2), out_queue(2) <- out_queue(2) + msglen;
+END incoming_message;
+
+-- Fair output scheduling: serve the output with the smallest grant
+-- counter, replenish when exhausted.
+ON message_finished(dir IN 0 TO 3)
+  IF fair_cnt(dir) > 0 AND (FORALL j IN 0 TO 3: fair_cnt(dir) <= fair_cnt(j)) THEN
+     fair_cnt(dir) <- fair_cnt(dir) - 1, rr_last <- dir;
+  IF fair_cnt(dir) > 0 THEN
+     fair_cnt(dir) <- fair_cnt(dir) - 1;
+  IF fair_cnt(dir) = 0 THEN
+     fair_cnt(dir) <- 3, rr_last <- dir;
+END message_finished;
+
+-- Update of the adaptivity criterion when a flit leaves.
+ON flit_finished(dir IN 0 TO 3)
+  IF out_queue(dir) > 0 THEN
+     out_queue(dir) <- out_queue(dir) - 1, mean_queue(dir) <- mean_queue(dir) + 1;
+  IF out_queue(dir) = 0 THEN
+     mean_queue(dir) <- 0;
+END flit_finished;
+
+-- Generation of information messages to adjacent nodes.
+ON tell_my_neighbors(kind IN 0 TO 1)
+  IF announce = 1 THEN FORALL i IN 0 TO 3: !send_info(i, kind);
+END tell_my_neighbors;
+
+-- Update of adaptivity information received from a neighbour.
+ON message_from_info_channel(dir IN 0 TO 3)
+  IF info_seq < 255 THEN
+     mean_queue(dir) <- info_load(dir), info_seq <- info_seq + 1;
+  IF info_seq = 255 THEN
+     info_seq <- 0;
+END message_from_info_channel;
+`
+
+// naftaFTBases are the additional rule bases for fault tolerance. The
+// per-direction eligibility predicates are modularised as subbases
+// (the paper, Section 4.2): each compiles to its own small functional
+// unit of the premise configuration, and the decision rule bases index
+// their one-bit results — this is what keeps the decision tables small
+// ("structuring and using the premise configuration allow small rule
+// tables even for complex algorithms").
+const naftaFTBases = `
+-- Per-direction eligibility under full fault knowledge: the turn-model
+-- freeze rules, the straight-shot conditions and the reversal
+-- exclusions.
+SUBBASE elig_n()
+  IF dysign = pos AND avfault(0) = 1 AND NOT lastdir = 2 AND (invnet = 1 OR dxsign = zero) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END elig_n;
+
+SUBBASE elig_e()
+  IF dxsign = pos AND avfault(1) = 1 AND NOT lastdir = 3
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END elig_e;
+
+SUBBASE elig_s()
+  IF dysign = neg AND avfault(2) = 1 AND NOT lastdir = 0 AND (invnet = 0 OR dxsign = zero) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END elig_s;
+
+SUBBASE elig_w()
+  IF dxsign = neg AND avfault(3) = 1 AND NOT lastdir = 1
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END elig_w;
+
+-- Routing decision with full fault knowledge (set 1 already merged
+-- into the avfault inputs by the information units); horizontal
+-- outputs have priority on load ties.
+ON in_message_ft(invc IN 0 TO 1)
+  IF elig_e() = 1 AND NOT ((elig_n() = 1 OR elig_s() = 1) AND vlight = 1) THEN RETURN(1);
+  IF elig_w() = 1 AND NOT ((elig_n() = 1 OR elig_s() = 1) AND vlight = 1) THEN RETURN(3);
+  IF elig_n() = 1 THEN RETURN(0);
+  IF elig_s() = 1 THEN RETURN(2);
+END in_message_ft;
+
+-- Per-direction misroute admissibility (exception mode).
+SUBBASE mis_n()
+  IF budget = 1 AND dysign IN {neg, zero} AND misok(0) = 1 AND invnet = 1 AND NOT lastdir = 2 THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END mis_n;
+
+SUBBASE mis_e()
+  IF budget = 1 AND dxsign IN {neg, zero} AND misok(1) = 1 AND NOT lastdir = 3
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END mis_e;
+
+SUBBASE mis_s()
+  IF budget = 1 AND dysign IN {zero, pos} AND misok(2) = 1 AND invnet = 0 AND NOT lastdir = 0 THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END mis_s;
+
+SUBBASE mis_w()
+  IF budget = 1 AND dxsign IN {zero, pos} AND misok(3) = 1 AND NOT lastdir = 1
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0) THEN RETURN(1);
+  IF 1 = 1 THEN RETURN(0);
+END mis_w;
+
+-- Exception handling: misroute a blocked message around the fault
+-- region (marked, within the detour budget).
+ON test_exception(invc IN 0 TO 1)
+  IF mis_n() = 1 THEN RETURN(0), !mark_message(0);
+  IF mis_e() = 1 THEN RETURN(1), !mark_message(1);
+  IF mis_s() = 1 THEN RETURN(2), !mark_message(2);
+  IF mis_w() = 1 THEN RETURN(3), !mark_message(3);
+END test_exception;
+
+-- New fault states require an update of the routing data (dead-end
+-- tables propagated in a wave).
+ON update_dir_table(dir IN 0 TO 3)
+  IF nb_colfault(dir) = 1 AND deadend(dir) = 0 THEN
+     deadend(dir) <- 1, FORALL i IN 0 TO 3: !send_deadend(i);
+  IF nb_colfault(dir) = 0 AND deadend(dir) = 1 THEN
+     deadend(dir) <- 0;
+END update_dir_table;
+
+-- Status from a neighbour node or change of a link state: convex
+-- completion (deactivate on orthogonal fault observations) and
+-- clear-run propagation.
+ON calculate_new_node_state(dir IN 0 TO 3)
+  IF vertfault = 1 AND horizfault = 1 AND node_state = active THEN
+     node_state <- deactivated, FORALL i IN 0 TO 3: !send_state(i);
+  IF nb_state(dir) = deactivated AND node_state = active THEN
+     clearrun(dir) <- 0, lineblocked(dir) <- 1;
+  IF nb_state(dir) = active AND link_fail(dir) = 0 THEN
+     clearrun(dir) <- MIN(31, nb_run(dir) + 1), lineblocked(dir) <- 0;
+END calculate_new_node_state;
+
+-- Update of the node state on a failure notification.
+ON fault_occured(dir IN 0 TO 3)
+  IF dir IN {0, 2} AND nb_faulty < 4 THEN
+     nb_faulty <- nb_faulty + 1, !recompute_vert();
+  IF dir IN ({1} + {3}) AND nb_faulty < 4 THEN
+     nb_faulty <- nb_faulty + 1, !recompute_horiz();
+END fault_occured;
+
+-- Consistency of neighbouring states (escalation via the state
+-- lattice).
+ON consider_neighbor_state(dir IN 0 TO 3)
+  IF MEET(node_state, nb_state(dir)) = deactivated AND nb_faulty < 4 AND node_state = active THEN
+     nb_faulty <- nb_faulty + 1;
+END consider_neighbor_state;
+`
+
+// NAFTASource is the complete NAFTA rule program.
+func NAFTASource() string { return naftaDecls + naftaFTDecls + naftaNFTBases + naftaFTBases }
+
+// NARASource is the stripped, non-fault-tolerant program: exactly the
+// rule bases marked nft in Table 1 ("for NAFTA the non-fault-tolerant
+// version is simply NARA").
+func NARASource() string { return naftaDecls + naftaNFTBases }
+
+// NAFTAMeta reproduces the row set of the paper's Table 1.
+var NAFTAMeta = []BaseMeta{
+	{Name: "incoming_message", Meaning: "handling of an incoming message", NFT: true},
+	{Name: "in_message_ft", Meaning: "routing decision in ft mode"},
+	{Name: "update_dir_table", Meaning: "new fault states require update of data"},
+	{Name: "message_finished", Meaning: "fair output scheduling", NFT: true},
+	{Name: "calculate_new_node_state", Meaning: "status from a neighbor node or change of a link state"},
+	{Name: "test_exception", Meaning: "handling of messages in a special situation"},
+	{Name: "tell_my_neighbors", Meaning: "generation of messages to adjacent nodes", NFT: true},
+	{Name: "flit_finished", Meaning: "update adaptivity criterion", NFT: true},
+	{Name: "fault_occured", Meaning: "update of node state on failure"},
+	{Name: "message_from_info_channel", Meaning: "update of adaptivity or fault information", NFT: true},
+	{Name: "consider_neighbor_state", Meaning: "consistency of neighboring states"},
+}
+
+// NARAMeta is the nft subset of NAFTAMeta.
+var NARAMeta = func() []BaseMeta {
+	var out []BaseMeta
+	for _, m := range NAFTAMeta {
+		if m.NFT {
+			out = append(out, m)
+		}
+	}
+	return out
+}()
+
+// LoadNAFTA parses and analyses the NAFTA program.
+func LoadNAFTA() (*Program, error) { return Load("NAFTA", NAFTASource(), NAFTAMeta) }
+
+// LoadNARA parses and analyses the NARA program.
+func LoadNARA() (*Program, error) { return Load("NARA", NARASource(), NARAMeta) }
+
+// naftaMonolithicFT is the pre-modularisation encoding of the two
+// fault-tolerant decision bases: the per-direction eligibility logic
+// is inlined into the premises instead of factored into subbases. It
+// is behaviourally identical and exists for the E10c ablation, which
+// measures what the paper's premise-configuration structuring saves.
+const naftaMonolithicFT = `
+ON in_message_ft(invc IN 0 TO 1)
+  IF dxsign = pos AND avfault(1) = 1 AND NOT lastdir = 3
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0)
+     AND NOT ((dysign = pos AND avfault(0) = 1 AND NOT lastdir = 2 AND (invnet = 1 OR dxsign = zero)
+           OR dysign = neg AND avfault(2) = 1 AND NOT lastdir = 0 AND (invnet = 0 OR dxsign = zero))
+          AND vlight = 1) THEN
+     RETURN(1);
+  IF dxsign = neg AND avfault(3) = 1 AND NOT lastdir = 1
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0)
+     AND NOT ((dysign = pos AND avfault(0) = 1 AND NOT lastdir = 2 AND (invnet = 1 OR dxsign = zero)
+           OR dysign = neg AND avfault(2) = 1 AND NOT lastdir = 0 AND (invnet = 0 OR dxsign = zero))
+          AND vlight = 1) THEN
+     RETURN(3);
+  IF dysign = pos AND avfault(0) = 1 AND NOT lastdir = 2 AND (invnet = 1 OR dxsign = zero) THEN
+     RETURN(0);
+  IF dysign = neg AND avfault(2) = 1 AND NOT lastdir = 0 AND (invnet = 0 OR dxsign = zero) THEN
+     RETURN(2);
+END in_message_ft;
+
+ON test_exception(invc IN 0 TO 1)
+  IF budget = 1 AND dysign IN {neg, zero} AND misok(0) = 1 AND invnet = 1 AND NOT lastdir = 2 THEN
+     RETURN(0), !mark_message(0);
+  IF budget = 1 AND dxsign IN {neg, zero} AND misok(1) = 1 AND NOT lastdir = 3
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0) THEN
+     RETURN(1), !mark_message(1);
+  IF budget = 1 AND dysign IN {zero, pos} AND misok(2) = 1 AND invnet = 0 AND NOT lastdir = 0 THEN
+     RETURN(2), !mark_message(2);
+  IF budget = 1 AND dxsign IN {zero, pos} AND misok(3) = 1 AND NOT lastdir = 1
+     AND NOT (invnet = 1 AND lastdir = 2) AND NOT (invnet = 0 AND lastdir = 0) THEN
+     RETURN(3), !mark_message(3);
+END test_exception;
+`
+
+// NAFTAMonolithicDecisionSource is a program containing only the
+// declarations and the inlined (subbase-free) FT decision bases, for
+// the structuring ablation.
+func NAFTAMonolithicDecisionSource() string { return naftaDecls + naftaFTDecls + naftaMonolithicFT }

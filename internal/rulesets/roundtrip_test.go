@@ -1,0 +1,86 @@
+package rulesets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// Round-trip property: printing a parsed program and re-parsing it
+// yields a program that analyses identically (same signals, same rule
+// counts) and compiles to identical rule tables.
+func TestPrintParseRoundTrip(t *testing.T) {
+	sources := map[string]string{
+		"nafta":      NAFTASource(),
+		"nara":       NARASource(),
+		"routec":     RouteCSource(5, 2),
+		"routec-nft": RouteCNFTSource(5, 2),
+	}
+	for name, src := range sources {
+		prog1, err := rules.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		printed := rules.ProgramString(prog1)
+		prog2, err := rules.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: reparse printed source: %v\n%s", name, err, printed)
+		}
+		// Printing must reach a fixed point immediately.
+		if again := rules.ProgramString(prog2); again != printed {
+			t.Fatalf("%s: printer not a fixed point", name)
+		}
+		c1, err := rules.Analyze(prog1)
+		if err != nil {
+			t.Fatalf("%s: analyze original: %v", name, err)
+		}
+		c2, err := rules.Analyze(prog2)
+		if err != nil {
+			t.Fatalf("%s: analyze reprinted: %v", name, err)
+		}
+		if len(c1.Signals) != len(c2.Signals) || len(c1.Bases) != len(c2.Bases) || len(c1.Subs) != len(c2.Subs) {
+			t.Fatalf("%s: declaration counts differ after round trip", name)
+		}
+		// Every rule base compiles to the same table.
+		for base := range c1.Bases {
+			cb1, err := core.CompileBase(c1, base, core.CompileOptions{})
+			if err != nil {
+				t.Fatalf("%s/%s: compile original: %v", name, base, err)
+			}
+			cb2, err := core.CompileBase(c2, base, core.CompileOptions{})
+			if err != nil {
+				t.Fatalf("%s/%s: compile reprinted: %v", name, base, err)
+			}
+			if cb1.Entries != cb2.Entries || cb1.Width != cb2.Width {
+				t.Fatalf("%s/%s: table changed: %s vs %s", name, base, cb1.Dim(), cb2.Dim())
+			}
+			for i := range cb1.Table {
+				if cb1.Table[i] != cb2.Table[i] {
+					t.Fatalf("%s/%s: table entry %d differs", name, base, i)
+				}
+			}
+		}
+	}
+}
+
+// The optimiser's output can be printed and re-used as a source
+// program.
+func TestOptimizedProgramPrintsAndReloads(t *testing.T) {
+	p, err := LoadRouteC(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, _, err := core.OptimizeProgram(p.Checked, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := rules.ProgramString(oc.Prog)
+	reparsed, err := rules.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse optimised program: %v\n%s", err, printed)
+	}
+	if _, err := rules.Analyze(reparsed); err != nil {
+		t.Fatalf("analyze optimised program: %v", err)
+	}
+}

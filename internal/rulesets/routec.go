@@ -1,0 +1,255 @@
+package rulesets
+
+import "fmt"
+
+// RouteCSource generates the ROUTE_C rule program for a hypercube of
+// dimension d with an adaptivity command width of a bits (the paper's
+// Table 2 uses d = 6, a = 2).
+//
+// The routing decision takes two interpretations: decide_dir selects
+// the class of admissible outputs (ascending/descending, safe
+// neighbours preferred, detour as last resort) as one of eight modes,
+// and decide_vc maps the choice to a virtual channel. The per-output
+// priority selection within a mode runs in the conclusion processing
+// (a priority/minimum-selection FCFB), exactly as on the ARON
+// interpreter where the rule table stays narrow while d-bit-wide
+// logical units reduce the per-dimension vectors to the feature bits.
+func RouteCSource(d, a int) string {
+	loadMax := (1 << uint(a)) - 1
+	if loadMax < 1 {
+		loadMax = 1
+	}
+	return fmt.Sprintf(`
+-- ROUTE_C for the %d-dimensional hypercube
+CONSTANT dims = %d
+CONSTANT fault_states = {safe, ounsafe, sunsafe, lfault, faulty}
+CONSTANT modes = {up_safe, up_any, down_safe, down_any, bump_safe, bump_any, detour_safe, detour_any, blocked, arrived}
+
+-- message interface / address comparison lines
+INPUT diffb (dims) IN 0 TO 1    -- address bit differs from destination
+INPUT upb (dims) IN 0 TO 1      -- flipping the bit increases the address
+INPUT okl (dims) IN 0 TO 1      -- link and neighbour operational
+INPUT nbsafe (dims) IN 0 TO 1   -- neighbour state safe (or it is the destination)
+INPUT notback (dims) IN 0 TO 1  -- not the arrival dimension
+INPUT phase IN 0 TO 1           -- 0 ascending, 1 descending
+INPUT level IN 0 TO 3           -- detour level (hops-so-far escape)
+INPUT taking_detour IN 0 TO 1
+INPUT new_state (dims) IN fault_states
+INPUT adapt_load (dims) IN 0 TO %d
+
+-- node state registers
+VARIABLE state IN fault_states
+VARIABLE number_unsafe IN 0 TO dims
+VARIABLE number_faulty IN 0 TO dims
+VARIABLE neighb_state (dims) IN fault_states
+-- adaptivity register (needed without fault tolerance too)
+VARIABLE mean_load (dims) IN 0 TO %d
+
+-- First interpretation: which outputs may be taken.
+ON decide_dir()
+  IF phase = 0 AND (EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 1 AND upb(i) = 1 AND okl(i) = 1 AND notback(i) = 1 AND nbsafe(i) = 1)) THEN
+     RETURN(up_safe);
+  IF phase = 0 AND (EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 1 AND upb(i) = 1 AND okl(i) = 1 AND notback(i) = 1)) THEN
+     RETURN(up_any);
+  IF EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 1 AND upb(i) = 0 AND okl(i) = 1 AND notback(i) = 1 AND nbsafe(i) = 1) THEN
+     RETURN(down_safe);
+  IF EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 1 AND upb(i) = 0 AND okl(i) = 1 AND notback(i) = 1) THEN
+     RETURN(down_any);
+  IF phase = 1 AND level < 3 AND (EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 1 AND upb(i) = 1 AND okl(i) = 1 AND notback(i) = 1 AND nbsafe(i) = 1)) THEN
+     RETURN(bump_safe);
+  IF phase = 1 AND level < 3 AND (EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 1 AND upb(i) = 1 AND okl(i) = 1 AND notback(i) = 1)) THEN
+     RETURN(bump_any);
+  IF level < 3 AND (EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 0 AND okl(i) = 1 AND notback(i) = 1 AND nbsafe(i) = 1)) THEN
+     RETURN(detour_safe);
+  IF level < 3 AND (EXISTS i IN 0 TO dims - 1:
+       (diffb(i) = 0 AND okl(i) = 1 AND notback(i) = 1)) THEN
+     RETURN(detour_any);
+  IF 1 = 1 THEN RETURN(blocked);
+END decide_dir;
+
+-- Second interpretation: which virtual channel the hop uses.
+ON decide_vc(want IN modes)
+  IF taking_detour = 1 AND level = 0 THEN RETURN(2);
+  IF taking_detour = 1 AND level = 1 THEN RETURN(3);
+  IF taking_detour = 1 AND (level = 2 OR level = 3) THEN RETURN(4);
+  IF taking_detour = 0 AND level = 1 THEN RETURN(2);
+  IF taking_detour = 0 AND level = 2 THEN RETURN(3);
+  IF taking_detour = 0 AND level = 3 THEN RETURN(4);
+  IF taking_detour = 0 AND level = 0 AND phase = 0 THEN RETURN(0);
+  IF taking_detour = 0 AND level = 0 AND phase = 1 THEN RETURN(1);
+END decide_vc;
+
+-- State update on a message from a neighbour (Figure 4, completed):
+-- counts not-safe and directly faulty neighbours and escalates the
+-- node state monotonically in the fault-state lattice.
+ON update_state(dir IN 0 TO dims - 1)
+  IF NOT neighb_state(dir) IN {ounsafe, sunsafe, lfault, faulty}
+     AND new_state(dir) IN {lfault, faulty}
+     AND number_faulty >= 1 AND NOT state = sunsafe THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1,
+     number_unsafe <- number_unsafe + 1,
+     state <- sunsafe,
+     FORALL i IN 0 TO dims - 1: !send_newmessage(i, sunsafe);
+  IF NOT neighb_state(dir) IN {ounsafe, sunsafe, lfault, faulty}
+     AND new_state(dir) IN {lfault, faulty}
+     AND number_unsafe >= 2 AND state = safe THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1,
+     number_unsafe <- number_unsafe + 1,
+     state <- ounsafe,
+     FORALL i IN 0 TO dims - 1: !send_newmessage(i, ounsafe);
+  IF NOT neighb_state(dir) IN {ounsafe, sunsafe, lfault, faulty}
+     AND new_state(dir) IN {lfault, faulty} THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1,
+     number_unsafe <- number_unsafe + 1;
+  IF NOT neighb_state(dir) IN {ounsafe, sunsafe, lfault, faulty}
+     AND new_state(dir) IN {ounsafe, sunsafe}
+     AND number_unsafe >= 2 AND state = safe THEN
+     neighb_state(dir) <- new_state(dir),
+     number_unsafe <- number_unsafe + 1,
+     state <- ounsafe,
+     FORALL i IN 0 TO dims - 1: !send_newmessage(i, ounsafe);
+  IF NOT neighb_state(dir) IN {ounsafe, sunsafe, lfault, faulty}
+     AND new_state(dir) IN {ounsafe, sunsafe} THEN
+     neighb_state(dir) <- new_state(dir),
+     number_unsafe <- number_unsafe + 1;
+  IF neighb_state(dir) IN {ounsafe, sunsafe}
+     AND new_state(dir) IN {lfault, faulty}
+     AND number_faulty >= 1 AND NOT state = sunsafe THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1,
+     state <- sunsafe,
+     FORALL i IN 0 TO dims - 1: !send_newmessage(i, sunsafe);
+  IF neighb_state(dir) IN {ounsafe, sunsafe}
+     AND new_state(dir) IN {lfault, faulty} THEN
+     neighb_state(dir) <- new_state(dir),
+     number_faulty <- number_faulty + 1;
+  IF NOT new_state(dir) = neighb_state(dir) THEN
+     neighb_state(dir) <- new_state(dir);
+END update_state;
+
+-- Adaptivity criterion (the paper leaves it unspecified; ROUTE_C "can
+-- be completed by any of the methods used there" — a sliding load
+-- estimate per output suffices and is not specific to fault
+-- tolerance).
+ON adaptivity(dir IN 0 TO dims - 1)
+  IF adapt_load(dir) > mean_load(dir) THEN
+     mean_load(dir) <- mean_load(dir) + 1;
+  IF adapt_load(dir) < mean_load(dir) THEN
+     mean_load(dir) <- mean_load(dir) - 1;
+END adaptivity;
+`, d, d, loadMax, loadMax)
+}
+
+// RouteCNFTSource is the stripped-down variant: only the rule bases a
+// fault-free network needs (a single decide interpretation plus the
+// adaptivity criterion), with the two base virtual channels implied by
+// the returned mode.
+func RouteCNFTSource(d, a int) string {
+	loadMax := (1 << uint(a)) - 1
+	if loadMax < 1 {
+		loadMax = 1
+	}
+	return fmt.Sprintf(`
+-- stripped (non-fault-tolerant) ROUTE_C for the %d-cube
+CONSTANT dims = %d
+CONSTANT modes = {up_any, down_any, blocked}
+
+INPUT diffb (dims) IN 0 TO 1
+INPUT upb (dims) IN 0 TO 1
+INPUT okl (dims) IN 0 TO 1
+INPUT phase IN 0 TO 1
+INPUT adapt_load (dims) IN 0 TO %d
+
+VARIABLE mean_load (dims) IN 0 TO %d
+
+ON decide_dir()
+  IF phase = 0 AND (EXISTS i IN 0 TO dims - 1: (diffb(i) = 1 AND upb(i) = 1 AND okl(i) = 1)) THEN
+     RETURN(up_any);
+  IF EXISTS i IN 0 TO dims - 1: (diffb(i) = 1 AND upb(i) = 0 AND okl(i) = 1) THEN
+     RETURN(down_any);
+  IF 1 = 1 THEN RETURN(blocked);
+END decide_dir;
+
+ON adaptivity(dir IN 0 TO dims - 1)
+  IF adapt_load(dir) > mean_load(dir) THEN
+     mean_load(dir) <- mean_load(dir) + 1;
+  IF adapt_load(dir) < mean_load(dir) THEN
+     mean_load(dir) <- mean_load(dir) - 1;
+END adaptivity;
+`, d, d, loadMax, loadMax)
+}
+
+// MergedDecideSource is the monolithic combination of decide_dir and
+// decide_vc that returns a (dimension, virtual channel) pair directly.
+// It needs per-dimension priority premises instead of d-wide vector
+// reductions, so its rule table grows exponentially with d — the
+// paper's in-text observation that merging the two interpretations
+// "would result in very large rule bases" (1024*2^d entries for the
+// original encoding). Compile it with SizeOnly.
+func MergedDecideSource(d, a int) string {
+	src := fmt.Sprintf(`
+CONSTANT dims = %d
+
+INPUT diffb (dims) IN 0 TO 1
+INPUT upb (dims) IN 0 TO 1
+INPUT okl (dims) IN 0 TO 1
+INPUT nbsafe (dims) IN 0 TO 1
+INPUT phase IN 0 TO 1
+INPUT level IN 0 TO 3
+
+ON decide_merged()
+`, d)
+	// One rule per (dimension, vc-relevant level); the premise must
+	// name every higher-priority dimension explicitly, which is what
+	// blows the atom count up.
+	for lvl := 0; lvl < 4; lvl++ {
+		for i := 0; i < d; i++ {
+			prem := fmt.Sprintf("phase = 0 AND level = %d AND diffb(%d) = 1 AND upb(%d) = 1 AND okl(%d) = 1 AND nbsafe(%d) = 1", lvl, i, i, i, i)
+			for j := 0; j < i; j++ {
+				prem += fmt.Sprintf(" AND NOT (diffb(%d) = 1 AND upb(%d) = 1 AND okl(%d) = 1 AND nbsafe(%d) = 1)", j, j, j, j)
+			}
+			vc := 0
+			if lvl > 0 {
+				vc = 1 + lvl
+			}
+			src += fmt.Sprintf("  IF %s THEN RETURN(%d);\n", prem, i*8+vc)
+		}
+	}
+	src += "  IF 1 = 1 THEN RETURN(0);\nEND decide_merged;\n"
+	return src
+}
+
+// RouteCMeta reproduces the row set of the paper's Table 2.
+var RouteCMeta = []BaseMeta{
+	{Name: "decide_dir", Meaning: "decides which outputs can be taken", NFT: true},
+	{Name: "decide_vc", Meaning: "decide output and virt. channel, update adaptivity"},
+	{Name: "update_state", Meaning: "state update requires counting of unsafe or faulty neighbors"},
+	{Name: "adaptivity", Meaning: "create adaptivity criterion", NFT: true},
+}
+
+// RouteCNFTMeta is the stripped variant's table.
+var RouteCNFTMeta = []BaseMeta{
+	{Name: "decide_dir", Meaning: "decides which outputs can be taken", NFT: true},
+	{Name: "adaptivity", Meaning: "create adaptivity criterion", NFT: true},
+}
+
+// LoadRouteC parses and analyses ROUTE_C for dimension d and
+// adaptivity width a.
+func LoadRouteC(d, a int) (*Program, error) {
+	return Load(fmt.Sprintf("ROUTE_C (d=%d, a=%d)", d, a), RouteCSource(d, a), RouteCMeta)
+}
+
+// LoadRouteCNFT parses and analyses the stripped variant.
+func LoadRouteCNFT(d, a int) (*Program, error) {
+	return Load(fmt.Sprintf("ROUTE_C-nft (d=%d, a=%d)", d, a), RouteCNFTSource(d, a), RouteCNFTMeta)
+}

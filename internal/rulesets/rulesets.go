@@ -1,0 +1,182 @@
+// Package rulesets contains the rule-language implementations of the
+// paper's case-study algorithms — NAFTA (with its non-fault-tolerant
+// core NARA) for 2-D meshes and ROUTE_C (with its stripped variant)
+// for hypercubes — together with the per-rule-base metadata needed to
+// regenerate the paper's Tables 1 and 2 (meaning column, nft marker)
+// and helper constructors that analyse and compile the programs.
+//
+// The decision rule bases are verified against the native Go
+// implementations in internal/routing by differential tests: for
+// randomly sampled router states both must select the same output.
+package rulesets
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+// BaseMeta annotates one rule base for the cost tables.
+type BaseMeta struct {
+	// Name of the rule base (its event).
+	Name string
+	// Meaning is the paper's description column.
+	Meaning string
+	// NFT marks rule bases that the non-fault-tolerant variant of the
+	// algorithm needs too (the paper's "nft" column asterisk).
+	NFT bool
+}
+
+// Program bundles an analysed rule program with its table metadata.
+type Program struct {
+	Name    string
+	Source  string
+	Checked *rules.Checked
+	Meta    []BaseMeta
+}
+
+// Load parses and analyses src.
+func Load(name, src string, meta []BaseMeta) (*Program, error) {
+	prog, err := rules.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("rulesets: %s: %w", name, err)
+	}
+	c, err := rules.Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("rulesets: %s: %w", name, err)
+	}
+	// Every rule base must have metadata and vice versa.
+	byName := map[string]bool{}
+	for _, m := range meta {
+		byName[m.Name] = true
+		if c.Bases[m.Name] == nil {
+			return nil, fmt.Errorf("rulesets: %s: metadata for missing base %s", name, m.Name)
+		}
+	}
+	for _, rb := range prog.RuleBases {
+		if !byName[rb.Event] {
+			return nil, fmt.Errorf("rulesets: %s: base %s has no metadata", name, rb.Event)
+		}
+	}
+	return &Program{Name: name, Source: src, Checked: c, Meta: meta}, nil
+}
+
+// CostTable compiles every rule base and renders the paper's table
+// format: Name, Size (entries x width), FCFBs, Meaning, nft.
+func (p *Program) CostTable(opts core.CompileOptions) (*metrics.Table, *core.ProgramCost, error) {
+	pc, err := core.AnalyzeCost(p.Checked, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := map[string]*core.BaseCost{}
+	for i := range pc.Bases {
+		byName[pc.Bases[i].Name] = &pc.Bases[i]
+	}
+	tb := metrics.NewTable(fmt.Sprintf("Rule bases of %s", p.Name),
+		"name", "size (bits)", "FCFBs", "meaning", "nft")
+	for _, m := range p.Meta {
+		bc := byName[m.Name]
+		nft := ""
+		if m.NFT {
+			nft = "*"
+		}
+		tb.AddRow(m.Name, bc.Dim(), bc.FCFBString(), m.Meaning, nft)
+	}
+	return tb, pc, nil
+}
+
+// FTOnlyRegisterBits splits the program's register bits into the part
+// needed by the non-fault-tolerant variant (the registers read or
+// written only by nft-marked rule bases) and the fault-tolerance
+// overhead. A variable touched by any fault-tolerant-only base counts
+// as FT overhead unless an nft base also needs it.
+func (p *Program) FTOnlyRegisterBits() (total, ftOnly int64, err error) {
+	nftBases := map[string]bool{}
+	for _, m := range p.Meta {
+		if m.NFT {
+			nftBases[m.Name] = true
+		}
+	}
+	usedByNFT := map[string]bool{}
+	for _, rb := range p.Checked.Prog.RuleBases {
+		if !nftBases[rb.Event] {
+			continue
+		}
+		for _, v := range varsUsedByBase(rb) {
+			usedByNFT[v] = true
+		}
+	}
+	for name, info := range p.Checked.Signals {
+		if info.IsInput {
+			continue
+		}
+		total += info.Bits()
+		if !usedByNFT[name] {
+			ftOnly += info.Bits()
+		}
+	}
+	return total, ftOnly, nil
+}
+
+// varsUsedByBase lists variable names read or written by a rule base.
+func varsUsedByBase(rb *rules.RuleBase) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkExpr func(e rules.Expr)
+	walkExpr = func(e rules.Expr) {
+		switch n := e.(type) {
+		case *rules.Ident:
+			add(n.Name)
+		case *rules.Call:
+			add(n.Name)
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		case *rules.Unary:
+			walkExpr(n.X)
+		case *rules.Binary:
+			walkExpr(n.X)
+			walkExpr(n.Y)
+		case *rules.SetLit:
+			for _, el := range n.Elems {
+				walkExpr(el)
+			}
+		case *rules.Quant:
+			walkExpr(n.Body)
+		}
+	}
+	var walkCmd func(c rules.Cmd)
+	walkCmd = func(c rules.Cmd) {
+		switch n := c.(type) {
+		case *rules.Assign:
+			add(n.Name)
+			for _, ix := range n.Idx {
+				walkExpr(ix)
+			}
+			walkExpr(n.Rhs)
+		case *rules.Return:
+			walkExpr(n.Val)
+		case *rules.Emit:
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		case *rules.ForAllCmd:
+			walkCmd(n.Body)
+		}
+	}
+	for _, r := range rb.Rules {
+		walkExpr(r.Premise)
+		for _, cmd := range r.Cmds {
+			walkCmd(cmd)
+		}
+	}
+	return out
+}

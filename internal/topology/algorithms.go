@@ -1,0 +1,274 @@
+package topology
+
+// Filter restricts a topology to its operational part. A nil *Filter (or
+// nil function fields) means "everything up". The fault package adapts
+// its fault sets to this type; keeping the type here avoids an import
+// cycle between topology and fault.
+type Filter struct {
+	// NodeUp reports whether node n is operational.
+	NodeUp func(n NodeID) bool
+	// LinkUp reports whether the (undirected) link between a and b is
+	// operational. It is only called for adjacent pairs.
+	LinkUp func(a, b NodeID) bool
+}
+
+func (f *Filter) nodeUp(n NodeID) bool {
+	if f == nil || f.NodeUp == nil {
+		return true
+	}
+	return f.NodeUp(n)
+}
+
+func (f *Filter) linkUp(a, b NodeID) bool {
+	if f == nil || f.LinkUp == nil {
+		return true
+	}
+	return f.LinkUp(a, b)
+}
+
+// Up reports whether the hop from a to b is usable: both endpoints and
+// the connecting link operational.
+func (f *Filter) Up(a, b NodeID) bool {
+	return f.nodeUp(a) && f.nodeUp(b) && f.linkUp(a, b)
+}
+
+// UpNode reports whether node n is operational under f.
+func (f *Filter) UpNode(n NodeID) bool { return f.nodeUp(n) }
+
+// BFSDist computes hop distances from src to every node of g restricted
+// by filter f. Unreachable nodes (and faulty ones) get distance -1. If
+// src itself is down, every entry is -1.
+func BFSDist(g Graph, src NodeID, f *Filter) []int {
+	dist := make([]int, g.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !f.nodeUp(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for p := 0; p < g.Ports(); p++ {
+			m := g.Neighbor(n, p)
+			if m == Invalid || dist[m] >= 0 || !f.Up(n, m) {
+				continue
+			}
+			dist[m] = dist[n] + 1
+			queue = append(queue, m)
+		}
+	}
+	return dist
+}
+
+// Reachable reports whether dst can be reached from src in g under f.
+func Reachable(g Graph, src, dst NodeID, f *Filter) bool {
+	if src == dst {
+		return f.nodeUp(src)
+	}
+	return BFSDist(g, src, f)[dst] >= 0
+}
+
+// Components returns the connected components of g under f as a slice
+// of node sets (each sorted by NodeID). Faulty nodes belong to no
+// component.
+func Components(g Graph, f *Filter) [][]NodeID {
+	seen := make([]bool, g.Nodes())
+	var comps [][]NodeID
+	for s := 0; s < g.Nodes(); s++ {
+		if seen[s] || !f.nodeUp(NodeID(s)) {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{NodeID(s)}
+		seen[s] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			comp = append(comp, n)
+			for p := 0; p < g.Ports(); p++ {
+				m := g.Neighbor(n, p)
+				if m == Invalid || seen[m] || !f.Up(n, m) {
+					continue
+				}
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// SpanningTree is a rooted spanning tree (or forest fragment) of the
+// operational part of a topology, as used by the paper's strawman
+// routing algorithm of Section 2.1 ("compute a spanning tree ... route
+// messages by only using edges of the tree").
+type SpanningTree struct {
+	Root NodeID
+	// Parent[n] is the parent of n in the tree, Invalid for the root
+	// and for nodes outside the root's component.
+	Parent []NodeID
+	// Depth[n] is the hop distance from the root, -1 outside the tree.
+	Depth []int
+	// ParentPort[n] is the port of n leading to Parent[n], -1 if none.
+	ParentPort []int
+}
+
+// BuildSpanningTree builds a BFS spanning tree of g rooted at root,
+// restricted by f. Nodes outside root's component have Parent Invalid
+// and Depth -1.
+func BuildSpanningTree(g Graph, root NodeID, f *Filter) *SpanningTree {
+	t := &SpanningTree{
+		Root:       root,
+		Parent:     make([]NodeID, g.Nodes()),
+		Depth:      make([]int, g.Nodes()),
+		ParentPort: make([]int, g.Nodes()),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = Invalid
+		t.Depth[i] = -1
+		t.ParentPort[i] = -1
+	}
+	if !f.nodeUp(root) {
+		return t
+	}
+	t.Depth[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for p := 0; p < g.Ports(); p++ {
+			m := g.Neighbor(n, p)
+			if m == Invalid || !f.Up(n, m) || t.Depth[m] >= 0 {
+				continue
+			}
+			t.Depth[m] = t.Depth[n] + 1
+			t.Parent[m] = n
+			if pp, ok := g.PortTo(m, n); ok {
+				t.ParentPort[m] = pp
+			}
+			queue = append(queue, m)
+		}
+	}
+	return t
+}
+
+// Contains reports whether node n is in the tree.
+func (t *SpanningTree) Contains(n NodeID) bool { return t.Depth[n] >= 0 }
+
+// TreeLink reports whether the link between a and b is a tree edge.
+func (t *SpanningTree) TreeLink(a, b NodeID) bool {
+	return (t.Parent[a] == b) || (t.Parent[b] == a)
+}
+
+// NextHop returns the next node on the unique tree path from cur toward
+// dst (first ascending to the lowest common ancestor, then descending),
+// or Invalid if either node is outside the tree. cur must differ from
+// dst.
+func (t *SpanningTree) NextHop(cur, dst NodeID) NodeID {
+	if !t.Contains(cur) || !t.Contains(dst) {
+		return Invalid
+	}
+	// Walk dst's ancestor chain; if cur is an ancestor of dst we must
+	// descend toward dst (to cur's child on that chain), otherwise the
+	// path first ascends toward the lowest common ancestor.
+	for n := dst; n != t.Root; n = t.Parent[n] {
+		if t.Parent[n] == cur {
+			return n
+		}
+	}
+	return t.Parent[cur]
+}
+
+// PathLen returns the length of the tree path between a and b, or -1 if
+// either is outside the tree.
+func (t *SpanningTree) PathLen(a, b NodeID) int {
+	if !t.Contains(a) || !t.Contains(b) {
+		return -1
+	}
+	// Lift the deeper node, then walk both up to the LCA.
+	da, db := t.Depth[a], t.Depth[b]
+	n, m := a, b
+	steps := 0
+	for da > db {
+		n = t.Parent[n]
+		da--
+		steps++
+	}
+	for db > da {
+		m = t.Parent[m]
+		db--
+		steps++
+	}
+	for n != m {
+		n = t.Parent[n]
+		m = t.Parent[m]
+		steps += 2
+	}
+	return steps
+}
+
+// TreeEdgeCount returns the number of tree edges (|component|-1 for each
+// component covered by the tree).
+func (t *SpanningTree) TreeEdgeCount() int {
+	c := 0
+	for n := range t.Parent {
+		if t.Parent[n] != Invalid {
+			c++
+		}
+	}
+	return c
+}
+
+// CountMinimalPaths returns the number of distinct minimal (shortest)
+// paths between src and dst in g under f, computed by BFS layering. The
+// count saturates at the given cap to avoid overflow on large
+// topologies; pass a cap of 0 for no saturation (may overflow on
+// pathological inputs).
+func CountMinimalPaths(g Graph, src, dst NodeID, f *Filter, cap int64) int64 {
+	dist := BFSDist(g, src, f)
+	if dist[dst] < 0 {
+		return 0
+	}
+	counts := make([]int64, g.Nodes())
+	counts[src] = 1
+	// Process nodes in increasing BFS distance.
+	order := make([]NodeID, 0, g.Nodes())
+	for n := 0; n < g.Nodes(); n++ {
+		if dist[n] >= 0 {
+			order = append(order, NodeID(n))
+		}
+	}
+	// Counting sort by distance.
+	maxd := 0
+	for _, n := range order {
+		if dist[n] > maxd {
+			maxd = dist[n]
+		}
+	}
+	buckets := make([][]NodeID, maxd+1)
+	for _, n := range order {
+		buckets[dist[n]] = append(buckets[dist[n]], n)
+	}
+	for d := 0; d < maxd; d++ {
+		for _, n := range buckets[d] {
+			if counts[n] == 0 {
+				continue
+			}
+			for p := 0; p < g.Ports(); p++ {
+				m := g.Neighbor(n, p)
+				if m == Invalid || !f.Up(n, m) || dist[m] != d+1 {
+					continue
+				}
+				counts[m] += counts[n]
+				if cap > 0 && counts[m] > cap {
+					counts[m] = cap
+				}
+			}
+		}
+	}
+	return counts[dst]
+}

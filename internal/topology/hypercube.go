@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube is a binary n-cube with 2^Dim nodes. Port i of node n leads
+// to the neighbour whose address differs in bit i (n XOR 1<<i). This is
+// the topology of the paper's second case study, ROUTE_C.
+type Hypercube struct {
+	Dim int
+}
+
+// NewHypercube builds a hypercube of the given dimension (1..20).
+func NewHypercube(dim int) *Hypercube {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("topology: invalid hypercube dimension %d", dim))
+	}
+	return &Hypercube{Dim: dim}
+}
+
+func (h *Hypercube) Name() string          { return fmt.Sprintf("hypercube%d", h.Dim) }
+func (h *Hypercube) Nodes() int            { return 1 << h.Dim }
+func (h *Hypercube) Ports() int            { return h.Dim }
+func (h *Hypercube) PortName(p int) string { return fmt.Sprintf("dim%d", p) }
+
+func (h *Hypercube) Neighbor(n NodeID, p int) NodeID {
+	if p < 0 || p >= h.Dim {
+		return Invalid
+	}
+	return n ^ NodeID(1<<p)
+}
+
+func (h *Hypercube) PortTo(n, o NodeID) (int, bool) {
+	diff := uint(n ^ o)
+	if bits.OnesCount(diff) != 1 {
+		return 0, false
+	}
+	return bits.TrailingZeros(diff), true
+}
+
+// Dist returns the Hamming distance between a and b, which is the
+// minimal hop count in the hypercube.
+func (h *Hypercube) Dist(a, b NodeID) int {
+	return bits.OnesCount(uint(a ^ b))
+}
+
+// MinimalPorts returns the dimensions in which cur and dst differ, i.e.
+// the ports on minimal paths from cur to dst. It returns nil when
+// cur == dst.
+func (h *Hypercube) MinimalPorts(cur, dst NodeID) []int {
+	diff := uint(cur ^ dst)
+	var out []int
+	for diff != 0 {
+		p := bits.TrailingZeros(diff)
+		out = append(out, p)
+		diff &^= 1 << p
+	}
+	return out
+}
+
+// UpPorts returns the minimal ports of cur toward dst that increase the
+// node address (0->1 bit transitions), and DownPorts those that decrease
+// it. ROUTE_C's deadlock avoidance (after Konstantinidou) first uses all
+// address-increasing links, then all address-decreasing links.
+func (h *Hypercube) UpPorts(cur, dst NodeID) []int {
+	var out []int
+	for _, p := range h.MinimalPorts(cur, dst) {
+		if cur&(1<<p) == 0 { // bit is 0 at cur, flipping increases address
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DownPorts returns the minimal ports of cur toward dst that decrease
+// the node address. See UpPorts.
+func (h *Hypercube) DownPorts(cur, dst NodeID) []int {
+	var out []int
+	for _, p := range h.MinimalPorts(cur, dst) {
+		if cur&(1<<p) != 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Irregular is an arbitrary switched topology given by its link list —
+// the habitat of the paper's cluster networks ("these networks consist
+// of routers and links connecting them"), where no regular structure
+// can be exploited by the routing algorithm.
+type Irregular struct {
+	name string
+	adj  [][]NodeID // adj[n][p] = neighbour on port p
+	port map[[2]NodeID]int
+	max  int
+}
+
+// NewIrregular builds an irregular topology over n nodes from an edge
+// list. Duplicate and self edges are rejected.
+func NewIrregular(name string, n int, edges []Link) (*Irregular, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: irregular needs nodes")
+	}
+	g := &Irregular{
+		name: name,
+		adj:  make([][]NodeID, n),
+		port: make(map[[2]NodeID]int),
+	}
+	seen := map[Link]bool{}
+	// Sort for deterministic port numbering.
+	sorted := make([]Link, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+	for _, e := range sorted {
+		l := MakeLink(e.A, e.B)
+		if l.A == l.B {
+			return nil, fmt.Errorf("topology: self loop at %d", l.A)
+		}
+		if l.A < 0 || int(l.B) >= n {
+			return nil, fmt.Errorf("topology: edge %s out of range", l)
+		}
+		if seen[l] {
+			return nil, fmt.Errorf("topology: duplicate edge %s", l)
+		}
+		seen[l] = true
+		g.port[[2]NodeID{l.A, l.B}] = len(g.adj[l.A])
+		g.adj[l.A] = append(g.adj[l.A], l.B)
+		g.port[[2]NodeID{l.B, l.A}] = len(g.adj[l.B])
+		g.adj[l.B] = append(g.adj[l.B], l.A)
+	}
+	for _, a := range g.adj {
+		if len(a) > g.max {
+			g.max = len(a)
+		}
+	}
+	if g.max == 0 {
+		return nil, fmt.Errorf("topology: irregular graph has no links")
+	}
+	return g, nil
+}
+
+// RandomIrregular builds a random connected irregular topology: a
+// random spanning tree plus extra cross links, deterministic in seed.
+func RandomIrregular(n, extra int, seed int64) (*Irregular, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Link
+	seen := map[Link]bool{}
+	// Random spanning tree: connect each node to a random earlier one.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		a := NodeID(perm[i])
+		b := NodeID(perm[rng.Intn(i)])
+		l := MakeLink(a, b)
+		edges = append(edges, l)
+		seen[l] = true
+	}
+	for k := 0; k < extra; k++ {
+		for try := 0; try < 100; try++ {
+			a := NodeID(rng.Intn(n))
+			b := NodeID(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			l := MakeLink(a, b)
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			edges = append(edges, l)
+			break
+		}
+	}
+	return NewIrregular(fmt.Sprintf("irregular%d+%d", n, extra), n, edges)
+}
+
+func (g *Irregular) Name() string { return g.name }
+func (g *Irregular) Nodes() int   { return len(g.adj) }
+func (g *Irregular) Ports() int   { return g.max }
+func (g *Irregular) PortName(p int) string {
+	return fmt.Sprintf("p%d", p)
+}
+
+func (g *Irregular) Neighbor(n NodeID, p int) NodeID {
+	if p < 0 || p >= len(g.adj[n]) {
+		return Invalid
+	}
+	return g.adj[n][p]
+}
+
+func (g *Irregular) PortTo(n, m NodeID) (int, bool) {
+	p, ok := g.port[[2]NodeID{n, m}]
+	return p, ok
+}

@@ -1,0 +1,205 @@
+package topology
+
+import "fmt"
+
+// Mesh port numbering. The order matters for the routing algorithms: it
+// matches the geographic convention used throughout the paper's NAFTA
+// discussion (north increases y, east increases x).
+const (
+	North = 0
+	East  = 1
+	South = 2
+	West  = 3
+
+	// MeshPorts is the number of router ports of a 2-D mesh node.
+	MeshPorts = 4
+)
+
+var meshPortNames = [MeshPorts]string{"north", "east", "south", "west"}
+
+// OppositeMeshPort returns the port facing the opposite direction
+// (north<->south, east<->west).
+func OppositeMeshPort(p int) int { return (p + 2) % MeshPorts }
+
+// Mesh is a W x H two-dimensional mesh. Node (x,y) has ID y*W+x; x grows
+// east, y grows north. Border ports are unconnected.
+type Mesh struct {
+	W, H int
+}
+
+// NewMesh builds a W x H mesh. W and H must be at least 1 (and at least
+// 2 in one dimension to have any links).
+func NewMesh(w, h int) *Mesh {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("topology: invalid mesh dimensions %dx%d", w, h))
+	}
+	return &Mesh{W: w, H: h}
+}
+
+func (m *Mesh) Name() string          { return fmt.Sprintf("mesh%dx%d", m.W, m.H) }
+func (m *Mesh) Nodes() int            { return m.W * m.H }
+func (m *Mesh) Ports() int            { return MeshPorts }
+func (m *Mesh) PortName(p int) string { return meshPortNames[p] }
+
+// Node returns the NodeID of coordinates (x,y). Coordinates must be in
+// range.
+func (m *Mesh) Node(x, y int) NodeID {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		panic(fmt.Sprintf("topology: mesh coordinate (%d,%d) out of range for %s", x, y, m.Name()))
+	}
+	return NodeID(y*m.W + x)
+}
+
+// XY returns the coordinates of node n.
+func (m *Mesh) XY(n NodeID) (x, y int) {
+	return int(n) % m.W, int(n) / m.W
+}
+
+func (m *Mesh) Neighbor(n NodeID, p int) NodeID {
+	x, y := m.XY(n)
+	switch p {
+	case North:
+		y++
+	case East:
+		x++
+	case South:
+		y--
+	case West:
+		x--
+	default:
+		return Invalid
+	}
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		return Invalid
+	}
+	return m.Node(x, y)
+}
+
+func (m *Mesh) PortTo(n, o NodeID) (int, bool) {
+	nx, ny := m.XY(n)
+	ox, oy := m.XY(o)
+	dx, dy := ox-nx, oy-ny
+	switch {
+	case dx == 0 && dy == 1:
+		return North, true
+	case dx == 1 && dy == 0:
+		return East, true
+	case dx == 0 && dy == -1:
+		return South, true
+	case dx == -1 && dy == 0:
+		return West, true
+	}
+	return 0, false
+}
+
+// Dist returns the Manhattan distance between nodes a and b.
+func (m *Mesh) Dist(a, b NodeID) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// MinimalPorts returns the mesh ports that lead strictly closer to dst
+// from cur (the "profitable" directions). It returns nil when cur == dst.
+func (m *Mesh) MinimalPorts(cur, dst NodeID) []int {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	var out []int
+	if dy > cy {
+		out = append(out, North)
+	}
+	if dx > cx {
+		out = append(out, East)
+	}
+	if dy < cy {
+		out = append(out, South)
+	}
+	if dx < cx {
+		out = append(out, West)
+	}
+	return out
+}
+
+// Torus is a W x H 2-D torus (mesh with wrap-around links). It shares
+// the mesh port numbering; every port of every node is connected. The
+// torus is not used by the paper's two case studies but is provided for
+// the extension experiments (fault-tolerant routing in tori is the
+// subject of several of the paper's references).
+type Torus struct {
+	W, H int
+}
+
+// NewTorus builds a W x H torus. Both dimensions must be at least 3 so
+// that wrap-around links are distinct from mesh links.
+func NewTorus(w, h int) *Torus {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("topology: invalid torus dimensions %dx%d (need >=3)", w, h))
+	}
+	return &Torus{W: w, H: h}
+}
+
+func (t *Torus) Name() string          { return fmt.Sprintf("torus%dx%d", t.W, t.H) }
+func (t *Torus) Nodes() int            { return t.W * t.H }
+func (t *Torus) Ports() int            { return MeshPorts }
+func (t *Torus) PortName(p int) string { return meshPortNames[p] }
+
+// Node returns the NodeID of coordinates (x,y) taken modulo the torus
+// dimensions.
+func (t *Torus) Node(x, y int) NodeID {
+	x = ((x % t.W) + t.W) % t.W
+	y = ((y % t.H) + t.H) % t.H
+	return NodeID(y*t.W + x)
+}
+
+// XY returns the coordinates of node n.
+func (t *Torus) XY(n NodeID) (x, y int) {
+	return int(n) % t.W, int(n) / t.W
+}
+
+func (t *Torus) Neighbor(n NodeID, p int) NodeID {
+	x, y := t.XY(n)
+	switch p {
+	case North:
+		y++
+	case East:
+		x++
+	case South:
+		y--
+	case West:
+		x--
+	default:
+		return Invalid
+	}
+	return t.Node(x, y)
+}
+
+func (t *Torus) PortTo(n, o NodeID) (int, bool) {
+	for p := 0; p < MeshPorts; p++ {
+		if t.Neighbor(n, p) == o {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Dist returns the wrap-around Manhattan distance between a and b.
+func (t *Torus) Dist(a, b NodeID) int {
+	ax, ay := t.XY(a)
+	bx, by := t.XY(b)
+	dx := abs(ax - bx)
+	if t.W-dx < dx {
+		dx = t.W - dx
+	}
+	dy := abs(ay - by)
+	if t.H-dy < dy {
+		dy = t.H - dy
+	}
+	return dx + dy
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

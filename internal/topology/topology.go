@@ -1,0 +1,142 @@
+// Package topology provides the interconnection-network topologies used
+// by the fault-tolerant router reproduction: two-dimensional meshes,
+// hypercubes and tori, together with the graph algorithms (breadth-first
+// search, spanning trees, connectivity, minimal-path port sets) that the
+// routing algorithms and the evaluation harness rely on.
+//
+// A topology is exposed through the Graph interface, which is
+// port-indexed: every node has a fixed number of ports and each port
+// either connects to a neighbouring node or is unconnected (e.g. mesh
+// border ports). Routing algorithms address output links by port number,
+// exactly as a hardware router does.
+package topology
+
+import "fmt"
+
+// NodeID identifies a node (router) of a topology. IDs are dense and run
+// from 0 to Nodes()-1.
+type NodeID int
+
+// Invalid is returned by Neighbor for unconnected ports.
+const Invalid NodeID = -1
+
+// Graph is a port-indexed interconnection topology. Implementations must
+// be immutable after construction so they can be shared between
+// goroutines without synchronisation.
+type Graph interface {
+	// Name returns a short human-readable identifier, e.g. "mesh8x8".
+	Name() string
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Ports returns the number of router ports per node (the maximum
+	// degree). Ports are numbered 0..Ports()-1; the local
+	// injection/ejection port is not counted.
+	Ports() int
+	// Neighbor returns the node connected to port p of node n, or
+	// Invalid if that port is unconnected.
+	Neighbor(n NodeID, p int) NodeID
+	// PortTo returns the port of n that connects to m and true, or
+	// 0,false if n and m are not adjacent.
+	PortTo(n, m NodeID) (int, bool)
+	// PortName returns a human-readable name for port p ("north",
+	// "dim2", ...). It must be valid for 0 <= p < Ports().
+	PortName(p int) string
+}
+
+// Link is an undirected link between two adjacent nodes, in canonical
+// form (A < B). The paper's fault model (assumption i) treats both
+// directions of a link as failing together, so links are undirected.
+type Link struct {
+	A, B NodeID
+}
+
+// MakeLink builds the canonical (A < B) form of the link between a and b.
+func MakeLink(a, b NodeID) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{A: a, B: b}
+}
+
+func (l Link) String() string { return fmt.Sprintf("%d-%d", l.A, l.B) }
+
+// Other returns the endpoint of l that is not n. It panics if n is not
+// an endpoint of l.
+func (l Link) Other(n NodeID) NodeID {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	}
+	panic(fmt.Sprintf("topology: node %d is not an endpoint of link %s", n, l))
+}
+
+// Links enumerates every link of g in canonical form, each exactly once.
+func Links(g Graph) []Link {
+	seen := make(map[Link]bool)
+	var out []Link
+	for n := 0; n < g.Nodes(); n++ {
+		for p := 0; p < g.Ports(); p++ {
+			m := g.Neighbor(NodeID(n), p)
+			if m == Invalid {
+				continue
+			}
+			l := MakeLink(NodeID(n), m)
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// Degree returns the number of connected ports of node n.
+func Degree(g Graph, n NodeID) int {
+	d := 0
+	for p := 0; p < g.Ports(); p++ {
+		if g.Neighbor(n, p) != Invalid {
+			d++
+		}
+	}
+	return d
+}
+
+// Validate performs structural sanity checks on a topology: symmetric
+// adjacency, consistent PortTo, and in-range neighbours. It is used by
+// tests and by constructors of derived structures.
+func Validate(g Graph) error {
+	n := g.Nodes()
+	if n <= 0 {
+		return fmt.Errorf("topology %s: no nodes", g.Name())
+	}
+	for v := 0; v < n; v++ {
+		for p := 0; p < g.Ports(); p++ {
+			m := g.Neighbor(NodeID(v), p)
+			if m == Invalid {
+				continue
+			}
+			if m < 0 || int(m) >= n {
+				return fmt.Errorf("topology %s: node %d port %d -> out of range node %d", g.Name(), v, p, m)
+			}
+			if m == NodeID(v) {
+				return fmt.Errorf("topology %s: node %d port %d is a self loop", g.Name(), v, p)
+			}
+			// Symmetry: m must have some port back to v.
+			back, ok := g.PortTo(m, NodeID(v))
+			if !ok {
+				return fmt.Errorf("topology %s: link %d->%d not symmetric", g.Name(), v, m)
+			}
+			if g.Neighbor(m, back) != NodeID(v) {
+				return fmt.Errorf("topology %s: PortTo(%d,%d)=%d inconsistent", g.Name(), m, v, back)
+			}
+			// PortTo must agree with Neighbor.
+			fp, ok := g.PortTo(NodeID(v), m)
+			if !ok || g.Neighbor(NodeID(v), fp) != m {
+				return fmt.Errorf("topology %s: PortTo(%d,%d) inconsistent", g.Name(), v, m)
+			}
+		}
+	}
+	return nil
+}

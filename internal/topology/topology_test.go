@@ -1,0 +1,424 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m := NewMesh(4, 3)
+	if got := m.Nodes(); got != 12 {
+		t.Fatalf("Nodes() = %d, want 12", got)
+	}
+	if got := m.Ports(); got != 4 {
+		t.Fatalf("Ports() = %d, want 4", got)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Corner (0,0): only north and east connected.
+	n := m.Node(0, 0)
+	if m.Neighbor(n, South) != Invalid || m.Neighbor(n, West) != Invalid {
+		t.Errorf("corner (0,0) should have no south/west neighbours")
+	}
+	if m.Neighbor(n, North) != m.Node(0, 1) {
+		t.Errorf("north of (0,0) = %d, want %d", m.Neighbor(n, North), m.Node(0, 1))
+	}
+	if m.Neighbor(n, East) != m.Node(1, 0) {
+		t.Errorf("east of (0,0) = %d, want %d", m.Neighbor(n, East), m.Node(1, 0))
+	}
+	// XY round-trips.
+	for id := 0; id < m.Nodes(); id++ {
+		x, y := m.XY(NodeID(id))
+		if m.Node(x, y) != NodeID(id) {
+			t.Fatalf("XY/Node roundtrip failed for %d", id)
+		}
+	}
+}
+
+func TestMeshLinksCount(t *testing.T) {
+	// W x H mesh has H*(W-1) + W*(H-1) links.
+	for _, tc := range []struct{ w, h int }{{2, 2}, {4, 4}, {5, 3}, {1, 7}, {8, 8}} {
+		m := NewMesh(tc.w, tc.h)
+		want := tc.h*(tc.w-1) + tc.w*(tc.h-1)
+		if got := len(Links(m)); got != want {
+			t.Errorf("mesh %dx%d: %d links, want %d", tc.w, tc.h, got, want)
+		}
+	}
+}
+
+func TestMeshDistAndMinimalPorts(t *testing.T) {
+	m := NewMesh(5, 5)
+	a, b := m.Node(1, 1), m.Node(4, 3)
+	if d := m.Dist(a, b); d != 5 {
+		t.Fatalf("Dist = %d, want 5", d)
+	}
+	ports := m.MinimalPorts(a, b)
+	if len(ports) != 2 {
+		t.Fatalf("MinimalPorts = %v, want 2 ports", ports)
+	}
+	hasN, hasE := false, false
+	for _, p := range ports {
+		if p == North {
+			hasN = true
+		}
+		if p == East {
+			hasE = true
+		}
+	}
+	if !hasN || !hasE {
+		t.Fatalf("MinimalPorts = %v, want {north,east}", ports)
+	}
+	if got := m.MinimalPorts(a, a); got != nil {
+		t.Fatalf("MinimalPorts(a,a) = %v, want nil", got)
+	}
+}
+
+// Property: every minimal port reduces the distance by exactly one.
+func TestMeshMinimalPortsProperty(t *testing.T) {
+	m := NewMesh(7, 6)
+	f := func(ai, bi uint) bool {
+		a := NodeID(ai % uint(m.Nodes()))
+		b := NodeID(bi % uint(m.Nodes()))
+		for _, p := range m.MinimalPorts(a, b) {
+			nb := m.Neighbor(a, p)
+			if nb == Invalid || m.Dist(nb, b) != m.Dist(a, b)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorus(t *testing.T) {
+	tor := NewTorus(4, 4)
+	if err := Validate(tor); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every node has degree 4.
+	for n := 0; n < tor.Nodes(); n++ {
+		if d := Degree(tor, NodeID(n)); d != 4 {
+			t.Fatalf("torus node %d degree %d, want 4", n, d)
+		}
+	}
+	// Wraparound distance: (0,0) to (3,0) is 1 hop.
+	if d := tor.Dist(tor.Node(0, 0), tor.Node(3, 0)); d != 1 {
+		t.Fatalf("torus wrap dist = %d, want 1", d)
+	}
+	// 2*W*H links.
+	if got, want := len(Links(tor)), 2*4*4; got != want {
+		t.Fatalf("torus links = %d, want %d", got, want)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	h := NewHypercube(4)
+	if err := Validate(h); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.Nodes() != 16 || h.Ports() != 4 {
+		t.Fatalf("unexpected size: %d nodes, %d ports", h.Nodes(), h.Ports())
+	}
+	// d * 2^(d-1) links.
+	if got, want := len(Links(h)), 4*8; got != want {
+		t.Fatalf("links = %d, want %d", got, want)
+	}
+	if d := h.Dist(0, 0b1011); d != 3 {
+		t.Fatalf("Dist(0,1011b) = %d, want 3", d)
+	}
+	mp := h.MinimalPorts(0, 0b1011)
+	if len(mp) != 3 {
+		t.Fatalf("MinimalPorts = %v, want 3 entries", mp)
+	}
+}
+
+func TestHypercubeUpDownPorts(t *testing.T) {
+	h := NewHypercube(4)
+	cur, dst := NodeID(0b0101), NodeID(0b1010) // differ in all 4 bits
+	up := h.UpPorts(cur, dst)
+	down := h.DownPorts(cur, dst)
+	if len(up)+len(down) != 4 {
+		t.Fatalf("up %v + down %v should cover 4 dims", up, down)
+	}
+	for _, p := range up {
+		if cur&(1<<p) != 0 {
+			t.Errorf("up port %d should flip a 0 bit of cur", p)
+		}
+	}
+	for _, p := range down {
+		if cur&(1<<p) == 0 {
+			t.Errorf("down port %d should flip a 1 bit of cur", p)
+		}
+	}
+}
+
+// Property: hypercube PortTo and Neighbor are mutually consistent for
+// random node pairs.
+func TestHypercubePortToProperty(t *testing.T) {
+	h := NewHypercube(6)
+	f := func(ai, bi uint) bool {
+		a := NodeID(ai % uint(h.Nodes()))
+		b := NodeID(bi % uint(h.Nodes()))
+		p, ok := h.PortTo(a, b)
+		if ok {
+			return h.Neighbor(a, p) == b && h.Dist(a, b) == 1
+		}
+		return h.Dist(a, b) != 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDist(t *testing.T) {
+	m := NewMesh(4, 4)
+	dist := BFSDist(m, m.Node(0, 0), nil)
+	for n := 0; n < m.Nodes(); n++ {
+		if dist[n] != m.Dist(m.Node(0, 0), NodeID(n)) {
+			t.Fatalf("BFS dist to %d = %d, want %d", n, dist[n], m.Dist(m.Node(0, 0), NodeID(n)))
+		}
+	}
+}
+
+func TestBFSDistWithFilter(t *testing.T) {
+	m := NewMesh(3, 3)
+	// Cut the middle column's vertical links to force detours.
+	blocked := map[Link]bool{
+		MakeLink(m.Node(1, 0), m.Node(1, 1)): true,
+		MakeLink(m.Node(1, 1), m.Node(1, 2)): true,
+	}
+	f := &Filter{LinkUp: func(a, b NodeID) bool { return !blocked[MakeLink(a, b)] }}
+	dist := BFSDist(m, m.Node(1, 0), f)
+	// (1,1) now requires going around: (1,0)->(0,0)->(0,1)->(1,1) = 3.
+	if dist[m.Node(1, 1)] != 3 {
+		t.Fatalf("detour dist = %d, want 3", dist[m.Node(1, 1)])
+	}
+}
+
+func TestBFSDistFaultySource(t *testing.T) {
+	m := NewMesh(3, 3)
+	f := &Filter{NodeUp: func(n NodeID) bool { return n != m.Node(0, 0) }}
+	dist := BFSDist(m, m.Node(0, 0), f)
+	for _, d := range dist {
+		if d != -1 {
+			t.Fatal("faulty source should reach nothing")
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	m := NewMesh(4, 1) // a path of 4 nodes
+	f := &Filter{NodeUp: func(n NodeID) bool { return n != 1 }}
+	comps := Components(m, f)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2 (%v)", len(comps), comps)
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[1] || !sizes[2] {
+		t.Fatalf("component sizes %v, want {1,2}", comps)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	m := NewMesh(4, 4)
+	tree := BuildSpanningTree(m, m.Node(0, 0), nil)
+	if tree.TreeEdgeCount() != m.Nodes()-1 {
+		t.Fatalf("tree edges = %d, want %d", tree.TreeEdgeCount(), m.Nodes()-1)
+	}
+	// Every node reachable, depth equals BFS distance from root.
+	for n := 0; n < m.Nodes(); n++ {
+		if !tree.Contains(NodeID(n)) {
+			t.Fatalf("node %d missing from tree", n)
+		}
+		if tree.Depth[n] != m.Dist(m.Node(0, 0), NodeID(n)) {
+			t.Fatalf("depth(%d) = %d, want BFS dist %d", n, tree.Depth[n], m.Dist(m.Node(0, 0), NodeID(n)))
+		}
+	}
+}
+
+func TestSpanningTreeNextHopWalk(t *testing.T) {
+	m := NewMesh(5, 4)
+	tree := BuildSpanningTree(m, m.Node(2, 2), nil)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		src := NodeID(rng.Intn(m.Nodes()))
+		dst := NodeID(rng.Intn(m.Nodes()))
+		if src == dst {
+			continue
+		}
+		cur := src
+		steps := 0
+		for cur != dst {
+			next := tree.NextHop(cur, dst)
+			if next == Invalid {
+				t.Fatalf("NextHop(%d,%d) invalid", cur, dst)
+			}
+			if !tree.TreeLink(cur, next) {
+				t.Fatalf("NextHop hop %d->%d is not a tree edge", cur, next)
+			}
+			cur = next
+			steps++
+			if steps > m.Nodes()*2 {
+				t.Fatalf("walk %d->%d did not terminate", src, dst)
+			}
+		}
+		if want := tree.PathLen(src, dst); steps != want {
+			t.Fatalf("walk %d->%d took %d steps, PathLen says %d", src, dst, steps, want)
+		}
+	}
+}
+
+func TestSpanningTreeWithFaults(t *testing.T) {
+	m := NewMesh(4, 4)
+	f := &Filter{NodeUp: func(n NodeID) bool { return n != m.Node(1, 1) && n != m.Node(2, 2) }}
+	tree := BuildSpanningTree(m, m.Node(0, 0), f)
+	reach := 0
+	for n := 0; n < m.Nodes(); n++ {
+		if tree.Contains(NodeID(n)) {
+			reach++
+		}
+	}
+	if reach != 14 { // 16 nodes - 2 faulty, rest still connected
+		t.Fatalf("tree covers %d nodes, want 14", reach)
+	}
+	if tree.Contains(m.Node(1, 1)) {
+		t.Fatal("faulty node must not be in tree")
+	}
+}
+
+func TestCountMinimalPaths(t *testing.T) {
+	m := NewMesh(5, 5)
+	// (0,0)->(2,2): C(4,2) = 6 minimal paths.
+	got := CountMinimalPaths(m, m.Node(0, 0), m.Node(2, 2), nil, 0)
+	if got != 6 {
+		t.Fatalf("minimal paths = %d, want 6", got)
+	}
+	// Hypercube 0 -> node with k bits set: k! paths.
+	h := NewHypercube(4)
+	if got := CountMinimalPaths(h, 0, 0b0111, nil, 0); got != 6 {
+		t.Fatalf("hypercube minimal paths = %d, want 3! = 6", got)
+	}
+	// Saturation cap.
+	big := NewMesh(12, 12)
+	capped := CountMinimalPaths(big, big.Node(0, 0), big.Node(11, 11), nil, 1000)
+	if capped != 1000 {
+		t.Fatalf("capped count = %d, want 1000", capped)
+	}
+}
+
+func TestCountMinimalPathsWithFault(t *testing.T) {
+	m := NewMesh(3, 3)
+	// (0,0)->(2,2) has 6 minimal paths; removing centre node (1,1)
+	// leaves only the two border paths.
+	f := &Filter{NodeUp: func(n NodeID) bool { return n != m.Node(1, 1) }}
+	if got := CountMinimalPaths(m, m.Node(0, 0), m.Node(2, 2), f, 0); got != 2 {
+		t.Fatalf("minimal paths avoiding centre = %d, want 2", got)
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	l := MakeLink(5, 3)
+	if l.A != 3 || l.B != 5 {
+		t.Fatalf("MakeLink not canonical: %+v", l)
+	}
+	if l.Other(3) != 5 || l.Other(5) != 3 {
+		t.Fatal("Other is wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other with non-endpoint should panic")
+		}
+	}()
+	l.Other(7)
+}
+
+func TestOppositeMeshPort(t *testing.T) {
+	if OppositeMeshPort(North) != South || OppositeMeshPort(South) != North ||
+		OppositeMeshPort(East) != West || OppositeMeshPort(West) != East {
+		t.Fatal("OppositeMeshPort wrong")
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	if err := Validate(badGraph{}); err == nil {
+		t.Fatal("Validate should reject an asymmetric graph")
+	}
+}
+
+// badGraph has a one-directional edge 0->1.
+type badGraph struct{}
+
+func (badGraph) Name() string        { return "bad" }
+func (badGraph) Nodes() int          { return 2 }
+func (badGraph) Ports() int          { return 1 }
+func (badGraph) PortName(int) string { return "p" }
+func (badGraph) Neighbor(n NodeID, p int) NodeID {
+	if n == 0 {
+		return 1
+	}
+	return Invalid
+}
+func (badGraph) PortTo(n, m NodeID) (int, bool) {
+	if n == 0 && m == 1 {
+		return 0, true
+	}
+	return 0, false
+}
+
+func TestIrregularBasics(t *testing.T) {
+	g, err := NewIrregular("tri", 4, []Link{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 4 || g.Ports() != 3 {
+		t.Fatalf("nodes=%d ports=%d", g.Nodes(), g.Ports())
+	}
+	if Degree(g, 2) != 3 || Degree(g, 3) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	// Errors.
+	if _, err := NewIrregular("x", 2, []Link{{0, 0}}); err == nil {
+		t.Fatal("self loop should fail")
+	}
+	if _, err := NewIrregular("x", 2, []Link{{0, 1}, {1, 0}}); err == nil {
+		t.Fatal("duplicate edge should fail")
+	}
+	if _, err := NewIrregular("x", 2, []Link{{0, 5}}); err == nil {
+		t.Fatal("out of range edge should fail")
+	}
+	if _, err := NewIrregular("x", 2, nil); err == nil {
+		t.Fatal("no links should fail")
+	}
+}
+
+func TestRandomIrregularConnectedAndValid(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := RandomIrregular(20, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if comps := Components(g, nil); len(comps) != 1 {
+			t.Fatalf("seed %d: %d components", seed, len(comps))
+		}
+	}
+	// Deterministic in the seed.
+	a, _ := RandomIrregular(12, 4, 7)
+	b, _ := RandomIrregular(12, 4, 7)
+	for n := 0; n < a.Nodes(); n++ {
+		for p := 0; p < a.Ports(); p++ {
+			if a.Neighbor(NodeID(n), p) != b.Neighbor(NodeID(n), p) {
+				t.Fatal("RandomIrregular not deterministic")
+			}
+		}
+	}
+}

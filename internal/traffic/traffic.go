@@ -1,0 +1,286 @@
+// Package traffic provides synthetic workload generation for the
+// network simulator: the classic spatial patterns used in wormhole
+// routing evaluations (uniform random, transpose, bit complement, bit
+// reversal, tornado, hot spot, nearest neighbour) and a Bernoulli
+// injection process parameterised by offered load in flits per node
+// and cycle.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// Pattern maps a source node to a destination node. Implementations
+// may be randomised (drawing from rng) or deterministic permutations.
+// A pattern may return the source itself; callers skip such pairs.
+type Pattern interface {
+	Name() string
+	Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID
+}
+
+// Uniform sends each message to a destination drawn uniformly from all
+// nodes.
+type Uniform struct{ Nodes int }
+
+func (u Uniform) Name() string { return "uniform" }
+func (u Uniform) Dest(_ topology.NodeID, rng *rand.Rand) topology.NodeID {
+	return topology.NodeID(rng.Intn(u.Nodes))
+}
+
+// Transpose sends (x,y) to (y,x) on a square mesh — an adversarial
+// permutation for dimension-order routing.
+type Transpose struct{ Mesh *topology.Mesh }
+
+func (t Transpose) Name() string { return "transpose" }
+func (t Transpose) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	x, y := t.Mesh.XY(src)
+	if x >= t.Mesh.H || y >= t.Mesh.W {
+		return src // non-square corner: keep local
+	}
+	return t.Mesh.Node(y, x)
+}
+
+// BitComplement sends node b to ^b (mod the node count, which must be
+// a power of two).
+type BitComplement struct{ Nodes int }
+
+func (BitComplement) Name() string { return "bitcomplement" }
+func (b BitComplement) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	return topology.NodeID((^int(src)) & (b.Nodes - 1))
+}
+
+// BitReverse sends node b to the bit-reversal of its address (node
+// count must be a power of two).
+type BitReverse struct{ Bits int }
+
+func (BitReverse) Name() string { return "bitreverse" }
+func (b BitReverse) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	r := bits.Reverse32(uint32(src)) >> (32 - b.Bits)
+	return topology.NodeID(r)
+}
+
+// Tornado sends (x,y) to (x + W/2 - 1 mod W, y) on a mesh/torus row —
+// the classic load-imbalance pattern.
+type Tornado struct{ Mesh *topology.Mesh }
+
+func (Tornado) Name() string { return "tornado" }
+func (t Tornado) Dest(src topology.NodeID, _ *rand.Rand) topology.NodeID {
+	x, y := t.Mesh.XY(src)
+	return t.Mesh.Node((x+t.Mesh.W/2-1)%t.Mesh.W, y)
+}
+
+// Hotspot sends a fraction of traffic to dedicated hot nodes and the
+// rest uniformly.
+type Hotspot struct {
+	Nodes    int
+	Hot      []topology.NodeID
+	Fraction float64 // probability of choosing a hot node
+}
+
+func (Hotspot) Name() string { return "hotspot" }
+func (h Hotspot) Dest(_ topology.NodeID, rng *rand.Rand) topology.NodeID {
+	if len(h.Hot) > 0 && rng.Float64() < h.Fraction {
+		return h.Hot[rng.Intn(len(h.Hot))]
+	}
+	return topology.NodeID(rng.Intn(h.Nodes))
+}
+
+// Neighbor sends each message to a random direct neighbour (locality
+// pattern).
+type Neighbor struct{ Graph topology.Graph }
+
+func (Neighbor) Name() string { return "neighbor" }
+func (n Neighbor) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	ports := n.Graph.Ports()
+	for try := 0; try < 2*ports; try++ {
+		m := n.Graph.Neighbor(src, rng.Intn(ports))
+		if m != topology.Invalid {
+			return m
+		}
+	}
+	return src
+}
+
+// Generator drives Bernoulli message injection into a Network.
+type Generator struct {
+	Graph   topology.Graph
+	Pattern Pattern
+	// Rate is the offered load in flits per node per cycle; the
+	// per-cycle message probability per node is Rate/Length.
+	Rate float64
+	// Length is the message length in flits (>= 2).
+	Length int
+	// Rng drives the Bernoulli process (required, for determinism).
+	Rng *rand.Rand
+	// Exclude, when non-nil, suppresses sources and destinations for
+	// which it returns true (faulty or deactivated nodes, assumption
+	// iii of the fault model).
+	Exclude func(topology.NodeID) bool
+
+	// Offered counts messages handed to the network.
+	Offered int64
+}
+
+// Validate checks the generator configuration.
+func (g *Generator) Validate() error {
+	if g.Graph == nil || g.Pattern == nil || g.Rng == nil {
+		return fmt.Errorf("traffic: Generator needs Graph, Pattern and Rng")
+	}
+	if g.Length < 2 {
+		return fmt.Errorf("traffic: message length %d < 2", g.Length)
+	}
+	if g.Rate < 0 || g.Rate > float64(g.Graph.Ports()) {
+		return fmt.Errorf("traffic: rate %f out of range", g.Rate)
+	}
+	return nil
+}
+
+// Tick injects this cycle's messages into net. Call once per
+// simulation cycle before net.Step().
+func (g *Generator) Tick(net *network.Network) {
+	p := g.Rate / float64(g.Length)
+	for s := 0; s < g.Graph.Nodes(); s++ {
+		src := topology.NodeID(s)
+		if g.Exclude != nil && g.Exclude(src) {
+			continue
+		}
+		if g.Rng.Float64() >= p {
+			continue
+		}
+		dst := g.Pattern.Dest(src, g.Rng)
+		if dst == src {
+			continue
+		}
+		if g.Exclude != nil && g.Exclude(dst) {
+			continue
+		}
+		net.Inject(src, dst, g.Length)
+		g.Offered++
+	}
+}
+
+// LengthDist draws message lengths (flits). Implementations must be
+// deterministic given the rng.
+type LengthDist interface {
+	Name() string
+	Draw(rng *rand.Rand) int
+}
+
+// FixedLength always returns L.
+type FixedLength struct{ L int }
+
+func (f FixedLength) Name() string        { return fmt.Sprintf("fixed%d", f.L) }
+func (f FixedLength) Draw(*rand.Rand) int { return f.L }
+
+// Bimodal mixes short control messages and long data messages — the
+// classic multicomputer workload shape (the paper's Section 2.1 notes
+// header reinjection is cheap "for a few messages" but impractical
+// "for very long messages").
+type Bimodal struct {
+	Short, Long int
+	// LongFraction is the probability of drawing Long.
+	LongFraction float64
+}
+
+func (b Bimodal) Name() string { return fmt.Sprintf("bimodal%d/%d", b.Short, b.Long) }
+func (b Bimodal) Draw(rng *rand.Rand) int {
+	if rng.Float64() < b.LongFraction {
+		return b.Long
+	}
+	return b.Short
+}
+
+// UniformLength draws uniformly from [Lo, Hi].
+type UniformLength struct{ Lo, Hi int }
+
+func (u UniformLength) Name() string { return fmt.Sprintf("ulen%d-%d", u.Lo, u.Hi) }
+func (u UniformLength) Draw(rng *rand.Rand) int {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + rng.Intn(u.Hi-u.Lo+1)
+}
+
+// BurstyGenerator wraps message injection in an on/off (two-state
+// Markov) process per node: during ON periods the node injects at the
+// configured rate, during OFF periods it is silent. Mean load equals
+// Rate * OnFraction.
+type BurstyGenerator struct {
+	Graph   topology.Graph
+	Pattern Pattern
+	// Rate is the offered load during ON periods (flits/node/cycle).
+	Rate float64
+	// Lengths draws the message length (falls back to 8 if nil).
+	Lengths LengthDist
+	Rng     *rand.Rand
+	Exclude func(topology.NodeID) bool
+	// MeanOn/MeanOff are the expected period lengths in cycles.
+	MeanOn, MeanOff float64
+
+	on      []bool
+	Offered int64
+}
+
+// Validate checks the configuration.
+func (g *BurstyGenerator) Validate() error {
+	if g.Graph == nil || g.Pattern == nil || g.Rng == nil {
+		return fmt.Errorf("traffic: BurstyGenerator needs Graph, Pattern and Rng")
+	}
+	if g.MeanOn < 1 || g.MeanOff < 1 {
+		return fmt.Errorf("traffic: burst periods must be >= 1 cycle")
+	}
+	if g.Rate < 0 || g.Rate > float64(g.Graph.Ports()) {
+		return fmt.Errorf("traffic: rate %f out of range", g.Rate)
+	}
+	return nil
+}
+
+// Tick injects this cycle's messages.
+func (g *BurstyGenerator) Tick(net *network.Network) {
+	if g.on == nil {
+		g.on = make([]bool, g.Graph.Nodes())
+		for i := range g.on {
+			g.on[i] = g.Rng.Float64() < g.MeanOn/(g.MeanOn+g.MeanOff)
+		}
+	}
+	lengths := g.Lengths
+	if lengths == nil {
+		lengths = FixedLength{L: 8}
+	}
+	for s := 0; s < g.Graph.Nodes(); s++ {
+		src := topology.NodeID(s)
+		// Geometric state transitions give the configured mean period
+		// lengths.
+		if g.on[s] {
+			if g.Rng.Float64() < 1/g.MeanOn {
+				g.on[s] = false
+			}
+		} else if g.Rng.Float64() < 1/g.MeanOff {
+			g.on[s] = true
+		}
+		if !g.on[s] {
+			continue
+		}
+		if g.Exclude != nil && g.Exclude(src) {
+			continue
+		}
+		length := lengths.Draw(g.Rng)
+		if g.Rng.Float64() >= g.Rate/float64(length) {
+			continue
+		}
+		dst := g.Pattern.Dest(src, g.Rng)
+		if dst == src {
+			continue
+		}
+		if g.Exclude != nil && g.Exclude(dst) {
+			continue
+		}
+		net.Inject(src, dst, length)
+		g.Offered++
+	}
+}
