@@ -1,0 +1,21 @@
+#!/bin/sh
+# ci.sh — the repository's gate, in dependency order:
+#   1. go vet     static checks
+#   2. go build   everything compiles
+#   3. go test -race   full suite under the race detector (the trace
+#      subsystem's one-recorder-per-job discipline is only proven here)
+#
+# Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ci.sh: all green"

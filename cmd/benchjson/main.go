@@ -1,0 +1,169 @@
+// Command benchjson runs the repository benchmarks and emits a
+// machine-readable snapshot:
+//
+//	go run ./cmd/benchjson                 # writes BENCH_<date>.json
+//	go run ./cmd/benchjson -bench Sim -out -   # subset, to stdout
+//
+// The snapshot records ns/op, B/op, allocs/op and any custom metrics
+// (b.ReportMetric) per benchmark, so successive PRs can diff
+// performance without re-parsing `go test` text output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"` // the -N suffix (GOMAXPROCS)
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"` // b.ReportMetric values
+}
+
+// Snapshot is the written file.
+type Snapshot struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Benchtime string        `json:"benchtime"`
+	Results   []BenchResult `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", ".", "benchmark name regex (go test -bench)")
+	benchtime := fs.String("benchtime", "1x", "go test -benchtime value")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	out := fs.String("out", "", `output path ("-" for stdout; default BENCH_<date>.json)`)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	cmd := exec.Command("go", "test", "-run=^$", "-bench="+*bench,
+		"-benchtime="+*benchtime, "-benchmem", *pkg)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson: go test:", err)
+		return 1
+	}
+	results, err := ParseBenchOutput(strings.NewReader(string(raw)))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines in go test output")
+		return 1
+	}
+	snap := Snapshot{
+		Date: date, GoVersion: runtime.Version(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Benchtime: *benchtime, Results: results,
+	}
+	var w io.Writer = stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if path != "-" {
+		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(results))
+	}
+	return 0
+}
+
+// ParseBenchOutput extracts benchmark result lines from `go test
+// -bench` text output. Lines that are not benchmark results (headers,
+// PASS/ok, prints) are skipped.
+func ParseBenchOutput(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: Name-N  iterations  value unit ...
+		if len(fields) < 4 {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a print that happens to start with "Benchmark"
+		}
+		res := BenchResult{Name: name, Procs: procs, Iterations: iters}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// splitProcs separates the -N GOMAXPROCS suffix from a benchmark name.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return s, 1
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return s, 1
+	}
+	return s[:i], n
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.00GHz
+BenchmarkTable1_NAFTARuleBases-8   	      10	   1234567 ns/op	  204800 B/op	    1024 allocs/op
+BenchmarkSimulatorThroughput-8     	       1	526000000 ns/op	      1902 sim-cycles/s	 1048576 B/op	    9999 allocs/op
+BenchmarkRouteDecision-8           	 1000000	      1167 ns/op	     120 B/op	       3 allocs/op
+BenchmarkNoMem                     	     500	      2000 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkTable1_NAFTARuleBases" || r.Procs != 8 ||
+		r.Iterations != 10 || r.NsPerOp != 1234567 ||
+		r.BytesPerOp != 204800 || r.AllocsOp != 1024 {
+		t.Fatalf("first result %+v", r)
+	}
+	// Custom b.ReportMetric units land in Extra.
+	sim := results[1]
+	if sim.Extra["sim-cycles/s"] != 1902 {
+		t.Fatalf("extra metrics %+v", sim.Extra)
+	}
+	if sim.NsPerOp != 526000000 || sim.AllocsOp != 9999 {
+		t.Fatalf("sim result %+v", sim)
+	}
+	// No -benchmem columns and no -N suffix still parse.
+	nm := results[3]
+	if nm.Name != "BenchmarkNoMem" || nm.Procs != 1 || nm.NsPerOp != 2000 ||
+		nm.BytesPerOp != 0 || nm.AllocsOp != 0 {
+		t.Fatalf("no-mem result %+v", nm)
+	}
+}
+
+func TestParseBenchOutputSkipsNoise(t *testing.T) {
+	noise := "Benchmarking is fun\nBenchmark\nok repro 1s\n"
+	results, err := ParseBenchOutput(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise parsed as %d results", len(results))
+	}
+}
+
+func TestParseBenchOutputBadValue(t *testing.T) {
+	bad := "BenchmarkX-4  10  abc ns/op\n"
+	if _, err := ParseBenchOutput(strings.NewReader(bad)); err == nil {
+		t.Fatal("corrupt value should error")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, c := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkE7_LatencyVsLoad-16", "BenchmarkE7_LatencyVsLoad", 16},
+		{"Benchmark-abc", "Benchmark-abc", 1},
+	} {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q,%d want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

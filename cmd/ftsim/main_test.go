@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func TestParseTopo(t *testing.T) {
@@ -83,5 +90,146 @@ func TestParsePattern(t *testing.T) {
 	}
 	if _, err := parsePattern("nosuch", mesh); err == nil {
 		t.Error("unknown pattern should fail")
+	}
+}
+
+// TestRunFlagValidation: unknown choices must list the valid ones and
+// exit non-zero.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error text must carry
+	}{
+		{[]string{"-alg", "nosuch", "-topo", "mesh4x4"}, "valid: xy, nara, nafta"},
+		{[]string{"-topo", "ring9"}, "valid forms: meshWxH, torusWxH, cubeD"},
+		{[]string{"-topo", "mesh4x4", "-pattern", "nosuch"}, "valid: uniform, transpose"},
+		{[]string{"-topo", "mesh4x4", "-trace", t.TempDir() + "/x", "-trace-format", "xml"}, "jsonl"},
+		{[]string{"-no-such-flag"}, "-no-such-flag"},
+	}
+	for _, c := range cases {
+		var out, errBuf bytes.Buffer
+		code := run(c.args, &out, &errBuf)
+		if code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", c.args)
+		}
+		if !strings.Contains(errBuf.String(), c.want) {
+			t.Errorf("run(%v) stderr %q missing %q", c.args, errBuf.String(), c.want)
+		}
+	}
+}
+
+// TestRunChromeTrace is the end-to-end acceptance check: a mesh NAFTA
+// run with -trace-format=chrome produces a file that parses as valid
+// JSON with trace_event entries.
+func TestRunChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-topo", "mesh4x4", "-alg", "nafta", "-rate", "0.05",
+		"-warmup", "100", "-measure", "400",
+		"-trace", path, "-trace-format", "chrome",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errBuf.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("chrome trace is empty")
+	}
+	phases := map[string]bool{}
+	for _, e := range entries {
+		ph, _ := e["ph"].(string)
+		phases[ph] = true
+		if _, ok := e["ts"].(float64); !ok {
+			t.Fatalf("entry missing numeric ts: %v", e)
+		}
+	}
+	// Instant events plus async begin/end message-lifetime pairs.
+	for _, ph := range []string{"i", "b", "e"} {
+		if !phases[ph] {
+			t.Fatalf("chrome trace has no %q events (saw %v)", ph, phases)
+		}
+	}
+	if !strings.Contains(out.String(), "trace") {
+		t.Fatalf("stdout does not mention the trace file:\n%s", out.String())
+	}
+}
+
+// TestRunJSONLTrace checks the line-oriented format end to end.
+func TestRunJSONLTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-topo", "mesh4x4", "-alg", "rule-nafta", "-rate", "0.05",
+		"-warmup", "100", "-measure", "300", "-trace", path,
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errBuf.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	kinds := map[string]bool{}
+	n := 0
+	for sc.Scan() {
+		var e trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d invalid: %v", n+1, err)
+		}
+		kinds[e.Kind.String()] = true
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+	// The rule-interpreted algorithm must stream rule-fired events.
+	if !kinds["rule-fired"] {
+		t.Fatalf("no rule-fired events in kinds %v", kinds)
+	}
+}
+
+// TestRunPostMortemDir: a run that deadlocks writes the report file.
+func TestRunPostMortemDir(t *testing.T) {
+	// XY is deadlock-free, so force a report through the livelock age
+	// bound instead: at saturation the congested worms exceed a bound
+	// set below the run's typical in-network latency.
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-topo", "mesh4x4", "-alg", "xy", "-rate", "1.0",
+		"-warmup", "100", "-measure", "2000",
+		"-livelock", "15", "-postmortem", dir,
+	}, &out, &errBuf)
+	if code != 0 && code != 2 {
+		t.Fatalf("run exited %d: %s", code, errBuf.String())
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "postmortem-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("want one post-mortem file, got %v (stdout: %s)", matches, out.String())
+	}
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := trace.DecodeReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reason != "livelock" || len(rep.Blocked) == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if !strings.Contains(out.String(), "POST-MORTEM") {
+		t.Fatalf("stdout missing post-mortem summary:\n%s", out.String())
 	}
 }

@@ -43,6 +43,13 @@ type Machine struct {
 	Trace   []Invocation
 	// Invocations counts rule interpretations (the paper's "steps").
 	Invocations int64
+	// OnRuleFired, when non-nil, observes every rule interpretation
+	// (fired rule index, -1 when no rule applied). The flight recorder
+	// attaches here; the disabled path is one nil-check.
+	OnRuleFired func(base string, rule int)
+	// OnDispatch, when non-nil, observes every event the event manager
+	// dequeues in RunToQuiescence (with the remaining queue length).
+	OnDispatch func(event string, pending int)
 }
 
 // NewMachine builds a machine for the analysed program. Variables are
@@ -158,6 +165,9 @@ func (m *Machine) InvokeNow(base string, args ...rules.Value) (int, *rules.Value
 	if m.Tracing {
 		m.Trace = append(m.Trace, Invocation{Base: base, Args: args, Rule: idx})
 	}
+	if m.OnRuleFired != nil {
+		m.OnRuleFired(base, idx)
+	}
 	for _, w := range eff.Writes {
 		if err := m.Set(w.Name, w.Idx, w.Val); err != nil {
 			return idx, nil, err
@@ -189,6 +199,9 @@ func (m *Machine) RunToQuiescence(maxSteps int) (int, error) {
 		}
 		ev := m.queue[0]
 		m.queue = m.queue[1:]
+		if m.OnDispatch != nil {
+			m.OnDispatch(ev.Name, len(m.queue))
+		}
 		if _, _, err := m.InvokeNow(ev.Name, ev.Args...); err != nil {
 			return steps, err
 		}

@@ -104,8 +104,11 @@ func (h *Histogram) Overflow() int64 { return h.overflow }
 // Percentile returns an upper bound for the p-quantile (0<p<=1) using
 // bin upper edges; the overflow bin returns +Inf.
 func (h *Histogram) Percentile(p float64) float64 {
-	if h.total == 0 {
+	if h.total == 0 || p <= 0 {
 		return 0
+	}
+	if p > 1 {
+		p = 1
 	}
 	target := int64(math.Ceil(p * float64(h.total)))
 	var cum int64

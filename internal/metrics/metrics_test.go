@@ -101,3 +101,49 @@ func TestTable(t *testing.T) {
 		t.Fatalf("rows = %d", tb.Rows())
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	// Empty histogram: every percentile is 0.
+	h := NewHistogram(10, 4)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+
+	// Single sample: the whole distribution sits in one bin, so every
+	// positive percentile reports that bin's upper edge.
+	h = NewHistogram(10, 4)
+	h.Add(25)
+	for _, p := range []float64{0.01, 0.5, 1} {
+		if got := h.Percentile(p); got != 30 {
+			t.Errorf("single-sample Percentile(%v) = %v, want 30", p, got)
+		}
+	}
+	// p = 0 is the distribution's lower bound, not a bin edge.
+	if got := h.Percentile(0); got != 0 {
+		t.Errorf("Percentile(0) = %v, want 0", got)
+	}
+	if got := h.Percentile(-0.5); got != 0 {
+		t.Errorf("Percentile(-0.5) = %v, want 0", got)
+	}
+	// p beyond 1 clamps to the maximum, it does not overshoot to +Inf.
+	if got := h.Percentile(1.5); got != 30 {
+		t.Errorf("Percentile(1.5) = %v, want 30", got)
+	}
+
+	// All observations in the overflow bin: any percentile is +Inf.
+	h = NewHistogram(10, 4)
+	h.Add(1000)
+	h.Add(2000)
+	if got := h.Percentile(0.5); !math.IsInf(got, 1) {
+		t.Errorf("all-overflow Percentile(0.5) = %v, want +Inf", got)
+	}
+	if h.Overflow() != 2 || h.Total() != 2 {
+		t.Errorf("overflow=%d total=%d", h.Overflow(), h.Total())
+	}
+	// ... but p = 0 still reports the lower bound.
+	if got := h.Percentile(0); got != 0 {
+		t.Errorf("all-overflow Percentile(0) = %v, want 0", got)
+	}
+}

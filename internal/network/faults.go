@@ -3,6 +3,7 @@ package network
 import (
 	"repro/internal/fault"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // ApplyFaults injects a new fault state into the running network,
@@ -24,7 +25,28 @@ import (
 // The fault set f replaces the previous one; use cumulative sets for
 // incremental fault sequences.
 func (n *Network) ApplyFaults(f *fault.Set) {
+	prev := n.faults
 	n.faults = f
+	if n.rec != nil {
+		// Flight-record the newly raised faults (node faults Arg=0,
+		// link faults Arg=1 with Node/Port naming one endpoint).
+		for _, nd := range f.FaultyNodes() {
+			if !prev.NodeFaulty(nd) {
+				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFaultRaised,
+					Node: int32(nd), Msg: -1, Port: -1, VC: -1})
+			}
+		}
+		for _, l := range f.FaultyLinks() {
+			if !prev.LinkFaulty(l.A, l.B) {
+				port := int16(-1)
+				if p, ok := n.g.PortTo(l.A, l.B); ok {
+					port = int16(p)
+				}
+				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFaultRaised,
+					Node: int32(l.A), Msg: -1, Port: port, VC: -1, Arg: 1})
+			}
+		}
+	}
 
 	killed := make(map[*Message]bool)
 
@@ -96,6 +118,10 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 			m.DoneTime = n.now
 			n.stats.Killed++
 			n.inFlight--
+			if n.rec != nil {
+				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KMsgKilled,
+					Node: int32(m.Hdr.Src), Msg: m.ID, Port: -1, VC: -1})
+			}
 		}
 	}
 
@@ -151,6 +177,10 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 
 	// 5. Diagnosis phase: propagate the new fault state to a fixpoint.
 	n.alg.UpdateFaults(f)
+	if n.rec != nil {
+		n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFaultPropagated,
+			Node: -1, Msg: -1, Port: -1, VC: -1, Arg: int32(len(killed))})
+	}
 }
 
 // releaseOutput frees output (p,v) of router r.

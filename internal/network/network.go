@@ -6,6 +6,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Config parameterises a Network.
@@ -40,6 +41,19 @@ type Config struct {
 	// Non-zero values model the round-trip of real credit-based flow
 	// control and lower the usable buffer bandwidth accordingly.
 	CreditDelay int
+	// Recorder, when non-nil, attaches a flight recorder: every
+	// pipeline, credit and fault event is recorded into its per-node
+	// rings (and streamed to its sink, if any). With a nil Recorder
+	// the simulator pays one nil-check per would-be event.
+	Recorder *trace.Recorder
+	// OnPostMortem, when non-nil, is invoked (at most once per run)
+	// with a structured report when the watchdog suspects a deadlock
+	// or a packet exceeds LivelockAgeCycles.
+	OnPostMortem func(*trace.Report)
+	// LivelockAgeCycles, when > 0, bounds the in-network age of any
+	// packet: a packet older than this triggers the livelock
+	// post-mortem. Checked every livelockCheckInterval cycles.
+	LivelockAgeCycles int64
 }
 
 // Stats aggregates network-level results.
@@ -130,6 +144,10 @@ type Network struct {
 
 	lastProgress int64
 	stats        Stats
+	// rec mirrors cfg.Recorder; the hot-path guard is `rec != nil`.
+	rec *trace.Recorder
+	// pmFired ensures at most one automatic post-mortem per run.
+	pmFired bool
 	// Messages holds all records when cfg.RecordMessages is set.
 	Messages []*Message
 	// creditQueue holds in-flight credit returns when CreditDelay > 0
@@ -175,10 +193,14 @@ func New(cfg Config) *Network {
 		alg:    cfg.Algorithm,
 		sel:    cfg.Selector,
 		faults: fault.NewSet(),
+		rec:    cfg.Recorder,
 	}
 	n.routers = make([]*router, cfg.Graph.Nodes())
 	for i := range n.routers {
 		n.routers[i] = newRouter(topology.NodeID(i), cfg.Graph.Ports(), cfg.VCs, cfg.BufDepth)
+	}
+	if n.rec != nil {
+		n.rec.SetClock(n.Now)
 	}
 	return n
 }
@@ -265,7 +287,13 @@ func (n *Network) Step() {
 	if progress {
 		n.lastProgress = n.now
 	} else if n.inFlight > 0 && n.now-n.lastProgress > n.cfg.WatchdogCycles {
-		n.stats.DeadlockSuspected = true
+		if !n.stats.DeadlockSuspected {
+			n.stats.DeadlockSuspected = true
+			n.deadlockPostMortem()
+		}
+	}
+	if n.cfg.LivelockAgeCycles > 0 && n.now%livelockCheckInterval == 0 {
+		n.checkLivelock()
 	}
 	n.now++
 }
@@ -313,6 +341,10 @@ func (n *Network) injectStage() {
 		ivc.resetRoute()
 		n.queued--
 		n.inFlight++
+		if n.rec != nil {
+			n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFlitInjected,
+				Node: int32(r.id), Msg: m.ID, Port: -1, VC: -1, Arg: int32(m.Hdr.Length)})
+		}
 	}
 }
 
@@ -344,6 +376,15 @@ func (n *Network) routeStage() {
 				ivc.routed = true
 				ivc.unroutable = len(ivc.candidates) == 0
 				ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
+				if n.rec != nil {
+					kind := trace.KRouteComputed
+					if ivc.unroutable {
+						kind = trace.KUnroutable
+					}
+					n.rec.Record(trace.Event{Cycle: n.now, Kind: kind,
+						Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
+						Arg: int32(len(ivc.candidates))})
+				}
 			}
 		}
 	}
@@ -390,6 +431,10 @@ func (n *Network) allocStage() {
 				out.ownerInPort, out.ownerInVC = p, v
 				out.ownerMsg = m
 				out.remaining = m.Hdr.Length
+				if n.rec != nil {
+					n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KVCAllocated,
+						Node: int32(r.id), Msg: m.ID, Port: int16(chosen.Port), VC: int16(chosen.VC)})
+				}
 			}
 		}
 	}
@@ -417,6 +462,12 @@ func (n *Network) switchStage() []send {
 				}
 				out := &r.outputs[ivc.outPort][ivc.outVC]
 				if out.credits <= 0 {
+					if n.rec != nil && !ivc.blockedNoted {
+						ivc.blockedNoted = true
+						n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFlitBlocked,
+							Node: int32(r.id), Msg: ivc.curMsg.ID,
+							Port: int16(ivc.outPort), VC: int16(ivc.outVC)})
+					}
 					continue
 				}
 				nomineesByOut[ivc.outPort] = append(nomineesByOut[ivc.outPort], nominee{p, v})
@@ -458,6 +509,7 @@ func (n *Network) applyMoves(moves []send) bool {
 		ivc := &r.inputs[mv.fromPort][mv.fromVC]
 		f := ivc.q[0]
 		ivc.q = ivc.q[1:]
+		ivc.blockedNoted = false
 		n.creditReturnVC(r, mv.fromPort, mv.fromVC)
 		out := &r.outputs[mv.outPort][mv.outVC]
 		out.credits--
@@ -481,6 +533,11 @@ func (n *Network) applyMoves(moves []send) bool {
 			out.ownerInPort, out.ownerInVC = -1, -1
 			out.ownerMsg = nil
 			out.remaining = 0
+			if n.rec != nil {
+				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KVCFreed,
+					Node: int32(r.id), Msg: f.msg.ID,
+					Port: int16(mv.outPort), VC: int16(mv.outVC)})
+			}
 		}
 	}
 	return len(moves) > 0
@@ -499,6 +556,11 @@ func (n *Network) creditReturnVC(r *router, p, v int) {
 	upPort, ok := n.g.PortTo(up, r.id)
 	if !ok {
 		return
+	}
+	if n.rec != nil {
+		n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KCreditSent,
+			Node: int32(up), Msg: -1, Port: int16(upPort), VC: int16(v),
+			Arg: int32(n.cfg.CreditDelay)})
 	}
 	if n.cfg.CreditDelay <= 0 {
 		n.routers[up].outputs[upPort][v].credits++
@@ -553,6 +615,15 @@ func (n *Network) drainStage() bool {
 				if f.tail {
 					m := f.msg
 					m.DoneTime = n.now
+					if n.rec != nil {
+						kind := trace.KFlitDelivered
+						if !ivc.eject {
+							kind = trace.KFlitDropped
+						}
+						n.rec.Record(trace.Event{Cycle: n.now, Kind: kind,
+							Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
+							Arg: int32(n.now - m.InjectTime)})
+					}
 					if ivc.eject {
 						m.State = StateDelivered
 						n.stats.Delivered++

@@ -1,0 +1,191 @@
+package network
+
+import (
+	"repro/internal/trace"
+)
+
+// livelockCheckInterval is how often (in cycles) the livelock age
+// bound of Config.LivelockAgeCycles is evaluated. Sampling keeps the
+// check off the per-cycle hot path; an age bound is always coarse, so
+// detection latency of at most one interval is immaterial.
+const livelockCheckInterval = 256
+
+// PostMortem assembles a structured report of the current stall
+// state: the certified channel-wait cycle (if any), every packet that
+// cannot move, the full router/VC/credit snapshot of occupied
+// channels and the flight-recorder tail. Reason is recorded verbatim
+// ("deadlock", "livelock", "manual", ...).
+func (n *Network) PostMortem(reason string) *trace.Report {
+	rep := &trace.Report{
+		Reason:    reason,
+		Cycle:     n.now,
+		WaitCycle: n.FindDeadlockCycle(),
+	}
+	// Blocked packets: every input VC whose front message cannot
+	// advance this cycle, with the messages it waits on.
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if !ivc.routed || ivc.eject || ivc.unroutable || len(ivc.q) == 0 {
+					continue
+				}
+				m := ivc.curMsg
+				why := ""
+				var waits []*Message
+				if ivc.outPort < 0 {
+					free := false
+					for _, c := range ivc.candidates {
+						out := &r.outputs[c.Port][c.VC]
+						if out.free() {
+							free = true
+							break
+						}
+						if out.ownerMsg != nil && out.ownerMsg != m {
+							waits = append(waits, out.ownerMsg)
+						}
+					}
+					if free {
+						continue // merely waiting for switch allocation
+					}
+					why = "no-free-vc"
+				} else {
+					out := &r.outputs[ivc.outPort][ivc.outVC]
+					if out.credits > 0 {
+						continue
+					}
+					why = "no-credit"
+					if down := n.g.Neighbor(r.id, ivc.outPort); down >= 0 {
+						if dp, ok := n.g.PortTo(down, r.id); ok {
+							front := n.routers[down].inputs[dp][ivc.outVC].frontMsg()
+							if front == m {
+								// Upstream segment of our own worm:
+								// pipeline backpressure behind the
+								// head, which has its own entry at
+								// its blocking point downstream.
+								continue
+							}
+							if front != nil {
+								waits = append(waits, front)
+							}
+						}
+					}
+				}
+				bp := trace.BlockedPacket{
+					Msg: m.ID, Src: int64(m.Hdr.Src), Dst: int64(m.Hdr.Dst),
+					Node: int64(r.id), InPort: p, InVC: v,
+					OutPort: ivc.outPort, OutVC: ivc.outVC,
+					Age: n.now - m.StartTime, Why: why,
+				}
+				for _, w := range waits {
+					bp.WaitsOn = append(bp.WaitsOn, w.ID)
+				}
+				rep.Blocked = append(rep.Blocked, bp)
+			}
+		}
+	}
+	// Router snapshots: only routers holding flits or owned outputs,
+	// and only their occupied channels — a full 16x16x5-VC dump would
+	// bury the signal.
+	for _, r := range n.routers {
+		var rs trace.RouterState
+		rs.Node = int64(r.id)
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if len(ivc.q) == 0 && !ivc.routed {
+					continue
+				}
+				st := trace.VCState{
+					Port: p, VC: v, Flits: len(ivc.q), Msg: -1,
+					Routed: ivc.routed, OutPort: ivc.outPort, OutVC: ivc.outVC,
+					Eject: ivc.eject, Unroutable: ivc.unroutable,
+				}
+				if ivc.curMsg != nil {
+					st.Msg = ivc.curMsg.ID
+				} else if fm := ivc.frontMsg(); fm != nil {
+					st.Msg = fm.ID
+				}
+				rs.Inputs = append(rs.Inputs, st)
+			}
+		}
+		for p := range r.outputs {
+			for v := range r.outputs[p] {
+				out := &r.outputs[p][v]
+				if out.ownerMsg == nil && out.credits == n.cfg.BufDepth {
+					continue
+				}
+				st := trace.OutState{
+					Port: p, VC: v, Owner: -1,
+					Credits: out.credits, Remaining: out.remaining,
+				}
+				if out.ownerMsg != nil {
+					st.Owner = out.ownerMsg.ID
+				}
+				rs.Outputs = append(rs.Outputs, st)
+			}
+		}
+		if len(rs.Inputs) > 0 || len(rs.Outputs) > 0 {
+			rep.Routers = append(rep.Routers, rs)
+		}
+	}
+	if n.rec != nil {
+		// The flight-recorder tail: everything still retained in the
+		// rings (the last N events per node).
+		rep.Events = n.rec.Events()
+	}
+	return rep
+}
+
+// deadlockPostMortem fires the automatic deadlock report (at most
+// once per run) when the watchdog trips.
+func (n *Network) deadlockPostMortem() {
+	if n.rec != nil {
+		cyc := n.FindDeadlockCycle()
+		n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KDeadlock,
+			Node: -1, Msg: -1, Port: -1, VC: -1, Arg: int32(len(cyc))})
+	}
+	if n.cfg.OnPostMortem == nil || n.pmFired {
+		return
+	}
+	n.pmFired = true
+	n.cfg.OnPostMortem(n.PostMortem("deadlock"))
+}
+
+// checkLivelock scans the in-network messages for one older than the
+// configured age bound and fires the livelock post-mortem.
+func (n *Network) checkLivelock() {
+	bound := n.cfg.LivelockAgeCycles
+	var oldest *Message
+	var oldestNode int32
+	for _, r := range n.routers {
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				m := r.inputs[p][v].curMsg
+				if m == nil && len(r.inputs[p][v].q) > 0 {
+					m = r.inputs[p][v].q[0].msg
+				}
+				if m == nil || m.StartTime < 0 {
+					continue
+				}
+				if n.now-m.StartTime > bound && (oldest == nil || m.StartTime < oldest.StartTime) {
+					oldest = m
+					oldestNode = int32(r.id)
+				}
+			}
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	if n.rec != nil {
+		n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KLivelock,
+			Node: oldestNode, Msg: oldest.ID, Port: -1, VC: -1,
+			Arg: int32(n.now - oldest.StartTime)})
+	}
+	if n.cfg.OnPostMortem == nil || n.pmFired {
+		return
+	}
+	n.pmFired = true
+	n.cfg.OnPostMortem(n.PostMortem("livelock"))
+}

@@ -29,6 +29,10 @@ type inputVC struct {
 	outPort, outVC int
 	// eject is true when the front message is at its destination.
 	eject bool
+	// blockedNoted marks that the flight recorder already logged the
+	// current credit-blocking episode (one event per episode, not per
+	// cycle).
+	blockedNoted bool
 }
 
 func (vc *inputVC) resetRoute() {
@@ -39,6 +43,7 @@ func (vc *inputVC) resetRoute() {
 	vc.unroutable = false
 	vc.outPort, vc.outVC = -1, -1
 	vc.eject = false
+	vc.blockedNoted = false
 }
 
 // frontMsg returns the message of the front flit, or nil.

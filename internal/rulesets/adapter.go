@@ -29,6 +29,11 @@ type RuleNAFTA struct {
 	// Lookups counts table lookups (interpretation steps actually
 	// executed).
 	Lookups int64
+	// OnRuleFired, when non-nil, observes every successful rule-table
+	// lookup (deciding node, base name, fired rule index). cmd/ftsim
+	// -trace wires the flight recorder here; the disabled path is one
+	// nil-check per lookup.
+	OnRuleFired func(node topology.NodeID, base string, rule int)
 }
 
 // NewRuleNAFTA compiles the NAFTA program and binds it to mesh m.
@@ -171,6 +176,9 @@ func (r *RuleNAFTA) Route(req routing.Request) []routing.Candidate {
 		idx, err := cb.LookupRule(args, env)
 		if err != nil || idx >= cb.RuleCount {
 			return 0, false
+		}
+		if r.OnRuleFired != nil {
+			r.OnRuleFired(req.Node, cb.Base, idx)
 		}
 		eff, err := c.FireRule(cb.Base, idx, args, env)
 		if err != nil || eff.Return == nil {

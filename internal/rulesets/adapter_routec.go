@@ -26,6 +26,10 @@ type RuleRouteC struct {
 	faults *fault.Set
 	// Lookups counts rule-table lookups (two per decision).
 	Lookups int64
+	// OnRuleFired, when non-nil, observes every successful rule-table
+	// lookup (deciding node, base name, fired rule index); the flight
+	// recorder attaches here.
+	OnRuleFired func(node topology.NodeID, base string, rule int)
 }
 
 // NewRuleRouteC compiles ROUTE_C for cube h (adaptivity width 2).
@@ -136,7 +140,7 @@ func (r *RuleRouteC) providerFor(req routing.Request, l cubeLines, takingDetour 
 }
 
 // decide runs one compiled table and returns the RETURN value ordinal.
-func (r *RuleRouteC) decide(cb *core.CompiledBase, env rules.Env, args ...rules.Value) (int64, error) {
+func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, env rules.Env, args ...rules.Value) (int64, error) {
 	r.Lookups++
 	idx, err := cb.LookupRule(args, env)
 	if err != nil {
@@ -144,6 +148,9 @@ func (r *RuleRouteC) decide(cb *core.CompiledBase, env rules.Env, args ...rules.
 	}
 	if idx >= cb.RuleCount {
 		return 0, fmt.Errorf("rule-routec: %s selected no rule", cb.Base)
+	}
+	if r.OnRuleFired != nil {
+		r.OnRuleFired(node, cb.Base, idx)
 	}
 	eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, env)
 	if err != nil || eff.Return == nil {
@@ -196,7 +203,7 @@ func (r *RuleRouteC) Route(req routing.Request) []routing.Candidate {
 	c := r.prog.Checked
 	l := r.linesFor(req)
 	env := core.NewMachine(c, r.providerFor(req, l, false, req.Hdr.Phase))
-	modeOrd, err := r.decide(r.dir, env)
+	modeOrd, err := r.decide(req.Node, r.dir, env)
 	if err != nil {
 		return nil
 	}
@@ -212,7 +219,7 @@ func (r *RuleRouteC) Route(req routing.Request) []routing.Candidate {
 			outPhase = 0
 		}
 		vcEnv := core.NewMachine(c, r.providerFor(req, l, detour, outPhase))
-		vcOrd, err := r.decide(r.vc, vcEnv, c.Symbols[mode])
+		vcOrd, err := r.decide(req.Node, r.vc, vcEnv, c.Symbols[mode])
 		if err != nil {
 			return nil
 		}

@@ -1,0 +1,54 @@
+package rulesets
+
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// TraceRules builds an OnRuleFired hook that records KRuleFired
+// events into rec, stamped with the recorder's clock (the network
+// registers itself there on attach). Base names are mapped to the
+// event's Port field in first-seen order; the mapping is returned by
+// reference so a post-mortem reader can resolve the indices.
+func TraceRules(rec *trace.Recorder) (func(topology.NodeID, string, int), map[string]int) {
+	bases := map[string]int{}
+	hook := func(node topology.NodeID, base string, rule int) {
+		idx, ok := bases[base]
+		if !ok {
+			idx = len(bases)
+			bases[base] = idx
+		}
+		rec.Record(trace.Event{Cycle: rec.Now(), Kind: trace.KRuleFired,
+			Node: int32(node), Msg: -1, Port: int16(idx), VC: -1, Arg: int32(rule)})
+	}
+	return hook, bases
+}
+
+// TraceMachine attaches the flight recorder to a rule-interpreter
+// machine owned by the given node: every rule interpretation becomes a
+// KRuleFired event and every event-manager dispatch a KDispatch event
+// (Arg carries the remaining queue length). bases maps rule-base and
+// event names to the Port index used in the events, shared with
+// TraceRules semantics (first-seen order).
+func TraceMachine(rec *trace.Recorder, node topology.NodeID, m *core.Machine, bases map[string]int) {
+	if bases == nil {
+		bases = map[string]int{}
+	}
+	idxOf := func(name string) int16 {
+		idx, ok := bases[name]
+		if !ok {
+			idx = len(bases)
+			bases[name] = idx
+		}
+		return int16(idx)
+	}
+	m.OnRuleFired = func(base string, rule int) {
+		rec.Record(trace.Event{Cycle: rec.Now(), Kind: trace.KRuleFired,
+			Node: int32(node), Msg: -1, Port: idxOf(base), VC: -1, Arg: int32(rule)})
+	}
+	m.OnDispatch = func(event string, pending int) {
+		rec.Record(trace.Event{Cycle: rec.Now(), Kind: trace.KDispatch,
+			Node: int32(node), Msg: -1, Port: idxOf(event), VC: -1, Arg: int32(pending)})
+	}
+}

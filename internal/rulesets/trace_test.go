@@ -1,0 +1,89 @@
+package rulesets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func TestTraceRulesRecordsFirings(t *testing.T) {
+	rec := trace.New(4, 16)
+	hook, bases := TraceRules(rec)
+	hook(topology.NodeID(2), "decide_ft", 5)
+	hook(topology.NodeID(3), "decide_ex", 1)
+	hook(topology.NodeID(2), "decide_ft", 7)
+	evs := rec.Events()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events", len(evs))
+	}
+	if bases["decide_ft"] != 0 || bases["decide_ex"] != 1 {
+		t.Fatalf("base indices %v", bases)
+	}
+	for _, e := range evs {
+		if e.Kind != trace.KRuleFired {
+			t.Fatalf("kind %v", e.Kind)
+		}
+	}
+	// The base index travels in Port, the fired rule in Arg (the merge
+	// is node-major on equal cycles, so index by node).
+	node2 := rec.NodeEvents(2)
+	if len(node2) != 2 || node2[0].Port != 0 || node2[0].Arg != 5 || node2[1].Arg != 7 {
+		t.Fatalf("node 2 events %+v", node2)
+	}
+	node3 := rec.NodeEvents(3)
+	if len(node3) != 1 || node3[0].Port != 1 || node3[0].Arg != 1 {
+		t.Fatalf("node 3 events %+v", node3)
+	}
+}
+
+// TestTraceMachineRecordsDispatches drives an internal event cascade
+// through a traced machine and checks the recorder saw one KDispatch
+// per dequeued event plus one KRuleFired per interpretation.
+func TestTraceMachineRecordsDispatches(t *testing.T) {
+	src := `
+VARIABLE hits IN 0 TO 7
+ON ping(k IN 0 TO 3)
+  IF k > 0 THEN hits <- hits + 1, !ping(k - 1);
+  IF k = 0 THEN hits <- hits + 1;
+END ping;
+`
+	prog, err := rules.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rules.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewMachine(c, nil)
+	rec := trace.New(1, 32)
+	bases := map[string]int{}
+	TraceMachine(rec, topology.NodeID(0), m, bases)
+
+	m.Post("ping", rules.IntVal(3))
+	steps, err := m.RunToQuiescence(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 4 {
+		t.Fatalf("steps = %d, want 4", steps)
+	}
+	var dispatches, firings int
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KDispatch:
+			dispatches++
+			if e.Port != int16(bases["ping"]) {
+				t.Fatalf("dispatch names wrong event: %+v (bases %v)", e, bases)
+			}
+		case trace.KRuleFired:
+			firings++
+		}
+	}
+	if dispatches != 4 || firings != 4 {
+		t.Fatalf("dispatches=%d firings=%d, want 4/4", dispatches, firings)
+	}
+}

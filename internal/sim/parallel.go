@@ -11,7 +11,9 @@ import (
 // Job is one simulation of a parallel sweep. Make must build a fresh
 // Config — in particular a fresh Algorithm instance — because
 // algorithm instances hold mutable distributed fault state and must
-// not be shared between concurrently running networks.
+// not be shared between concurrently running networks. The same rule
+// applies to Config.Recorder: a flight recorder is unsynchronised, so
+// Make must create one per job (never share a recorder across jobs).
 type Job struct {
 	Label string
 	Make  func() Config
@@ -71,15 +73,21 @@ type Replication struct {
 	Delivered  metrics.Accumulator // delivery ratio per seed
 }
 
-// Replicate runs cfg once per seed (in parallel) and aggregates the
-// headline metrics; experiment sweeps use it to report means with
-// spread instead of single-seed values.
-func Replicate(cfg Config, seeds []int64, workers int) (*Replication, error) {
+// Replicate runs one configuration per seed (in parallel) and
+// aggregates the headline metrics; experiment sweeps use it to report
+// means with spread instead of single-seed values. make is called once
+// per seed from the worker goroutine and — like Job.Make — must return
+// a Config with a fresh Algorithm (and Recorder, if any): sharing one
+// instance across concurrent runs races on its fault state.
+func Replicate(mk func(seed int64) Config, seeds []int64, workers int) (*Replication, error) {
 	jobs := make([]Job, len(seeds))
 	for i, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		jobs[i] = Job{Label: fmt.Sprintf("seed%d", seed), Make: func() Config { return c }}
+		seed := seed
+		jobs[i] = Job{Label: fmt.Sprintf("seed%d", seed), Make: func() Config {
+			c := mk(seed)
+			c.Seed = seed
+			return c
+		}}
 	}
 	out := RunParallel(jobs, workers)
 	rep := &Replication{Seeds: seeds}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -55,6 +56,17 @@ type Config struct {
 	// FavorMarked forwards the network option that prioritises
 	// fault-detoured messages in switch allocation.
 	FavorMarked bool
+
+	// Recorder, when non-nil, attaches a flight recorder to the run's
+	// network (see internal/trace). Recorders are single-run and
+	// unsynchronised: parallel sweeps must build one per job inside
+	// Job.Make, exactly as they already build one Algorithm per job.
+	// The caller owns Recorder.Close (which finalises the sink).
+	Recorder *trace.Recorder
+	// LivelockAgeCycles forwards the network's livelock age bound:
+	// when > 0, a packet in flight for longer triggers the automatic
+	// post-mortem in Result.PostMortem.
+	LivelockAgeCycles int64
 }
 
 func (c *Config) defaults() {
@@ -98,6 +110,9 @@ type Result struct {
 	// delivered during the measurement window (only when
 	// Config.TrackLatencies is set).
 	LatencyP50, LatencyP95, LatencyP99 float64
+	// PostMortem holds the automatic stall report when the run's
+	// network detected a deadlock or livelock (nil otherwise).
+	PostMortem *trace.Report
 }
 
 // Throughput returns accepted flits per node per cycle during the
@@ -119,6 +134,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("sim: Config needs Graph and Algorithm")
 	}
 	cfg.defaults()
+	var postMortem *trace.Report
 	net := network.New(network.Config{
 		Graph:                 cfg.Graph,
 		Algorithm:             cfg.Algorithm,
@@ -128,6 +144,9 @@ func Run(cfg Config) (Result, error) {
 		DecisionCyclesPerStep: cfg.DecisionCyclesPerStep,
 		RecordMessages:        cfg.TrackLatencies,
 		FavorMarked:           cfg.FavorMarked,
+		Recorder:              cfg.Recorder,
+		LivelockAgeCycles:     cfg.LivelockAgeCycles,
+		OnPostMortem:          func(r *trace.Report) { postMortem = r },
 	})
 	f := cfg.Faults
 	if f == nil {
@@ -193,6 +212,7 @@ func Run(cfg Config) (Result, error) {
 		QueueGrowth:     queueAfter - queueBefore,
 		Drained:         drained,
 		Nodes:           cfg.Graph.Nodes(),
+		PostMortem:      postMortem,
 	}
 	if cfg.TrackLatencies {
 		windowStart := cfg.WarmupCycles

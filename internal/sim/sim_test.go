@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -243,18 +246,17 @@ func TestFaultScheduleMidRun(t *testing.T) {
 
 func TestReplicate(t *testing.T) {
 	m := topology.NewMesh(6, 6)
-	// Replicate requires fresh algorithm instances per run: build the
-	// config inside the job... the helper copies cfg per seed, so the
-	// shared Algorithm instance must be stateless across runs. NARA's
-	// only mutable state is the fault set, which every Run resets via
-	// ApplyFaults, so sharing is safe here; fault-stateful algorithms
-	// should go through RunParallel with per-job constructors.
-	cfg := Config{
-		Graph: m, Algorithm: routing.NewXY(m),
-		Rate: 0.08, Length: 6,
-		WarmupCycles: 200, MeasureCycles: 800,
+	// The constructor runs once per seed on the worker goroutine; a
+	// fresh Algorithm per call is what keeps the parallel sweep
+	// race-free (algorithm instances carry mutable fault state).
+	mk := func(seed int64) Config {
+		return Config{
+			Graph: m, Algorithm: routing.NewXY(m),
+			Rate: 0.08, Length: 6,
+			WarmupCycles: 200, MeasureCycles: 800,
+		}
 	}
-	rep, err := Replicate(cfg, []int64{1, 2, 3, 4, 5}, 4)
+	rep, err := Replicate(mk, []int64{1, 2, 3, 4, 5}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,5 +272,86 @@ func TestReplicate(t *testing.T) {
 	// Different seeds give (slightly) different latencies.
 	if rep.Latency.Min() == rep.Latency.Max() {
 		t.Fatal("seeds should differ")
+	}
+}
+
+func TestRunWithRecorder(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	base := Config{
+		Graph: m, Algorithm: routing.NewNARA(m),
+		Rate: 0.1, Length: 6, Seed: 7,
+		WarmupCycles: 100, MeasureCycles: 500,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := base
+	rec := trace.New(m.Nodes(), 128)
+	traced.Recorder = rec
+	res, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recorder is observation only: identical statistics.
+	if res.Stats != plain.Stats {
+		t.Fatalf("traced run diverged: %+v vs %+v", res.Stats, plain.Stats)
+	}
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("recorder saw no events")
+	}
+	var injected, delivered bool
+	for _, e := range evs {
+		switch e.Kind {
+		case trace.KFlitInjected:
+			injected = true
+		case trace.KFlitDelivered:
+			delivered = true
+		}
+	}
+	if !injected || !delivered {
+		t.Fatalf("missing lifecycle events: injected=%v delivered=%v", injected, delivered)
+	}
+	if res.PostMortem != nil {
+		t.Fatal("healthy run produced a post-mortem")
+	}
+}
+
+// TestRunParallelPerJobRecorders is the parallel-safety check for the
+// one-recorder-per-job rule: every job builds its own recorder inside
+// Make, and under -race this must be clean.
+func TestRunParallelPerJobRecorders(t *testing.T) {
+	m := topology.NewMesh(5, 5)
+	const njobs = 6
+	recs := make([]*trace.Recorder, njobs)
+	var mu sync.Mutex
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Label: fmt.Sprintf("job%d", i),
+			Make: func() Config {
+				rec := trace.New(m.Nodes(), 64)
+				mu.Lock()
+				recs[i] = rec
+				mu.Unlock()
+				return Config{
+					Graph: m, Algorithm: routing.NewNARA(m),
+					Rate: 0.08, Length: 6, Seed: int64(i + 1),
+					WarmupCycles: 100, MeasureCycles: 400,
+					Recorder: rec,
+				}
+			},
+		}
+	}
+	out := RunParallel(jobs, 4)
+	for i, jr := range out {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		if recs[i] == nil || len(recs[i].Events()) == 0 {
+			t.Fatalf("job %d recorder saw no events", i)
+		}
 	}
 }

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ChromeWriter streams events in the Chrome trace_event JSON array
+// format, so a simulation can be opened in chrome://tracing or
+// Perfetto. The mapping:
+//
+//   - pid = node (each router becomes one "process" track group);
+//   - tid = output port + 1 for port-scoped events, 0 otherwise;
+//   - ts  = cycle, interpreted as microseconds (1 cycle = 1 µs);
+//   - message lifetimes are async begin/end pairs (ph "b"/"e",
+//     id = message ID) from injection to delivery/drop/kill, which
+//     Perfetto renders as one bar per in-flight message;
+//   - everything else is an instant event (ph "i") named after its
+//     Kind, with the raw fields attached as args.
+//
+// Events stream as they happen; Close terminates the JSON array, but
+// the trace_event spec also tolerates a truncated array, so a crashed
+// run still loads.
+type ChromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+// NewChromeWriter opens the JSON array on w.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	cw := &ChromeWriter{w: bufio.NewWriterSize(w, 1<<16), first: true}
+	cw.w.WriteString("[\n")
+	return cw
+}
+
+func (c *ChromeWriter) sep() {
+	if c.first {
+		c.first = false
+		return
+	}
+	c.w.WriteString(",\n")
+}
+
+func (c *ChromeWriter) emitRaw(format string, args ...interface{}) {
+	if c.err != nil {
+		return
+	}
+	c.sep()
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}
+
+// Emit writes one event (plus the async lifetime marker for message
+// begin/end kinds).
+func (c *ChromeWriter) Emit(ev Event) error {
+	tid := 0
+	if ev.Port >= 0 {
+		tid = int(ev.Port) + 1
+	}
+	switch ev.Kind {
+	case KFlitInjected:
+		c.emitRaw(`{"name":"msg %d","cat":"msg","ph":"b","id":%d,"pid":%d,"tid":0,"ts":%d}`,
+			ev.Msg, ev.Msg, ev.Node, ev.Cycle)
+	case KFlitDelivered, KFlitDropped, KMsgKilled:
+		c.emitRaw(`{"name":"msg %d","cat":"msg","ph":"e","id":%d,"pid":%d,"tid":0,"ts":%d}`,
+			ev.Msg, ev.Msg, ev.Node, ev.Cycle)
+	}
+	c.emitRaw(`{"name":%q,"cat":"net","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d,`+
+		`"args":{"msg":%d,"port":%d,"vc":%d,"arg":%d}}`,
+		ev.Kind.String(), ev.Node, tid, ev.Cycle, ev.Msg, ev.Port, ev.VC, ev.Arg)
+	return c.err
+}
+
+// Close terminates the JSON array and flushes.
+func (c *ChromeWriter) Close() error {
+	c.w.WriteString("\n]\n")
+	if err := c.w.Flush(); c.err == nil {
+		c.err = err
+	}
+	return c.err
+}

@@ -1,0 +1,38 @@
+package trace
+
+// ring is a fixed-capacity circular event buffer. push overwrites the
+// oldest entry when full — the flight-recorder property: the recent
+// past survives, the distant past is recycled.
+type ring struct {
+	buf  []Event
+	head int // index of the oldest retained event
+	n    int // number of retained events
+}
+
+func (r *ring) init(capacity int) {
+	r.buf = make([]Event, capacity)
+	r.head, r.n = 0, 0
+}
+
+// push stores ev and reports whether an old event was overwritten.
+func (r *ring) push(ev Event) (overwrote bool) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = ev
+		r.n++
+		return false
+	}
+	r.buf[r.head] = ev
+	r.head = (r.head + 1) % len(r.buf)
+	return true
+}
+
+// slice returns the retained events oldest-first as a fresh slice.
+func (r *ring) slice() []Event {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]Event, r.n)
+	tail := copy(out, r.buf[r.head:min(r.head+r.n, len(r.buf))])
+	copy(out[tail:], r.buf[:r.n-tail])
+	return out
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sink receives the full event stream as it is recorded. Sinks are
+// called from the simulation hot path; implementations should buffer.
+type Sink interface {
+	Emit(Event) error
+	// Close flushes buffered output and finalises the file format.
+	Close() error
+}
+
+// FormatJSONL and FormatChrome name the built-in sink formats (the
+// values of cmd/ftsim's -trace-format flag).
+const (
+	FormatJSONL  = "jsonl"
+	FormatChrome = "chrome"
+)
+
+// NewSink builds a sink of the named format writing to w. Callers own
+// closing any underlying file after Sink.Close.
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case FormatJSONL:
+		return NewJSONLWriter(w), nil
+	case FormatChrome:
+		return NewChromeWriter(w), nil
+	}
+	return nil, fmt.Errorf("trace: unknown format %q (valid: %s, %s)",
+		format, FormatJSONL, FormatChrome)
+}
+
+// JSONLWriter streams events as one JSON object per line:
+//
+//	{"cycle":12,"kind":"vc-allocated","node":5,"msg":3,"port":1,"vc":0,"arg":0}
+//
+// The format is grep- and jq-friendly and append-only, so a crashed
+// run still leaves a readable prefix.
+type JSONLWriter struct {
+	w *bufio.Writer
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit writes one event line. The encoder is hand-rolled: every field
+// is a number or a known-safe kind name, so full JSON escaping would
+// only cost allocations.
+func (j *JSONLWriter) Emit(ev Event) error {
+	b := j.w
+	b.WriteString(`{"cycle":`)
+	b.WriteString(strconv.FormatInt(ev.Cycle, 10))
+	b.WriteString(`,"kind":"`)
+	b.WriteString(ev.Kind.String())
+	b.WriteString(`","node":`)
+	b.WriteString(strconv.FormatInt(int64(ev.Node), 10))
+	b.WriteString(`,"msg":`)
+	b.WriteString(strconv.FormatInt(ev.Msg, 10))
+	b.WriteString(`,"port":`)
+	b.WriteString(strconv.FormatInt(int64(ev.Port), 10))
+	b.WriteString(`,"vc":`)
+	b.WriteString(strconv.FormatInt(int64(ev.VC), 10))
+	b.WriteString(`,"arg":`)
+	b.WriteString(strconv.FormatInt(int64(ev.Arg), 10))
+	_, err := b.WriteString("}\n")
+	return err
+}
+
+// Close flushes the buffer.
+func (j *JSONLWriter) Close() error { return j.w.Flush() }

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func ev(cycle int64, node int32, kind Kind) Event {
+	return Event{Cycle: cycle, Node: node, Kind: kind, Msg: -1, Port: -1, VC: -1}
+}
+
+func TestRingWraparound(t *testing.T) {
+	rec := New(1, 4)
+	for i := int64(0); i < 10; i++ {
+		rec.Record(ev(i, 0, KFlitInjected))
+	}
+	got := rec.NodeEvents(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != int64(6+i) {
+			t.Fatalf("event %d has cycle %d, want %d (oldest-first tail)", i, e.Cycle, 6+i)
+		}
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", rec.Dropped())
+	}
+}
+
+func TestEventsMergedAcrossNodes(t *testing.T) {
+	rec := New(3, 8)
+	// Interleave cycles across nodes out of order per node index.
+	rec.Record(ev(5, 2, KVCAllocated))
+	rec.Record(ev(1, 0, KFlitInjected))
+	rec.Record(ev(3, 1, KRouteComputed))
+	rec.Record(ev(3, 0, KVCFreed))
+	all := rec.Events()
+	if len(all) != 4 {
+		t.Fatalf("got %d events", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Cycle < all[i-1].Cycle {
+			t.Fatalf("events not cycle-ordered: %v", all)
+		}
+	}
+	// Stability: node 0's cycle-3 event must precede node 1's (ring
+	// order is node-major).
+	if all[1].Node != 0 || all[2].Node != 1 {
+		t.Fatalf("cycle-3 tie not node-stable: %v", all)
+	}
+	since := rec.EventsSince(3)
+	if len(since) != 3 || since[0].Cycle != 3 {
+		t.Fatalf("EventsSince(3) = %v", since)
+	}
+}
+
+func TestOutOfRangeNodeGoesToRingZero(t *testing.T) {
+	rec := New(2, 4)
+	rec.Record(ev(1, -1, KFaultPropagated))
+	rec.Record(ev(2, 99, KFaultPropagated))
+	if len(rec.NodeEvents(0)) != 2 {
+		t.Fatalf("ring 0 has %d events", len(rec.NodeEvents(0)))
+	}
+	if rec.NodeEvents(-1) != nil || rec.NodeEvents(5) != nil {
+		t.Fatal("out-of-range NodeEvents should be nil")
+	}
+}
+
+func TestKindNamesStableAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < kindCount; k++ {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind renders %q", Kind(200).String())
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{Cycle: 42, Msg: 7, Node: 3, Arg: -2, Port: 1, VC: 0, Kind: KVCAllocated}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"nosuch"}`), &out); err == nil {
+		t.Fatal("unknown kind should fail to decode")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	rec := New(2, 4)
+	sink, err := NewSink(FormatJSONL, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetSink(sink)
+	rec.Record(Event{Cycle: 1, Msg: 5, Node: 0, Port: 2, VC: 1, Arg: 3, Kind: KRouteComputed})
+	rec.Record(ev(2, 1, KFlitDelivered))
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 || lines[0].Kind != KRouteComputed || lines[0].Msg != 5 ||
+		lines[1].Kind != KFlitDelivered {
+		t.Fatalf("decoded %+v", lines)
+	}
+}
+
+func TestUnknownSinkFormat(t *testing.T) {
+	if _, err := NewSink("xml", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}
+
+// errWriter fails after n bytes to exercise sink error capture.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestSinkErrorIsRememberedNotFatal(t *testing.T) {
+	rec := New(1, 4)
+	sink := NewJSONLWriter(&errWriter{n: 8})
+	rec.SetSink(sink)
+	for i := int64(0); i < 2000; i++ { // overflow the bufio buffer
+		rec.Record(ev(i, 0, KCreditSent))
+	}
+	if rec.Close() == nil {
+		t.Fatal("sink failure should surface in Close")
+	}
+	// Ring recording continued despite the dead sink.
+	if len(rec.NodeEvents(0)) != 4 {
+		t.Fatalf("ring lost events after sink failure: %d", len(rec.NodeEvents(0)))
+	}
+}
