@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/rulesets"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -22,6 +23,7 @@ import (
 // BenchmarkTable1_NAFTARuleBases compiles the 11 NAFTA rule bases and
 // reports the total rule-table memory (paper Table 1).
 func BenchmarkTable1_NAFTARuleBases(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tb, err := experiments.Table1()
 		if err != nil {
@@ -37,6 +39,7 @@ func BenchmarkTable1_NAFTARuleBases(b *testing.B) {
 // for the paper's d=6, a=2 configuration (paper Table 2, total 2960
 // bits).
 func BenchmarkTable2_ROUTECRuleBases(b *testing.B) {
+	b.ReportAllocs()
 	var total int64
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -52,6 +55,7 @@ func BenchmarkTable2_ROUTECRuleBases(b *testing.B) {
 // algorithms (paper in-text: NAFTA 159 bits/47 ft; ROUTE_C
 // 15d+2logd+3).
 func BenchmarkE3_RegisterBits(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E3Registers(); err != nil {
 			b.Fatal(err)
@@ -62,6 +66,7 @@ func BenchmarkE3_RegisterBits(b *testing.B) {
 // BenchmarkE4_DecisionSteps measures rule interpretations per routing
 // decision in live simulations (paper: NARA 1, NAFTA 1..3, ROUTE_C 2).
 func BenchmarkE4_DecisionSteps(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tb, err := experiments.E4Steps()
 		if err != nil {
@@ -77,6 +82,7 @@ func BenchmarkE4_DecisionSteps(b *testing.B) {
 // decide_dir+decide_vc table against the split bases (paper in-text:
 // 1024*2^d x (d+1+a) bits).
 func BenchmarkE5_MergedTableBlowup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E5Merged(); err != nil {
 			b.Fatal(err)
@@ -87,6 +93,7 @@ func BenchmarkE5_MergedTableBlowup(b *testing.B) {
 // BenchmarkE6_FaultChainKnowledge reproduces the Figure 2 scenario:
 // purposiveness at a fault chain vs the per-node state budget.
 func BenchmarkE6_FaultChainKnowledge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tb, err := experiments.E6FaultChain(12, 8)
 		if err != nil {
@@ -101,6 +108,7 @@ func BenchmarkE6_FaultChainKnowledge(b *testing.B) {
 // BenchmarkE7_LatencyVsLoad sweeps offered load for the mesh and
 // hypercube algorithm families (the motivating competitive claim).
 func BenchmarkE7_LatencyVsLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.E7LatencyVsLoad(true); err != nil {
 			b.Fatal(err)
@@ -111,6 +119,7 @@ func BenchmarkE7_LatencyVsLoad(b *testing.B) {
 // BenchmarkE8_FaultDegradation sweeps the fault count (conditions 1-3:
 // graceful degradation vs the baselines).
 func BenchmarkE8_FaultDegradation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.E8Degradation(true); err != nil {
 			b.Fatal(err)
@@ -121,6 +130,7 @@ func BenchmarkE8_FaultDegradation(b *testing.B) {
 // BenchmarkE9_DecisionTimeImpact sweeps the per-step decision cycles
 // (the [DLO97] decision-time claim).
 func BenchmarkE9_DecisionTimeImpact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E9DecisionTime(true); err != nil {
 			b.Fatal(err)
@@ -131,6 +141,7 @@ func BenchmarkE9_DecisionTimeImpact(b *testing.B) {
 // BenchmarkE10_Ablations runs the design-choice ablations (convex
 // completion, adaptivity criterion, ARON direct indexing).
 func BenchmarkE10_Ablations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E10Ablations(true); err != nil {
 			b.Fatal(err)
@@ -142,6 +153,7 @@ func BenchmarkE10_Ablations(b *testing.B) {
 // against NAFTA's fault-state design (Section 3 deadlock-avoidance
 // economics).
 func BenchmarkE11_NegHopVsState(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E11NegHop(true); err != nil {
 			b.Fatal(err)
@@ -153,6 +165,7 @@ func BenchmarkE11_NegHopVsState(b *testing.B) {
 // per second of a loaded 16x16 mesh under NAFTA (useful when sizing
 // larger studies).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	m := topology.NewMesh(16, 16)
 	f := fault.NewSet()
 	f.FailNode(m.Node(7, 7))
@@ -176,6 +189,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // software-model cost of what the rule interpreter does in a few
 // cycles).
 func BenchmarkRouteDecision(b *testing.B) {
+	b.ReportAllocs()
 	m := topology.NewMesh(16, 16)
 	alg := routing.NewNAFTA(m)
 	f := fault.NewSet()
@@ -184,17 +198,85 @@ func BenchmarkRouteDecision(b *testing.B) {
 	alg.UpdateFaults(f)
 	hdr := &routing.Header{Src: m.Node(0, 0), Dst: m.Node(15, 15), Length: 8}
 	req := routing.Request{Node: m.Node(3, 3), InPort: topology.West, Hdr: hdr}
+	buf := make([]routing.Candidate, 0, topology.MeshPorts)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if cands := alg.Route(req); len(cands) == 0 {
+		buf = routing.RouteInto(alg, req, buf[:0])
+		if len(buf) == 0 {
 			b.Fatal("no candidates")
 		}
 	}
 }
 
+// BenchmarkRuleDecision measures one routing decision through the
+// compiled rule tables — the dense fast path (default) against the
+// interpreted reference path (DisableFast), for both rule adapters.
+func BenchmarkRuleDecision(b *testing.B) {
+	b.Run("nafta", func(b *testing.B) {
+		m := topology.NewMesh(16, 16)
+		f := fault.NewSet()
+		f.FailNode(m.Node(7, 7))
+		f.FailNode(m.Node(8, 8))
+		hdr := &routing.Header{Src: m.Node(0, 0), Dst: m.Node(15, 15), Length: 8}
+		req := routing.Request{Node: m.Node(3, 3), InPort: topology.West, Hdr: hdr}
+		for _, mode := range []struct {
+			name        string
+			disableFast bool
+		}{{"fast", false}, {"interpreted", true}} {
+			b.Run(mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				alg, err := rulesets.NewRuleNAFTA(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				alg.DisableFast = mode.disableFast
+				alg.UpdateFaults(f)
+				buf := make([]routing.Candidate, 0, topology.MeshPorts)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf = alg.RouteAppend(req, buf[:0])
+					if len(buf) == 0 {
+						b.Fatal("no candidates")
+					}
+				}
+			})
+		}
+	})
+	b.Run("routec", func(b *testing.B) {
+		h := topology.NewHypercube(6)
+		f := fault.NewSet()
+		f.FailNode(3)
+		hdr := &routing.Header{Src: 0, Dst: 63, Length: 8}
+		req := routing.Request{Node: 1, InPort: 0, Hdr: hdr}
+		for _, mode := range []struct {
+			name        string
+			disableFast bool
+		}{{"fast", false}, {"interpreted", true}} {
+			b.Run(mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				alg, err := rulesets.NewRuleRouteC(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				alg.DisableFast = mode.disableFast
+				alg.UpdateFaults(f)
+				buf := make([]routing.Candidate, 0, h.Dim)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf = alg.RouteAppend(req, buf[:0])
+					if len(buf) == 0 {
+						b.Fatal("no candidates")
+					}
+				}
+			})
+		}
+	})
+}
+
 // BenchmarkDiagnosisFixpoint measures a full fault-state recomputation
 // (the diagnosis phase of assumption iv) on a 16x16 mesh.
 func BenchmarkDiagnosisFixpoint(b *testing.B) {
+	b.ReportAllocs()
 	m := topology.NewMesh(16, 16)
 	alg := routing.NewNAFTA(m)
 	f, err := fault.Random(m, fault.RandomOptions{Nodes: 8, Seed: 3, KeepConnected: true})
@@ -210,6 +292,7 @@ func BenchmarkDiagnosisFixpoint(b *testing.B) {
 // BenchmarkE12_Reconfiguration measures the disruption of a mid-run
 // fault: global tree rebuild vs NAFTA's local state propagation.
 func BenchmarkE12_Reconfiguration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E12Reconfiguration(true); err != nil {
 			b.Fatal(err)
@@ -220,6 +303,7 @@ func BenchmarkE12_Reconfiguration(b *testing.B) {
 // BenchmarkE13_MarkedPriority measures the Section 3 fairness policy
 // for fault-detoured messages.
 func BenchmarkE13_MarkedPriority(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E13MarkedPriority(true); err != nil {
 			b.Fatal(err)

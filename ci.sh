@@ -4,6 +4,10 @@
 #   2. go build   everything compiles
 #   3. go test -race   full suite under the race detector (the trace
 #      subsystem's one-recorder-per-job discipline is only proven here)
+#   4. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
+#      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op
+#      regression (cmd/benchjson -baseline).
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -17,5 +21,10 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+if [ -n "${BENCH_BASELINE:-}" ]; then
+	echo "== benchjson -baseline $BENCH_BASELINE"
+	go run ./cmd/benchjson -baseline "$BENCH_BASELINE"
+fi
 
 echo "== ci.sh: all green"

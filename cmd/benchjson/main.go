@@ -7,6 +7,15 @@
 // The snapshot records ns/op, B/op, allocs/op and any custom metrics
 // (b.ReportMetric) per benchmark, so successive PRs can diff
 // performance without re-parsing `go test` text output.
+//
+// Compare mode gates regressions against a committed snapshot:
+//
+//	go run ./cmd/benchjson -baseline BENCH_2026-08-06.json
+//
+// prints per-benchmark ns/op and allocs/op deltas and exits non-zero
+// when any benchmark regresses by more than -maxregress percent ns/op
+// (default 20). With -baseline and no -out, no snapshot file is
+// written (compare-only, the CI shape: BENCH_BASELINE=... ./ci.sh).
 package main
 
 import (
@@ -15,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -55,10 +66,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	benchtime := fs.String("benchtime", "1x", "go test -benchtime value")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("out", "", `output path ("-" for stdout; default BENCH_<date>.json)`)
+	baseline := fs.String("baseline", "", "prior snapshot to compare against (exit 1 on regression)")
+	maxRegress := fs.Float64("maxregress", 20, "ns/op regression threshold in percent for -baseline")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	date := time.Now().Format("2006-01-02")
+	compareOnly := *baseline != "" && *out == ""
 	path := *out
 	if path == "" {
 		path = "BENCH_" + date + ".json"
@@ -86,26 +100,105 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		Benchtime: *benchtime, Results: results,
 	}
-	var w io.Writer = stdout
-	if path != "-" {
-		f, err := os.Create(path)
+	if !compareOnly {
+		var w io.Writer = stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchjson:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if path != "-" {
+			fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(results))
+		}
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
 		if err != nil {
 			fmt.Fprintln(stderr, "benchjson:", err)
 			return 1
 		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintln(stderr, "benchjson:", err)
-		return 1
-	}
-	if path != "-" {
-		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(results))
+		var base Snapshot
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintln(stderr, "benchjson: baseline:", err)
+			return 1
+		}
+		if Compare(&base, &snap, stdout, *maxRegress) > 0 {
+			fmt.Fprintln(stderr, "benchjson: ns/op regression beyond threshold")
+			return 1
+		}
 	}
 	return 0
+}
+
+// Compare prints per-benchmark ns/op and allocs/op deltas of cur
+// against base and returns the number of benchmarks whose ns/op
+// regressed by more than maxRegressPct percent. Benchmarks present on
+// only one side are reported but never count as regressions.
+func Compare(base, cur *Snapshot, w io.Writer, maxRegressPct float64) int {
+	baseBy := make(map[string]BenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "comparing against baseline of %s (benchtime %s):\n", base.Date, base.Benchtime)
+	regressions := 0
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-44s (new benchmark)\n", r.Name)
+			continue
+		}
+		delete(baseBy, r.Name)
+		dn := pctDelta(b.NsPerOp, r.NsPerOp)
+		da := pctDelta(b.AllocsOp, r.AllocsOp)
+		verdict := ""
+		if dn > maxRegressPct {
+			regressions++
+			verdict = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "  %-44s ns/op %12.1f -> %12.1f (%s)  allocs/op %8.0f -> %8.0f (%s)%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, fmtPct(dn), b.AllocsOp, r.AllocsOp, fmtPct(da), verdict)
+	}
+	missing := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "  %-44s (missing from current run)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.0f%% ns/op\n", regressions, maxRegressPct)
+	}
+	return regressions
+}
+
+// pctDelta is the percent change from base to cur; a metric appearing
+// out of nowhere (base 0, cur nonzero) reads as +Inf.
+func pctDelta(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base * 100
+}
+
+func fmtPct(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
 }
 
 // ParseBenchOutput extracts benchmark result lines from `go test

@@ -65,6 +65,58 @@ func TestParseBenchOutputBadValue(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Snapshot{Date: "2026-08-06", Benchtime: "1x", Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 4},
+		{Name: "BenchmarkB", NsPerOp: 2000, AllocsOp: 0},
+		{Name: "BenchmarkGone", NsPerOp: 500},
+	}}
+	cur := &Snapshot{Date: "2026-08-07", Benchtime: "1x", Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1300, AllocsOp: 0}, // +30% ns/op: regression
+		{Name: "BenchmarkB", NsPerOp: 1500, AllocsOp: 2}, // faster: fine
+		{Name: "BenchmarkNew", NsPerOp: 100},
+	}}
+	var buf strings.Builder
+	if got := Compare(base, cur, &buf, 20); got != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkA", "REGRESSION", "+30.0%",
+		"BenchmarkNew", "(new benchmark)",
+		"BenchmarkGone", "(missing from current run)",
+		"+inf%", // BenchmarkB allocs 0 -> 2
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSION") != 1 {
+		t.Errorf("want exactly one REGRESSION flag:\n%s", out)
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	base := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 1000}}}
+	cur := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 1190}}}
+	var buf strings.Builder
+	if got := Compare(base, cur, &buf, 20); got != 0 {
+		t.Fatalf("+19%% flagged as regression:\n%s", buf.String())
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if d := pctDelta(0, 0); d != 0 {
+		t.Errorf("pctDelta(0,0) = %v", d)
+	}
+	if d := pctDelta(200, 100); d != -50 {
+		t.Errorf("pctDelta(200,100) = %v", d)
+	}
+	if fmtPct(pctDelta(0, 3)) != "+inf%" {
+		t.Errorf("zero-base delta not +inf")
+	}
+}
+
 func TestSplitProcs(t *testing.T) {
 	for _, c := range []struct {
 		in    string

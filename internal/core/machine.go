@@ -33,6 +33,10 @@ type Machine struct {
 	inputs  InputProvider
 	store   map[string][]rules.Value
 	queue   []rules.Event
+	// qhead indexes the next event to dispatch; dequeuing advances it
+	// instead of re-slicing queue, so the backing array is reused once
+	// the queue drains rather than abandoned to the collector.
+	qhead int
 
 	// External collects events that have no rule base in the program:
 	// commands to the data path (e.g. !send) or messages to
@@ -184,7 +188,7 @@ func (m *Machine) InvokeNow(base string, args ...rules.Value) (int, *rules.Value
 }
 
 // Pending returns the number of queued internal events.
-func (m *Machine) Pending() int { return len(m.queue) }
+func (m *Machine) Pending() int { return len(m.queue) - m.qhead }
 
 // RunToQuiescence processes queued events until the queue drains or
 // maxSteps interpretations have run. It returns the number of
@@ -193,14 +197,26 @@ func (m *Machine) Pending() int { return len(m.queue) }
 // generated internal events, which is exactly this loop.
 func (m *Machine) RunToQuiescence(maxSteps int) (int, error) {
 	steps := 0
-	for len(m.queue) > 0 {
+	for m.qhead < len(m.queue) {
 		if steps >= maxSteps {
 			return steps, fmt.Errorf("core: event cascade exceeded %d steps", maxSteps)
 		}
-		ev := m.queue[0]
-		m.queue = m.queue[1:]
+		ev := m.queue[m.qhead]
+		m.qhead++
+		if m.qhead == len(m.queue) {
+			// Drained: recycle the backing array for the events this
+			// dispatch is about to generate.
+			m.queue = m.queue[:0]
+			m.qhead = 0
+		} else if m.qhead >= 32 && m.qhead*2 >= len(m.queue) {
+			// Long cascade that never fully drains: compact so the
+			// consumed prefix does not pin the whole array.
+			n := copy(m.queue, m.queue[m.qhead:])
+			m.queue = m.queue[:n]
+			m.qhead = 0
+		}
 		if m.OnDispatch != nil {
-			m.OnDispatch(ev.Name, len(m.queue))
+			m.OnDispatch(ev.Name, m.Pending())
 		}
 		if _, _, err := m.InvokeNow(ev.Name, ev.Args...); err != nil {
 			return steps, err
@@ -208,6 +224,26 @@ func (m *Machine) RunToQuiescence(maxSteps int) (int, error) {
 		steps++
 	}
 	return steps, nil
+}
+
+// Reset returns the machine to its freshly constructed state —
+// variables at their hardware reset value, queues and traces empty —
+// while keeping every backing allocation (variable slices, event
+// queue). The adapters' residual slow path resets one scratch machine
+// per decision instead of building a new one.
+func (m *Machine) Reset() {
+	for name, vals := range m.store {
+		z := zeroValue(m.checked.Signals[name].Domain)
+		for i := range vals {
+			vals[i] = z
+		}
+	}
+	m.queue = m.queue[:0]
+	m.qhead = 0
+	m.External = m.External[:0]
+	m.Trace = m.Trace[:0]
+	// Counters and hooks persist: a pooled machine accumulates
+	// Invocations across decisions exactly like a hardware step counter.
 }
 
 // TakeExternal returns and clears the collected external events.

@@ -153,7 +153,17 @@ type Network struct {
 	// creditQueue holds in-flight credit returns when CreditDelay > 0
 	// (due cycle, upstream router/port/vc).
 	creditQueue []pendingCredit
+	// freeScratch backs allocStage's free-candidate filter; nomScratch
+	// backs switchStage's per-output nominee lists; moveScratch backs
+	// the per-cycle send list. All are reused every cycle.
+	freeScratch []routing.Candidate
+	nomScratch  [][]nominee
+	moveScratch []send
 }
+
+// nominee is one (input port, input VC) requesting an output port in
+// the switch-allocation stage.
+type nominee struct{ port, vc int }
 
 // pendingCredit is one credit travelling back upstream.
 type pendingCredit struct {
@@ -372,7 +382,7 @@ func (n *Network) routeStage() {
 				req := n.requestFor(r, p, v, m)
 				steps := n.alg.Steps(req)
 				m.Steps += steps
-				ivc.candidates = n.alg.Route(req)
+				ivc.candidates = routing.RouteInto(n.alg, req, ivc.candidates[:0])
 				ivc.routed = true
 				ivc.unroutable = len(ivc.candidates) == 0
 				ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
@@ -414,12 +424,13 @@ func (n *Network) allocStage() {
 				if n.now < ivc.decisionReady {
 					continue
 				}
-				var free []routing.Candidate
+				free := n.freeScratch[:0]
 				for _, c := range ivc.candidates {
 					if r.outputs[c.Port][c.VC].free() {
 						free = append(free, c)
 					}
 				}
+				n.freeScratch = free[:0] // selectors do not retain the slice
 				if len(free) == 0 {
 					continue
 				}
@@ -444,14 +455,23 @@ func (n *Network) allocStage() {
 // output port grants one nominee; the result is the list of flit
 // movements of this cycle.
 func (n *Network) switchStage() []send {
-	var moves []send
+	moves := n.moveScratch[:0]
+	if n.nomScratch == nil {
+		n.nomScratch = make([][]nominee, n.g.Ports())
+	}
 	for _, r := range n.routers {
 		if n.faults.NodeFaulty(r.id) {
 			continue
 		}
 		// Nomination: one VC per input port (round-robin fairness).
-		type nominee struct{ port, vc int }
-		nomineesByOut := make(map[int][]nominee)
+		// The per-output nominee lists live in reused scratch storage
+		// (indexed by output port — grants are independent per output,
+		// so the fixed iteration order is behaviourally equivalent to
+		// the map it replaces).
+		nomineesByOut := n.nomScratch
+		for op := range nomineesByOut {
+			nomineesByOut[op] = nomineesByOut[op][:0]
+		}
 		for p := range r.inputs {
 			vcs := len(r.inputs[p])
 			for off := 0; off < vcs; off++ {
@@ -478,6 +498,9 @@ func (n *Network) switchStage() []send {
 		// Grant: one input per output port (optionally favouring
 		// fault-detoured messages, Section 3 Scheduling and Fairness).
 		for op, noms := range nomineesByOut {
+			if len(noms) == 0 {
+				continue
+			}
 			pick := noms[r.rrOut[op]%len(noms)]
 			if n.cfg.FavorMarked {
 				start := r.rrOut[op] % len(noms)
@@ -497,6 +520,7 @@ func (n *Network) switchStage() []send {
 			})
 		}
 	}
+	n.moveScratch = moves
 	return moves
 }
 

@@ -39,7 +39,9 @@ func (vc *inputVC) resetRoute() {
 	vc.routed = false
 	vc.curMsg = nil
 	vc.decisionReady = 0
-	vc.candidates = nil
+	// Keep the backing array: routeStage refills it via RouteInto with
+	// candidates[:0], so steady-state routing does not allocate.
+	vc.candidates = vc.candidates[:0]
 	vc.unroutable = false
 	vc.outPort, vc.outVC = -1, -1
 	vc.eject = false

@@ -78,7 +78,8 @@ func (n *NAFTA) Steps(req Request) int {
 	if n.faults.Empty() {
 		return 1
 	}
-	if len(n.minimalCandidates(req)) > 0 {
+	var tmp [topology.MeshPorts]Candidate
+	if len(n.minimalAppend(req, tmp[:0])) > 0 {
 		return 2
 	}
 	return 3
@@ -89,10 +90,16 @@ func (n *NAFTA) NoteHop(req Request, chosen Candidate) {
 		req.Hdr.VNet = chosen.VC
 	}
 	// Track non-minimal hops: the path-length counter of Section 3.
-	if !contains(n.mesh.MinimalPorts(req.Node, req.Hdr.Dst), chosen.Port) {
+	if !n.isMinimalPort(req.Node, req.Hdr.Dst, chosen.Port) {
 		req.Hdr.Misroutes++
 		req.Hdr.Marked = true
 	}
+}
+
+// isMinimalPort reports whether port p leads strictly closer to dst —
+// the membership test of MinimalPorts without materialising the list.
+func (n *NAFTA) isMinimalPort(cur, dst topology.NodeID, p int) bool {
+	return p == n.neededHorizontal(cur, dst) || p == n.neededVertical(cur, dst)
 }
 
 func (n *NAFTA) maxMisroutes() int {
@@ -323,28 +330,23 @@ func (n *NAFTA) lastDirEntryOK(vnet int, cur topology.NodeID, p int, dst topolog
 	return true
 }
 
-// minimalCandidates computes set2 ∩ set1: minimal ports that survive
-// the fault, block, dead-end, turn-model and freeze restrictions.
-func (n *NAFTA) minimalCandidates(req Request) []Candidate {
+// minimalAppend computes set2 ∩ set1 — minimal ports that survive the
+// fault, block, dead-end, turn-model and freeze restrictions — and
+// appends them to out without allocating.
+func (n *NAFTA) minimalAppend(req Request, out []Candidate) []Candidate {
 	vnet := n.vnet(req)
 	last := lastDir(req.InPort)
 	// Offer horizontal ports first: vertical moves are the ones the
 	// turn model makes hard to undo, so the deterministic tie-break
 	// (and the FirstFit ablation selector) should delay them.
-	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
-	ordered := make([]int, 0, len(minimal))
-	for _, p := range minimal {
-		if p == topology.East || p == topology.West {
-			ordered = append(ordered, p)
-		}
+	ordered := [2]int{
+		n.neededHorizontal(req.Node, req.Hdr.Dst),
+		n.neededVertical(req.Node, req.Hdr.Dst),
 	}
-	for _, p := range minimal {
-		if p == topology.North || p == topology.South {
-			ordered = append(ordered, p)
-		}
-	}
-	var out []Candidate
 	for _, p := range ordered {
+		if p < 0 {
+			continue
+		}
 		if !vnAllowed(vnet, last, p) {
 			continue
 		}
@@ -368,16 +370,14 @@ func (n *NAFTA) minimalCandidates(req Request) []Candidate {
 	return out
 }
 
-// misrouteCandidates computes the exception outputs: non-minimal ports
+// misrouteAppend computes the exception outputs: non-minimal ports
 // that keep the message routable (no 180-degree reversal, turn rules
 // respected, no disabled or dead-end entry).
-func (n *NAFTA) misrouteCandidates(req Request) []Candidate {
+func (n *NAFTA) misrouteAppend(req Request, out []Candidate) []Candidate {
 	vnet := n.vnet(req)
 	last := lastDir(req.InPort)
-	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
-	var out []Candidate
 	for p := 0; p < n.mesh.Ports(); p++ {
-		if contains(minimal, p) {
+		if n.isMinimalPort(req.Node, req.Hdr.Dst, p) {
 			continue // not a misroute
 		}
 		if last >= 0 && p == topology.OppositeMeshPort(last) {
@@ -411,15 +411,20 @@ func (n *NAFTA) vnet(req Request) int {
 }
 
 func (n *NAFTA) Route(req Request) []Candidate {
-	if cands := n.minimalCandidates(req); len(cands) > 0 {
-		return cands
+	return n.RouteAppend(req, nil)
+}
+
+// RouteAppend is the allocation-free form of Route (BufferedAlgorithm).
+func (n *NAFTA) RouteAppend(req Request, buf []Candidate) []Candidate {
+	if out := n.minimalAppend(req, buf); len(out) > len(buf) {
+		return out
 	}
 	// Exception path: misroute around the fault region, within the
 	// detour budget.
 	if req.Hdr.Misroutes >= n.maxMisroutes() {
-		return nil
+		return buf
 	}
-	return n.misrouteCandidates(req)
+	return n.misrouteAppend(req, buf)
 }
 
 // PortFact is the per-direction fault knowledge of one routing
@@ -448,14 +453,13 @@ type PortFact struct {
 func (n *NAFTA) PortFacts(req Request) [topology.MeshPorts]PortFact {
 	var out [topology.MeshPorts]PortFact
 	vnet := n.vnet(req)
-	minimal := n.mesh.MinimalPorts(req.Node, req.Hdr.Dst)
 	for p := 0; p < topology.MeshPorts; p++ {
 		out[p] = PortFact{
 			Usable:        n.hopOK(req.Node, p, req.Hdr.Dst),
 			Sideways:      n.sidewaysOK(req.Node, p, req.Hdr.Dst),
 			EntryMinimal:  n.vertEntryOK(vnet, req.Node, p, req.Hdr.Dst, true),
 			EntryMisroute: n.vertEntryOK(vnet, req.Node, p, req.Hdr.Dst, false),
-			Minimal:       contains(minimal, p),
+			Minimal:       n.isMinimalPort(req.Node, req.Hdr.Dst, p),
 		}
 	}
 	return out

@@ -116,6 +116,26 @@ type Algorithm interface {
 	UpdateFaults(f *fault.Set)
 }
 
+// BufferedAlgorithm is implemented by algorithms whose hot path can
+// route without allocating: RouteAppend appends the admissible outputs
+// to buf (typically a per-virtual-channel buffer reset to buf[:0] by
+// the caller) and returns the extended slice. Semantics are identical
+// to Route; the candidates must not alias algorithm-internal storage.
+type BufferedAlgorithm interface {
+	Algorithm
+	RouteAppend(req Request, buf []Candidate) []Candidate
+}
+
+// RouteInto routes through the allocation-free path when the algorithm
+// offers one and falls back to copying Route's result into buf
+// otherwise, so callers can hold one code path.
+func RouteInto(a Algorithm, req Request, buf []Candidate) []Candidate {
+	if b, ok := a.(BufferedAlgorithm); ok {
+		return b.RouteAppend(req, buf)
+	}
+	return append(buf, a.Route(req)...)
+}
+
 // LoadView exposes the local load information a selection policy may
 // consult (buffer exploitation, as produced by the paper's Information
 // Units).

@@ -273,6 +273,13 @@ func (c *Checked) constEval(e Expr) (int64, error) {
 	return 0, fmt.Errorf("rules: expression is not compile-time constant")
 }
 
+// ResolveDomain turns a syntactic domain into a type. The off-line
+// compilers (core.CompileBase, the dense fast path) need it to expand
+// quantifier domains outside this package.
+func (c *Checked) ResolveDomain(d *DomainExpr) (*Type, error) {
+	return c.resolveDomain(d)
+}
+
 // resolveDomain turns a syntactic domain into a type.
 func (c *Checked) resolveDomain(d *DomainExpr) (*Type, error) {
 	switch {

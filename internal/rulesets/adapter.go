@@ -1,8 +1,6 @@
 package rulesets
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/routing"
@@ -16,7 +14,15 @@ import (
 // and the conclusion processing executes it. The native NAFTA instance
 // supplies the distributed fault state (it plays the role of the
 // router's Information Units), while every per-message decision flows
-// through the rule interpreter — the paper's execution model.
+// through the rule tables — the paper's execution model.
+//
+// Decisions run on the compiled dense fast path (core.DenseTable over
+// a flat core.InputVector, no allocation): the table index is computed
+// by compiled closures and the folded RETURN value comes straight from
+// the table. Decisions that leave the pure table regime fall back
+// transparently to the interpreted reference path on a pooled scratch
+// Machine; DisableFast forces that path everywhere (the differential
+// and fuzz tests drive both and assert identical decisions).
 type RuleNAFTA struct {
 	mesh   *topology.Mesh
 	native *routing.NAFTA
@@ -26,6 +32,24 @@ type RuleNAFTA struct {
 	ex     *core.CompiledBase // test_exception
 	loads  routing.LoadView
 	faults *fault.Set
+
+	// Fast-path state: the shared input layout, the per-decision input
+	// vector, the dense tables (nil when the base did not compile to
+	// the dense regime) and the pooled slow-path machine reading the
+	// same vector.
+	layout  *core.InputLayout
+	iv      *core.InputVector
+	ffD     *core.DenseTable
+	ftD     *core.DenseTable
+	exD     *core.DenseTable
+	scratch *core.Machine
+	slots   naftaSlots
+	args    []rules.Value // constant [invc=0], reused across decisions
+
+	// DisableFast forces every decision onto the interpreted reference
+	// path (the oracle the differential tests compare against).
+	DisableFast bool
+
 	// Lookups counts table lookups (interpretation steps actually
 	// executed).
 	Lookups int64
@@ -34,6 +58,13 @@ type RuleNAFTA struct {
 	// -trace wires the flight recorder here; the disabled path is one
 	// nil-check per lookup.
 	OnRuleFired func(node topology.NodeID, base string, rule int)
+}
+
+// naftaSlots holds the input-vector slots of every signal the decision
+// bases read, resolved once at construction.
+type naftaSlots struct {
+	dxsign, dysign, invnet, lastdir, msglen, budget, vlight int
+	avail, avfault, misok                                   [topology.MeshPorts]int
 }
 
 // NewRuleNAFTA compiles the NAFTA program and binds it to mesh m.
@@ -47,20 +78,59 @@ func NewRuleNAFTA(m *topology.Mesh) (*RuleNAFTA, error) {
 		native: routing.NewNAFTA(m),
 		prog:   p,
 		faults: fault.NewSet(),
+		args:   []rules.Value{rules.IntVal(0)},
 	}
 	for _, b := range []struct {
 		name string
 		dst  **core.CompiledBase
+		fast **core.DenseTable
 	}{
-		{"incoming_message", &r.ff},
-		{"in_message_ft", &r.ft},
-		{"test_exception", &r.ex},
+		{"incoming_message", &r.ff, &r.ffD},
+		{"in_message_ft", &r.ft, &r.ftD},
+		{"test_exception", &r.ex, &r.exD},
 	} {
 		cb, err := core.CompileBase(p.Checked, b.name, core.CompileOptions{})
 		if err != nil {
 			return nil, err
 		}
 		*b.dst = cb
+	}
+	r.layout = core.NewInputLayout(p.Checked)
+	r.iv = core.NewInputVector(r.layout)
+	r.scratch = core.NewMachine(p.Checked, r.iv.Provider())
+	// Dense compilation is best-effort: a nil table keeps the base on
+	// the interpreter (same decisions, just slower).
+	for _, b := range []struct {
+		cb   *core.CompiledBase
+		fast **core.DenseTable
+	}{{r.ff, &r.ffD}, {r.ft, &r.ftD}, {r.ex, &r.exD}} {
+		if dt, err := b.cb.CompileDense(r.layout); err == nil {
+			*b.fast = dt
+		}
+	}
+	s := &r.slots
+	for _, e := range []struct {
+		name string
+		dst  *int
+	}{
+		{"dxsign", &s.dxsign}, {"dysign", &s.dysign}, {"invnet", &s.invnet},
+		{"lastdir", &s.lastdir}, {"msglen", &s.msglen}, {"budget", &s.budget},
+		{"vlight", &s.vlight},
+	} {
+		if *e.dst, err = r.layout.SlotOf(e.name); err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < topology.MeshPorts; p++ {
+		if s.avail[p], err = r.layout.SlotOf("avail", int64(p)); err != nil {
+			return nil, err
+		}
+		if s.avfault[p], err = r.layout.SlotOf("avfault", int64(p)); err != nil {
+			return nil, err
+		}
+		if s.misok[p], err = r.layout.SlotOf("misok", int64(p)); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -69,6 +139,12 @@ func NewRuleNAFTA(m *topology.Mesh) (*RuleNAFTA, error) {
 // buffer-exploitation signals of the Information Units). Without it
 // the adaptivity tie-break defaults to the horizontal output.
 func (r *RuleNAFTA) AttachLoads(v routing.LoadView) { r.loads = v }
+
+// FastPathActive reports whether all three decision bases compiled to
+// the dense fast path.
+func (r *RuleNAFTA) FastPathActive() bool {
+	return r.ffD != nil && r.ftD != nil && r.exD != nil
+}
 
 func (r *RuleNAFTA) Name() string { return "rule-nafta" }
 func (r *RuleNAFTA) NumVCs() int  { return r.native.NumVCs() }
@@ -84,9 +160,10 @@ func (r *RuleNAFTA) UpdateFaults(f *fault.Set) {
 	r.native.UpdateFaults(f)
 }
 
-// inputsFor builds the rule-program input environment of one decision.
-func (r *RuleNAFTA) inputsFor(req routing.Request) core.InputProvider {
-	c := r.prog.Checked
+// fillInputs loads the rule-program input lines of one decision into
+// the flat input vector (signal slots were resolved at construction —
+// no map, no key building).
+func (r *RuleNAFTA) fillInputs(req routing.Request) {
 	facts := r.native.PortFacts(req)
 	cx, cy := r.mesh.XY(req.Node)
 	dx, dy := r.mesh.XY(req.Hdr.Dst)
@@ -95,22 +172,15 @@ func (r *RuleNAFTA) inputsFor(req routing.Request) core.InputProvider {
 	if req.InPort != routing.InjectionPort {
 		lastdir = topology.OppositeMeshPort(req.InPort)
 	}
-	signs := c.SymbolSets["signs"]
-	sign := func(v int) rules.Value {
+	sign := func(v int) int64 { // signs = {neg, zero, pos}
 		switch {
 		case v < 0:
-			return rules.SymVal(signs, 0)
+			return 0
 		case v == 0:
-			return rules.SymVal(signs, 1)
+			return 1
 		default:
-			return rules.SymVal(signs, 2)
+			return 2
 		}
-	}
-	bit := func(b bool) rules.Value {
-		if b {
-			return rules.Value{T: rules.IntType(0, 1), I: 1}
-		}
-		return rules.Value{T: rules.IntType(0, 1), I: 0}
 	}
 	load := func(p int) int {
 		if r.loads == nil {
@@ -137,66 +207,90 @@ func (r *RuleNAFTA) inputsFor(req routing.Request) core.InputProvider {
 	if msglen > 31 {
 		msglen = 31
 	}
-	vals := map[string]rules.Value{
-		"dxsign":  sign(dx - cx),
-		"dysign":  sign(dy - cy),
-		"invnet":  {T: rules.IntType(0, 1), I: int64(vnet)},
-		"lastdir": {T: rules.IntType(0, 4), I: int64(lastdir)},
-		"msglen":  {T: rules.IntType(0, 31), I: int64(msglen)},
-		"budget":  bit(req.Hdr.Misroutes < 4*(r.mesh.W+r.mesh.H)),
-		"vlight":  bit(vlight),
-	}
+	iv, s := r.iv, &r.slots
+	iv.Begin()
+	iv.Set(s.dxsign, sign(dx-cx))
+	iv.Set(s.dysign, sign(dy-cy))
+	iv.Set(s.invnet, int64(vnet))
+	iv.Set(s.lastdir, int64(lastdir))
+	iv.Set(s.msglen, int64(msglen))
+	iv.SetBool(s.budget, req.Hdr.Misroutes < 4*(r.mesh.W+r.mesh.H))
+	iv.SetBool(s.vlight, vlight)
 	for p := 0; p < topology.MeshPorts; p++ {
-		vals[fmt.Sprintf("avail/%d", p)] = bit(facts[p].Usable)
-		vals[fmt.Sprintf("avfault/%d", p)] = bit(facts[p].Usable && facts[p].Sideways && facts[p].EntryMinimal)
-		vals[fmt.Sprintf("misok/%d", p)] = bit(facts[p].Usable && facts[p].Sideways && facts[p].EntryMisroute)
+		iv.SetBool(s.avail[p], facts[p].Usable)
+		iv.SetBool(s.avfault[p], facts[p].Usable && facts[p].Sideways && facts[p].EntryMinimal)
+		iv.SetBool(s.misok[p], facts[p].Usable && facts[p].Sideways && facts[p].EntryMisroute)
 	}
-	return func(name string, idx []int64) (rules.Value, error) {
-		k := name
-		for _, i := range idx {
-			k += fmt.Sprintf("/%d", i)
+}
+
+// decide runs one rule base over the current input vector: dense table
+// first, interpreted reference path when the fast path is unavailable
+// or the decision leaves the pure table regime. Counter and hook
+// semantics are identical on both paths: Lookups increments once per
+// decision, OnRuleFired fires exactly when a rule (not the "no rule"
+// conclusion) is selected.
+func (r *RuleNAFTA) decide(req routing.Request, cb *core.CompiledBase, dt *core.DenseTable) (int, bool) {
+	r.Lookups++
+	if dt != nil && !r.DisableFast {
+		if idx, ok := dt.Lookup(r.iv, 0); ok {
+			if idx >= cb.RuleCount {
+				return 0, false
+			}
+			if r.OnRuleFired != nil {
+				r.OnRuleFired(req.Node, cb.Base, idx)
+			}
+			if ret, rok := dt.Return(idx); rok {
+				return int(ret.I), true
+			}
+			// Conclusion needs the interpreter (no folded RETURN):
+			// fire the already-selected rule there.
+			eff, err := r.prog.Checked.FireRule(cb.Base, idx, r.args, r.scratch)
+			if err != nil || eff.Return == nil {
+				return 0, false
+			}
+			return int(eff.Return.I), true
 		}
-		v, ok := vals[k]
-		if !ok {
-			return rules.Value{}, fmt.Errorf("rule-nafta: unset input %s", k)
-		}
-		return v, nil
+		// The lookup left the dense regime: repeat the whole decision
+		// on the reference path.
 	}
+	m := r.scratch
+	m.Reset()
+	idx, err := cb.LookupRule(r.args, m)
+	if err != nil || idx >= cb.RuleCount {
+		return 0, false
+	}
+	if r.OnRuleFired != nil {
+		r.OnRuleFired(req.Node, cb.Base, idx)
+	}
+	eff, err := r.prog.Checked.FireRule(cb.Base, idx, r.args, m)
+	if err != nil || eff.Return == nil {
+		return 0, false
+	}
+	return int(eff.Return.I), true
 }
 
 // Route performs the decision through the compiled rule tables: the
 // table lookup selects the applicable rule and the conclusion is
 // executed for its RETURN value. An empty result means unroutable.
 func (r *RuleNAFTA) Route(req routing.Request) []routing.Candidate {
-	c := r.prog.Checked
-	env := core.NewMachine(c, r.inputsFor(req))
-	args := []rules.Value{rules.IntVal(0)}
-	decide := func(cb *core.CompiledBase) (int, bool) {
-		r.Lookups++
-		idx, err := cb.LookupRule(args, env)
-		if err != nil || idx >= cb.RuleCount {
-			return 0, false
-		}
-		if r.OnRuleFired != nil {
-			r.OnRuleFired(req.Node, cb.Base, idx)
-		}
-		eff, err := c.FireRule(cb.Base, idx, args, env)
-		if err != nil || eff.Return == nil {
-			return 0, false
-		}
-		return int(eff.Return.I), true
-	}
-	primary := r.ft
+	return r.RouteAppend(req, nil)
+}
+
+// RouteAppend is the allocation-free form of Route (BufferedAlgorithm).
+func (r *RuleNAFTA) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	r.fillInputs(req)
+	primary, primaryD := r.ft, r.ftD
 	if r.faults.Empty() {
-		primary = r.ff
+		primary, primaryD = r.ff, r.ffD
 	}
-	if port, ok := decide(primary); ok {
-		return []routing.Candidate{{Port: port, VC: r.native.VNetOf(req)}}
+	if port, ok := r.decide(req, primary, primaryD); ok {
+		return append(buf, routing.Candidate{Port: port, VC: r.native.VNetOf(req)})
 	}
-	if port, ok := decide(r.ex); ok {
-		return []routing.Candidate{{Port: port, VC: r.native.VNetOf(req)}}
+	if port, ok := r.decide(req, r.ex, r.exD); ok {
+		return append(buf, routing.Candidate{Port: port, VC: r.native.VNetOf(req)})
 	}
-	return nil
+	return buf
 }
 
 var _ routing.Algorithm = (*RuleNAFTA)(nil)
+var _ routing.BufferedAlgorithm = (*RuleNAFTA)(nil)

@@ -17,6 +17,11 @@ import (
 // states (the Information Units); the per-mode priority selection runs
 // in the conclusion processing, modelled here by a small priority
 // encoder over the same input lines.
+//
+// Like RuleNAFTA, decisions run on the dense fast path (compiled index
+// closures over a flat input vector) with a transparent fallback to
+// the interpreted reference path on a pooled scratch Machine;
+// DisableFast pins every decision to the reference path.
 type RuleRouteC struct {
 	cube   *topology.Hypercube
 	native *routing.RouteC
@@ -24,12 +29,39 @@ type RuleRouteC struct {
 	dir    *core.CompiledBase
 	vc     *core.CompiledBase
 	faults *fault.Set
+
+	layout  *core.InputLayout
+	iv      *core.InputVector
+	dirD    *core.DenseTable
+	vcD     *core.DenseTable
+	scratch *core.Machine
+	slots   cubeSlots
+	lines   cubeLines
+	// portScratch backs portsForMode; vcArgs/vcDargs back the decide_vc
+	// argument lists. All reused per decision.
+	portScratch []int
+	vcArgs      []rules.Value
+	vcDargs     []int64
+
+	// DisableFast forces the interpreted reference path (the oracle of
+	// the differential tests).
+	DisableFast bool
+
 	// Lookups counts rule-table lookups (two per decision).
 	Lookups int64
 	// OnRuleFired, when non-nil, observes every successful rule-table
 	// lookup (deciding node, base name, fired rule index); the flight
 	// recorder attaches here.
 	OnRuleFired func(node topology.NodeID, base string, rule int)
+}
+
+// cubeSlots holds the input-vector slots of the ROUTE_C decision
+// inputs, resolved once at construction (per-dimension vectors keep
+// one slot per dimension).
+type cubeSlots struct {
+	diffb, upb, okl, nbsafe, notback []int
+	newState, adaptLoad              []int
+	phase, level, takingDetour       int
 }
 
 // NewRuleRouteC compiles ROUTE_C for cube h (adaptivity width 2).
@@ -39,10 +71,12 @@ func NewRuleRouteC(h *topology.Hypercube) (*RuleRouteC, error) {
 		return nil, err
 	}
 	r := &RuleRouteC{
-		cube:   h,
-		native: routing.NewRouteC(h),
-		prog:   p,
-		faults: fault.NewSet(),
+		cube:    h,
+		native:  routing.NewRouteC(h),
+		prog:    p,
+		faults:  fault.NewSet(),
+		vcArgs:  make([]rules.Value, 1),
+		vcDargs: make([]int64, 1),
 	}
 	if r.dir, err = core.CompileBase(p.Checked, "decide_dir", core.CompileOptions{}); err != nil {
 		return nil, err
@@ -50,11 +84,59 @@ func NewRuleRouteC(h *topology.Hypercube) (*RuleRouteC, error) {
 	if r.vc, err = core.CompileBase(p.Checked, "decide_vc", core.CompileOptions{}); err != nil {
 		return nil, err
 	}
+	r.layout = core.NewInputLayout(p.Checked)
+	r.iv = core.NewInputVector(r.layout)
+	r.scratch = core.NewMachine(p.Checked, r.iv.Provider())
+	if dt, err := r.dir.CompileDense(r.layout); err == nil {
+		r.dirD = dt
+	}
+	if dt, err := r.vc.CompileDense(r.layout); err == nil {
+		r.vcD = dt
+	}
+	d := h.Dim
+	s := &r.slots
+	for _, e := range []struct {
+		name string
+		dst  *[]int
+	}{
+		{"diffb", &s.diffb}, {"upb", &s.upb}, {"okl", &s.okl},
+		{"nbsafe", &s.nbsafe}, {"notback", &s.notback},
+		{"new_state", &s.newState}, {"adapt_load", &s.adaptLoad},
+	} {
+		*e.dst = make([]int, d)
+		for i := 0; i < d; i++ {
+			if (*e.dst)[i], err = r.layout.SlotOf(e.name, int64(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range []struct {
+		name string
+		dst  *int
+	}{
+		{"phase", &s.phase}, {"level", &s.level}, {"taking_detour", &s.takingDetour},
+	} {
+		if *e.dst, err = r.layout.SlotOf(e.name); err != nil {
+			return nil, err
+		}
+	}
+	r.lines = cubeLines{
+		diff:       make([]bool, d),
+		up:         make([]bool, d),
+		ok:         make([]bool, d),
+		safe:       make([]bool, d),
+		notback:    make([]bool, d),
+		stateClass: make([]int, d),
+	}
 	return r, nil
 }
 
 func (r *RuleRouteC) Name() string { return "rule-routec" }
 func (r *RuleRouteC) NumVCs() int  { return r.native.NumVCs() }
+
+// FastPathActive reports whether both decision bases compiled to the
+// dense fast path.
+func (r *RuleRouteC) FastPathActive() bool { return r.dirD != nil && r.vcD != nil }
 
 // Steps is always two interpretations (decide_dir, decide_vc).
 func (r *RuleRouteC) Steps(routing.Request) int { return 2 }
@@ -68,8 +150,9 @@ func (r *RuleRouteC) UpdateFaults(f *fault.Set) {
 	r.native.UpdateFaults(f)
 }
 
-// lines holds the per-decision input lines shared by the rule tables
-// and the conclusion-processing priority encoder.
+// cubeLines holds the per-decision input lines shared by the rule
+// tables and the conclusion-processing priority encoder. The slices
+// are allocated once per adapter and refilled per decision.
 type cubeLines struct {
 	diff, up, ok, safe, notback []bool
 	// stateClass carries the full neighbour-state ordering for the
@@ -78,16 +161,10 @@ type cubeLines struct {
 	stateClass []int
 }
 
-func (r *RuleRouteC) linesFor(req routing.Request) cubeLines {
+// fillLines recomputes the input lines of one decision in place.
+func (r *RuleRouteC) fillLines(req routing.Request) {
 	d := r.cube.Dim
-	l := cubeLines{
-		diff:       make([]bool, d),
-		up:         make([]bool, d),
-		ok:         make([]bool, d),
-		safe:       make([]bool, d),
-		notback:    make([]bool, d),
-		stateClass: make([]int, d),
-	}
+	l := &r.lines
 	states := r.native.States()
 	for i := 0; i < d; i++ {
 		nb := r.cube.Neighbor(req.Node, i)
@@ -102,47 +179,58 @@ func (r *RuleRouteC) linesFor(req routing.Request) cubeLines {
 			l.stateClass[i] = int(states[nb])
 		}
 	}
-	return l
 }
 
-func (r *RuleRouteC) providerFor(req routing.Request, l cubeLines, takingDetour bool, outPhase int) core.InputProvider {
-	bit := func(b bool) rules.Value {
-		if b {
-			return rules.Value{T: rules.IntType(0, 1), I: 1}
-		}
-		return rules.Value{T: rules.IntType(0, 1), I: 0}
+// fillInputs loads the decision's input lines into the flat input
+// vector. phase and taking_detour vary between the dir decision and
+// the per-port vc decisions; Route re-sets just those two slots.
+func (r *RuleRouteC) fillInputs(req routing.Request) {
+	iv, s, l := r.iv, &r.slots, &r.lines
+	iv.Begin()
+	safeOrd := r.prog.Checked.Symbols["safe"].I
+	for i := 0; i < r.cube.Dim; i++ {
+		iv.SetBool(s.diffb[i], l.diff[i])
+		iv.SetBool(s.upb[i], l.up[i])
+		iv.SetBool(s.okl[i], l.ok[i])
+		iv.SetBool(s.nbsafe[i], l.safe[i])
+		iv.SetBool(s.notback[i], l.notback[i])
+		iv.Set(s.newState[i], safeOrd)
+		iv.Set(s.adaptLoad[i], 0)
 	}
-	return func(name string, idx []int64) (rules.Value, error) {
-		switch name {
-		case "diffb":
-			return bit(l.diff[idx[0]]), nil
-		case "upb":
-			return bit(l.up[idx[0]]), nil
-		case "okl":
-			return bit(l.ok[idx[0]]), nil
-		case "nbsafe":
-			return bit(l.safe[idx[0]]), nil
-		case "notback":
-			return bit(l.notback[idx[0]]), nil
-		case "phase":
-			return rules.Value{T: rules.IntType(0, 1), I: int64(outPhase)}, nil
-		case "level":
-			return rules.Value{T: rules.IntType(0, 3), I: int64(req.Hdr.DetourLevel)}, nil
-		case "taking_detour":
-			return bit(takingDetour), nil
-		case "new_state":
-			return r.prog.Checked.Symbols["safe"], nil
-		case "adapt_load":
-			return rules.Value{T: rules.IntType(0, 3)}, nil
-		}
-		return rules.Value{}, fmt.Errorf("rule-routec: unset input %s", name)
-	}
+	iv.Set(s.phase, int64(req.Hdr.Phase))
+	iv.Set(s.level, int64(req.Hdr.DetourLevel))
+	iv.SetBool(s.takingDetour, false)
 }
 
-// decide runs one compiled table and returns the RETURN value ordinal.
-func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, env rules.Env, args ...rules.Value) (int64, error) {
+// decide runs one compiled table over the current input vector and
+// returns the RETURN value ordinal. Dense fast path first; the
+// interpreted reference path serves fallbacks and DisableFast. Counter
+// and hook semantics are identical on both paths.
+func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, dt *core.DenseTable,
+	args []rules.Value, dargs []int64) (int64, error) {
 	r.Lookups++
-	idx, err := cb.LookupRule(args, env)
+	if dt != nil && !r.DisableFast {
+		if idx, ok := dt.Lookup(r.iv, dargs...); ok {
+			if idx >= cb.RuleCount {
+				return 0, fmt.Errorf("rule-routec: %s selected no rule", cb.Base)
+			}
+			if r.OnRuleFired != nil {
+				r.OnRuleFired(node, cb.Base, idx)
+			}
+			if ret, rok := dt.Return(idx); rok {
+				return ret.I, nil
+			}
+			eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, r.scratch)
+			if err != nil || eff.Return == nil {
+				return 0, fmt.Errorf("rule-routec: %s rule %d has no value (%v)", cb.Base, idx, err)
+			}
+			return eff.Return.I, nil
+		}
+		// Outside the dense regime: repeat on the reference path.
+	}
+	m := r.scratch
+	m.Reset()
+	idx, err := cb.LookupRule(args, m)
 	if err != nil {
 		return 0, err
 	}
@@ -152,7 +240,7 @@ func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, env rul
 	if r.OnRuleFired != nil {
 		r.OnRuleFired(node, cb.Base, idx)
 	}
-	eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, env)
+	eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, m)
 	if err != nil || eff.Return == nil {
 		return 0, fmt.Errorf("rule-routec: %s rule %d has no value (%v)", cb.Base, idx, err)
 	}
@@ -161,9 +249,10 @@ func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, env rul
 
 // portsForMode is the conclusion-processing priority logic: expand a
 // decide_dir mode back into the admissible ports, lowest dimension
-// first.
-func (r *RuleRouteC) portsForMode(mode string, l cubeLines, hdrPhase int) ([]int, bool) {
+// first. The returned slice aliases adapter scratch storage.
+func (r *RuleRouteC) portsForMode(mode string) ([]int, bool) {
 	d := r.cube.Dim
+	l := &r.lines
 	var eligible func(i int) bool
 	detour := false
 	switch mode {
@@ -190,42 +279,52 @@ func (r *RuleRouteC) portsForMode(mode string, l cubeLines, hdrPhase int) ([]int
 			best = l.stateClass[i]
 		}
 	}
-	var out []int
+	out := r.portScratch[:0]
 	for i := 0; i < d; i++ {
 		if eligible(i) && l.stateClass[i] == best {
 			out = append(out, i)
 		}
 	}
+	r.portScratch = out[:0]
 	return out, detour
 }
 
 func (r *RuleRouteC) Route(req routing.Request) []routing.Candidate {
+	return r.RouteAppend(req, nil)
+}
+
+// RouteAppend is the allocation-free form of Route (BufferedAlgorithm).
+func (r *RuleRouteC) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
 	c := r.prog.Checked
-	l := r.linesFor(req)
-	env := core.NewMachine(c, r.providerFor(req, l, false, req.Hdr.Phase))
-	modeOrd, err := r.decide(req.Node, r.dir, env)
+	r.fillLines(req)
+	r.fillInputs(req)
+	modeOrd, err := r.decide(req.Node, r.dir, r.dirD, nil, nil)
 	if err != nil {
-		return nil
+		return buf
 	}
 	mode := c.SymbolSets["modes"].Symbols[modeOrd]
 	if mode == "blocked" || mode == "arrived" {
-		return nil
+		return buf
 	}
-	ports, detour := r.portsForMode(mode, l, req.Hdr.Phase)
-	var cands []routing.Candidate
+	ports, detour := r.portsForMode(mode)
+	start := len(buf)
 	for _, p := range ports {
 		outPhase := 1
-		if l.up[p] && l.diff[p] {
+		if r.lines.up[p] && r.lines.diff[p] {
 			outPhase = 0
 		}
-		vcEnv := core.NewMachine(c, r.providerFor(req, l, detour, outPhase))
-		vcOrd, err := r.decide(req.Node, r.vc, vcEnv, c.Symbols[mode])
+		r.iv.Set(r.slots.phase, int64(outPhase))
+		r.iv.SetBool(r.slots.takingDetour, detour)
+		r.vcArgs[0] = c.Symbols[mode]
+		r.vcDargs[0] = c.Symbols[mode].I
+		vcOrd, err := r.decide(req.Node, r.vc, r.vcD, r.vcArgs, r.vcDargs)
 		if err != nil {
-			return nil
+			return buf[:start]
 		}
-		cands = append(cands, routing.Candidate{Port: p, VC: int(vcOrd)})
+		buf = append(buf, routing.Candidate{Port: p, VC: int(vcOrd)})
 	}
-	return cands
+	return buf
 }
 
 var _ routing.Algorithm = (*RuleRouteC)(nil)
+var _ routing.BufferedAlgorithm = (*RuleRouteC)(nil)

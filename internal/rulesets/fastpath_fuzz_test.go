@@ -1,0 +1,168 @@
+package rulesets
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// The fuzz targets below mutate a fault set plus one routing request
+// from raw bytes and assert that the dense fast path and the
+// interpreted reference path select the identical fired rules and
+// produce the identical candidates. Under plain `go test` only the
+// seed corpus runs; `go test -fuzz FuzzRuleNAFTA ./internal/rulesets`
+// explores further.
+
+// fuzzBytes is a zero-padded byte reader so short inputs still decode.
+type fuzzBytes struct {
+	data []byte
+	pos  int
+}
+
+func (f *fuzzBytes) next() byte {
+	if f.pos >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b
+}
+
+func (f *fuzzBytes) intn(n int) int { return int(f.next()) % n }
+
+func FuzzRuleNAFTADifferential(f *testing.F) {
+	m := topology.NewMesh(8, 8)
+	fast, err := NewRuleNAFTA(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	interp, err := NewRuleNAFTA(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	interp.DisableFast = true
+	var fastFired, interpFired []firing
+	fast.OnRuleFired = recordFirings(&fastFired)
+	interp.OnRuleFired = recordFirings(&interpFired)
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 7, 7, 0, 1, 0, 0, 0})
+	f.Add([]byte{2, 27, 36, 0, 0, 5, 63, 2, 12, 1, 1, 200})
+	f.Add([]byte{3, 9, 10, 11, 1, 2, 3, 60, 17, 4, 30, 1, 0, 99})
+	f.Add([]byte{1, 20, 2, 1, 12, 52, 1, 5, 0, 1, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb := &fuzzBytes{data: data}
+		fs := fault.NewSet()
+		for i, n := 0, fb.intn(4); i < n; i++ {
+			fs.FailNode(topology.NodeID(fb.intn(m.Nodes())))
+		}
+		for i, n := 0, fb.intn(3); i < n; i++ {
+			a := topology.NodeID(fb.intn(m.Nodes()))
+			p := fb.intn(topology.MeshPorts)
+			if b := m.Neighbor(a, p); b != topology.Invalid {
+				fs.FailLink(a, b)
+			}
+		}
+		fast.UpdateFaults(fs)
+		interp.UpdateFaults(fs)
+
+		src := topology.NodeID(fb.intn(m.Nodes()))
+		dst := topology.NodeID(fb.intn(m.Nodes()))
+		if src == dst || fs.NodeFaulty(src) || fs.NodeFaulty(dst) {
+			return
+		}
+		hdr := routing.Header{
+			Src: src, Dst: dst,
+			Length:    2 + fb.intn(30),
+			Misroutes: fb.intn(80),
+			Marked:    fb.intn(2) == 1,
+			VNet:      fb.intn(2),
+		}
+		inPort := routing.InjectionPort
+		if v := fb.intn(topology.MeshPorts + 1); v < topology.MeshPorts {
+			inPort = v
+		}
+		hdr2 := hdr
+		reqF := routing.Request{Node: src, InPort: inPort, InVC: fb.intn(2), Hdr: &hdr}
+		reqI := reqF
+		reqI.Hdr = &hdr2
+		fastFired, interpFired = fastFired[:0], interpFired[:0]
+		a := fast.Route(reqF)
+		b := interp.Route(reqI)
+		if !sameCands(a, b) {
+			t.Fatalf("candidates diverged: fast %v vs interpreted %v (req %+v hdr %+v)", a, b, reqF, hdr)
+		}
+		if !sameFirings(fastFired, interpFired) {
+			t.Fatalf("fired rules diverged: %v vs %v (req %+v hdr %+v)", fastFired, interpFired, reqF, hdr)
+		}
+	})
+}
+
+func FuzzRuleRouteCDifferential(f *testing.F) {
+	h := topology.NewHypercube(4)
+	fast, err := NewRuleRouteC(h)
+	if err != nil {
+		f.Fatal(err)
+	}
+	interp, err := NewRuleRouteC(h)
+	if err != nil {
+		f.Fatal(err)
+	}
+	interp.DisableFast = true
+	var fastFired, interpFired []firing
+	fast.OnRuleFired = recordFirings(&fastFired)
+	interp.OnRuleFired = recordFirings(&interpFired)
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 15, 1, 0, 0})
+	f.Add([]byte{2, 3, 9, 1, 2, 1, 7, 8, 1, 3, 2})
+	f.Add([]byte{1, 12, 2, 0, 5, 0, 10, 0, 1, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb := &fuzzBytes{data: data}
+		fs := fault.NewSet()
+		for i, n := 0, fb.intn(3); i < n; i++ {
+			fs.FailNode(topology.NodeID(fb.intn(h.Nodes())))
+		}
+		for i, n := 0, fb.intn(2); i < n; i++ {
+			a := topology.NodeID(fb.intn(h.Nodes()))
+			d := fb.intn(h.Dim)
+			if b := h.Neighbor(a, d); b != topology.Invalid {
+				fs.FailLink(a, b)
+			}
+		}
+		fast.UpdateFaults(fs)
+		interp.UpdateFaults(fs)
+
+		src := topology.NodeID(fb.intn(h.Nodes()))
+		dst := topology.NodeID(fb.intn(h.Nodes()))
+		if src == dst || fs.NodeFaulty(src) || fs.NodeFaulty(dst) {
+			return
+		}
+		hdr := routing.Header{
+			Src: src, Dst: dst, Length: 2 + fb.intn(12),
+			Phase:       fb.intn(2),
+			DetourLevel: fb.intn(5),
+		}
+		inPort := routing.InjectionPort
+		if v := fb.intn(h.Dim + 1); v < h.Dim {
+			inPort = v
+		}
+		hdr2 := hdr
+		reqF := routing.Request{Node: src, InPort: inPort, Hdr: &hdr}
+		reqI := reqF
+		reqI.Hdr = &hdr2
+		fastFired, interpFired = fastFired[:0], interpFired[:0]
+		a := fast.Route(reqF)
+		b := interp.Route(reqI)
+		if !sameCands(a, b) {
+			t.Fatalf("candidates diverged: fast %v vs interpreted %v (req %+v hdr %+v)", a, b, reqF, hdr)
+		}
+		if !sameFirings(fastFired, interpFired) {
+			t.Fatalf("fired rules diverged: %v vs %v (req %+v hdr %+v)", fastFired, interpFired, reqF, hdr)
+		}
+	})
+}
