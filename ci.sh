@@ -4,7 +4,11 @@
 #   2. go build   everything compiles
 #   3. go test -race   full suite under the race detector (the trace
 #      subsystem's one-recorder-per-job discipline is only proven here)
-#   4. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#   4. coverage floor: statement coverage of internal/... must stay
+#      >= COVER_FLOOR (baseline was 84.1% when the gate was added)
+#   5. campaign smoke: 25 randomized fault-injection scenarios per
+#      algorithm family must pass every conformance oracle
+#   6. (opt-in) bench regression gate: set BENCH_BASELINE to a
 #      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
 #      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op
 #      regression (cmd/benchjson -baseline).
@@ -21,6 +25,21 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+COVER_FLOOR="${COVER_FLOOR:-80.0}"
+echo "== coverage floor ${COVER_FLOOR}%"
+go test -coverprofile=cover.out ./internal/... >/dev/null
+total=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+rm -f cover.out
+echo "   total statement coverage: ${total}%"
+awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+	echo "ci.sh: coverage ${total}% below floor ${COVER_FLOOR}%" >&2
+	exit 1
+}
+
+echo "== campaign smoke (25 scenarios per family)"
+go run ./cmd/campaign -scenarios 25 -seed 1 -algo nafta
+go run ./cmd/campaign -scenarios 25 -seed 1 -algo routec
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
 	echo "== benchjson -baseline $BENCH_BASELINE"

@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ArtifactVersion identifies the replay-artifact format.
+const ArtifactVersion = 1
+
+// Artifact is the persisted form of a failed campaign: every violating
+// scenario with its oracle failures and (when shrinking ran) the
+// minimized reproduction. `go run ./cmd/campaign -replay file` decodes
+// one and re-executes the scenarios.
+type Artifact struct {
+	Version int              `json:"version"`
+	Algo    string           `json:"algo"`
+	Seed    int64            `json:"seed"`
+	Reports []ScenarioReport `json:"reports"`
+}
+
+// NewArtifact assembles the artifact of a failed campaign.
+func NewArtifact(opts *Options, out *Outcome) *Artifact {
+	return &Artifact{
+		Version: ArtifactVersion,
+		Algo:    opts.Algo,
+		Seed:    opts.Seed,
+		Reports: out.Reports,
+	}
+}
+
+// WriteJSON serialises the artifact (indented, stable field order).
+func (a *Artifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// DecodeArtifact reads an artifact back.
+func DecodeArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("campaign: decoding artifact: %w", err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("campaign: artifact version %d (want %d)", a.Version, ArtifactVersion)
+	}
+	return &a, nil
+}
+
+// Replay re-executes every scenario of the artifact (preferring the
+// shrunk reproduction when present) and returns the per-scenario
+// violations observed now. A clean replay returns no reports — the
+// recorded bug no longer reproduces.
+func Replay(a *Artifact, opts *Options) ([]ScenarioReport, error) {
+	var out []ScenarioReport
+	for i := range a.Reports {
+		s := a.Reports[i].Scenario
+		if a.Reports[i].Shrunk != nil {
+			s = *a.Reports[i].Shrunk
+		}
+		vio, pm, err := Evaluate(&s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: replaying scenario %d: %w", s.ID, err)
+		}
+		if len(vio) > 0 {
+			out = append(out, ScenarioReport{Scenario: s, Violations: vio, PostMortem: pm})
+		}
+	}
+	return out, nil
+}

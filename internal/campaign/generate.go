@@ -1,0 +1,178 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// Per-scenario PRNG decorrelation: consecutive campaign seeds must not
+// produce overlapping scenario streams, so each scenario's generator
+// is seeded with the golden-ratio multiple of its index.
+const seedStride = int64(-0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+
+// Generate builds opts.Scenarios scenarios for opts.Algo. Generation
+// is deterministic in opts.Seed; every scenario embeds everything
+// needed to replay it in isolation.
+func Generate(opts *Options) ([]Scenario, error) {
+	out := make([]Scenario, 0, opts.Scenarios)
+	for i := 0; i < opts.Scenarios; i++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*seedStride))
+		var (
+			s   Scenario
+			err error
+		)
+		switch opts.Algo {
+		case AlgoNAFTA:
+			s, err = genNAFTA(i, rng)
+		case AlgoRouteC:
+			s, err = genRouteC(i, rng)
+		default:
+			return nil, fmt.Errorf("campaign: unknown algo %q (valid: %v)", opts.Algo, Algos)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// base fills the traffic and protocol parameters shared by both
+// families. Rates stay below saturation so a failed drain is a genuine
+// anomaly, not congestion.
+func base(id int, algo string, rng *rand.Rand) Scenario {
+	return Scenario{
+		ID:          id,
+		Algo:        algo,
+		Seed:        rng.Int63(),
+		Rate:        0.05 + rng.Float64()*0.05,
+		Length:      4 + rng.Intn(5),
+		Warmup:      300,
+		Measure:     1200,
+		Drain:       30000,
+		LivelockAge: 20000,
+	}
+}
+
+// setToScenario copies a generated fault.Set into the scenario's plain
+// fields.
+func setToScenario(s *Scenario, f *fault.Set) {
+	for _, n := range f.FaultyNodes() {
+		s.FaultNodes = append(s.FaultNodes, int(n))
+	}
+	for _, l := range f.FaultyLinks() {
+		s.FaultLinks = append(s.FaultLinks, [2]int{int(l.A), int(l.B)})
+	}
+}
+
+// genNAFTA draws one mesh scenario: convex and concave static fault
+// patterns (random sets, the Figure 2 fault chain, L-shapes feeding
+// the block completion) plus, in one kind, timed mid-run events.
+func genNAFTA(id int, rng *rand.Rand) (Scenario, error) {
+	sizes := [][2]int{{6, 6}, {8, 8}, {8, 6}}
+	wh := sizes[rng.Intn(len(sizes))]
+	w, h := wh[0], wh[1]
+	m := topology.NewMesh(w, h)
+	s := base(id, AlgoNAFTA, rng)
+	s.MeshW, s.MeshH = w, h
+
+	switch rng.Intn(4) {
+	case 0: // random static pattern
+		f, err := fault.Random(m, fault.RandomOptions{
+			Nodes: 1 + rng.Intn(4), Links: rng.Intn(3),
+			Seed: rng.Int63(), KeepConnected: true,
+		})
+		if err != nil {
+			return s, err
+		}
+		setToScenario(&s, f)
+	case 1: // the paper's Figure 2 fault chain
+		f, err := fault.Chain(m, rng.Intn(h-1), 1+rng.Intn(w-2))
+		if err != nil {
+			return s, err
+		}
+		setToScenario(&s, f)
+	case 2: // concave L-shape exercising convex completion
+		x, y := rng.Intn(w-2), rng.Intn(h-2)
+		f, err := fault.LShape(m, x, y, 1+rng.Intn(2), 1+rng.Intn(2))
+		if err != nil {
+			return s, err
+		}
+		setToScenario(&s, f)
+	case 3: // random static pattern plus timed mid-run events
+		f, err := fault.Random(m, fault.RandomOptions{
+			Nodes: 1 + rng.Intn(2), Links: rng.Intn(2),
+			Seed: rng.Int63(), KeepConnected: true,
+		})
+		if err != nil {
+			return s, err
+		}
+		setToScenario(&s, f)
+		if err := addEvents(&s, m, rng); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// addEvents draws 1-3 timed fault events whose cumulative final state
+// keeps the surviving sub-network in one component (so the scenario
+// stays a routing exercise, not a partition exercise).
+func addEvents(s *Scenario, g topology.Graph, rng *rand.Rand) error {
+	links := topology.Links(g)
+	horizon := s.Warmup/2 + s.Measure*3/4
+	for try := 0; try < 100; try++ {
+		cand := *s
+		cand.Events = nil
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			t := s.Warmup/2 + rng.Int63n(horizon)
+			if rng.Intn(2) == 0 {
+				cand.Events = append(cand.Events, TimedFault{
+					Time: t, Kind: "node", Node: rng.Intn(g.Nodes())})
+			} else {
+				l := links[rng.Intn(len(links))]
+				cand.Events = append(cand.Events, TimedFault{
+					Time: t, Kind: "link", A: int(l.A), B: int(l.B)})
+			}
+		}
+		// The final cumulative set must leave one live component, and
+		// the events must actually add faults (no duplicates of the
+		// initial set).
+		final := cand.FaultStateAt(1 << 62)
+		if final.NodeCount()+final.LinkCount() != s.atoms()+len(cand.Events)-len(s.Events) {
+			continue
+		}
+		if comps := topology.Components(g, final.Filter()); len(comps) != 1 {
+			continue
+		}
+		s.Events = cand.Events
+		return nil
+	}
+	// No acceptable event draw: keep the static scenario.
+	return nil
+}
+
+// genRouteC draws one hypercube scenario inside ROUTE_C's guarantee
+// regime: up to dim-1 node faults, no link faults, surviving cube
+// connected. (Beyond-guarantee behaviour is exercised by the targeted
+// tests in internal/routing; the campaign asserts the regime where
+// every drop is a bug.)
+func genRouteC(id int, rng *rand.Rand) (Scenario, error) {
+	dim := 4 + rng.Intn(2)
+	cube := topology.NewHypercube(dim)
+	s := base(id, AlgoRouteC, rng)
+	s.CubeDim = dim
+	f, err := fault.Random(cube, fault.RandomOptions{
+		Nodes: 1 + rng.Intn(dim-1),
+		Seed:  rng.Int63(), KeepConnected: true,
+	})
+	if err != nil {
+		return s, err
+	}
+	setToScenario(&s, f)
+	return s, nil
+}

@@ -413,3 +413,103 @@ func TestDirStatesProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRandomEdgeCases sweeps the generator's boundary conditions
+// table-driven: empty draws, saturated graphs, tiny meshes where the
+// rejection sampler must either succeed quickly or give up cleanly.
+func TestRandomEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		mesh    [2]int
+		opts    RandomOptions
+		wantErr bool
+	}{
+		{"zero faults", [2]int{4, 4}, RandomOptions{Seed: 1}, false},
+		{"zero faults keep-connected", [2]int{4, 4}, RandomOptions{Seed: 1, KeepConnected: true}, false},
+		{"links only", [2]int{4, 4}, RandomOptions{Links: 3, Seed: 2, KeepConnected: true}, false},
+		{"single node on 2x2", [2]int{2, 2}, RandomOptions{Nodes: 1, Seed: 3, KeepConnected: true}, false},
+		{"all nodes exhausted", [2]int{2, 2}, RandomOptions{Nodes: 5, Seed: 4, MaxTries: 10}, true},
+		{"avoid leaves nothing", [2]int{2, 2}, RandomOptions{Nodes: 4, Seed: 5, MaxTries: 10,
+			Avoid: []topology.NodeID{0}}, true},
+		{"disconnection forced", [2]int{3, 1}, RandomOptions{Nodes: 1, Seed: 6, MaxTries: 10,
+			KeepConnected: true, Avoid: []topology.NodeID{0, 2}}, true},
+		{"more links than graph", [2]int{2, 2}, RandomOptions{Links: 9, Seed: 7, MaxTries: 10}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := topology.NewMesh(c.mesh[0], c.mesh[1])
+			s, err := Random(m, c.opts)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("expected failure, got %v", s)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.NodeCount() != c.opts.Nodes || s.LinkCount() != c.opts.Links {
+				t.Fatalf("counts = (%d,%d), want (%d,%d)",
+					s.NodeCount(), s.LinkCount(), c.opts.Nodes, c.opts.Links)
+			}
+			if c.opts.KeepConnected {
+				if comps := topology.Components(m, s.Filter()); len(comps) != 1 {
+					t.Fatalf("KeepConnected violated: %d components", len(comps))
+				}
+			}
+		})
+	}
+}
+
+// TestRandomBlocksConvexOnSmallMeshes: the convex completion must
+// reach its fixpoint on whatever patterns the generator draws, even on
+// meshes small enough that blocks collide with every border.
+func TestRandomBlocksConvexOnSmallMeshes(t *testing.T) {
+	for _, wh := range [][2]int{{3, 3}, {4, 3}, {4, 4}, {5, 5}} {
+		m := topology.NewMesh(wh[0], wh[1])
+		for seed := int64(0); seed < 25; seed++ {
+			s, err := Random(m, RandomOptions{
+				Nodes: 1 + int(seed)%3, Links: int(seed) % 2,
+				Seed: seed, KeepConnected: true, MaxTries: 2000,
+			})
+			if err != nil {
+				// Small meshes legitimately exhaust the sampler for the
+				// denser draws; that is the clean-give-up path.
+				continue
+			}
+			b := BuildBlocks(m, s)
+			if !b.IsConvex() {
+				t.Fatalf("mesh %dx%d seed %d: completion not convex for %v",
+					wh[0], wh[1], seed, s)
+			}
+			for _, n := range s.FaultyNodes() {
+				if !b.DisabledNode(n) {
+					t.Fatalf("faulty node %d not inside its own block", n)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomSeedStability pins the determinism contract across every
+// option combination the campaign generator uses.
+func TestRandomSeedStability(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	for _, opts := range []RandomOptions{
+		{Nodes: 3, Seed: 5},
+		{Nodes: 3, Links: 2, Seed: 5, KeepConnected: true},
+		{Links: 4, Seed: 5, Avoid: []topology.NodeID{0, 35}},
+	} {
+		a, err := Random(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Random(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("options %+v: same seed diverged:\n%s\n%s", opts, a, b)
+		}
+	}
+}

@@ -28,6 +28,13 @@ type Event struct {
 // simulation. Per the paper's assumption iv, the simulator drains or
 // freezes affected traffic while each event's diagnosis (state
 // propagation) runs to a fixpoint.
+//
+// A Schedule is a cursor over its events: ApplyUpTo consumes them in
+// time order. Consumers that need their own replay position — e.g.
+// sim.Run, which may execute the same Config several times or across
+// parallel Replicate jobs — must work on a Clone; a shared cursor
+// would silently replay nothing on the second drain (and race under
+// concurrent use).
 type Schedule struct {
 	events []Event
 	next   int
@@ -86,3 +93,23 @@ func (sc *Schedule) ApplyUpTo(t int64, s *Set) []Event {
 
 // Reset rewinds the schedule so it can be replayed on a fresh Set.
 func (sc *Schedule) Reset() { sc.next = 0 }
+
+// Clone returns an independent copy of the schedule with a rewound
+// cursor. Runs that drain a schedule clone it first, so the caller's
+// instance stays reusable and two concurrent runs never share the
+// mutable replay position.
+func (sc *Schedule) Clone() *Schedule {
+	ev := make([]Event, len(sc.events))
+	copy(ev, sc.events)
+	return &Schedule{events: ev}
+}
+
+// Len returns the number of events in the schedule.
+func (sc *Schedule) Len() int { return len(sc.events) }
+
+// Events returns a copy of the schedule's events in time order.
+func (sc *Schedule) Events() []Event {
+	ev := make([]Event, len(sc.events))
+	copy(ev, sc.events)
+	return ev
+}

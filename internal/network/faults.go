@@ -117,6 +117,11 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 			m.State = StateKilled
 			m.DoneTime = n.now
 			n.stats.Killed++
+			// A worm cut while its head end was already being absorbed
+			// at the destination has delivered some flits; back them
+			// out — killed messages are excluded from the statistics
+			// wholesale (assumption iv).
+			n.stats.FlitsDelivered -= int64(m.flitsEjected)
 			n.inFlight--
 			if n.rec != nil {
 				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KMsgKilled,
@@ -144,8 +149,12 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 				ivc := &r.inputs[p][v]
 				if ivc.outPort < 0 {
 					// Unallocated: recompute the decision under the
-					// new fault state next cycle.
-					if ivc.routed && !ivc.eject {
+					// new fault state next cycle — unless the worm is
+					// already partially absorbed (the head flit is
+					// gone): clearing the route state of a headless
+					// worm would leave routeStage unable to ever route
+					// it again and wedge the input VC.
+					if ivc.routed && !ivc.eject && (len(ivc.q) == 0 || ivc.q[0].head) {
 						ivc.resetRoute()
 					}
 					continue

@@ -68,8 +68,21 @@ type Message struct {
 	Steps int
 	// DropNode records where an unroutable message was absorbed.
 	DropNode topology.NodeID
+	// DropInPort and DropInVC record the input port (in routing.Request
+	// convention: routing.InjectionPort for the source's injection
+	// queue) and input VC of the unroutable decision that absorbed the
+	// message. The campaign oracle replays that exact decision on the
+	// native reference algorithm to decide whether the drop was
+	// justified. Both are -1 until the message is dropped.
+	DropInPort int
+	DropInVC   int
 
 	flitsSent int // flits that have left the injection stage
+	// flitsEjected counts flits already delivered at the destination;
+	// when a fault event kills a partially absorbed worm, this many
+	// flits are backed out of Stats.FlitsDelivered (killed messages are
+	// excluded from the statistics wholesale, assumption iv).
+	flitsEjected int
 }
 
 // Latency returns the total queue+network latency in cycles, or -1 if

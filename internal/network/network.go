@@ -246,6 +246,8 @@ func (n *Network) Inject(src, dst topology.NodeID, length int) *Message {
 		InjectTime: n.now,
 		StartTime:  -1,
 		DoneTime:   -1,
+		DropInPort: -1,
+		DropInVC:   -1,
 		State:      StateQueued,
 	}
 	n.nextID++
@@ -635,6 +637,7 @@ func (n *Network) drainStage() bool {
 				progress = true
 				if ivc.eject {
 					n.stats.FlitsDelivered++
+					f.msg.flitsEjected++
 				}
 				if f.tail {
 					m := f.msg
@@ -666,6 +669,11 @@ func (n *Network) drainStage() bool {
 					} else {
 						m.State = StateDropped
 						m.DropNode = r.id
+						m.DropInPort = p
+						if p == r.injPort() {
+							m.DropInPort = routing.InjectionPort
+						}
+						m.DropInVC = v
 						n.stats.Dropped++
 					}
 					n.inFlight--

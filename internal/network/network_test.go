@@ -538,3 +538,80 @@ func TestCreditDelayInvariants(t *testing.T) {
 	}
 	drainChecked(t, n, 50000)
 }
+
+// unroutableAlg declares every message unroutable: the network absorbs
+// them one flit per cycle through the drain stage.
+type unroutableAlg struct{}
+
+func (unroutableAlg) Name() string                               { return "none" }
+func (unroutableAlg) NumVCs() int                                { return 1 }
+func (unroutableAlg) Route(routing.Request) []routing.Candidate  { return nil }
+func (unroutableAlg) Steps(routing.Request) int                  { return 1 }
+func (unroutableAlg) NoteHop(routing.Request, routing.Candidate) {}
+func (unroutableAlg) UpdateFaults(*fault.Set)                    {}
+
+// A fault event that lands while an unroutable worm is being absorbed
+// (its head flit already drained) must not clear the worm's route
+// state: a headless worm can never pass route computation again, so
+// resetting it wedges the input VC forever. Regression test for the
+// ApplyFaults re-route surgery.
+func TestFaultMidDropKeepsAbsorbingWorm(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	n := New(Config{Graph: m, Algorithm: unroutableAlg{}, RecordMessages: true})
+	msg := n.Inject(m.Node(0, 0), m.Node(3, 3), 6)
+	// Cycle 0 routes (unroutable), the drain stage then absorbs one
+	// flit per cycle: after three steps the head flit is gone but the
+	// worm's tail is still queued.
+	for i := 0; i < 3; i++ {
+		stepChecked(t, n)
+	}
+	if msg.State != StateInFlight {
+		t.Fatalf("message state = %v, want in-flight mid-absorption", msg.State)
+	}
+	// Unrelated fault surgery while the worm is half absorbed.
+	f := fault.NewSet()
+	f.FailNode(m.Node(3, 0))
+	n.ApplyFaults(f)
+	drainChecked(t, n, 100)
+	if msg.State != StateDropped {
+		t.Fatalf("message state = %v, want dropped", msg.State)
+	}
+	if msg.DropInPort != routing.InjectionPort || msg.DropNode != m.Node(0, 0) {
+		t.Fatalf("drop site = node %d port %d, want node %d injection port",
+			msg.DropNode, msg.DropInPort, m.Node(0, 0))
+	}
+}
+
+// A worm killed by a fault event while its head end is already being
+// absorbed at the destination must not leave its partially ejected
+// flits in Stats.FlitsDelivered: killed messages are excluded from the
+// statistics wholesale (assumption iv). Found by the fault campaign
+// (flit-conservation oracle), minimized to: long worm, mid-ejection
+// fault on a router the tail still spans.
+func TestKilledMidEjectionBacksOutDeliveredFlits(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	n := New(Config{Graph: m, Algorithm: routing.NewXY(m), RecordMessages: true})
+	msg := n.Inject(m.Node(0, 0), m.Node(2, 0), 12)
+	for i := 0; i < 200 && msg.flitsEjected == 0; i++ {
+		stepChecked(t, n)
+	}
+	if msg.flitsEjected == 0 || msg.State != StateInFlight {
+		t.Fatalf("worm not mid-ejection: ejected=%d state=%v", msg.flitsEjected, msg.State)
+	}
+	// The 12-flit worm spans the whole 2-hop path; failing the middle
+	// router cuts it while the destination keeps absorbing.
+	f := fault.NewSet()
+	f.FailNode(m.Node(1, 0))
+	n.ApplyFaults(f)
+	if msg.State != StateKilled {
+		t.Fatalf("message state = %v, want killed", msg.State)
+	}
+	drainChecked(t, n, 100)
+	st := n.Stats()
+	if st.FlitsDelivered != 0 {
+		t.Fatalf("FlitsDelivered = %d after the only message was killed, want 0", st.FlitsDelivered)
+	}
+	if st.Killed != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want exactly one killed message", st)
+	}
+}

@@ -41,8 +41,10 @@ type Config struct {
 	// FaultSchedule, when non-nil, injects additional timed faults
 	// while the simulation runs (times are cycles from simulation
 	// start); each event triggers the fault surgery and a fresh
-	// diagnosis phase. The schedule is drained from the start, so
-	// reuse requires Reset.
+	// diagnosis phase. Run drains a Clone (and applies the events to a
+	// Clone of Faults), so the caller's schedule and fault set are
+	// never mutated: the same Config can be run repeatedly or shared
+	// across Replicate jobs without a silent no-replay on reuse.
 	FaultSchedule *fault.Schedule
 
 	WarmupCycles  int64
@@ -67,6 +69,13 @@ type Config struct {
 	// when > 0, a packet in flight for longer triggers the automatic
 	// post-mortem in Result.PostMortem.
 	LivelockAgeCycles int64
+
+	// OnNetwork, when non-nil, is invoked once with the freshly built
+	// network, after the initial faults are applied and before the
+	// first cycle. The campaign harness keeps the handle to run its
+	// post-run oracle checks (invariants, flit conservation, message
+	// audits) on the final network state.
+	OnNetwork func(*network.Network)
 }
 
 func (c *Config) defaults() {
@@ -152,7 +161,18 @@ func Run(cfg Config) (Result, error) {
 	if f == nil {
 		f = fault.NewSet()
 	}
+	sched := cfg.FaultSchedule
+	if sched != nil {
+		// The schedule cursor and the fault set it mutates are private
+		// to this run: a shared Config stays reusable (and two
+		// concurrent Replicate jobs do not race on the cursor).
+		sched = sched.Clone()
+		f = f.Clone()
+	}
 	net.ApplyFaults(f)
+	if cfg.OnNetwork != nil {
+		cfg.OnNetwork(net)
+	}
 
 	exclude := func(n topology.NodeID) bool {
 		if f.NodeFaulty(n) {
@@ -178,10 +198,10 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	applySchedule := func() {
-		if cfg.FaultSchedule == nil {
+		if sched == nil {
 			return
 		}
-		if fired := cfg.FaultSchedule.ApplyUpTo(net.Now(), f); len(fired) > 0 {
+		if fired := sched.ApplyUpTo(net.Now(), f); len(fired) > 0 {
 			net.ApplyFaults(f)
 		}
 	}

@@ -239,8 +239,61 @@ func TestFaultScheduleMidRun(t *testing.T) {
 	if total == 0 || float64(res.Stats.Delivered) < 0.98*float64(total) {
 		t.Fatalf("delivery collapsed after scheduled faults: %d of %d", res.Stats.Delivered, total)
 	}
-	if sched.Pending() {
-		t.Fatal("schedule should be drained")
+	if !sched.Pending() {
+		t.Fatal("caller's schedule must stay reusable (Run drains a clone)")
+	}
+}
+
+// TestFaultScheduleReusable is the regression test for the silent
+// no-replay bug: sim.Run used to advance the caller's schedule cursor,
+// so a second run of the same Config saw zero fault events and
+// produced different (fault-free) statistics. Run now drains a Clone.
+func TestFaultScheduleReusable(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	sched := fault.NewSchedule(nil)
+	sched.AddNodeFault(500, m.Node(3, 3))
+	sched.AddLinkFault(800, m.Node(5, 5), m.Node(5, 6))
+	mk := func() Config {
+		return Config{
+			Graph:         m,
+			Algorithm:     routing.NewNAFTA(m),
+			Rate:          0.08,
+			Length:        6,
+			Seed:          13,
+			FaultSchedule: sched,
+			WarmupCycles:  300,
+			MeasureCycles: 1500,
+		}
+	}
+	first, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Killed == 0 {
+		t.Fatal("scheduled faults should kill some crossing worms")
+	}
+	second, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats != second.Stats {
+		t.Fatalf("schedule reuse diverged:\n first=%+v\nsecond=%+v", first.Stats, second.Stats)
+	}
+	if sched.Pending() != true || sched.Len() != 2 {
+		t.Fatalf("caller's schedule mutated: pending=%v len=%d", sched.Pending(), sched.Len())
+	}
+	// The same shared schedule must also be safe across concurrent
+	// Replicate jobs (exercised under -race in CI).
+	rep, err := Replicate(func(seed int64) Config {
+		c := mk()
+		c.Seed = seed
+		return c
+	}, []int64{1, 2, 3, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency.N() != 4 {
+		t.Fatalf("replications = %d", rep.Latency.N())
 	}
 }
 
