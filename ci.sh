@@ -8,7 +8,10 @@
 #      >= COVER_FLOOR (baseline was 84.1% when the gate was added)
 #   5. campaign smoke: 25 randomized fault-injection scenarios per
 #      algorithm family must pass every conformance oracle
-#   6. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#   6. routerd smoke (under -race): the decision service serves 1k
+#      batched decisions while the table artifact is hot-reloaded
+#      mid-load; zero failed decisions and an advanced epoch required
+#   7. (opt-in) bench regression gate: set BENCH_BASELINE to a
 #      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
 #      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op
 #      regression (cmd/benchjson -baseline).
@@ -40,6 +43,9 @@ awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
 echo "== campaign smoke (25 scenarios per family)"
 go run ./cmd/campaign -scenarios 25 -seed 1 -algo nafta
 go run ./cmd/campaign -scenarios 25 -seed 1 -algo routec
+
+echo "== routerd smoke (1k batched decisions across a hot reload, -race)"
+go run -race ./cmd/routerd -smoke -requests 1000 -batch 32
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
 	echo "== benchjson -baseline $BENCH_BASELINE"

@@ -1,0 +1,371 @@
+// Command routerd serves routing decisions over HTTP from a compiled
+// rule-table artifact — the deployment shape the paper argues for: the
+// router is a fixed rule interpreter, the algorithm is data, and
+// re-programming the router is an artifact upload, not a restart.
+//
+//	routerd -algo nafta -mesh 8x8 -addr :8070
+//	routerd -artifact tables.art -addr :8070
+//
+// Endpoints:
+//
+//	POST /decide        one DecisionRequest -> Decision
+//	POST /decide/batch  []DecisionRequest   -> []Decision
+//	POST /reload        raw artifact bytes  -> {"epoch": N}; atomic hot swap
+//	GET  /metrics       decision counters, latency percentiles, epoch
+//	GET  /healthz       liveness
+//
+// The -smoke flag runs the built-in load generator against an
+// in-process server: workers stream batched decisions while the table
+// artifact is hot-reloaded mid-load, and the run fails unless every
+// decision succeeded and the epoch advanced.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8070", "listen address")
+		algo     = flag.String("algo", "nafta", "builtin rule program when no -artifact is given: nafta or routec")
+		artPath  = flag.String("artifact", "", "serve tables from this artifact file instead of compiling the builtin program")
+		meshSpec = flag.String("mesh", "8x8", "mesh size for nafta, WxH")
+		cubeDim  = flag.Int("cube", 4, "hypercube dimension for routec")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "engine replicas (concurrent decision lanes)")
+		smoke    = flag.Bool("smoke", false, "run the load generator against an in-process server and exit")
+		requests = flag.Int("requests", 1000, "smoke: total decisions to issue")
+		batch    = flag.Int("batch", 32, "smoke: decisions per batch request")
+		workers  = flag.Int("workers", 8, "smoke: concurrent load workers")
+		seed     = flag.Int64("seed", 1, "smoke: traffic seed")
+	)
+	flag.Parse()
+
+	art, err := loadOrBuild(*artPath, *algo, *cubeDim)
+	if err != nil {
+		log.Fatalf("routerd: %v", err)
+	}
+	g, err := topologyFor(art, *meshSpec)
+	if err != nil {
+		log.Fatalf("routerd: %v", err)
+	}
+	svc, err := reconfig.NewService(art, g, *shards)
+	if err != nil {
+		log.Fatalf("routerd: %v", err)
+	}
+	srv := &server{svc: svc, nodes: g.Nodes()}
+
+	if *smoke {
+		if err := runSmoke(srv, art, *requests, *batch, *workers, *seed); err != nil {
+			log.Fatalf("routerd: smoke: %v", err)
+		}
+		return
+	}
+
+	sum, _ := art.Checksum()
+	log.Printf("routerd: serving %s (%s) on %s, %d shards, epoch %d, sha256:%.12s",
+		art.Name, g.Name(), *addr, *shards, svc.Epoch(), sum)
+	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+}
+
+// loadOrBuild reads the artifact file, or compiles the builtin program
+// of the requested family.
+func loadOrBuild(path, algo string, cubeDim int) (*reconfig.Artifact, error) {
+	if path == "" {
+		return reconfig.Build(algo, reconfig.BuildOptions{CubeDim: cubeDim})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return reconfig.Decode(f)
+}
+
+// topologyFor builds the topology the artifact's family routes on.
+func topologyFor(art *reconfig.Artifact, meshSpec string) (topology.Graph, error) {
+	switch art.Algorithm {
+	case "nafta":
+		var w, h int
+		if _, err := fmt.Sscanf(strings.ToLower(meshSpec), "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {
+			return nil, fmt.Errorf("bad -mesh %q (want WxH, both >= 2)", meshSpec)
+		}
+		return topology.NewMesh(w, h), nil
+	case "routec":
+		return topology.NewHypercube(art.CubeDim), nil
+	}
+	return nil, fmt.Errorf("artifact names unknown algorithm %q", art.Algorithm)
+}
+
+// server owns the HTTP surface; decision buffers are pooled so the
+// handler path stays allocation-light.
+type server struct {
+	svc   *reconfig.Service
+	nodes int
+	bufs  sync.Pool
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /decide", s.handleDecide)
+	mux.HandleFunc("POST /decide/batch", s.handleBatch)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *server) getBuf() []routing.Candidate {
+	if b, ok := s.bufs.Get().(*[]routing.Candidate); ok {
+		return (*b)[:0]
+	}
+	return make([]routing.Candidate, 0, 8)
+}
+
+func (s *server) putBuf(b []routing.Candidate) { s.bufs.Put(&b) }
+
+// decide runs one request and renders the wire result.
+func (s *server) decide(req *reconfig.DecisionRequest, buf []routing.Candidate) (Decision, []routing.Candidate) {
+	cands, epoch, err := s.svc.Decide(req, buf)
+	d := Decision{Epoch: epoch}
+	if err != nil {
+		d.Error = err.Error()
+		return d, cands
+	}
+	if len(cands) == 0 {
+		d.Unroutable = true
+		d.Candidates = []routing.Candidate{}
+	} else {
+		d.Candidates = append([]routing.Candidate(nil), cands...)
+	}
+	return d, cands
+}
+
+// Decision mirrors reconfig.Decision for the HTTP layer.
+type Decision = reconfig.Decision
+
+func (s *server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req reconfig.DecisionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	buf := s.getBuf()
+	d, buf := s.decide(&req, buf)
+	s.putBuf(buf)
+	writeJSON(w, d)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []reconfig.DecisionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&reqs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := make([]Decision, len(reqs))
+	buf := s.getBuf()
+	for i := range reqs {
+		out[i], buf = s.decide(&reqs[i], buf[:0])
+	}
+	s.putBuf(buf)
+	writeJSON(w, out)
+}
+
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	art, err := reconfig.Decode(http.MaxBytesReader(w, r.Body, 80<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	epoch, err := s.svc.Reload(art)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]uint64{"epoch": epoch})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.svc.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("routerd: writing response: %v", err)
+	}
+}
+
+// runSmoke drives the built-in load generator: workers stream batched
+// decisions over real HTTP while the artifact is hot-reloaded halfway
+// through, then the counters are checked.
+func runSmoke(srv *server, art *reconfig.Artifact, requests, batchSize, workers int, seed int64) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.mux()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The reload payload: the same program stamped as the next epoch —
+	// a same-regime swap, which is what a live re-program looks like.
+	next := *art
+	next.Epoch = srv.svc.Epoch() + 1
+	var artBytes bytes.Buffer
+	if err := next.Encode(&artBytes); err != nil {
+		return err
+	}
+
+	startEpoch := srv.svc.Epoch()
+	batches := make(chan []reconfig.DecisionRequest, workers)
+	go func() {
+		rng := rand.New(rand.NewSource(seed))
+		left := requests
+		for left > 0 {
+			n := batchSize
+			if n > left {
+				n = left
+			}
+			b := make([]reconfig.DecisionRequest, n)
+			for i := range b {
+				b[i] = randomRequest(rng, art.Algorithm, srv.nodes)
+			}
+			batches <- b
+			left -= n
+		}
+		close(batches)
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		reloaded bool
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range batches {
+				payload, _ := json.Marshal(b)
+				resp, err := client.Post(base+"/decide/batch", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					fail(err)
+					return
+				}
+				var out []Decision
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if len(out) != len(b) {
+					fail(fmt.Errorf("batch of %d answered with %d decisions", len(b), len(out)))
+					return
+				}
+				for i, d := range out {
+					if d.Error != "" {
+						fail(fmt.Errorf("decision failed: %s", d.Error))
+						return
+					}
+					if d.Unroutable {
+						fail(fmt.Errorf("fault-free request %+v judged unroutable", b[i]))
+						return
+					}
+				}
+				mu.Lock()
+				done += len(b)
+				trigger := !reloaded && done >= requests/2
+				if trigger {
+					reloaded = true
+				}
+				mu.Unlock()
+				if trigger {
+					resp, err := client.Post(base+"/reload", "application/octet-stream", bytes.NewReader(artBytes.Bytes()))
+					if err != nil {
+						fail(fmt.Errorf("hot reload: %w", err))
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fail(fmt.Errorf("hot reload: %s: %s", resp.Status, bytes.TrimSpace(body)))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	m := srv.svc.Metrics()
+	switch {
+	case m.Decisions != int64(requests):
+		return fmt.Errorf("issued %d decisions, served %d", requests, m.Decisions)
+	case m.Failed != 0:
+		return fmt.Errorf("%d failed decisions", m.Failed)
+	case m.Unroutable != 0:
+		return fmt.Errorf("%d unroutable decisions under a fault-free table", m.Unroutable)
+	case !reloaded:
+		return fmt.Errorf("load finished before the hot reload fired")
+	case m.Epoch <= startEpoch:
+		return fmt.Errorf("epoch did not advance across the reload (still %d)", m.Epoch)
+	}
+	fmt.Printf("smoke ok: %d decisions across %d workers, hot reload epoch %d -> %d, p50 %.1fus p99 %.1fus\n",
+		m.Decisions, workers, startEpoch, m.Epoch, m.LatencyP50, m.LatencyP99)
+	return nil
+}
+
+// randomRequest builds a fault-free injection-time decision request
+// (in_port = injection, clean header), which every builtin table must
+// be able to route.
+func randomRequest(rng *rand.Rand, algo string, nodes int) reconfig.DecisionRequest {
+	src := rng.Intn(nodes)
+	dst := rng.Intn(nodes)
+	for dst == src {
+		dst = rng.Intn(nodes)
+	}
+	req := reconfig.DecisionRequest{
+		Node:   src,
+		InPort: routing.InjectionPort,
+		InVC:   0,
+		Src:    src,
+		Dst:    dst,
+		Length: 4,
+	}
+	_ = algo
+	return req
+}

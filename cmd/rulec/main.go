@@ -15,7 +15,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/reconfig"
 	"repro/internal/rules"
 	"repro/internal/rulesets"
 )
@@ -28,6 +28,8 @@ func main() {
 	optimize := flag.Bool("optimize", false, "run the semantics-preserving transformations (constant folding, dead-rule elimination) and report them")
 	emit := flag.Bool("emit", false, "print the (possibly optimised) program as source after the report")
 	saveCfg := flag.String("savecfg", "", "directory to write per-rule-base configuration data into")
+	artOut := flag.String("artifact", "", "write a versioned rule-table artifact to this path (builtin nafta/routec only)")
+	epoch := flag.Uint64("epoch", 1, "version epoch to stamp into the artifact")
 	flag.Parse()
 
 	var src, name string
@@ -85,17 +87,7 @@ func main() {
 		die(err)
 	}
 
-	tb := metrics.NewTable(fmt.Sprintf("Rule bases of %s", name),
-		"name", "rules", "size", "bits", "FCFBs")
-	for _, b := range pc.Bases {
-		tb.AddRow(b.Name, b.Rules, b.Dim(), b.MemoryBits, b.FCFBString())
-	}
-	fmt.Println(tb.String())
-	fmt.Printf("total rule-table bits: %d\n", pc.TotalTableBits)
-	fmt.Printf("registers: %d holding %d bits\n", pc.Registers.Registers, pc.Registers.Bits)
-	for _, v := range pc.Registers.PerVar {
-		fmt.Printf("  %-24s %4d bits\n", v.Name, v.Bits)
-	}
+	core.WriteCostReport(os.Stdout, fmt.Sprintf("Rule bases of %s", name), pc)
 	if *saveCfg != "" {
 		for _, rb := range checked.Prog.RuleBases {
 			cb, err := core.CompileBase(checked, rb.Event, core.CompileOptions{})
@@ -116,6 +108,33 @@ func main() {
 			}
 			fmt.Printf("wrote %s (%d entries)\n", path, cb.Entries)
 		}
+	}
+	if *artOut != "" {
+		if *builtin != "nafta" && *builtin != "routec" {
+			die(fmt.Errorf("-artifact requires -builtin nafta or -builtin routec (artifacts name their adapter family)"))
+		}
+		art, err := reconfig.Build(*builtin, reconfig.BuildOptions{
+			Epoch: *epoch, CubeDim: *d, Adaptivity: *a,
+		})
+		if err != nil {
+			die(err)
+		}
+		f, err := os.Create(*artOut)
+		if err != nil {
+			die(err)
+		}
+		if err := art.Encode(f); err != nil {
+			f.Close()
+			die(err)
+		}
+		if err := f.Close(); err != nil {
+			die(err)
+		}
+		summary, err := art.Summary()
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("wrote %s\n%s", *artOut, summary)
 	}
 	if *emit {
 		fmt.Println()

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/rulesets"
 	"repro/internal/sim"
@@ -76,9 +77,16 @@ type Scenario struct {
 	Drain       int64 `json:"drain"`
 	LivelockAge int64 `json:"livelock_age"`
 
-	FaultNodes []int      `json:"fault_nodes,omitempty"`
-	FaultLinks [][2]int   `json:"fault_links,omitempty"`
+	FaultNodes []int        `json:"fault_nodes,omitempty"`
+	FaultLinks [][2]int     `json:"fault_links,omitempty"`
 	Events     []TimedFault `json:"events,omitempty"`
+
+	// Swaps lists cycles (from simulation start) at which the decision
+	// engine is hot-swapped for a freshly built engine of the same
+	// family. A same-algorithm swap must be statistically invisible, so
+	// the full oracle battery (and the differential check) runs across
+	// the swaps unchanged.
+	Swaps []int64 `json:"swaps,omitempty"`
 }
 
 // Graph builds the scenario's topology.
@@ -299,6 +307,22 @@ func buildConfig(s *Scenario, oracle bool, factory AlgFactory, netSlot **network
 	if err != nil {
 		return sim.Config{}, err
 	}
+	// Hot-swap scenarios wrap the engine in the epoch swapper; each
+	// swap installs a freshly built engine of the same family (the
+	// swapper replays fault state and load view onto it).
+	var reconfigs []sim.Reconfig
+	if len(s.Swaps) > 0 {
+		alg = reconfig.NewSwapper(alg)
+		for _, at := range s.Swaps {
+			reconfigs = append(reconfigs, sim.Reconfig{
+				At: at,
+				Make: func() (routing.Algorithm, error) {
+					next, _, err := factory(s, oracle)
+					return next, err
+				},
+			})
+		}
+	}
 	cfg := sim.Config{
 		Graph:             g,
 		Algorithm:         alg,
@@ -311,6 +335,7 @@ func buildConfig(s *Scenario, oracle bool, factory AlgFactory, netSlot **network
 		MeasureCycles:     s.Measure,
 		DrainCycles:       s.Drain,
 		LivelockAgeCycles: s.LivelockAge,
+		Reconfigs:         reconfigs,
 		TrackLatencies:    true, // the oracles audit per-message records
 		Recorder:          trace.New(g.Nodes(), 64),
 		OnNetwork: func(n *network.Network) {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/topology"
@@ -115,7 +116,24 @@ func genNAFTA(id int, rng *rand.Rand) (Scenario, error) {
 			return s, err
 		}
 	}
+	addSwaps(&s, rng)
 	return s, nil
+}
+
+// addSwaps gives roughly a third of the scenarios 1-2 mid-run hot
+// swaps of the same algorithm, placed between mid-warm-up and the end
+// of the measurement window — the swap rides on top of whatever fault
+// story the scenario already has. (Drawn after every other parameter
+// so pre-swap scenario streams stay unchanged.)
+func addSwaps(s *Scenario, rng *rand.Rand) {
+	if rng.Intn(3) != 0 {
+		return
+	}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		s.Swaps = append(s.Swaps, s.Warmup/2+rng.Int63n(s.Warmup/2+s.Measure))
+	}
+	sort.Slice(s.Swaps, func(i, j int) bool { return s.Swaps[i] < s.Swaps[j] })
 }
 
 // addEvents draws 1-3 timed fault events whose cumulative final state
@@ -174,5 +192,6 @@ func genRouteC(id int, rng *rand.Rand) (Scenario, error) {
 		return s, err
 	}
 	setToScenario(&s, f)
+	addSwaps(&s, rng)
 	return s, nil
 }

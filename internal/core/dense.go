@@ -633,12 +633,16 @@ type denseReturn struct {
 // therefore not safe for concurrent use, mirroring Machine.
 type DenseTable struct {
 	cb     *CompiledBase
+	layout *InputLayout
 	fields []dexpr
 	fLo    []int64 // per field: ordinal bias (TInt lower bound)
 	fSize  []int64 // per field: domain size
 	atoms  []dexpr
 	ret    []denseReturn
 	rt     denseRT
+	// invalid is set by Invalidate when the table's epoch is retired;
+	// any further lookup is a use-after-swap bug and panics.
+	invalid bool
 }
 
 // CompileDense builds the fast path for a compiled base over layout.
@@ -650,7 +654,7 @@ func (cb *CompiledBase) CompileDense(layout *InputLayout) (*DenseTable, error) {
 		return nil, fmt.Errorf("core: %s: compiled without table (SizeOnly)", cb.Base)
 	}
 	dc := &denseCompiler{c: cb.checked, layout: layout, scope: map[string]int{}}
-	dt := &DenseTable{cb: cb}
+	dt := &DenseTable{cb: cb, layout: layout}
 	// Base parameters occupy the first scratch slots, in declaration
 	// order; Lookup copies the caller's args there.
 	for _, p := range cb.params {
@@ -699,13 +703,33 @@ func (cb *CompiledBase) CompileDense(layout *InputLayout) (*DenseTable, error) {
 // Params returns the number of event arguments Lookup expects.
 func (dt *DenseTable) Params() int { return len(dt.cb.params) }
 
+// Invalidate marks the table as retired: every further Lookup panics.
+// Online reconfiguration calls this when an engine's epoch is retired,
+// so a stale table (or a stale InputVector wired to it) from a swapped-
+// out engine fails loudly instead of silently routing on dead state.
+func (dt *DenseTable) Invalidate() { dt.invalid = true }
+
+// Invalidated reports whether Invalidate was called.
+func (dt *DenseTable) Invalidated() bool { return dt.invalid }
+
 // Lookup computes the table index from the input vector and returns
 // the selected rule (RuleCount means no rule applies). Arguments are
 // the event parameters in fast-path convention (raw integer value or
 // symbol ordinal). ok=false means the lookup left the supported
 // regime — the caller must repeat the decision on the interpreted
 // reference path. Lookup performs no allocation.
+//
+// Lookup panics when the table was invalidated or when iv belongs to a
+// different InputLayout than the table was compiled against: both are
+// wiring bugs of table hot-swap (an adapter kept using state from a
+// retired epoch) and must not degrade into silently wrong decisions.
 func (dt *DenseTable) Lookup(iv *InputVector, args ...int64) (rule int, ok bool) {
+	if dt.invalid {
+		panic(fmt.Sprintf("core: %s: Lookup on invalidated dense table (engine epoch was retired)", dt.cb.Base))
+	}
+	if iv.layout != dt.layout {
+		panic(fmt.Sprintf("core: %s: InputVector belongs to a different InputLayout than this table (stale vector across a table swap)", dt.cb.Base))
+	}
 	if len(args) != len(dt.cb.params) {
 		return 0, false
 	}

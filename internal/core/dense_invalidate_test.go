@@ -1,0 +1,75 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func compileDense(t *testing.T) (*DenseTable, *InputLayout) {
+	t.Helper()
+	c := mustAnalyze(t, denseProg)
+	cb, err := CompileBase(c, "decide", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := NewInputLayout(c)
+	dt, err := cb.CompileDense(layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dt, layout
+}
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic mentioning %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not mention %q", r, substr)
+		}
+	}()
+	f()
+}
+
+// A table swap hands the engine a fresh layout; an InputVector from
+// the old epoch silently carries slot indices that mean different
+// inputs on the new table. The dense path must refuse such a vector
+// loudly rather than route on garbage.
+func TestDenseLookupRejectsForeignVector(t *testing.T) {
+	dt, _ := compileDense(t)
+	_, staleLayout := compileDense(t) // the "old epoch" layout
+	stale := NewInputVector(staleLayout)
+	stale.Begin()
+	mustPanic(t, "different InputLayout", func() {
+		dt.Lookup(stale, 0)
+	})
+}
+
+// Retiring an engine epoch invalidates its dense tables; any code
+// still holding the table (a leaked reference across a swap) must
+// fail on the next lookup instead of serving decisions from a retired
+// generation.
+func TestDenseLookupRejectsInvalidatedTable(t *testing.T) {
+	dt, layout := compileDense(t)
+	iv := NewInputVector(layout)
+	iv.Begin()
+	if dt.Invalidated() {
+		t.Fatal("fresh table reports invalidated")
+	}
+	if _, ok := dt.Lookup(iv, 0); ok {
+		// Unset inputs fall back; either way the call must succeed
+		// before invalidation. Nothing to assert on the value here.
+		_ = ok
+	}
+	dt.Invalidate()
+	if !dt.Invalidated() {
+		t.Fatal("Invalidate did not stick")
+	}
+	mustPanic(t, "invalidated dense table", func() {
+		dt.Lookup(iv, 0)
+	})
+}

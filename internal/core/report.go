@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// The shared table-emission path of the command-line tools: cmd/rulec
+// and cmd/tables both render rule-base cost reports, and the golden
+// tests pin this exact output so the human-readable dump cannot drift
+// silently from the serialized artifact contents.
+
+// CostReportTable renders a ProgramCost in the rule compiler's report
+// format (name, rules, size, bits, FCFBs), one row per rule base in
+// program order.
+func CostReportTable(title string, pc *ProgramCost) *metrics.Table {
+	tb := metrics.NewTable(title, "name", "rules", "size", "bits", "FCFBs")
+	for i := range pc.Bases {
+		b := &pc.Bases[i]
+		tb.AddRow(b.Name, b.Rules, b.Dim(), b.MemoryBits, b.FCFBString())
+	}
+	return tb
+}
+
+// WriteCostReport writes the full compiler report for pc: the cost
+// table followed by the aggregate table bits and the register
+// inventory.
+func WriteCostReport(w io.Writer, title string, pc *ProgramCost) {
+	fmt.Fprintln(w, CostReportTable(title, pc).String())
+	fmt.Fprintf(w, "total rule-table bits: %d\n", pc.TotalTableBits)
+	fmt.Fprintf(w, "registers: %d holding %d bits\n", pc.Registers.Registers, pc.Registers.Bits)
+	for _, v := range pc.Registers.PerVar {
+		fmt.Fprintf(w, "  %-24s %4d bits\n", v.Name, v.Bits)
+	}
+}

@@ -43,6 +43,27 @@ var paperTable2 = map[string]string{
 	"adaptivity":   "(unspecified)",
 }
 
+// paperBaseTable is the single emission path for the paper's rule-base
+// tables: one row per rule base in meta order, sizes and FCFB strings
+// taken from the same core.BaseCost accessors cmd/rulec's cost report
+// uses (golden tests pin both outputs against each other).
+func paperBaseTable(title, paperCol string, metas []rulesets.BaseMeta, pc *core.ProgramCost, paper map[string]string) *metrics.Table {
+	byName := map[string]*core.BaseCost{}
+	for i := range pc.Bases {
+		byName[pc.Bases[i].Name] = &pc.Bases[i]
+	}
+	tb := metrics.NewTable(title, "name", "size", paperCol, "FCFBs", "meaning", "nft")
+	for _, m := range metas {
+		bc := byName[m.Name]
+		nft := ""
+		if m.NFT {
+			nft = "*"
+		}
+		tb.AddRow(m.Name, bc.Dim(), paper[m.Name], bc.FCFBString(), m.Meaning, nft)
+	}
+	return tb
+}
+
 // Table1 regenerates the paper's Table 1: the rule bases of NAFTA with
 // their compiled table sizes, FCFB inventory and nft markers.
 func Table1() (*metrics.Table, error) {
@@ -54,21 +75,8 @@ func Table1() (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	byName := map[string]*core.BaseCost{}
-	for i := range pc.Bases {
-		byName[pc.Bases[i].Name] = &pc.Bases[i]
-	}
-	tb := metrics.NewTable("Table 1: rule bases of NAFTA",
-		"name", "size", "paper size", "FCFBs", "meaning", "nft")
-	for _, m := range rulesets.NAFTAMeta {
-		bc := byName[m.Name]
-		nft := ""
-		if m.NFT {
-			nft = "*"
-		}
-		tb.AddRow(m.Name, bc.Dim(), paperTable1[m.Name], bc.FCFBString(), m.Meaning, nft)
-	}
-	return tb, nil
+	return paperBaseTable("Table 1: rule bases of NAFTA", "paper size",
+		rulesets.NAFTAMeta, pc, paperTable1), nil
 }
 
 // Table2 regenerates the paper's Table 2 for the given hypercube
@@ -82,20 +90,8 @@ func Table2(d, a int) (*metrics.Table, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	byName := map[string]*core.BaseCost{}
-	for i := range pc.Bases {
-		byName[pc.Bases[i].Name] = &pc.Bases[i]
-	}
-	tb := metrics.NewTable(fmt.Sprintf("Table 2: rule bases of ROUTE_C (d=%d, a=%d)", d, a),
-		"name", "size", "paper size (d=6,a=2)", "FCFBs", "meaning", "nft")
-	for _, m := range rulesets.RouteCMeta {
-		bc := byName[m.Name]
-		nft := ""
-		if m.NFT {
-			nft = "*"
-		}
-		tb.AddRow(m.Name, bc.Dim(), paperTable2[m.Name], bc.FCFBString(), m.Meaning, nft)
-	}
+	tb := paperBaseTable(fmt.Sprintf("Table 2: rule bases of ROUTE_C (d=%d, a=%d)", d, a),
+		"paper size (d=6,a=2)", rulesets.RouteCMeta, pc, paperTable2)
 	return tb, pc.TotalTableBits, nil
 }
 

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run %s -update` to create it)", err, t.Name())
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			t.Name(), path, got, want)
+	}
+}
+
+// cmd/tables' paper tables ride the same per-base cost accessors as
+// cmd/rulec's report; the goldens pin the rendered output of both
+// commands so the human-readable dumps cannot drift from each other
+// or from the serialized artifact's table dimensions.
+func TestTable1Golden(t *testing.T) {
+	tb, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1", []byte(tb.String()))
+}
+
+func TestTable2Golden(t *testing.T) {
+	tb, total, err := Table2(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fmt.Sprintf("%s\ntotal rule-table bits: %d\n", tb.String(), total)
+	checkGolden(t, "table2_d6a2", []byte(out))
+}

@@ -123,6 +123,9 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 			// wholesale (assumption iv).
 			n.stats.FlitsDelivered -= int64(m.flitsEjected)
 			n.inFlight--
+			if n.epochs != nil {
+				n.epochs.ReleaseEpoch(m.Hdr.Epoch)
+			}
 			if n.rec != nil {
 				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KMsgKilled,
 					Node: int32(m.Hdr.Src), Msg: m.ID, Port: -1, VC: -1})

@@ -139,6 +139,11 @@ type Network struct {
 	now     int64
 	nextID  int64
 
+	// epochs is non-nil when the algorithm hands out table epochs
+	// (reconfig.Swapper); messages pin their admission epoch on
+	// materialisation and release it when they leave the network.
+	epochs epochSource
+
 	inFlight int // messages materialised but not yet finished
 	queued   int // messages waiting in injection queues
 
@@ -212,6 +217,7 @@ func New(cfg Config) *Network {
 	if n.rec != nil {
 		n.rec.SetClock(n.Now)
 	}
+	n.attachReconfig(cfg.Algorithm)
 	return n
 }
 
@@ -347,6 +353,9 @@ func (n *Network) injectStage() {
 		r.injQ = r.injQ[1:]
 		m.StartTime = n.now
 		m.State = StateInFlight
+		if n.epochs != nil {
+			m.Hdr.Epoch = n.epochs.AdmitEpoch()
+		}
 		for i := 0; i < m.Hdr.Length; i++ {
 			ivc.q = append(ivc.q, flit{msg: m, head: i == 0, tail: i == m.Hdr.Length-1})
 		}
@@ -677,6 +686,9 @@ func (n *Network) drainStage() bool {
 						n.stats.Dropped++
 					}
 					n.inFlight--
+					if n.epochs != nil {
+						n.epochs.ReleaseEpoch(m.Hdr.Epoch)
+					}
 					ivc.resetRoute()
 				}
 			}

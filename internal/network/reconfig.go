@@ -1,0 +1,102 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/trace"
+)
+
+// The network cooperates with a hot-swappable decision engine
+// (reconfig.Swapper) purely structurally — the interfaces below keep
+// this package free of a reconfig import (reconfig already imports the
+// packages network builds on).
+
+// epochSource hands out table epochs: messages pin the current epoch
+// when they materialise and release it when they leave the network
+// (delivery, drop or fault kill).
+type epochSource interface {
+	AdmitEpoch() uint64
+	ReleaseEpoch(epoch uint64)
+}
+
+// hotSwapper is a decision engine that can replace its tables while
+// worms are in flight.
+type hotSwapper interface {
+	Swap(next routing.Algorithm, force bool) (oldEpoch, newEpoch uint64, err error)
+	OnEpochRetired(func(epoch uint64))
+	CurrentEpoch() uint64
+}
+
+// loadAttacher matches engines that consume the network's load view.
+type loadAttacher interface{ AttachLoads(routing.LoadView) }
+
+// attachReconfig wires an epoch-aware algorithm into the network:
+// epoch pin/release on the message lifecycle, the network as the load
+// view for engines installed later, and epoch-retirement trace events.
+func (n *Network) attachReconfig(alg routing.Algorithm) {
+	n.epochs, _ = alg.(epochSource)
+	hs, ok := alg.(hotSwapper)
+	if !ok {
+		return
+	}
+	if la, ok := alg.(loadAttacher); ok {
+		la.AttachLoads(n)
+	}
+	hs.OnEpochRetired(func(epoch uint64) {
+		if n.rec != nil {
+			n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KEpochRetired,
+				Node: -1, Msg: -1, Port: -1, VC: -1, Arg: int32(epoch)})
+		}
+	})
+}
+
+// Reconfigure replaces the network's decision engine while the
+// simulation runs. When the engine is a hot swapper the swap is
+// atomic: in-flight worms keep routing under the epoch that admitted
+// them, new head flits decide on the new tables. An incompatible
+// deadlock regime is refused unless force is set, in which case the
+// network is fully drained first (mixing worms of two VC disciplines
+// could deadlock) — a forced swap therefore stalls injection until the
+// network empties. Without a hot swapper the engine can only be
+// replaced cold, on an idle network.
+func (n *Network) Reconfigure(next routing.Algorithm, force bool) error {
+	if next.NumVCs() > n.cfg.VCs {
+		return fmt.Errorf("network: %s needs %d VCs, network has %d",
+			next.Name(), next.NumVCs(), n.cfg.VCs)
+	}
+	if hs, ok := n.alg.(hotSwapper); ok {
+		_, newEpoch, err := hs.Swap(next, false)
+		if err != nil {
+			if !force {
+				return err
+			}
+			if !n.Drain(n.cfg.WatchdogCycles) {
+				return fmt.Errorf("network: forced reconfigure: network failed to drain within %d cycles", n.cfg.WatchdogCycles)
+			}
+			if _, newEpoch, err = hs.Swap(next, true); err != nil {
+				return err
+			}
+		}
+		if n.rec != nil {
+			n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KReconfigSwap,
+				Node: -1, Msg: -1, Port: -1, VC: -1, Arg: int32(newEpoch)})
+		}
+		return nil
+	}
+	// Cold swap: no epoch machinery, so the network must be empty.
+	if !n.Idle() {
+		return fmt.Errorf("network: %s cannot hot-swap (not an epoch swapper); drain the network first", n.alg.Name())
+	}
+	n.alg = next
+	n.attachReconfig(next)
+	next.UpdateFaults(n.faults)
+	if la, ok := next.(loadAttacher); ok {
+		la.AttachLoads(n)
+	}
+	if n.rec != nil {
+		n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KReconfigSwap,
+			Node: -1, Msg: -1, Port: -1, VC: -1, Arg: 0})
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package reconfig
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rulesets"
+	"repro/internal/topology"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run %s -update` to create it)", err, t.Name())
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			t.Name(), path, got, want)
+	}
+}
+
+func buildNAFTA(t *testing.T, epoch uint64) *Artifact {
+	t.Helper()
+	art, err := Build("nafta", BuildOptions{Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	for _, algo := range []string{"nafta", "routec"} {
+		art, err := Build(algo, BuildOptions{Epoch: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		var buf bytes.Buffer
+		if err := art.Encode(&buf); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got.Algorithm != algo || got.Epoch != 7 || got.Source != art.Source {
+			t.Fatalf("%s: round trip changed identity: %+v", algo, got)
+		}
+		if len(got.Bases) != len(art.Bases) {
+			t.Fatalf("%s: %d bases in, %d out", algo, len(art.Bases), len(got.Bases))
+		}
+		for i := range got.Bases {
+			if !bytes.Equal(got.Bases[i].Data, art.Bases[i].Data) {
+				t.Fatalf("%s: base %s data changed across the round trip", algo, got.Bases[i].Name)
+			}
+		}
+		wantSum, _ := art.Checksum()
+		gotSum, _ := got.Checksum()
+		if wantSum != gotSum {
+			t.Fatalf("%s: checksum drifted: %s vs %s", algo, wantSum, gotSum)
+		}
+	}
+}
+
+// Every flipped byte anywhere in the file must be caught — by the
+// checksum for payload corruption, by the magic/length checks for
+// header corruption. Nothing may decode successfully.
+func TestArtifactCorruptionDetected(t *testing.T) {
+	art := buildNAFTA(t, 1)
+	var buf bytes.Buffer
+	if err := art.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, pos := range []int{0, len(artifactMagic), len(artifactMagic) + 8, len(raw) / 2, len(raw) - 1} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x40
+		if _, err := Decode(bytes.NewReader(bad)); err == nil {
+			t.Errorf("flipping byte %d of %d decoded successfully", pos, len(raw))
+		}
+	}
+	if _, err := Decode(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Error("truncated artifact decoded successfully")
+	}
+}
+
+// The artifact's serialized tables must be the exact SaveConfig bytes
+// of a fresh compile — one emission path shared with `rulec -savecfg`.
+func TestArtifactBasesMatchSaveConfig(t *testing.T) {
+	art := buildNAFTA(t, 1)
+	p, err := rulesets.LoadNAFTA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Bases) != len(rulesets.NAFTADecisionBases) {
+		t.Fatalf("artifact has %d bases, expected %d", len(art.Bases), len(rulesets.NAFTADecisionBases))
+	}
+	for i, name := range rulesets.NAFTADecisionBases {
+		cb, err := core.CompileBase(p.Checked, name, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := cb.SaveConfig(&want); err != nil {
+			t.Fatal(err)
+		}
+		if art.Bases[i].Name != name {
+			t.Fatalf("base %d is %s, expected %s", i, art.Bases[i].Name, name)
+		}
+		if !bytes.Equal(art.Bases[i].Data, want.Bytes()) {
+			t.Fatalf("base %s: artifact bytes differ from SaveConfig bytes", name)
+		}
+	}
+}
+
+// Same program, same options — byte-identical artifact. The checksum
+// is part of the public surface (operators compare it across hosts),
+// so the encoding must be deterministic.
+func TestArtifactEncodingDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildNAFTA(t, 3).Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildNAFTA(t, 3).Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two builds of the same program encode differently")
+	}
+}
+
+// The human-readable dump is pinned: artifact serialization cannot
+// drift without the golden catching it.
+func TestArtifactSummaryGolden(t *testing.T) {
+	s, err := buildNAFTA(t, 1).Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "artifact_nafta_summary", []byte(s))
+}
+
+func TestNewEngineFromArtifact(t *testing.T) {
+	art := buildNAFTA(t, 1)
+	m := topology.NewMesh(6, 6)
+	eng, err := NewEngine(art, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() == "" || eng.NumVCs() <= 0 {
+		t.Fatalf("engine identity: %q / %d VCs", eng.Name(), eng.NumVCs())
+	}
+	// Wrong topology family must be refused.
+	if _, err := NewEngine(art, topology.NewHypercube(4)); err == nil {
+		t.Fatal("nafta artifact bound to a hypercube")
+	}
+	// Wrong cube dimension must be refused.
+	cube, err := Build("routec", BuildOptions{CubeDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(cube, topology.NewHypercube(5)); err == nil {
+		t.Fatal("d=4 artifact bound to a 5-cube")
+	}
+	if _, err := NewEngine(cube, topology.NewHypercube(4)); err != nil {
+		t.Fatal(err)
+	}
+}

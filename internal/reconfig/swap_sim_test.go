@@ -1,0 +1,145 @@
+package reconfig
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/rulesets"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// swapSim runs one simulation of the given family, optionally with
+// mid-run hot-swaps of a freshly built engine of the same algorithm.
+func swapSim(t *testing.T, algo string, disableFast, withFaults bool, swaps []int64) (sim.Result, *Swapper) {
+	t.Helper()
+	var (
+		g     topology.Graph
+		build func() (routing.Algorithm, func(*network.Network), error)
+	)
+	switch algo {
+	case "nafta":
+		m := topology.NewMesh(6, 6)
+		g = m
+		build = func() (routing.Algorithm, func(*network.Network), error) {
+			a, err := rulesets.NewRuleNAFTA(m)
+			if err != nil {
+				return nil, nil, err
+			}
+			a.DisableFast = disableFast
+			return a, func(n *network.Network) { a.AttachLoads(n) }, nil
+		}
+	case "routec":
+		h := topology.NewHypercube(4)
+		g = h
+		build = func() (routing.Algorithm, func(*network.Network), error) {
+			a, err := rulesets.NewRuleRouteC(h)
+			if err != nil {
+				return nil, nil, err
+			}
+			a.DisableFast = disableFast
+			return a, nil, nil
+		}
+	default:
+		t.Fatalf("unknown algo %s", algo)
+	}
+	alg, attach, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		sw  *Swapper
+		rcs []sim.Reconfig
+	)
+	if len(swaps) > 0 {
+		sw = NewSwapper(alg)
+		alg = sw
+		for _, at := range swaps {
+			rcs = append(rcs, sim.Reconfig{At: at, Make: func() (routing.Algorithm, error) {
+				next, _, err := build()
+				return next, err
+			}})
+		}
+	}
+	var faults *fault.Set
+	if withFaults {
+		faults = fault.NewSet()
+		faults.FailNode(topology.NodeID(g.Nodes() / 2))
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:         g,
+		Algorithm:     alg,
+		Rate:          0.06,
+		Length:        4,
+		Seed:          42,
+		Faults:        faults,
+		WarmupCycles:  300,
+		MeasureCycles: 1200,
+		DrainCycles:   30000,
+		Reconfigs:     rcs,
+		OnNetwork: func(n *network.Network) {
+			if attach != nil {
+				attach(n)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sw
+}
+
+// N mid-run hot-swaps of the same algorithm must be statistically
+// invisible: every counter of the measurement window is bit-identical
+// to the swap-free run, on both adapter families and on both the fast
+// and the interpreted decision path.
+func TestHotSwapBitIdenticalStats(t *testing.T) {
+	swaps := []int64{450, 800, 1100}
+	for _, algo := range []string{"nafta", "routec"} {
+		for _, disableFast := range []bool{false, true} {
+			name := algo
+			if disableFast {
+				name += "/interp"
+			} else {
+				name += "/fast"
+			}
+			t.Run(name, func(t *testing.T) {
+				base, _ := swapSim(t, algo, disableFast, true, nil)
+				swapped, sw := swapSim(t, algo, disableFast, true, swaps)
+				if sw.Swaps() != int64(len(swaps)) {
+					t.Fatalf("%d of %d swaps fired", sw.Swaps(), len(swaps))
+				}
+				if base.Stats != swapped.Stats {
+					t.Fatalf("stats diverged across hot-swaps:\nno swap: %+v\nswapped: %+v",
+						base.Stats, swapped.Stats)
+				}
+				if !swapped.Drained {
+					t.Fatal("swap run failed to drain")
+				}
+				if !sw.Quiesced() {
+					t.Fatalf("%d epochs still live after the drain", sw.LiveEpochs())
+				}
+			})
+		}
+	}
+}
+
+// A fault-free run across hot-swaps must deliver every worm: zero
+// drops, zero kills, nothing misrouted into a dead end.
+func TestHotSwapLosesNoWorms(t *testing.T) {
+	for _, algo := range []string{"nafta", "routec"} {
+		res, sw := swapSim(t, algo, false, false, []int64{450, 800, 1100})
+		if res.Stats.Dropped != 0 || res.Stats.Killed != 0 {
+			t.Fatalf("%s: %d dropped, %d killed across hot-swaps",
+				algo, res.Stats.Dropped, res.Stats.Killed)
+		}
+		if res.Stats.DeadlockSuspected {
+			t.Fatalf("%s: watchdog fired across hot-swaps", algo)
+		}
+		if !res.Drained || !sw.Quiesced() {
+			t.Fatalf("%s: drained=%v, %d live epochs", algo, res.Drained, sw.LiveEpochs())
+		}
+	}
+}

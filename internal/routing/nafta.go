@@ -50,6 +50,10 @@ func NewNAFTA(m *topology.Mesh) *NAFTA {
 func (n *NAFTA) Name() string { return "nafta" }
 func (n *NAFTA) NumVCs() int  { return 2 }
 
+// DeadlockRegime tags the virtual-network discipline for the hot-swap
+// safety gate.
+func (n *NAFTA) DeadlockRegime() string { return RegimeNAFTA }
+
 // UpdateFaults recomputes the fault blocks and dead-end states to
 // their fixpoint (diagnosis phase, assumption iv).
 func (n *NAFTA) UpdateFaults(f *fault.Set) {

@@ -78,6 +78,10 @@ func (r *RouteC) Name() string { return "routec" }
 // NumVCs is five: up, down, and three detour channels.
 func (r *RouteC) NumVCs() int { return 5 }
 
+// DeadlockRegime tags the phase/detour-level VC discipline for the
+// hot-swap safety gate.
+func (r *RouteC) DeadlockRegime() string { return RegimeRouteC }
+
 // Steps is always two: decide_dir followed by decide_vc.
 func (r *RouteC) Steps(Request) int { return 2 }
 

@@ -24,6 +24,8 @@
 package routing
 
 import (
+	"fmt"
+
 	"repro/internal/fault"
 	"repro/internal/topology"
 )
@@ -31,6 +33,36 @@ import (
 // InjectionPort is the InPort value of a request for a message that is
 // being injected at its source node.
 const InjectionPort = -1
+
+// Deadlock-regime tags. Two routing engines may be hot-swapped while
+// worms of the old engine are still in flight only when they share a
+// deadlock-avoidance regime — the same virtual-channel discipline, so
+// that messages routed under either table set cannot close a wait
+// cycle together. The tags are opaque strings compared for equality by
+// the reconfiguration safety gate; an algorithm that does not declare
+// one is only swappable against an identically named engine.
+const (
+	// RegimeNAFTA: two virtual networks (north-last / south-last) on a
+	// 2-D mesh, the NAFTA/NARA discipline.
+	RegimeNAFTA = "mesh-vnet/2vc"
+	// RegimeRouteC: ascending/descending phases plus bounded detour
+	// levels on five VCs, the ROUTE_C hypercube discipline.
+	RegimeRouteC = "cube-phase/5vc"
+)
+
+// DeadlockRegimer is implemented by algorithms that declare their
+// deadlock-avoidance regime for the hot-swap safety gate.
+type DeadlockRegimer interface{ DeadlockRegime() string }
+
+// RegimeOf returns an algorithm's deadlock-regime tag, falling back to
+// name + VC count for algorithms that do not declare one (which makes
+// them hot-swappable only against the same algorithm).
+func RegimeOf(a Algorithm) string {
+	if r, ok := a.(DeadlockRegimer); ok {
+		return r.DeadlockRegime()
+	}
+	return fmt.Sprintf("%s/%dvc", a.Name(), a.NumVCs())
+}
 
 // Header carries the routing-relevant state of a message. The paper's
 // Section 3 (lifelock avoidance) requires that routers can modify
@@ -62,6 +94,12 @@ type Header struct {
 	// Dateline flags that the message crossed the current ring's
 	// wrap-around link (torus dateline VC discipline).
 	Dateline int
+	// Epoch is the rule-table epoch that admitted the message into the
+	// network (0 when no epoch source is attached). Under online
+	// reconfiguration an in-flight worm keeps routing on the tables of
+	// its admission epoch; the field never influences the decision
+	// itself, only which engine generation makes it.
+	Epoch uint64
 }
 
 // Request is the input of one routing decision.

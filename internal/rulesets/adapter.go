@@ -67,12 +67,26 @@ type naftaSlots struct {
 	avail, avfault, misok                                   [topology.MeshPorts]int
 }
 
+// NAFTADecisionBases lists the rule bases the NAFTA adapter consults
+// per routing decision — the bases a reconfiguration artifact must
+// carry tables for.
+var NAFTADecisionBases = []string{"incoming_message", "in_message_ft", "test_exception"}
+
 // NewRuleNAFTA compiles the NAFTA program and binds it to mesh m.
 func NewRuleNAFTA(m *topology.Mesh) (*RuleNAFTA, error) {
 	p, err := LoadNAFTA()
 	if err != nil {
 		return nil, err
 	}
+	return NewRuleNAFTAFromProgram(m, p, nil)
+}
+
+// NewRuleNAFTAFromProgram binds an already analysed NAFTA program to
+// mesh m. tables optionally supplies precompiled decision tables
+// (keyed by base name, e.g. loaded from a reconfiguration artifact);
+// they must be bound to p.Checked. Missing entries are compiled
+// in-process.
+func NewRuleNAFTAFromProgram(m *topology.Mesh, p *Program, tables map[string]*core.CompiledBase) (*RuleNAFTA, error) {
 	r := &RuleNAFTA{
 		mesh:   m,
 		native: routing.NewNAFTA(m),
@@ -80,18 +94,20 @@ func NewRuleNAFTA(m *topology.Mesh) (*RuleNAFTA, error) {
 		faults: fault.NewSet(),
 		args:   []rules.Value{rules.IntVal(0)},
 	}
+	var err error
 	for _, b := range []struct {
 		name string
 		dst  **core.CompiledBase
-		fast **core.DenseTable
 	}{
-		{"incoming_message", &r.ff, &r.ffD},
-		{"in_message_ft", &r.ft, &r.ftD},
-		{"test_exception", &r.ex, &r.exD},
+		{NAFTADecisionBases[0], &r.ff},
+		{NAFTADecisionBases[1], &r.ft},
+		{NAFTADecisionBases[2], &r.ex},
 	} {
-		cb, err := core.CompileBase(p.Checked, b.name, core.CompileOptions{})
-		if err != nil {
-			return nil, err
+		cb := tables[b.name]
+		if cb == nil {
+			if cb, err = core.CompileBase(p.Checked, b.name, core.CompileOptions{}); err != nil {
+				return nil, err
+			}
 		}
 		*b.dst = cb
 	}
@@ -139,6 +155,23 @@ func NewRuleNAFTA(m *topology.Mesh) (*RuleNAFTA, error) {
 // buffer-exploitation signals of the Information Units). Without it
 // the adaptivity tie-break defaults to the horizontal output.
 func (r *RuleNAFTA) AttachLoads(v routing.LoadView) { r.loads = v }
+
+// DeadlockRegime tags the adapter with the native NAFTA discipline:
+// the rule tables implement the same virtual-network scheme, so rule
+// and native engines are mutually hot-swappable.
+func (r *RuleNAFTA) DeadlockRegime() string { return r.native.DeadlockRegime() }
+
+// InvalidateTables retires the adapter's dense tables. Online
+// reconfiguration calls this when the adapter's epoch is retired; any
+// later fast-path lookup on this instance panics instead of routing on
+// a dead table generation.
+func (r *RuleNAFTA) InvalidateTables() {
+	for _, dt := range []*core.DenseTable{r.ffD, r.ftD, r.exD} {
+		if dt != nil {
+			dt.Invalidate()
+		}
+	}
+}
 
 // FastPathActive reports whether all three decision bases compiled to
 // the dense fast path.

@@ -64,12 +64,26 @@ type cubeSlots struct {
 	phase, level, takingDetour       int
 }
 
+// RouteCDecisionBases lists the rule bases the ROUTE_C adapter
+// consults per routing decision — the bases a reconfiguration artifact
+// must carry tables for.
+var RouteCDecisionBases = []string{"decide_dir", "decide_vc"}
+
 // NewRuleRouteC compiles ROUTE_C for cube h (adaptivity width 2).
 func NewRuleRouteC(h *topology.Hypercube) (*RuleRouteC, error) {
 	p, err := LoadRouteC(h.Dim, 2)
 	if err != nil {
 		return nil, err
 	}
+	return NewRuleRouteCFromProgram(h, p, nil)
+}
+
+// NewRuleRouteCFromProgram binds an already analysed ROUTE_C program
+// to cube h. tables optionally supplies precompiled decision tables
+// (keyed by base name, bound to p.Checked); missing entries are
+// compiled in-process. The program's cube dimension must match h.Dim —
+// a mismatch surfaces as a slot-resolution error below.
+func NewRuleRouteCFromProgram(h *topology.Hypercube, p *Program, tables map[string]*core.CompiledBase) (*RuleRouteC, error) {
 	r := &RuleRouteC{
 		cube:    h,
 		native:  routing.NewRouteC(h),
@@ -78,11 +92,21 @@ func NewRuleRouteC(h *topology.Hypercube) (*RuleRouteC, error) {
 		vcArgs:  make([]rules.Value, 1),
 		vcDargs: make([]int64, 1),
 	}
-	if r.dir, err = core.CompileBase(p.Checked, "decide_dir", core.CompileOptions{}); err != nil {
-		return nil, err
-	}
-	if r.vc, err = core.CompileBase(p.Checked, "decide_vc", core.CompileOptions{}); err != nil {
-		return nil, err
+	var err error
+	for _, b := range []struct {
+		name string
+		dst  **core.CompiledBase
+	}{
+		{RouteCDecisionBases[0], &r.dir},
+		{RouteCDecisionBases[1], &r.vc},
+	} {
+		cb := tables[b.name]
+		if cb == nil {
+			if cb, err = core.CompileBase(p.Checked, b.name, core.CompileOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		*b.dst = cb
 	}
 	r.layout = core.NewInputLayout(p.Checked)
 	r.iv = core.NewInputVector(r.layout)
@@ -137,6 +161,20 @@ func (r *RuleRouteC) NumVCs() int  { return r.native.NumVCs() }
 // FastPathActive reports whether both decision bases compiled to the
 // dense fast path.
 func (r *RuleRouteC) FastPathActive() bool { return r.dirD != nil && r.vcD != nil }
+
+// DeadlockRegime tags the adapter with the native ROUTE_C discipline:
+// rule and native engines are mutually hot-swappable.
+func (r *RuleRouteC) DeadlockRegime() string { return r.native.DeadlockRegime() }
+
+// InvalidateTables retires the adapter's dense tables; any later
+// fast-path lookup on this instance panics (see RuleNAFTA).
+func (r *RuleRouteC) InvalidateTables() {
+	for _, dt := range []*core.DenseTable{r.dirD, r.vcD} {
+		if dt != nil {
+			dt.Invalidate()
+		}
+	}
+}
 
 // Steps is always two interpretations (decide_dir, decide_vc).
 func (r *RuleRouteC) Steps(routing.Request) int { return 2 }

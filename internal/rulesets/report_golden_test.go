@@ -1,0 +1,69 @@
+package rulesets
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run %s -update` to create it)", err, t.Name())
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			t.Name(), path, got, want)
+	}
+}
+
+// The cost reports of cmd/rulec go through core.WriteCostReport, the
+// single table-emission path; these goldens pin the exact output so
+// neither the report format nor the compiled table dimensions (which
+// the artifact serialization also embeds) can drift silently.
+func TestCostReportGoldenNAFTA(t *testing.T) {
+	p, err := LoadNAFTA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := core.AnalyzeCost(p.Checked, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	core.WriteCostReport(&b, "Rule bases of NAFTA", pc)
+	checkGolden(t, "report_nafta", b.Bytes())
+}
+
+func TestCostReportGoldenRouteC(t *testing.T) {
+	p, err := LoadRouteC(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := core.AnalyzeCost(p.Checked, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	core.WriteCostReport(&b, "Rule bases of ROUTE_C (d=6, a=2)", pc)
+	checkGolden(t, "report_routec_d6a2", b.Bytes())
+}

@@ -76,6 +76,27 @@ type Config struct {
 	// post-run oracle checks (invariants, flit conservation, message
 	// audits) on the final network state.
 	OnNetwork func(*network.Network)
+
+	// Reconfigs, when non-empty, hot-swaps the decision engine
+	// mid-run: at each event's cycle (from simulation start, warm-up
+	// included) the engine built by Make replaces the running one via
+	// network.Reconfigure. The events are applied in time order; Run
+	// copies the slice, so a shared Config stays reusable. The
+	// Algorithm must be a reconfig.Swapper for swaps to land while
+	// worms are in flight.
+	Reconfigs []Reconfig
+}
+
+// Reconfig is one scheduled engine hot-swap.
+type Reconfig struct {
+	// At is the cycle (from simulation start) the swap fires at.
+	At int64
+	// Make builds the replacement engine; it runs at swap time so the
+	// engine's internal state is fresh.
+	Make func() (routing.Algorithm, error)
+	// Force drains the network first when the deadlock regimes of the
+	// old and new engines are incompatible.
+	Force bool
 }
 
 func (c *Config) defaults() {
@@ -205,8 +226,28 @@ func Run(cfg Config) (Result, error) {
 			net.ApplyFaults(f)
 		}
 	}
+	reconfigs := append([]Reconfig(nil), cfg.Reconfigs...)
+	sort.Slice(reconfigs, func(i, j int) bool { return reconfigs[i].At < reconfigs[j].At })
+	nextReconfig := 0
+	applyReconfigs := func() error {
+		for nextReconfig < len(reconfigs) && reconfigs[nextReconfig].At <= net.Now() {
+			rc := reconfigs[nextReconfig]
+			nextReconfig++
+			next, err := rc.Make()
+			if err != nil {
+				return fmt.Errorf("sim: reconfig at cycle %d: %w", rc.At, err)
+			}
+			if err := net.Reconfigure(next, rc.Force); err != nil {
+				return fmt.Errorf("sim: reconfig at cycle %d: %w", rc.At, err)
+			}
+		}
+		return nil
+	}
 	for i := int64(0); i < cfg.WarmupCycles; i++ {
 		applySchedule()
+		if err := applyReconfigs(); err != nil {
+			return Result{}, err
+		}
 		gen.Tick(net)
 		net.Step()
 	}
@@ -215,6 +256,9 @@ func Run(cfg Config) (Result, error) {
 	queueBefore := net.Queued() + net.InFlight()
 	for i := int64(0); i < cfg.MeasureCycles; i++ {
 		applySchedule()
+		if err := applyReconfigs(); err != nil {
+			return Result{}, err
+		}
 		gen.Tick(net)
 		net.Step()
 	}

@@ -81,6 +81,13 @@ const (
 	// KLivelock: Msg exceeded the configured age bound at Node
 	// (Arg = age in cycles).
 	KLivelock
+	// KReconfigSwap: the network's decision engine was hot-swapped at
+	// Cycle (Arg = the new table epoch).
+	KReconfigSwap
+	// KEpochRetired: the last worm pinned to an old table epoch left
+	// the network and the epoch's engine was retired (Arg = the
+	// retired epoch).
+	KEpochRetired
 
 	kindCount
 )
@@ -90,6 +97,7 @@ var kindNames = [kindCount]string{
 	"vc-freed", "flit-blocked", "credit-sent", "flit-delivered",
 	"flit-dropped", "msg-killed", "fault-raised", "fault-propagated",
 	"rule-fired", "dispatch", "deadlock", "livelock",
+	"reconfig-swap", "epoch-retired",
 }
 
 // String returns the stable lower-case name of the kind.
