@@ -10,10 +10,13 @@ package repro
 // cmd/tables prints the same tables human-readably.
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/network"
 	"repro/internal/routing"
 	"repro/internal/rulesets"
 	"repro/internal/sim"
@@ -307,6 +310,73 @@ func BenchmarkE13_MarkedPriority(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.E13MarkedPriority(true); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkStep measures the per-cycle cost of the network
+// pipeline under saturating load, on the serial stepping path and on
+// the deterministic parallel engine. The parallel engine produces
+// bit-identical statistics, so the only question is wall-clock: on a
+// single-core machine it measures pure coordination overhead; on 4+
+// cores, workers=4 is the speedup configuration the engine targets.
+// Injection is refilled outside the timer so the measured loop is
+// Step() alone.
+func BenchmarkNetworkStep(b *testing.B) {
+	cases := []struct {
+		name string
+		make func() (topology.Graph, routing.Algorithm)
+	}{
+		{"mesh16x16", func() (topology.Graph, routing.Algorithm) {
+			m := topology.NewMesh(16, 16)
+			return m, routing.NewNAFTA(m)
+		}},
+		{"cube10", func() (topology.Graph, routing.Algorithm) {
+			h := topology.NewHypercube(10)
+			return h, routing.NewECube(h)
+		}},
+	}
+	for _, c := range cases {
+		for _, workers := range []int{0, 4} {
+			name := c.name + "/serial"
+			if workers > 0 {
+				name = fmt.Sprintf("%s/workers%d", c.name, workers)
+			}
+			b.Run(name, func(b *testing.B) {
+				g, alg := c.make()
+				n := network.New(network.Config{Graph: g, Algorithm: alg, Workers: workers})
+				defer n.Close()
+				if workers >= 2 && !n.ParallelActive() {
+					b.Fatalf("parallel engine inactive: %s", n.ParallelReason())
+				}
+				rng := rand.New(rand.NewSource(1))
+				refill := func() {
+					// Keep roughly two messages per node in the system —
+					// past saturation for both topologies.
+					for n.Queued()+n.InFlight() < g.Nodes()*2 {
+						src := topology.NodeID(rng.Intn(g.Nodes()))
+						dst := topology.NodeID(rng.Intn(g.Nodes()))
+						if src != dst {
+							n.Inject(src, dst, 8)
+						}
+					}
+				}
+				refill()
+				for i := 0; i < 100; i++ {
+					n.Step() // warm scratch buffers and fill the pipeline
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if n.InFlight() < g.Nodes() {
+						b.StopTimer()
+						refill()
+						b.StartTimer()
+					}
+					n.Step()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
 		}
 	}
 }

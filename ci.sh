@@ -6,12 +6,18 @@
 #      subsystem's one-recorder-per-job discipline is only proven here)
 #   4. coverage floor: statement coverage of internal/... must stay
 #      >= COVER_FLOOR (baseline was 84.1% when the gate was added)
-#   5. campaign smoke: 25 randomized fault-injection scenarios per
-#      algorithm family must pass every conformance oracle
+#   5. campaign smoke (under -race, parallel stepping): 25 randomized
+#      fault-injection scenarios per algorithm family must pass every
+#      conformance oracle while each simulation steps on the parallel
+#      engine (-step-workers 2), proving the worker pool race-clean
+#      end to end
 #   6. routerd smoke (under -race): the decision service serves 1k
 #      batched decisions while the table artifact is hot-reloaded
 #      mid-load; zero failed decisions and an advanced epoch required
-#   7. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#   7. serial-vs-parallel equivalence gate: the differential tests
+#      that require bit-identical statistics between Workers=0 and
+#      Workers>=2 across faults, hot swaps and both rule families
+#   8. (opt-in) bench regression gate: set BENCH_BASELINE to a
 #      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
 #      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op
 #      regression (cmd/benchjson -baseline).
@@ -40,12 +46,16 @@ awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
 	exit 1
 }
 
-echo "== campaign smoke (25 scenarios per family)"
-go run ./cmd/campaign -scenarios 25 -seed 1 -algo nafta
-go run ./cmd/campaign -scenarios 25 -seed 1 -algo routec
+echo "== campaign smoke (25 scenarios per family, parallel stepping, -race)"
+go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo nafta -step-workers 2
+go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo routec -step-workers 2
 
 echo "== routerd smoke (1k batched decisions across a hot reload, -race)"
 go run -race ./cmd/routerd -smoke -requests 1000 -batch 32
+
+echo "== serial-vs-parallel equivalence gate"
+go test -count=1 -run 'TestParallelMatchesSerial|TestCampaignParallelStepDifferential' \
+	./internal/network/ ./internal/campaign/
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
 	echo "== benchjson -baseline $BENCH_BASELINE"

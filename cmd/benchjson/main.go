@@ -36,9 +36,14 @@ import (
 
 // BenchResult is one parsed benchmark line.
 type BenchResult struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs"` // the -N suffix (GOMAXPROCS)
-	Iterations int64              `json:"iterations"`
+	Name       string `json:"name"`
+	Procs      int    `json:"procs"` // the -N suffix (GOMAXPROCS)
+	Iterations int64  `json:"iterations"`
+	// Benchtime is the -benchtime value this result was measured under.
+	// Recorded per result (not only per snapshot) so results gathered
+	// under different budgets can be merged into one file and compare
+	// mode can flag apples-to-oranges deltas.
+	Benchtime  string             `json:"benchtime,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -63,7 +68,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", ".", "benchmark name regex (go test -bench)")
-	benchtime := fs.String("benchtime", "1x", "go test -benchtime value")
+	benchtime := fs.String("benchtime", "5x",
+		"go test -benchtime value (fixed iteration counts make snapshots reproducible)")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("out", "", `output path ("-" for stdout; default BENCH_<date>.json)`)
 	baseline := fs.String("baseline", "", "prior snapshot to compare against (exit 1 on regression)")
@@ -94,6 +100,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if len(results) == 0 {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines in go test output")
 		return 1
+	}
+	for i := range results {
+		results[i].Benchtime = *benchtime
 	}
 	snap := Snapshot{
 		Date: date, GoVersion: runtime.Version(),
@@ -161,6 +170,9 @@ func Compare(base, cur *Snapshot, w io.Writer, maxRegressPct float64) int {
 		dn := pctDelta(b.NsPerOp, r.NsPerOp)
 		da := pctDelta(b.AllocsOp, r.AllocsOp)
 		verdict := ""
+		if b.Benchtime != "" && r.Benchtime != "" && b.Benchtime != r.Benchtime {
+			verdict = fmt.Sprintf("  (benchtime %s vs %s)", b.Benchtime, r.Benchtime)
+		}
 		if dn > maxRegressPct {
 			regressions++
 			verdict = "  REGRESSION"

@@ -59,6 +59,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	warmup := fs.Int64("warmup", 1000, "warm-up cycles")
 	measure := fs.Int64("measure", 4000, "measurement cycles")
 	decision := fs.Int("decision", 1, "cycles per rule-interpretation step")
+	workers := fs.Int("workers", 0, "parallel stepping shards per cycle (0/1 = serial; statistics are identical)")
 	traceFile := fs.String("trace", "", "write a flight-recorder event stream to this file")
 	traceFormat := fs.String("trace-format", trace.FormatJSONL,
 		"trace file format: "+trace.FormatJSONL+" or "+trace.FormatChrome)
@@ -98,6 +99,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		WarmupCycles:          *warmup,
 		MeasureCycles:         *measure,
 		DecisionCyclesPerStep: *decision,
+		Workers:               *workers,
 		LivelockAgeCycles:     *livelock,
 	}
 

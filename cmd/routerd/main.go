@@ -30,6 +30,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -49,6 +50,7 @@ func main() {
 		meshSpec = flag.String("mesh", "8x8", "mesh size for nafta, WxH")
 		cubeDim  = flag.Int("cube", 4, "hypercube dimension for routec")
 		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "engine replicas (concurrent decision lanes)")
+		pprof    = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 		smoke    = flag.Bool("smoke", false, "run the load generator against an in-process server and exit")
 		requests = flag.Int("requests", 1000, "smoke: total decisions to issue")
 		batch    = flag.Int("batch", 32, "smoke: decisions per batch request")
@@ -69,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("routerd: %v", err)
 	}
-	srv := &server{svc: svc, nodes: g.Nodes()}
+	srv := &server{svc: svc, nodes: g.Nodes(), pprof: *pprof}
 
 	if *smoke {
 		if err := runSmoke(srv, art, *requests, *batch, *workers, *seed); err != nil {
@@ -119,6 +121,10 @@ type server struct {
 	svc   *reconfig.Service
 	nodes int
 	bufs  sync.Pool
+	// pprof mounts the net/http/pprof endpoints on the serving mux —
+	// opt-in, so a production router is not profiling-exposed by
+	// accident.
+	pprof bool
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -130,6 +136,13 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 

@@ -237,6 +237,12 @@ type Options struct {
 	Seed      int64
 	// Workers bounds the sim worker pool (<=0 selects GOMAXPROCS).
 	Workers int
+	// StepWorkers forwards sim.Config.Workers: >= 2 runs every
+	// scenario's network on the deterministic parallel stepping engine
+	// with that many shard goroutines. Statistics are bit-identical to
+	// serial stepping, so the oracle battery is unchanged; combine with
+	// Workers (e.g. sim.PoolSize) to avoid oversubscription.
+	StepWorkers int
 	// Differential additionally runs every scenario with the
 	// interpreted oracle path and requires bit-identical statistics.
 	Differential bool
@@ -298,7 +304,7 @@ func (o *Outcome) Failed() bool { return len(o.Reports) > 0 }
 // buildConfig assembles the sim.Config of one scenario run. The
 // returned netSlot is filled with the run's network handle (via
 // Config.OnNetwork) so the oracle pass can inspect the final state.
-func buildConfig(s *Scenario, oracle bool, factory AlgFactory, netSlot **network.Network) (sim.Config, error) {
+func buildConfig(s *Scenario, oracle bool, factory AlgFactory, stepWorkers int, netSlot **network.Network) (sim.Config, error) {
 	g, err := s.Graph()
 	if err != nil {
 		return sim.Config{}, err
@@ -326,6 +332,7 @@ func buildConfig(s *Scenario, oracle bool, factory AlgFactory, netSlot **network
 	cfg := sim.Config{
 		Graph:             g,
 		Algorithm:         alg,
+		Workers:           stepWorkers,
 		Rate:              s.Rate,
 		Length:            s.Length,
 		Seed:              s.Seed,
@@ -356,7 +363,7 @@ func buildConfig(s *Scenario, oracle bool, factory AlgFactory, netSlot **network
 // with the parallel campaign driver.
 func Evaluate(s *Scenario, opts *Options) ([]Violation, *trace.Report, error) {
 	var net *network.Network
-	cfg, err := buildConfig(s, false, opts.factory(), &net)
+	cfg, err := buildConfig(s, false, opts.factory(), opts.StepWorkers, &net)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -366,7 +373,7 @@ func Evaluate(s *Scenario, opts *Options) ([]Violation, *trace.Report, error) {
 	}
 	vio := checkRun(s, &res, net)
 	if opts.Differential {
-		vio = append(vio, checkDifferential(s, &res, net, opts.factory())...)
+		vio = append(vio, checkDifferential(s, &res, net, opts.factory(), opts.StepWorkers)...)
 	}
 	return vio, res.PostMortem, nil
 }
@@ -460,9 +467,9 @@ func auditMessages(s *Scenario, res *sim.Result, net *network.Network) []Violati
 // checkDifferential re-runs the scenario on the interpreted oracle
 // path and requires bit-identical statistics — the fast path must be
 // an optimisation, never a behaviour change.
-func checkDifferential(s *Scenario, fast *sim.Result, fastNet *network.Network, factory AlgFactory) []Violation {
+func checkDifferential(s *Scenario, fast *sim.Result, fastNet *network.Network, factory AlgFactory, stepWorkers int) []Violation {
 	var net *network.Network
-	cfg, err := buildConfig(s, true, factory, &net)
+	cfg, err := buildConfig(s, true, factory, stepWorkers, &net)
 	if err != nil {
 		return []Violation{{Kind: "internal", Detail: err.Error()}}
 	}
@@ -519,7 +526,7 @@ func Run(opts Options) (*Outcome, error) {
 			jobs[idx] = sim.Job{
 				Label: fmt.Sprintf("s%03d/%s", s.ID, variant),
 				Make: func() sim.Config {
-					cfg, err := buildConfig(s, oracle, factory, &nets[idx])
+					cfg, err := buildConfig(s, oracle, factory, opts.StepWorkers, &nets[idx])
 					if err != nil {
 						panic(err) // surfaces as the job's error
 					}

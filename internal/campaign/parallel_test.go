@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// TestCampaignParallelStepDifferential drives the generated scenario
+// corpus of both algorithm families through the simulator twice — once
+// on the serial stepping path and once on the deterministic parallel
+// engine — and requires bit-identical statistics. The corpus includes
+// static fault patterns, mid-run timed faults and engine hot swaps, so
+// this is the end-to-end determinism contract of the parallel engine
+// under everything the campaign generator can produce.
+func TestCampaignParallelStepDifferential(t *testing.T) {
+	const perFamily = 50
+	const stepWorkers = 3
+	for _, algo := range Algos {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Algo: algo, Scenarios: perFamily, Seed: 20260806}
+			scenarios, err := Generate(&opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			withEvents, withSwaps := 0, 0
+			for i := range scenarios {
+				s := &scenarios[i]
+				if len(s.Events) > 0 {
+					withEvents++
+				}
+				if len(s.Swaps) > 0 {
+					withSwaps++
+				}
+				var serialNet, parNet *network.Network
+				serialCfg, err := buildConfig(s, false, DefaultFactory, 0, &serialNet)
+				if err != nil {
+					t.Fatalf("scenario %d: %v", s.ID, err)
+				}
+				parCfg, err := buildConfig(s, false, DefaultFactory, stepWorkers, &parNet)
+				if err != nil {
+					t.Fatalf("scenario %d: %v", s.ID, err)
+				}
+				serialRes, err := sim.Run(serialCfg)
+				if err != nil {
+					t.Fatalf("scenario %d serial: %v", s.ID, err)
+				}
+				parRes, err := sim.Run(parCfg)
+				if err != nil {
+					t.Fatalf("scenario %d parallel: %v", s.ID, err)
+				}
+				if !parNet.ParallelActive() {
+					t.Fatalf("scenario %d: parallel engine inactive: %s", s.ID, parNet.ParallelReason())
+				}
+				if serialRes.Stats != parRes.Stats {
+					t.Errorf("scenario %d: measurement stats diverge:\nserial   %+v\nparallel %+v",
+						s.ID, serialRes.Stats, parRes.Stats)
+				}
+				if a, b := serialNet.Stats(), parNet.Stats(); a != b {
+					t.Errorf("scenario %d: final stats diverge:\nserial   %+v\nparallel %+v", s.ID, a, b)
+				}
+			}
+			// The corpus must actually exercise the hard cases; a generator
+			// regression that drops them would silently hollow this test out.
+			if algo == AlgoNAFTA && withEvents == 0 {
+				t.Error("no scenario with mid-run fault events in the corpus")
+			}
+			if withSwaps == 0 {
+				t.Error("no scenario with engine hot swaps in the corpus")
+			}
+		})
+	}
+}
+
+// TestCampaignStepWorkersOption runs a small campaign with the
+// StepWorkers option set and expects the oracle battery to stay clean
+// — the parallel engine must be invisible to every oracle, including
+// the fast-vs-interpreted differential.
+func TestCampaignStepWorkersOption(t *testing.T) {
+	out, err := Run(Options{
+		Algo: AlgoNAFTA, Scenarios: 4, Seed: 7, Differential: true,
+		Workers: sim.PoolSize(2), StepWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("campaign with StepWorkers failed: %+v", out.Reports[0])
+	}
+}

@@ -21,7 +21,7 @@ import "sort"
 //     the front of the full downstream buffer.
 func (n *Network) waitEdges(r *router, p, v int) (edges []*Message, stuck bool) {
 	ivc := &r.inputs[p][v]
-	if !ivc.routed || ivc.eject || ivc.unroutable || len(ivc.q) == 0 {
+	if !ivc.routed || ivc.eject || ivc.unroutable || ivc.q.len() == 0 {
 		return nil, false
 	}
 	me := ivc.curMsg

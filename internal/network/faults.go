@@ -58,7 +58,7 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 		}
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
-				for _, fl := range r.inputs[p][v].q {
+				for _, fl := range r.inputs[p][v].q.slice() {
 					killed[fl.msg] = true
 				}
 			}
@@ -99,16 +99,17 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if len(ivc.q) == 0 {
+				if ivc.q.len() == 0 {
 					continue
 				}
-				kept := ivc.q[:0]
-				for _, fl := range ivc.q {
+				live := ivc.q.slice()
+				kept := live[:0]
+				for _, fl := range live {
 					if !killed[fl.msg] {
 						kept = append(kept, fl)
 					}
 				}
-				ivc.q = kept
+				ivc.q.truncate(len(kept))
 			}
 		}
 	}
@@ -157,7 +158,7 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 					// gone): clearing the route state of a headless
 					// worm would leave routeStage unable to ever route
 					// it again and wedge the input VC.
-					if ivc.routed && !ivc.eject && (len(ivc.q) == 0 || ivc.q[0].head) {
+					if ivc.routed && !ivc.eject && (ivc.q.len() == 0 || ivc.q.front().head) {
 						ivc.resetRoute()
 					}
 					continue
@@ -217,7 +218,7 @@ func (n *Network) recomputeCredits() {
 				continue
 			}
 			for v := range r.outputs[p] {
-				r.outputs[p][v].credits = n.cfg.BufDepth - len(n.routers[down].inputs[dp][v].q)
+				r.outputs[p][v].credits = n.cfg.BufDepth - n.routers[down].inputs[dp][v].q.len()
 			}
 		}
 	}

@@ -10,9 +10,9 @@ func (n *Network) CheckInvariants() error {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if p != r.injPort() && len(ivc.q) > n.cfg.BufDepth {
+				if p != r.injPort() && ivc.q.len() > n.cfg.BufDepth {
 					return fmt.Errorf("node %d input (%d,%d): %d flits exceed buffer depth %d",
-						r.id, p, v, len(ivc.q), n.cfg.BufDepth)
+						r.id, p, v, ivc.q.len(), n.cfg.BufDepth)
 				}
 				if ivc.outPort >= 0 {
 					out := &r.outputs[ivc.outPort][ivc.outVC]
@@ -38,7 +38,7 @@ func (n *Network) CheckInvariants() error {
 				if down >= 0 {
 					dp, ok := n.g.PortTo(down, r.id)
 					if ok {
-						occ := len(n.routers[down].inputs[dp][v].q)
+						occ := n.routers[down].inputs[dp][v].q.len()
 						inFlight := 0
 						for _, c := range n.creditQueue {
 							if c.node == r.id && c.port == p && c.vc == v {

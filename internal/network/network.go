@@ -52,8 +52,23 @@ type Config struct {
 	OnPostMortem func(*trace.Report)
 	// LivelockAgeCycles, when > 0, bounds the in-network age of any
 	// packet: a packet older than this triggers the livelock
-	// post-mortem. Checked every livelockCheckInterval cycles.
+	// post-mortem. Checked every LivelockCheckInterval cycles.
 	LivelockAgeCycles int64
+	// LivelockCheckInterval is how often (in cycles) the livelock age
+	// bound is evaluated (default 256). Sampling keeps the check off
+	// the per-cycle hot path; an age bound is always coarse, so
+	// detection latency of at most one interval is immaterial.
+	LivelockCheckInterval int64
+	// Workers, when >= 2, steps the network on the deterministic
+	// parallel engine: routers are sharded across a persistent worker
+	// pool, every pipeline stage runs as a parallel compute phase over
+	// the shards, and all cross-router effects commit single-threaded
+	// in router-ID order — Stats and trace-event content are
+	// bit-identical to a serial run. 0 or 1 keeps today's serial
+	// stepping path. Parallel stepping silently falls back to serial
+	// when the algorithm or selector cannot decide concurrently (see
+	// ParallelReason).
+	Workers int
 }
 
 // Stats aggregates network-level results.
@@ -164,6 +179,11 @@ type Network struct {
 	freeScratch []routing.Candidate
 	nomScratch  [][]nominee
 	moveScratch []send
+	// par is the deterministic parallel stepping engine (nil when
+	// Config.Workers <= 1 or the engine/selector forced the serial
+	// fallback; parReason says why).
+	par       *stepEngine
+	parReason string
 }
 
 // nominee is one (input port, input VC) requesting an output port in
@@ -202,6 +222,9 @@ func New(cfg Config) *Network {
 	if cfg.WatchdogCycles == 0 {
 		cfg.WatchdogCycles = 10000
 	}
+	if cfg.LivelockCheckInterval == 0 {
+		cfg.LivelockCheckInterval = defaultLivelockCheckInterval
+	}
 	n := &Network{
 		cfg:    cfg,
 		g:      cfg.Graph,
@@ -218,6 +241,7 @@ func New(cfg Config) *Network {
 		n.rec.SetClock(n.Now)
 	}
 	n.attachReconfig(cfg.Algorithm)
+	n.initParallel()
 	return n
 }
 
@@ -293,6 +317,17 @@ var _ routing.LoadView = (*Network)(nil)
 
 // Step advances the simulation by one cycle.
 func (n *Network) Step() {
+	if n.par != nil {
+		n.stepParallel()
+		return
+	}
+	n.stepSerial()
+}
+
+// stepSerial is the single-threaded stepping path — byte-for-byte the
+// pre-parallel Step; the parallel engine's differential tests treat it
+// as the oracle.
+func (n *Network) stepSerial() {
 	n.deliverCredits()
 	n.injectStage()
 	n.routeStage()
@@ -310,7 +345,7 @@ func (n *Network) Step() {
 			n.deadlockPostMortem()
 		}
 	}
-	if n.cfg.LivelockAgeCycles > 0 && n.now%livelockCheckInterval == 0 {
+	if n.cfg.LivelockAgeCycles > 0 && n.now%n.cfg.LivelockCheckInterval == 0 {
 		n.checkLivelock()
 	}
 	n.now++
@@ -346,7 +381,7 @@ func (n *Network) injectStage() {
 			continue // killed separately in ApplyFaults
 		}
 		ivc := &r.inputs[r.injPort()][0]
-		if len(ivc.q) > 0 {
+		if ivc.q.len() > 0 {
 			continue // previous message still streaming
 		}
 		m := r.injQ[0]
@@ -357,7 +392,7 @@ func (n *Network) injectStage() {
 			m.Hdr.Epoch = n.epochs.AdmitEpoch()
 		}
 		for i := 0; i < m.Hdr.Length; i++ {
-			ivc.q = append(ivc.q, flit{msg: m, head: i == 0, tail: i == m.Hdr.Length-1})
+			ivc.q.pushBack(flit{msg: m, head: i == 0, tail: i == m.Hdr.Length-1})
 		}
 		ivc.resetRoute()
 		n.queued--
@@ -379,10 +414,10 @@ func (n *Network) routeStage() {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if ivc.routed || len(ivc.q) == 0 || !ivc.q[0].head {
+				if ivc.routed || ivc.q.len() == 0 || !ivc.q.front().head {
 					continue
 				}
-				m := ivc.q[0].msg
+				m := ivc.q.front().msg
 				ivc.curMsg = m
 				if m.Hdr.Dst == r.id {
 					ivc.routed = true
@@ -488,7 +523,7 @@ func (n *Network) switchStage() []send {
 			for off := 0; off < vcs; off++ {
 				v := (r.rrIn[p] + off) % vcs
 				ivc := &r.inputs[p][v]
-				if ivc.outPort < 0 || len(ivc.q) == 0 {
+				if ivc.outPort < 0 || ivc.q.len() == 0 {
 					continue
 				}
 				out := &r.outputs[ivc.outPort][ivc.outVC]
@@ -542,8 +577,7 @@ func (n *Network) applyMoves(moves []send) bool {
 	for _, mv := range moves {
 		r := mv.from
 		ivc := &r.inputs[mv.fromPort][mv.fromVC]
-		f := ivc.q[0]
-		ivc.q = ivc.q[1:]
+		f := ivc.q.popFront()
 		ivc.blockedNoted = false
 		n.creditReturnVC(r, mv.fromPort, mv.fromVC)
 		out := &r.outputs[mv.outPort][mv.outVC]
@@ -560,7 +594,7 @@ func (n *Network) applyMoves(moves []send) bool {
 		if !ok {
 			panic("network: inconsistent topology in applyMoves")
 		}
-		dr.inputs[dp][mv.outVC].q = append(dr.inputs[dp][mv.outVC].q, f)
+		dr.inputs[dp][mv.outVC].q.pushBack(f)
 		if f.tail {
 			// The worm has fully left: release input route state and
 			// output ownership.
@@ -634,14 +668,13 @@ func (n *Network) drainStage() bool {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if !ivc.routed || (!ivc.eject && !ivc.unroutable) || len(ivc.q) == 0 {
+				if !ivc.routed || (!ivc.eject && !ivc.unroutable) || ivc.q.len() == 0 {
 					continue
 				}
 				if n.now < ivc.decisionReady {
 					continue
 				}
-				f := ivc.q[0]
-				ivc.q = ivc.q[1:]
+				f := ivc.q.popFront()
 				n.creditReturnVC(r, p, v)
 				progress = true
 				if ivc.eject {

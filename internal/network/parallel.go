@@ -1,0 +1,692 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Deterministic parallel stepping.
+//
+// The network is sharded into contiguous router-ID ranges, one shard
+// per worker of a persistent pool. Every pipeline stage runs as a
+// parallel compute phase over the shards followed by a barrier; a
+// worker only mutates state owned by its own routers (input VCs,
+// output ownership, the headers of messages parked at its inputs) and
+// defers every cross-router or globally ordered effect — trace
+// events, rule-fire observations, epoch releases, credit returns,
+// statistics — into its shard's ordered op list. After the barrier a
+// single-threaded commit replays the op lists in shard order, which
+// is exactly ascending router-ID order, the order the serial stepper
+// produces. Stage compute is router-local by construction:
+//
+//   - deliverCredits writes output credits of the credit's target
+//     router (filtered per shard; the queue is compacted serially);
+//   - routeStage/allocStage write only the deciding router's input
+//     and output VC state; routing decisions run on per-worker
+//     decision contexts (routing.DecisionContexter) or on engines
+//     that declare concurrent decisions safe;
+//   - switchStage writes only the router's round-robin pointers and
+//     appends movements to the shard's move list; the movements
+//     themselves — the only writes crossing router boundaries — are
+//     applied by the serial commit (applyMoves), in shard order;
+//   - drainStage pops local input VCs and defers credits, stats,
+//     epoch releases and events.
+//
+// injectStage stays serial (it is O(nodes) and touches global
+// counters). The result is bit-identical Stats and trace-event
+// content for every seed, algorithm, fast-path setting, fault
+// schedule and hot-swap scenario — the serial stepper remains the
+// oracle of the differential tests.
+
+// Compute-phase identifiers (stepEngine.phase).
+const (
+	phCredits = iota
+	phRoute
+	phAlloc
+	phSwitch
+	phDrain
+)
+
+// opKind tags one deferred effect in a shard's ordered op list.
+type opKind uint8
+
+const (
+	// opEvent replays one flight-recorder event.
+	opEvent opKind = iota
+	// opFire replays one rule-table firing through the originating
+	// engine's live hook (routing.RuleFirer) — preserving first-seen
+	// base numbering and event interleaving of hooks like
+	// rulesets.TraceRules.
+	opFire
+	// opRelease releases one message's admission epoch; retirement
+	// hooks (table invalidation, KEpochRetired events) fire inside the
+	// replay, interleaved exactly as in a serial drain.
+	opRelease
+	// opCredit increments one upstream output credit (CreditDelay 0).
+	opCredit
+	// opQueueCredit appends one delayed credit to the global queue.
+	opQueueCredit
+)
+
+// deferredOp is one entry of a shard's ordered op list. The struct is
+// a tagged union; only the fields of its kind are meaningful.
+type deferredOp struct {
+	kind   opKind
+	ev     trace.Event
+	eng    routing.Algorithm
+	node   topology.NodeID
+	base   string
+	rule   int
+	epoch  uint64
+	credit pendingCredit
+}
+
+// drainDelta accumulates one shard's drain-stage contributions to the
+// global Stats and message accounting, folded in at commit.
+type drainDelta struct {
+	flitsDelivered int64
+	delivered      int64
+	dropped        int64
+	hopsSum        int64
+	stepsSum       int64
+	misroutesSum   int64
+	markedCount    int64
+	latencySum     int64
+	netLatencySum  int64
+	maxLatency     int64
+	inFlight       int
+	progress       bool
+}
+
+// shard is one worker's router range plus all its per-worker state:
+// the decision context, reusable stage scratch and the deferred-op
+// list. Everything is reused across cycles — the parallel hot path
+// does not allocate in steady state.
+type shard struct {
+	lo, hi int // router index range [lo, hi)
+
+	// alg makes this worker's routing decisions: a decision context of
+	// the network's engine, or the engine itself when it is
+	// ConcurrentRoutable.
+	alg routing.Algorithm
+	// flush folds the context's local lookup counters into the parent
+	// engine (called from the serial commit; nil when not supported).
+	flush routing.LookupFlusher
+	// sync materialises child contexts after engine hot-swaps (nil for
+	// engines without generations).
+	sync routing.ContextSyncer
+
+	ops   []deferredOp
+	free  []routing.Candidate
+	noms  [][]nominee
+	moves []send
+	delta drainDelta
+}
+
+// stepEngine owns the worker pool of one network. Workers are started
+// lazily on the first parallel step and parked on per-worker channels
+// between phases; runPhase publishes the phase id, signals every
+// worker and waits on the barrier.
+type stepEngine struct {
+	n      *Network
+	shards []*shard
+	phase  int
+
+	start   []chan struct{}
+	done    sync.WaitGroup
+	quit    chan struct{}
+	exited  sync.WaitGroup
+	started bool
+	stopped sync.Once
+}
+
+// initParallel builds the parallel engine when Config.Workers asks for
+// one and the algorithm/selector can decide concurrently; otherwise it
+// records the fallback reason and leaves the serial path in charge.
+func (n *Network) initParallel() {
+	if n.cfg.Workers < 2 {
+		return
+	}
+	sel, ok := n.sel.(routing.ShardSafeSelector)
+	if !ok {
+		n.parReason = fmt.Sprintf("selector %q is not shard-safe", n.sel.Name())
+		return
+	}
+	nodes := n.g.Nodes()
+	w := n.cfg.Workers
+	if w > nodes {
+		w = nodes
+	}
+	e := &stepEngine{n: n, quit: make(chan struct{})}
+	e.shards = make([]*shard, w)
+	e.start = make([]chan struct{}, w)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			lo:   i * nodes / w,
+			hi:   (i + 1) * nodes / w,
+			noms: make([][]nominee, n.g.Ports()),
+		}
+		e.start[i] = make(chan struct{}, 1)
+	}
+	if !n.bindShardContexts(e) {
+		return // parReason set
+	}
+	sel.PrepareNodes(nodes)
+	n.par = e
+}
+
+// bindShardContexts (re)binds every shard's decision context to the
+// network's current algorithm. It returns false — with parReason set —
+// when the algorithm can neither hand out decision contexts nor decide
+// concurrently.
+func (n *Network) bindShardContexts(e *stepEngine) bool {
+	for _, s := range e.shards {
+		s := s
+		switch alg := n.alg.(type) {
+		case routing.DecisionContexter:
+			ctx := alg.NewDecisionContext(func(eng routing.Algorithm, node topology.NodeID, base string, rule int) {
+				s.ops = append(s.ops, deferredOp{kind: opFire, eng: eng, node: node, base: base, rule: rule})
+			})
+			s.alg = ctx
+			s.flush, _ = ctx.(routing.LookupFlusher)
+			s.sync, _ = ctx.(routing.ContextSyncer)
+			if s.sync != nil {
+				if err := s.sync.SyncDecisionContexts(); err != nil {
+					n.parReason = err.Error()
+					return false
+				}
+			}
+		case routing.ConcurrentRoutable:
+			s.alg = alg
+			s.flush, s.sync = nil, nil
+		default:
+			n.parReason = fmt.Sprintf("algorithm %q supports neither decision contexts nor concurrent decisions", n.alg.Name())
+			return false
+		}
+	}
+	return true
+}
+
+// ParallelActive reports whether the network steps on the parallel
+// engine.
+func (n *Network) ParallelActive() bool { return n.par != nil }
+
+// ParallelReason explains why the network fell back to serial stepping
+// ("" while parallel is active or was never requested).
+func (n *Network) ParallelReason() string { return n.parReason }
+
+// Close releases the worker pool (idempotent; a nil-engine close is a
+// no-op). Serial networks need no Close, but callers may always pair
+// New with Close.
+func (n *Network) Close() {
+	if n.par != nil {
+		n.par.stop()
+	}
+}
+
+// disableParallel permanently reverts the network to serial stepping.
+func (n *Network) disableParallel(reason string) {
+	n.parReason = reason
+	if n.par != nil {
+		n.par.stop()
+		n.par = nil
+	}
+}
+
+func (e *stepEngine) startWorkers() {
+	e.started = true
+	e.exited.Add(len(e.shards))
+	for i := range e.shards {
+		go e.worker(i)
+	}
+}
+
+func (e *stepEngine) stop() {
+	e.stopped.Do(func() { close(e.quit) })
+	if e.started {
+		e.exited.Wait()
+		e.started = false
+	}
+}
+
+func (e *stepEngine) worker(i int) {
+	defer e.exited.Done()
+	s := e.shards[i]
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.start[i]:
+			e.dispatch(s)
+			e.done.Done()
+		}
+	}
+}
+
+func (e *stepEngine) dispatch(s *shard) {
+	switch e.phase {
+	case phCredits:
+		e.n.deliverCreditsShard(s)
+	case phRoute:
+		e.n.routeStageShard(s)
+	case phAlloc:
+		e.n.allocStageShard(s)
+	case phSwitch:
+		e.n.switchStageShard(s)
+	case phDrain:
+		e.n.drainStageShard(s)
+	}
+}
+
+// runPhase runs one compute phase on every shard and waits for the
+// barrier. The phase id is published before the channel sends, so the
+// workers' reads are ordered after the write.
+func (e *stepEngine) runPhase(ph int) {
+	e.phase = ph
+	e.done.Add(len(e.shards))
+	for _, c := range e.start {
+		c <- struct{}{}
+	}
+	e.done.Wait()
+}
+
+// stepParallel advances the simulation by one cycle on the parallel
+// engine, bit-identical to stepSerial.
+func (n *Network) stepParallel() {
+	e := n.par
+	if !e.started {
+		e.startWorkers()
+	}
+	// Engine generations change only between cycles (Reconfigure), so
+	// the top of the cycle is the race-free point to materialise child
+	// contexts for hot-swapped engines. A sync failure means some live
+	// generation cannot decide concurrently: fall back to serial — a
+	// correctness fallback, never an error.
+	for _, s := range e.shards {
+		if s.sync == nil {
+			continue
+		}
+		if err := s.sync.SyncDecisionContexts(); err != nil {
+			n.disableParallel(err.Error())
+			n.stepSerial()
+			return
+		}
+	}
+	if len(n.creditQueue) > 0 {
+		e.runPhase(phCredits)
+		kept := n.creditQueue[:0]
+		for _, c := range n.creditQueue {
+			if c.due > n.now {
+				kept = append(kept, c)
+			}
+		}
+		n.creditQueue = kept
+	}
+	n.injectStage()
+	e.runPhase(phRoute)
+	n.commitOps()
+	e.runPhase(phAlloc)
+	n.commitOps()
+	e.runPhase(phSwitch)
+	n.commitOps()
+	progress := false
+	for _, s := range e.shards {
+		if n.applyMoves(s.moves) {
+			progress = true
+		}
+		s.moves = s.moves[:0]
+	}
+	e.runPhase(phDrain)
+	if n.commitDrain() {
+		progress = true
+	}
+	if progress {
+		n.lastProgress = n.now
+	} else if n.inFlight > 0 && n.now-n.lastProgress > n.cfg.WatchdogCycles {
+		if !n.stats.DeadlockSuspected {
+			n.stats.DeadlockSuspected = true
+			n.deadlockPostMortem()
+		}
+	}
+	if n.cfg.LivelockAgeCycles > 0 && n.now%n.cfg.LivelockCheckInterval == 0 {
+		n.checkLivelock()
+	}
+	n.now++
+}
+
+// commitOps replays every shard's deferred ops in shard order (=
+// ascending router-ID order = serial order).
+func (n *Network) commitOps() {
+	for _, s := range n.par.shards {
+		n.replayOps(s)
+	}
+}
+
+func (n *Network) replayOps(s *shard) {
+	for i := range s.ops {
+		op := &s.ops[i]
+		switch op.kind {
+		case opEvent:
+			n.rec.Record(op.ev)
+		case opFire:
+			if rf, ok := op.eng.(routing.RuleFirer); ok {
+				rf.FireRuleObserver(op.node, op.base, op.rule)
+			}
+		case opRelease:
+			n.epochs.ReleaseEpoch(op.epoch)
+		case opCredit:
+			n.routers[op.credit.node].outputs[op.credit.port][op.credit.vc].credits++
+		case opQueueCredit:
+			n.creditQueue = append(n.creditQueue, op.credit)
+		}
+	}
+	s.ops = s.ops[:0]
+}
+
+// commitDrain replays the drain phase's ops and folds every shard's
+// stat/accounting deltas, in shard order. It also flushes the decision
+// contexts' local lookup counters so the engines' public counters stay
+// exact cycle-by-cycle.
+func (n *Network) commitDrain() bool {
+	progress := false
+	for _, s := range n.par.shards {
+		n.replayOps(s)
+		d := &s.delta
+		n.stats.FlitsDelivered += d.flitsDelivered
+		n.stats.Delivered += d.delivered
+		n.stats.Dropped += d.dropped
+		n.stats.HopsSum += d.hopsSum
+		n.stats.StepsSum += d.stepsSum
+		n.stats.MisroutesSum += d.misroutesSum
+		n.stats.MarkedCount += d.markedCount
+		n.stats.LatencySum += d.latencySum
+		n.stats.NetLatencySum += d.netLatencySum
+		if d.maxLatency > n.stats.MaxLatency {
+			n.stats.MaxLatency = d.maxLatency
+		}
+		n.inFlight += d.inFlight
+		if d.progress {
+			progress = true
+		}
+		*d = drainDelta{}
+		if s.flush != nil {
+			s.flush.FlushLookups()
+		}
+	}
+	return progress
+}
+
+// deliverCreditsShard applies every due credit whose target router
+// lies in the shard; the serial caller compacts the queue afterwards.
+func (n *Network) deliverCreditsShard(s *shard) {
+	for _, c := range n.creditQueue {
+		if c.due <= n.now && int(c.node) >= s.lo && int(c.node) < s.hi {
+			n.routers[c.node].outputs[c.port][c.vc].credits++
+		}
+	}
+}
+
+// routeStageShard is routeStage over one shard: decisions run on the
+// shard's context, trace events are deferred.
+func (n *Network) routeStageShard(s *shard) {
+	for i := s.lo; i < s.hi; i++ {
+		r := n.routers[i]
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if ivc.routed || ivc.q.len() == 0 || !ivc.q.front().head {
+					continue
+				}
+				m := ivc.q.front().msg
+				ivc.curMsg = m
+				if m.Hdr.Dst == r.id {
+					ivc.routed = true
+					ivc.eject = true
+					ivc.decisionReady = n.now
+					continue
+				}
+				req := n.requestFor(r, p, v, m)
+				steps := s.alg.Steps(req)
+				m.Steps += steps
+				ivc.candidates = routing.RouteInto(s.alg, req, ivc.candidates[:0])
+				ivc.routed = true
+				ivc.unroutable = len(ivc.candidates) == 0
+				ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
+				if n.rec != nil {
+					kind := trace.KRouteComputed
+					if ivc.unroutable {
+						kind = trace.KUnroutable
+					}
+					s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+						Cycle: n.now, Kind: kind,
+						Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
+						Arg: int32(len(ivc.candidates))}})
+				}
+			}
+		}
+	}
+}
+
+// allocStageShard is allocStage over one shard. The selector is
+// shard-safe (per-node state only) and the load view reads nothing but
+// the deciding router's outputs.
+func (n *Network) allocStageShard(s *shard) {
+	for i := s.lo; i < s.hi; i++ {
+		r := n.routers[i]
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if !ivc.routed || ivc.eject || ivc.unroutable || ivc.outPort >= 0 {
+					continue
+				}
+				if n.now < ivc.decisionReady {
+					continue
+				}
+				free := s.free[:0]
+				for _, c := range ivc.candidates {
+					if r.outputs[c.Port][c.VC].free() {
+						free = append(free, c)
+					}
+				}
+				s.free = free[:0] // selectors do not retain the slice
+				if len(free) == 0 {
+					continue
+				}
+				m := ivc.frontMsg()
+				chosen := n.sel.Select(n, r.id, free, &m.Hdr)
+				s.alg.NoteHop(n.requestFor(r, p, v, m), chosen)
+				ivc.outPort, ivc.outVC = chosen.Port, chosen.VC
+				out := &r.outputs[chosen.Port][chosen.VC]
+				out.ownerInPort, out.ownerInVC = p, v
+				out.ownerMsg = m
+				out.remaining = m.Hdr.Length
+				if n.rec != nil {
+					s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+						Cycle: n.now, Kind: trace.KVCAllocated,
+						Node: int32(r.id), Msg: m.ID, Port: int16(chosen.Port), VC: int16(chosen.VC)}})
+				}
+			}
+		}
+	}
+}
+
+// switchStageShard is switchStage over one shard: nomination and grant
+// are router-local; the granted movements land in the shard's move
+// list for the serial applyMoves commit.
+func (n *Network) switchStageShard(s *shard) {
+	moves := s.moves[:0]
+	for i := s.lo; i < s.hi; i++ {
+		r := n.routers[i]
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		nomineesByOut := s.noms
+		for op := range nomineesByOut {
+			nomineesByOut[op] = nomineesByOut[op][:0]
+		}
+		for p := range r.inputs {
+			vcs := len(r.inputs[p])
+			for off := 0; off < vcs; off++ {
+				v := (r.rrIn[p] + off) % vcs
+				ivc := &r.inputs[p][v]
+				if ivc.outPort < 0 || ivc.q.len() == 0 {
+					continue
+				}
+				out := &r.outputs[ivc.outPort][ivc.outVC]
+				if out.credits <= 0 {
+					if n.rec != nil && !ivc.blockedNoted {
+						ivc.blockedNoted = true
+						s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+							Cycle: n.now, Kind: trace.KFlitBlocked,
+							Node: int32(r.id), Msg: ivc.curMsg.ID,
+							Port: int16(ivc.outPort), VC: int16(ivc.outVC)}})
+					}
+					continue
+				}
+				nomineesByOut[ivc.outPort] = append(nomineesByOut[ivc.outPort], nominee{p, v})
+				r.rrIn[p] = (v + 1) % vcs
+				break
+			}
+		}
+		for op, noms := range nomineesByOut {
+			if len(noms) == 0 {
+				continue
+			}
+			pick := noms[r.rrOut[op]%len(noms)]
+			if n.cfg.FavorMarked {
+				start := r.rrOut[op] % len(noms)
+				for off := 0; off < len(noms); off++ {
+					cand := noms[(start+off)%len(noms)]
+					if m := r.inputs[cand.port][cand.vc].curMsg; m != nil && m.Hdr.Marked {
+						pick = cand
+						break
+					}
+				}
+			}
+			r.rrOut[op]++
+			ivc := &r.inputs[pick.port][pick.vc]
+			moves = append(moves, send{
+				from: r, fromPort: pick.port, fromVC: pick.vc,
+				outPort: ivc.outPort, outVC: ivc.outVC,
+			})
+		}
+	}
+	s.moves = moves
+}
+
+// creditReturnShard is creditReturnVC with every effect — the
+// KCreditSent event and the credit itself — deferred into the shard's
+// op list: the upstream router may belong to another shard. Nothing
+// reads credits between the drain compute and the commit, so applying
+// them at commit is behaviourally identical to the serial immediate
+// return.
+func (n *Network) creditReturnShard(s *shard, r *router, p, v int) {
+	if p == r.injPort() {
+		return
+	}
+	up := n.g.Neighbor(r.id, p)
+	if up == topology.Invalid {
+		return
+	}
+	upPort, ok := n.g.PortTo(up, r.id)
+	if !ok {
+		return
+	}
+	if n.rec != nil {
+		s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+			Cycle: n.now, Kind: trace.KCreditSent,
+			Node: int32(up), Msg: -1, Port: int16(upPort), VC: int16(v),
+			Arg: int32(n.cfg.CreditDelay)}})
+	}
+	pc := pendingCredit{due: n.now + int64(n.cfg.CreditDelay), node: up, port: upPort, vc: v}
+	if n.cfg.CreditDelay <= 0 {
+		s.ops = append(s.ops, deferredOp{kind: opCredit, credit: pc})
+	} else {
+		s.ops = append(s.ops, deferredOp{kind: opQueueCredit, credit: pc})
+	}
+}
+
+// drainStageShard is drainStage over one shard: ejection and
+// absorption are router-local; credits, stats, epoch releases and
+// events are deferred.
+func (n *Network) drainStageShard(s *shard) {
+	d := &s.delta
+	for i := s.lo; i < s.hi; i++ {
+		r := n.routers[i]
+		if n.faults.NodeFaulty(r.id) {
+			continue
+		}
+		for p := range r.inputs {
+			for v := range r.inputs[p] {
+				ivc := &r.inputs[p][v]
+				if !ivc.routed || (!ivc.eject && !ivc.unroutable) || ivc.q.len() == 0 {
+					continue
+				}
+				if n.now < ivc.decisionReady {
+					continue
+				}
+				f := ivc.q.popFront()
+				n.creditReturnShard(s, r, p, v)
+				d.progress = true
+				if ivc.eject {
+					d.flitsDelivered++
+					f.msg.flitsEjected++
+				}
+				if f.tail {
+					m := f.msg
+					m.DoneTime = n.now
+					if n.rec != nil {
+						kind := trace.KFlitDelivered
+						if !ivc.eject {
+							kind = trace.KFlitDropped
+						}
+						s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+							Cycle: n.now, Kind: kind,
+							Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
+							Arg: int32(n.now - m.InjectTime)}})
+					}
+					if ivc.eject {
+						m.State = StateDelivered
+						d.delivered++
+						d.hopsSum += int64(m.Hops)
+						d.stepsSum += int64(m.Steps)
+						d.misroutesSum += int64(m.Hdr.Misroutes)
+						if m.Hdr.Marked {
+							d.markedCount++
+						}
+						lat := m.Latency()
+						d.latencySum += lat
+						d.netLatencySum += m.NetworkLatency()
+						if lat > d.maxLatency {
+							d.maxLatency = lat
+						}
+					} else {
+						m.State = StateDropped
+						m.DropNode = r.id
+						m.DropInPort = p
+						if p == r.injPort() {
+							m.DropInPort = routing.InjectionPort
+						}
+						m.DropInVC = v
+						d.dropped++
+					}
+					d.inFlight--
+					if n.epochs != nil {
+						s.ops = append(s.ops, deferredOp{kind: opRelease, epoch: m.Hdr.Epoch})
+					}
+					ivc.resetRoute()
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/rulesets"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// parRun is everything a differential scenario run exposes for
+// comparison: the aggregated statistics, the full flight-recorder
+// event stream and the first-seen rule-base numbering of the
+// TraceRules hook.
+type parRun struct {
+	stats  Stats
+	events []trace.Event
+	bases  map[string]int
+}
+
+// runParScenario executes one named scenario with the given worker
+// count and returns its observable outcome. Every scenario injects
+// deterministic traffic cycle-by-cycle, disturbs the run mid-flight
+// (faults, hot swaps) and drains.
+func runParScenario(t *testing.T, name string, workers int) parRun {
+	t.Helper()
+	var (
+		g      topology.Graph
+		alg    routing.Algorithm
+		sel    routing.Selector
+		delay  int
+		midRun func(n *Network, cycle int64)
+	)
+	rec := trace.New(64, 4096)
+	hook, bases := rulesets.TraceRules(rec)
+
+	switch name {
+	case "nafta-fast", "nafta-ref":
+		m := topology.NewMesh(6, 6)
+		a, err := rulesets.NewRuleNAFTA(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.DisableFast = name == "nafta-ref"
+		a.OnRuleFired = hook
+		g, alg = m, a
+		f := fault.NewSet()
+		midRun = func(n *Network, cycle int64) {
+			if cycle == 40 {
+				f.FailNode(m.Node(2, 3))
+				f.FailLink(m.Node(4, 1), m.Node(4, 2))
+				n.ApplyFaults(f)
+			}
+		}
+	case "routec-fast", "routec-ref":
+		h := topology.NewHypercube(4)
+		a, err := rulesets.NewRuleRouteC(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.DisableFast = name == "routec-ref"
+		a.OnRuleFired = hook
+		g, alg = h, a
+		f := fault.NewSet()
+		midRun = func(n *Network, cycle int64) {
+			if cycle == 35 {
+				f.FailLink(topology.NodeID(0), topology.NodeID(1))
+				f.FailNode(topology.NodeID(9))
+				n.ApplyFaults(f)
+			}
+		}
+	case "nara-roundrobin-creditdelay":
+		m := topology.NewMesh(6, 6)
+		g, alg = m, routing.NewNARA(m)
+		sel = routing.NewRoundRobin()
+		delay = 2
+	case "xy-drops":
+		m := topology.NewMesh(6, 6)
+		g, alg = m, routing.NewXY(m)
+		f := fault.NewSet()
+		f.FailLink(m.Node(2, 2), m.Node(3, 2))
+		midRun = func(n *Network, cycle int64) {
+			if cycle == 0 {
+				n.ApplyFaults(f)
+			}
+		}
+	case "swap-hot":
+		m := topology.NewMesh(6, 6)
+		mk := func() routing.Algorithm {
+			a, err := rulesets.NewRuleNAFTA(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.OnRuleFired = hook
+			return a
+		}
+		sw := reconfig.NewSwapper(mk())
+		g, alg = m, sw
+		f := fault.NewSet()
+		midRun = func(n *Network, cycle int64) {
+			if cycle == 30 || cycle == 55 {
+				if err := n.Reconfigure(mk(), false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if cycle == 45 {
+				f.FailLink(m.Node(1, 1), m.Node(1, 2))
+				n.ApplyFaults(f)
+			}
+		}
+	default:
+		t.Fatalf("unknown scenario %q", name)
+	}
+
+	n := New(Config{
+		Graph: g, Algorithm: alg, Selector: sel,
+		Recorder: rec, CreditDelay: delay, Workers: workers,
+	})
+	defer n.Close()
+	if workers >= 2 && !n.ParallelActive() {
+		t.Fatalf("scenario %s: parallel engine inactive with %d workers: %s",
+			name, workers, n.ParallelReason())
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for cycle := int64(0); cycle < 120; cycle++ {
+		if midRun != nil {
+			midRun(n, cycle)
+		}
+		for k := 0; k < 2; k++ {
+			src := topology.NodeID(rng.Intn(g.Nodes()))
+			dst := topology.NodeID(rng.Intn(g.Nodes()))
+			if src == dst || n.faults.NodeFaulty(src) || n.faults.NodeFaulty(dst) {
+				continue
+			}
+			n.Inject(src, dst, 3+rng.Intn(6))
+		}
+		n.Step()
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("scenario %s workers=%d cycle %d: %v", name, workers, cycle, err)
+		}
+	}
+	if !n.Drain(50000) {
+		t.Fatalf("scenario %s workers=%d did not drain", name, workers)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("scenario %s workers=%d: recorder dropped %d events (grow the rings)",
+			name, workers, rec.Dropped())
+	}
+	return parRun{stats: n.Stats(), events: rec.Events(), bases: bases}
+}
+
+// TestParallelMatchesSerial is the heart of the determinism contract:
+// for every scenario family — rule adapters on both decision paths,
+// natives with a stateful selector and credit delay, drops, hot swaps
+// under faults — a parallel run must be bit-identical to the serial
+// run in Stats, trace-event content and first-seen rule numbering.
+func TestParallelMatchesSerial(t *testing.T) {
+	scenarios := []string{
+		"nafta-fast", "nafta-ref",
+		"routec-fast", "routec-ref",
+		"nara-roundrobin-creditdelay", "xy-drops", "swap-hot",
+	}
+	for _, name := range scenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial := runParScenario(t, name, 0)
+			for _, workers := range []int{2, 3, 7} {
+				par := runParScenario(t, name, workers)
+				if serial.stats != par.stats {
+					t.Fatalf("workers=%d stats diverged:\nserial:   %+v\nparallel: %+v",
+						workers, serial.stats, par.stats)
+				}
+				if len(serial.events) != len(par.events) {
+					t.Fatalf("workers=%d event count diverged: %d vs %d",
+						workers, len(serial.events), len(par.events))
+				}
+				for i := range serial.events {
+					if serial.events[i] != par.events[i] {
+						t.Fatalf("workers=%d event %d diverged:\nserial:   %+v\nparallel: %+v",
+							workers, i, serial.events[i], par.events[i])
+					}
+				}
+				if len(serial.bases) != len(par.bases) {
+					t.Fatalf("workers=%d rule-base count diverged", workers)
+				}
+				for b, idx := range serial.bases {
+					if par.bases[b] != idx {
+						t.Fatalf("workers=%d first-seen numbering of base %q diverged: %d vs %d",
+							workers, b, idx, par.bases[b])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLookupCountersExact: decision contexts count lookups
+// locally and flush per cycle — the adapter's public counter must
+// match the serial run exactly.
+func TestParallelLookupCountersExact(t *testing.T) {
+	count := func(workers int) int64 {
+		m := topology.NewMesh(5, 5)
+		a, err := rulesets.NewRuleNAFTA(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := New(Config{Graph: m, Algorithm: a, Workers: workers})
+		defer n.Close()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 60; i++ {
+			src := topology.NodeID(rng.Intn(m.Nodes()))
+			dst := topology.NodeID(rng.Intn(m.Nodes()))
+			if src != dst {
+				n.Inject(src, dst, 4)
+			}
+			n.Step()
+		}
+		if !n.Drain(20000) {
+			t.Fatal("drain failed")
+		}
+		return a.Lookups
+	}
+	serial := count(0)
+	if serial == 0 {
+		t.Fatal("serial run made no lookups")
+	}
+	if par := count(4); par != serial {
+		t.Fatalf("lookup counter diverged: serial %d, parallel %d", serial, par)
+	}
+}
+
+// TestParallelFallbacks: engines and selectors that cannot decide
+// concurrently must force the serial path with a reason — never an
+// error, never a wrong result.
+func TestParallelFallbacks(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	h := topology.NewHypercube(4)
+
+	// NegHop mutates engine state in Route: no parallel marker.
+	nh, err := routing.NewNegHop(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(Config{Graph: h, Algorithm: nh, Workers: 4})
+	defer n.Close()
+	if n.ParallelActive() {
+		t.Fatal("neg-hop must not step in parallel (Route mutates engine state)")
+	}
+	if n.ParallelReason() == "" {
+		t.Fatal("fallback must carry a reason")
+	}
+
+	// A selector without PrepareNodes is not shard-safe.
+	n2 := New(Config{Graph: m, Algorithm: routing.NewXY(m), Selector: unsafeSelector{}, Workers: 4})
+	defer n2.Close()
+	if n2.ParallelActive() {
+		t.Fatal("non-shard-safe selector must force serial stepping")
+	}
+
+	// Workers: 1 is plain serial, no reason recorded.
+	n3 := New(Config{Graph: m, Algorithm: routing.NewXY(m), Workers: 1})
+	defer n3.Close()
+	if n3.ParallelActive() || n3.ParallelReason() != "" {
+		t.Fatal("Workers<=1 must keep the serial path silently")
+	}
+}
+
+type unsafeSelector struct{}
+
+func (unsafeSelector) Name() string { return "unsafe" }
+func (unsafeSelector) Select(_ routing.LoadView, _ topology.NodeID, cands []routing.Candidate, _ *routing.Header) routing.Candidate {
+	return cands[0]
+}
+
+// TestParallelColdSwapRebindsContexts: a cold Reconfigure replaces the
+// engine the shard contexts were bound to; the rebind must keep
+// parallel stepping deterministic (or fall back when unsupported).
+func TestParallelColdSwapRebindsContexts(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	n := New(Config{Graph: m, Algorithm: routing.NewNARA(m), VCs: 2, Workers: 2})
+	defer n.Close()
+	if !n.ParallelActive() {
+		t.Fatalf("parallel inactive: %s", n.ParallelReason())
+	}
+	n.Inject(0, 15, 4)
+	if !n.Drain(10000) {
+		t.Fatal("drain failed")
+	}
+	a, err := rulesets.NewRuleNAFTA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Reconfigure(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ParallelActive() {
+		t.Fatalf("parallel disabled after cold swap to a contexter engine: %s", n.ParallelReason())
+	}
+	n.Inject(0, 15, 4)
+	if !n.Drain(10000) {
+		t.Fatal("post-swap drain failed")
+	}
+	if got := n.Stats().Delivered; got != 2 {
+		t.Fatalf("delivered %d, want 2", got)
+	}
+
+	// Swapping to an engine without parallel support disables the pool.
+	h := topology.NewHypercube(3)
+	n2 := New(Config{Graph: h, Algorithm: routing.NewECube(h), VCs: 4, Workers: 2})
+	defer n2.Close()
+	if !n2.ParallelActive() {
+		t.Fatalf("parallel inactive: %s", n2.ParallelReason())
+	}
+	nh2, err := routing.NewNegHop(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Reconfigure(nh2, false); err != nil {
+		t.Fatal(err)
+	}
+	if n2.ParallelActive() {
+		t.Fatal("cold swap to neg-hop must disable parallel stepping")
+	}
+	n2.Inject(0, 7, 4)
+	if !n2.Drain(10000) {
+		t.Fatal("serial-fallback drain failed")
+	}
+}
+
+// TestParallelPoolReconfigureStress drives a parallel network through
+// repeated hot swaps and fault surgeries while stepping under load —
+// the -race target for the worker pool and the epoch-context sync.
+func TestParallelPoolReconfigureStress(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	mk := func() routing.Algorithm {
+		a, err := rulesets.NewRuleNAFTA(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	sw := reconfig.NewSwapper(mk())
+	n := New(Config{Graph: m, Algorithm: sw, Workers: 4})
+	defer n.Close()
+	if !n.ParallelActive() {
+		t.Fatalf("parallel inactive: %s", n.ParallelReason())
+	}
+	rng := rand.New(rand.NewSource(99))
+	f := fault.NewSet()
+	for cycle := 0; cycle < 400; cycle++ {
+		if cycle%37 == 11 {
+			if err := n.Reconfigure(mk(), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cycle == 150 {
+			f.FailLink(m.Node(3, 3), m.Node(3, 4))
+			n.ApplyFaults(f)
+		}
+		if cycle == 250 {
+			f.RepairLink(m.Node(3, 3), m.Node(3, 4))
+			n.ApplyFaults(f)
+		}
+		for k := 0; k < 2; k++ {
+			src := topology.NodeID(rng.Intn(m.Nodes()))
+			dst := topology.NodeID(rng.Intn(m.Nodes()))
+			if src != dst {
+				n.Inject(src, dst, 4)
+			}
+		}
+		n.Step()
+	}
+	if !n.Drain(50000) {
+		t.Fatal("stress run did not drain")
+	}
+	if !n.ParallelActive() {
+		t.Fatalf("parallel engine lost mid-run: %s", n.ParallelReason())
+	}
+	st := n.Stats()
+	if st.DeadlockSuspected {
+		t.Fatal("deadlock suspected")
+	}
+	if st.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if !sw.Quiesced() {
+		t.Fatalf("%d epochs live after drain", sw.LiveEpochs())
+	}
+}
+
+// TestParallelStepNoAllocsSteadyState: once buffers are warm, a
+// parallel step allocates nothing.
+func TestParallelStepNoAllocsSteadyState(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	a, err := rulesets.NewRuleNAFTA(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(Config{Graph: m, Algorithm: a, Workers: 3})
+	defer n.Close()
+	if !n.ParallelActive() {
+		t.Fatalf("parallel inactive: %s", n.ParallelReason())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < m.Nodes()*4; i++ {
+		src := topology.NodeID(rng.Intn(m.Nodes()))
+		dst := topology.NodeID(rng.Intn(m.Nodes()))
+		if src != dst {
+			n.Inject(src, dst, 24)
+		}
+	}
+	n.Run(60) // warm every scratch buffer
+	if n.InFlight() == 0 {
+		t.Fatal("network drained before the measurement window")
+	}
+	avg := testing.AllocsPerRun(50, func() { n.Step() })
+	if n.InFlight() == 0 {
+		t.Fatal("network drained during the measurement window")
+	}
+	if avg > 0.1 {
+		t.Fatalf("parallel Step allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
+func ExampleNetwork_ParallelActive() {
+	m := topology.NewMesh(4, 4)
+	n := New(Config{Graph: m, Algorithm: routing.NewXY(m), Workers: 4})
+	defer n.Close()
+	fmt.Println(n.ParallelActive())
+	// Output: true
+}

@@ -4,11 +4,12 @@ import (
 	"repro/internal/trace"
 )
 
-// livelockCheckInterval is how often (in cycles) the livelock age
+// defaultLivelockCheckInterval is the default of
+// Config.LivelockCheckInterval: how often (in cycles) the livelock age
 // bound of Config.LivelockAgeCycles is evaluated. Sampling keeps the
 // check off the per-cycle hot path; an age bound is always coarse, so
 // detection latency of at most one interval is immaterial.
-const livelockCheckInterval = 256
+const defaultLivelockCheckInterval = 256
 
 // PostMortem assembles a structured report of the current stall
 // state: the certified channel-wait cycle (if any), every packet that
@@ -27,7 +28,7 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if !ivc.routed || ivc.eject || ivc.unroutable || len(ivc.q) == 0 {
+				if !ivc.routed || ivc.eject || ivc.unroutable || ivc.q.len() == 0 {
 					continue
 				}
 				m := ivc.curMsg
@@ -93,11 +94,11 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				ivc := &r.inputs[p][v]
-				if len(ivc.q) == 0 && !ivc.routed {
+				if ivc.q.len() == 0 && !ivc.routed {
 					continue
 				}
 				st := trace.VCState{
-					Port: p, VC: v, Flits: len(ivc.q), Msg: -1,
+					Port: p, VC: v, Flits: ivc.q.len(), Msg: -1,
 					Routed: ivc.routed, OutPort: ivc.outPort, OutVC: ivc.outVC,
 					Eject: ivc.eject, Unroutable: ivc.unroutable,
 				}
@@ -162,8 +163,8 @@ func (n *Network) checkLivelock() {
 		for p := range r.inputs {
 			for v := range r.inputs[p] {
 				m := r.inputs[p][v].curMsg
-				if m == nil && len(r.inputs[p][v].q) > 0 {
-					m = r.inputs[p][v].q[0].msg
+				if m == nil && r.inputs[p][v].q.len() > 0 {
+					m = r.inputs[p][v].q.front().msg
 				}
 				if m == nil || m.StartTime < 0 {
 					continue

@@ -5,11 +5,59 @@ import (
 	"repro/internal/topology"
 )
 
+// flitQueue is a head-indexed FIFO of flits. Unlike the naive
+// `q = q[1:]` pop — which slides the slice forward until every append
+// reallocates — the queue reuses its backing array: popping advances
+// head (resetting to the array start when emptied), and a full push
+// compacts the live flits to the front instead of growing. Once warm,
+// the steady-state hot path performs zero allocations.
+type flitQueue struct {
+	buf  []flit
+	head int
+}
+
+func (q *flitQueue) len() int { return len(q.buf) - q.head }
+
+// front returns the first flit; the queue must be non-empty.
+func (q *flitQueue) front() *flit { return &q.buf[q.head] }
+
+// popFront removes and returns the first flit.
+func (q *flitQueue) popFront() flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = flit{} // release the message reference
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return f
+}
+
+// pushBack appends one flit, compacting the live region to the array
+// start when the tail hits capacity.
+func (q *flitQueue) pushBack(f flit) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, f)
+}
+
+// slice exposes the live flits for in-place iteration or filtering;
+// after filtering into the returned slice, call truncate with the kept
+// count.
+func (q *flitQueue) slice() []flit { return q.buf[q.head:] }
+
+// truncate shrinks the queue to its first n live flits (used by the
+// fault surgery after filtering slice() in place).
+func (q *flitQueue) truncate(n int) { q.buf = q.buf[:q.head+n] }
+
 // inputVC is the receive side of one virtual channel of one input
 // port: a FIFO flit buffer plus the routing state of the message whose
 // head is (or will be) at the front.
 type inputVC struct {
-	q []flit
+	q flitQueue
 
 	// routed is true once the front message has passed RC.
 	routed bool
@@ -50,10 +98,10 @@ func (vc *inputVC) resetRoute() {
 
 // frontMsg returns the message of the front flit, or nil.
 func (vc *inputVC) frontMsg() *Message {
-	if len(vc.q) == 0 {
+	if vc.q.len() == 0 {
 		return nil
 	}
-	return vc.q[0].msg
+	return vc.q.front().msg
 }
 
 // outputVC is the send side of one virtual channel of one output port.
@@ -108,6 +156,12 @@ func newRouter(id topology.NodeID, ports, vcs, bufDepth int) *router {
 	for p := 0; p <= ports; p++ {
 		r.inputs[p] = make([]inputVC, vcs)
 		for v := range r.inputs[p] {
+			// Link-attached VCs never hold more than bufDepth flits;
+			// sizing the ring up front keeps the hot path allocation-free.
+			// The injection pseudo-port is unbounded and grows on demand.
+			if p < ports {
+				r.inputs[p][v].q.buf = make([]flit, 0, bufDepth)
+			}
 			r.inputs[p][v].resetRoute()
 		}
 	}

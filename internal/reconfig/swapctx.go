@@ -1,0 +1,118 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+)
+
+// swapCtx is the Swapper's per-worker decision context
+// (routing.DecisionContexter): it mirrors the swapper's epoch dispatch
+// but routes every decision through a per-worker child context of the
+// epoch's engine, so workers never share mutable decision scratch.
+//
+// Child contexts are materialised only from SyncDecisionContexts,
+// which the network calls single-threaded at the top of every parallel
+// cycle (routing.ContextSyncer). Engine generations change exclusively
+// between cycles — Swap installs new engines from Reconfigure, and in
+// parallel runs epoch retirement is deferred to the serial commit
+// phase — so the epoch→context map is stable while workers read it
+// concurrently.
+type swapCtx struct {
+	s   *Swapper
+	obs routing.RuleObserver
+	// byEpoch maps each live epoch to this worker's decision context
+	// for its engine (the engine itself when it is ConcurrentRoutable).
+	byEpoch map[uint64]routing.Algorithm
+}
+
+// NewDecisionContext returns a per-worker decision context dispatching
+// on message epochs like the swapper itself. Call SyncDecisionContexts
+// before first use and again whenever a swap may have installed a new
+// engine generation; a sync error means some live engine cannot decide
+// concurrently and the caller must fall back to serial stepping.
+func (s *Swapper) NewDecisionContext(obs routing.RuleObserver) routing.Algorithm {
+	return &swapCtx{s: s, obs: obs, byEpoch: make(map[uint64]routing.Algorithm)}
+}
+
+// SyncDecisionContexts materialises child contexts for engine
+// generations installed since the last sync and drops contexts of
+// retired epochs (routing.ContextSyncer). Must not run concurrently
+// with decisions on this context.
+func (c *swapCtx) SyncDecisionContexts() error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	for epoch, e := range c.s.live {
+		if _, ok := c.byEpoch[epoch]; ok {
+			continue
+		}
+		switch alg := e.alg.(type) {
+		case routing.DecisionContexter:
+			c.byEpoch[epoch] = alg.NewDecisionContext(c.obs)
+		case routing.ConcurrentRoutable:
+			c.byEpoch[epoch] = alg
+		default:
+			return fmt.Errorf("reconfig: engine %q (epoch %d) supports neither decision contexts nor concurrent decisions", e.alg.Name(), epoch)
+		}
+	}
+	for epoch := range c.byEpoch {
+		if _, ok := c.s.live[epoch]; !ok {
+			delete(c.byEpoch, epoch)
+		}
+	}
+	return nil
+}
+
+// ctxFor resolves the decision context a message routes on, mirroring
+// Swapper.engineFor: the admission epoch's context while live, the
+// current epoch's otherwise.
+func (c *swapCtx) ctxFor(epoch uint64) routing.Algorithm {
+	if epoch != 0 {
+		if ctx, ok := c.byEpoch[epoch]; ok {
+			return ctx
+		}
+	}
+	return c.byEpoch[c.s.cur.Load().epoch]
+}
+
+func (c *swapCtx) Name() string { return c.s.Name() }
+func (c *swapCtx) NumVCs() int  { return c.s.NumVCs() }
+
+func (c *swapCtx) Route(req routing.Request) []routing.Candidate {
+	return c.ctxFor(req.Hdr.Epoch).Route(req)
+}
+
+func (c *swapCtx) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	return routing.RouteInto(c.ctxFor(req.Hdr.Epoch), req, buf)
+}
+
+func (c *swapCtx) Steps(req routing.Request) int {
+	return c.ctxFor(req.Hdr.Epoch).Steps(req)
+}
+
+func (c *swapCtx) NoteHop(req routing.Request, chosen routing.Candidate) {
+	c.ctxFor(req.Hdr.Epoch).NoteHop(req, chosen)
+}
+
+func (c *swapCtx) UpdateFaults(*fault.Set) {
+	panic("reconfig: decision contexts share the swapper's fault state; call UpdateFaults on the Swapper")
+}
+
+// FlushLookups folds the lookup counts of every child context into its
+// parent engine (routing.LookupFlusher; called from the network's
+// serial commit phase).
+func (c *swapCtx) FlushLookups() {
+	for _, ctx := range c.byEpoch {
+		if lf, ok := ctx.(routing.LookupFlusher); ok {
+			lf.FlushLookups()
+		}
+	}
+}
+
+var (
+	_ routing.DecisionContexter = (*Swapper)(nil)
+	_ routing.BufferedAlgorithm = (*swapCtx)(nil)
+	_ routing.ContextSyncer     = (*swapCtx)(nil)
+	_ routing.LookupFlusher     = (*swapCtx)(nil)
+)

@@ -1,0 +1,122 @@
+package routing
+
+import "repro/internal/topology"
+
+// This file defines the capability surface the deterministic parallel
+// stepper of internal/network builds on. The stepper shards routers
+// across workers and runs every pipeline stage as a parallel compute
+// phase; a routing engine participates in one of two ways:
+//
+//   - stateless-per-decision engines (the natives) declare themselves
+//     ConcurrentRoutable and are shared by all workers directly;
+//   - engines with per-decision scratch (the rule adapters, the
+//     reconfiguration swapper) implement DecisionContexter and hand
+//     out one independent decision context per worker.
+//
+// An engine that offers neither forces the network back onto the
+// serial stepping path — a correctness fallback, never an error.
+
+// ConcurrentRoutable marks an algorithm whose decision path —
+// Route/RouteAppend, Steps and NoteHop — is safe for concurrent use
+// from multiple goroutines between fault updates: decisions only read
+// the engine's fault state (stable within a cycle) and mutate nothing
+// but the per-message header they are handed (at most one router
+// decides for a given message at a time, so header writes never race).
+// UpdateFaults stays single-threaded; the network calls it only
+// between cycles.
+type ConcurrentRoutable interface {
+	Algorithm
+	// ConcurrentDecisionsSafe is a marker; implementations are empty.
+	ConcurrentDecisionsSafe()
+}
+
+// RuleObserver observes one rule-table firing made by a decision
+// context: eng is the engine the context was derived from, node the
+// deciding router, base the rule base and rule the fired rule index.
+// The parallel stepper defers these observations into per-worker
+// buffers and replays them in serial router order through the engine's
+// own hook (see RuleFirer), so hook side effects — trace events,
+// first-seen base numbering, test counters — happen in exactly the
+// order a serial run produces.
+type RuleObserver func(eng Algorithm, node topology.NodeID, base string, rule int)
+
+// DecisionContexter is implemented by engines that can hand out
+// per-worker decision contexts for deterministic parallel stepping. A
+// context shares the engine's immutable compiled state and fault
+// knowledge but owns every piece of per-decision scratch (input
+// vector, interpreter machine, dense-table lookup state, candidate
+// staging), so contexts of the same engine may decide concurrently.
+// Contexts observe rule firings through obs instead of the engine's
+// direct hook and accumulate their lookup counts locally (flushed via
+// LookupFlusher from the serial commit phase, keeping the engine's
+// counters exact without atomics on the hot path).
+type DecisionContexter interface {
+	Algorithm
+	NewDecisionContext(obs RuleObserver) Algorithm
+}
+
+// RuleFirer is implemented by engines whose rule firings are
+// observable through a settable hook (the rule adapters' OnRuleFired).
+// Replaying a deferred RuleObserver observation calls FireRuleObserver
+// on the originating engine, which forwards to the hook currently
+// installed — the hook itself runs single-threaded, in serial order.
+type RuleFirer interface {
+	FireRuleObserver(node topology.NodeID, base string, rule int)
+}
+
+// LookupFlusher is implemented by decision contexts that count table
+// lookups locally; the parallel stepper calls Flush from its serial
+// commit phase so the parent engine's public counters stay exact.
+type LookupFlusher interface {
+	FlushLookups()
+}
+
+// ContextSyncer is implemented by decision contexts that track an
+// engine whose generations change mid-run (the reconfiguration
+// swapper): the network calls SyncDecisionContexts single-threaded at
+// the top of every parallel cycle, giving the context a race-free
+// point to materialise child contexts for engines installed by a hot
+// swap. A non-nil error means the context can no longer decide
+// faithfully in parallel (an unsupported engine generation appeared);
+// the network falls back to serial stepping.
+type ContextSyncer interface {
+	SyncDecisionContexts() error
+}
+
+// ShardSafeSelector is a Selector whose Select may be called
+// concurrently for different nodes. Any per-node state must be laid
+// out per node and pre-sized via PrepareNodes (called once, before
+// stepping starts), so concurrent calls for distinct nodes touch
+// disjoint state. All selectors in this package qualify.
+type ShardSafeSelector interface {
+	Selector
+	PrepareNodes(nodes int)
+}
+
+// PrepareNodes implementations of the stateless selectors (no per-node
+// state to size).
+func (FirstFit) PrepareNodes(int)  {}
+func (MaxCredit) PrepareNodes(int) {}
+func (MinQueue) PrepareNodes(int)  {}
+
+// Marker implementations: every decision helper of these engines only
+// reads fault state that is stable between UpdateFaults calls, and
+// NoteHop writes nothing but the message header. NegHop is absent on
+// purpose — its Route mutates the Exhausted counter.
+func (x *XY) ConcurrentDecisionsSafe()        {}
+func (e *ECube) ConcurrentDecisionsSafe()     {}
+func (n *NAFTA) ConcurrentDecisionsSafe()     {}
+func (n *NARA) ConcurrentDecisionsSafe()      {}
+func (r *RouteC) ConcurrentDecisionsSafe()    {}
+func (r *RouteCNFT) ConcurrentDecisionsSafe() {}
+func (t *TorusDOR) ConcurrentDecisionsSafe()  {}
+func (t *Tree) ConcurrentDecisionsSafe()      {}
+func (u *UpDown) ConcurrentDecisionsSafe()    {}
+
+var (
+	_ ShardSafeSelector  = FirstFit{}
+	_ ShardSafeSelector  = MaxCredit{}
+	_ ShardSafeSelector  = MinQueue{}
+	_ ConcurrentRoutable = (*NAFTA)(nil)
+	_ ConcurrentRoutable = (*RouteC)(nil)
+)

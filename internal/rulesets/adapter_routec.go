@@ -2,6 +2,7 @@ package rulesets
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -30,18 +31,17 @@ type RuleRouteC struct {
 	vc     *core.CompiledBase
 	faults *fault.Set
 
-	layout  *core.InputLayout
-	iv      *core.InputVector
-	dirD    *core.DenseTable
-	vcD     *core.DenseTable
-	scratch *core.Machine
-	slots   cubeSlots
-	lines   cubeLines
-	// portScratch backs portsForMode; vcArgs/vcDargs back the decide_vc
-	// argument lists. All reused per decision.
-	portScratch []int
-	vcArgs      []rules.Value
-	vcDargs     []int64
+	// layout and slots are immutable after construction; all mutable
+	// per-decision scratch lives in an exec so per-worker decision
+	// contexts can own independent copies (see NewDecisionContext).
+	layout *core.InputLayout
+	exec   routecExec
+	slots  cubeSlots
+
+	// ctxMu guards ctxTables, the dense-table clones handed to decision
+	// contexts; InvalidateTables retires them with the originals.
+	ctxMu     sync.Mutex
+	ctxTables []*core.DenseTable
 
 	// DisableFast forces the interpreted reference path (the oracle of
 	// the differential tests).
@@ -53,6 +53,25 @@ type RuleRouteC struct {
 	// lookup (deciding node, base name, fired rule index); the flight
 	// recorder attaches here.
 	OnRuleFired func(node topology.NodeID, base string, rule int)
+}
+
+// routecExec bundles the mutable per-decision state of one ROUTE_C
+// execution stream: the flat input vector, the dense decision tables
+// (whose lookup scratch is per-instance), the pooled reference-path
+// Machine, the conclusion-processing line buffers and argument
+// scratch, the lookup counter target and the rule-fire observer. The
+// adapter itself owns one exec; decision contexts own independent
+// copies sharing only immutable compiled state.
+type routecExec struct {
+	iv          *core.InputVector
+	dirD, vcD   *core.DenseTable
+	scratch     *core.Machine
+	lines       cubeLines
+	portScratch []int
+	vcArgs      []rules.Value
+	vcDargs     []int64
+	lookups     *int64
+	obs         routing.RuleObserver
 }
 
 // cubeSlots holds the input-vector slots of the ROUTE_C decision
@@ -85,13 +104,14 @@ func NewRuleRouteC(h *topology.Hypercube) (*RuleRouteC, error) {
 // a mismatch surfaces as a slot-resolution error below.
 func NewRuleRouteCFromProgram(h *topology.Hypercube, p *Program, tables map[string]*core.CompiledBase) (*RuleRouteC, error) {
 	r := &RuleRouteC{
-		cube:    h,
-		native:  routing.NewRouteC(h),
-		prog:    p,
-		faults:  fault.NewSet(),
-		vcArgs:  make([]rules.Value, 1),
-		vcDargs: make([]int64, 1),
+		cube:   h,
+		native: routing.NewRouteC(h),
+		prog:   p,
+		faults: fault.NewSet(),
 	}
+	r.exec.vcArgs = make([]rules.Value, 1)
+	r.exec.vcDargs = make([]int64, 1)
+	r.exec.lookups = &r.Lookups
 	var err error
 	for _, b := range []struct {
 		name string
@@ -109,13 +129,13 @@ func NewRuleRouteCFromProgram(h *topology.Hypercube, p *Program, tables map[stri
 		*b.dst = cb
 	}
 	r.layout = core.NewInputLayout(p.Checked)
-	r.iv = core.NewInputVector(r.layout)
-	r.scratch = core.NewMachine(p.Checked, r.iv.Provider())
+	r.exec.iv = core.NewInputVector(r.layout)
+	r.exec.scratch = core.NewMachine(p.Checked, r.exec.iv.Provider())
 	if dt, err := r.dir.CompileDense(r.layout); err == nil {
-		r.dirD = dt
+		r.exec.dirD = dt
 	}
 	if dt, err := r.vc.CompileDense(r.layout); err == nil {
-		r.vcD = dt
+		r.exec.vcD = dt
 	}
 	d := h.Dim
 	s := &r.slots
@@ -144,7 +164,7 @@ func NewRuleRouteCFromProgram(h *topology.Hypercube, p *Program, tables map[stri
 			return nil, err
 		}
 	}
-	r.lines = cubeLines{
+	r.exec.lines = cubeLines{
 		diff:       make([]bool, d),
 		up:         make([]bool, d),
 		ok:         make([]bool, d),
@@ -160,7 +180,7 @@ func (r *RuleRouteC) NumVCs() int  { return r.native.NumVCs() }
 
 // FastPathActive reports whether both decision bases compiled to the
 // dense fast path.
-func (r *RuleRouteC) FastPathActive() bool { return r.dirD != nil && r.vcD != nil }
+func (r *RuleRouteC) FastPathActive() bool { return r.exec.dirD != nil && r.exec.vcD != nil }
 
 // DeadlockRegime tags the adapter with the native ROUTE_C discipline:
 // rule and native engines are mutually hot-swappable.
@@ -169,11 +189,16 @@ func (r *RuleRouteC) DeadlockRegime() string { return r.native.DeadlockRegime() 
 // InvalidateTables retires the adapter's dense tables; any later
 // fast-path lookup on this instance panics (see RuleNAFTA).
 func (r *RuleRouteC) InvalidateTables() {
-	for _, dt := range []*core.DenseTable{r.dirD, r.vcD} {
+	for _, dt := range []*core.DenseTable{r.exec.dirD, r.exec.vcD} {
 		if dt != nil {
 			dt.Invalidate()
 		}
 	}
+	r.ctxMu.Lock()
+	for _, dt := range r.ctxTables {
+		dt.Invalidate()
+	}
+	r.ctxMu.Unlock()
 }
 
 // Steps is always two interpretations (decide_dir, decide_vc).
@@ -200,9 +225,9 @@ type cubeLines struct {
 }
 
 // fillLines recomputes the input lines of one decision in place.
-func (r *RuleRouteC) fillLines(req routing.Request) {
+func (r *RuleRouteC) fillLines(e *routecExec, req routing.Request) {
 	d := r.cube.Dim
-	l := &r.lines
+	l := &e.lines
 	states := r.native.States()
 	for i := 0; i < d; i++ {
 		nb := r.cube.Neighbor(req.Node, i)
@@ -222,8 +247,8 @@ func (r *RuleRouteC) fillLines(req routing.Request) {
 // fillInputs loads the decision's input lines into the flat input
 // vector. phase and taking_detour vary between the dir decision and
 // the per-port vc decisions; Route re-sets just those two slots.
-func (r *RuleRouteC) fillInputs(req routing.Request) {
-	iv, s, l := r.iv, &r.slots, &r.lines
+func (r *RuleRouteC) fillInputs(e *routecExec, req routing.Request) {
+	iv, s, l := e.iv, &r.slots, &e.lines
 	iv.Begin()
 	safeOrd := r.prog.Checked.Symbols["safe"].I
 	for i := 0; i < r.cube.Dim; i++ {
@@ -244,21 +269,19 @@ func (r *RuleRouteC) fillInputs(req routing.Request) {
 // returns the RETURN value ordinal. Dense fast path first; the
 // interpreted reference path serves fallbacks and DisableFast. Counter
 // and hook semantics are identical on both paths.
-func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, dt *core.DenseTable,
+func (r *RuleRouteC) decide(e *routecExec, node topology.NodeID, cb *core.CompiledBase, dt *core.DenseTable,
 	args []rules.Value, dargs []int64) (int64, error) {
-	r.Lookups++
+	*e.lookups++
 	if dt != nil && !r.DisableFast {
-		if idx, ok := dt.Lookup(r.iv, dargs...); ok {
+		if idx, ok := dt.Lookup(e.iv, dargs...); ok {
 			if idx >= cb.RuleCount {
 				return 0, fmt.Errorf("rule-routec: %s selected no rule", cb.Base)
 			}
-			if r.OnRuleFired != nil {
-				r.OnRuleFired(node, cb.Base, idx)
-			}
+			r.fire(e, node, cb.Base, idx)
 			if ret, rok := dt.Return(idx); rok {
 				return ret.I, nil
 			}
-			eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, r.scratch)
+			eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, e.scratch)
 			if err != nil || eff.Return == nil {
 				return 0, fmt.Errorf("rule-routec: %s rule %d has no value (%v)", cb.Base, idx, err)
 			}
@@ -266,7 +289,7 @@ func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, dt *cor
 		}
 		// Outside the dense regime: repeat on the reference path.
 	}
-	m := r.scratch
+	m := e.scratch
 	m.Reset()
 	idx, err := cb.LookupRule(args, m)
 	if err != nil {
@@ -275,9 +298,7 @@ func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, dt *cor
 	if idx >= cb.RuleCount {
 		return 0, fmt.Errorf("rule-routec: %s selected no rule", cb.Base)
 	}
-	if r.OnRuleFired != nil {
-		r.OnRuleFired(node, cb.Base, idx)
-	}
+	r.fire(e, node, cb.Base, idx)
 	eff, err := r.prog.Checked.FireRule(cb.Base, idx, args, m)
 	if err != nil || eff.Return == nil {
 		return 0, fmt.Errorf("rule-routec: %s rule %d has no value (%v)", cb.Base, idx, err)
@@ -285,12 +306,32 @@ func (r *RuleRouteC) decide(node topology.NodeID, cb *core.CompiledBase, dt *cor
 	return eff.Return.I, nil
 }
 
+// fire reports one rule firing through the exec's observer when the
+// exec belongs to a decision context, else through the adapter hook.
+func (r *RuleRouteC) fire(e *routecExec, node topology.NodeID, base string, rule int) {
+	if e.obs != nil {
+		e.obs(r, node, base, rule)
+		return
+	}
+	if r.OnRuleFired != nil {
+		r.OnRuleFired(node, base, rule)
+	}
+}
+
+// FireRuleObserver replays a deferred rule-fire observation through the
+// hook currently installed on the adapter (routing.RuleFirer).
+func (r *RuleRouteC) FireRuleObserver(node topology.NodeID, base string, rule int) {
+	if r.OnRuleFired != nil {
+		r.OnRuleFired(node, base, rule)
+	}
+}
+
 // portsForMode is the conclusion-processing priority logic: expand a
 // decide_dir mode back into the admissible ports, lowest dimension
 // first. The returned slice aliases adapter scratch storage.
-func (r *RuleRouteC) portsForMode(mode string) ([]int, bool) {
+func (r *RuleRouteC) portsForMode(e *routecExec, mode string) ([]int, bool) {
 	d := r.cube.Dim
-	l := &r.lines
+	l := &e.lines
 	var eligible func(i int) bool
 	detour := false
 	switch mode {
@@ -317,13 +358,13 @@ func (r *RuleRouteC) portsForMode(mode string) ([]int, bool) {
 			best = l.stateClass[i]
 		}
 	}
-	out := r.portScratch[:0]
+	out := e.portScratch[:0]
 	for i := 0; i < d; i++ {
 		if eligible(i) && l.stateClass[i] == best {
 			out = append(out, i)
 		}
 	}
-	r.portScratch = out[:0]
+	e.portScratch = out[:0]
 	return out, detour
 }
 
@@ -333,10 +374,14 @@ func (r *RuleRouteC) Route(req routing.Request) []routing.Candidate {
 
 // RouteAppend is the allocation-free form of Route (BufferedAlgorithm).
 func (r *RuleRouteC) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	return r.routeAppend(&r.exec, req, buf)
+}
+
+func (r *RuleRouteC) routeAppend(e *routecExec, req routing.Request, buf []routing.Candidate) []routing.Candidate {
 	c := r.prog.Checked
-	r.fillLines(req)
-	r.fillInputs(req)
-	modeOrd, err := r.decide(req.Node, r.dir, r.dirD, nil, nil)
+	r.fillLines(e, req)
+	r.fillInputs(e, req)
+	modeOrd, err := r.decide(e, req.Node, r.dir, e.dirD, nil, nil)
 	if err != nil {
 		return buf
 	}
@@ -344,18 +389,18 @@ func (r *RuleRouteC) RouteAppend(req routing.Request, buf []routing.Candidate) [
 	if mode == "blocked" || mode == "arrived" {
 		return buf
 	}
-	ports, detour := r.portsForMode(mode)
+	ports, detour := r.portsForMode(e, mode)
 	start := len(buf)
 	for _, p := range ports {
 		outPhase := 1
-		if r.lines.up[p] && r.lines.diff[p] {
+		if e.lines.up[p] && e.lines.diff[p] {
 			outPhase = 0
 		}
-		r.iv.Set(r.slots.phase, int64(outPhase))
-		r.iv.SetBool(r.slots.takingDetour, detour)
-		r.vcArgs[0] = c.Symbols[mode]
-		r.vcDargs[0] = c.Symbols[mode].I
-		vcOrd, err := r.decide(req.Node, r.vc, r.vcD, r.vcArgs, r.vcDargs)
+		e.iv.Set(r.slots.phase, int64(outPhase))
+		e.iv.SetBool(r.slots.takingDetour, detour)
+		e.vcArgs[0] = c.Symbols[mode]
+		e.vcDargs[0] = c.Symbols[mode].I
+		vcOrd, err := r.decide(e, req.Node, r.vc, e.vcD, e.vcArgs, e.vcDargs)
 		if err != nil {
 			return buf[:start]
 		}
@@ -364,5 +409,84 @@ func (r *RuleRouteC) RouteAppend(req routing.Request, buf []routing.Candidate) [
 	return buf
 }
 
+// NewDecisionContext returns an independent decision context sharing
+// the adapter's compiled state and fault knowledge but owning all
+// per-decision scratch (routing.DecisionContexter). Rule firings are
+// reported through obs; lookup counts accumulate locally until
+// FlushLookups folds them into the adapter.
+func (r *RuleRouteC) NewDecisionContext(obs routing.RuleObserver) routing.Algorithm {
+	d := r.cube.Dim
+	c := &routecContext{parent: r}
+	c.exec = routecExec{
+		iv:      core.NewInputVector(r.layout),
+		vcArgs:  make([]rules.Value, 1),
+		vcDargs: make([]int64, 1),
+		lines: cubeLines{
+			diff:       make([]bool, d),
+			up:         make([]bool, d),
+			ok:         make([]bool, d),
+			safe:       make([]bool, d),
+			notback:    make([]bool, d),
+			stateClass: make([]int, d),
+		},
+		lookups: &c.count,
+		obs:     obs,
+	}
+	c.exec.scratch = core.NewMachine(r.prog.Checked, c.exec.iv.Provider())
+	r.ctxMu.Lock()
+	if r.exec.dirD != nil {
+		c.exec.dirD = r.exec.dirD.Clone()
+		r.ctxTables = append(r.ctxTables, c.exec.dirD)
+	}
+	if r.exec.vcD != nil {
+		c.exec.vcD = r.exec.vcD.Clone()
+		r.ctxTables = append(r.ctxTables, c.exec.vcD)
+	}
+	r.ctxMu.Unlock()
+	return c
+}
+
+// routecContext is a per-worker decision context of a RuleRouteC
+// adapter. It forwards immutable queries to the parent and routes
+// through its own exec.
+type routecContext struct {
+	parent *RuleRouteC
+	exec   routecExec
+	count  int64
+}
+
+func (c *routecContext) Name() string { return c.parent.Name() }
+func (c *routecContext) NumVCs() int  { return c.parent.NumVCs() }
+
+func (c *routecContext) Steps(req routing.Request) int { return c.parent.Steps(req) }
+
+func (c *routecContext) NoteHop(req routing.Request, chosen routing.Candidate) {
+	c.parent.NoteHop(req, chosen)
+}
+
+func (c *routecContext) UpdateFaults(*fault.Set) {
+	panic("rulesets: decision contexts share the parent's fault state; call UpdateFaults on the parent adapter")
+}
+
+func (c *routecContext) Route(req routing.Request) []routing.Candidate {
+	return c.RouteAppend(req, nil)
+}
+
+func (c *routecContext) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	return c.parent.routeAppend(&c.exec, req, buf)
+}
+
+// FlushLookups folds the context's local lookup count into the parent
+// adapter's public counter (routing.LookupFlusher; called from the
+// network's serial commit phase).
+func (c *routecContext) FlushLookups() {
+	c.parent.Lookups += c.count
+	c.count = 0
+}
+
 var _ routing.Algorithm = (*RuleRouteC)(nil)
 var _ routing.BufferedAlgorithm = (*RuleRouteC)(nil)
+var _ routing.DecisionContexter = (*RuleRouteC)(nil)
+var _ routing.RuleFirer = (*RuleRouteC)(nil)
+var _ routing.BufferedAlgorithm = (*routecContext)(nil)
+var _ routing.LookupFlusher = (*routecContext)(nil)
