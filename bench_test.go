@@ -15,8 +15,10 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/failover"
 	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/rulesets"
 	"repro/internal/sim"
@@ -379,4 +381,81 @@ func BenchmarkNetworkStep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkFailover measures the precomputed-failover decision plane:
+// resolving a covered fault class by flipping its precompiled backup
+// engine in (flip) versus running the live diagnosis fixpoint on the
+// installed engine (recompute). The plane is built outside the timer —
+// precompilation cost is the price paid at bundle-load time, the flip
+// is what the router pays at fault time. The paper's argument needs
+// flip to be far below recompute; BENCH snapshots track the ratio.
+func BenchmarkFailover(b *testing.B) {
+	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := topology.NewMesh(8, 8)
+	// Node classes only: the link classes stay uncovered, giving the
+	// recompute sub-benchmark a same-cost fallback path.
+	bundle, err := failover.BuildBundle(art, g, []string{"node"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newPlane := func(b *testing.B, sw *reconfig.Swapper) *failover.Plane {
+		p, err := failover.NewPlane(bundle, g, failover.PlaneOptions{Lanes: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Bind(failover.ForSwapper(sw))
+		return p
+	}
+	initial, err := reconfig.NewEngine(art, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("flip", func(b *testing.B) {
+		b.ReportAllocs()
+		sw := reconfig.NewSwapper(initial)
+		plane := newPlane(b, sw)
+		classes := plane.Classes()
+		idx := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if idx == len(classes) {
+				// Backups are single-use; rebuild the plane off-clock.
+				b.StopTimer()
+				plane = newPlane(b, sw)
+				idx = 0
+				b.StartTimer()
+			}
+			if !plane.OnFault(classes[idx].Set()) {
+				b.Fatal("covered class did not flip")
+			}
+			idx++
+		}
+	})
+
+	b.Run("recompute", func(b *testing.B) {
+		b.ReportAllocs()
+		sw := reconfig.NewSwapper(initial)
+		plane := newPlane(b, sw)
+		// Single-link faults: same blast radius as a node class, but
+		// uncovered by the node-only bundle, so every event takes the
+		// live-recompute fallback.
+		links := topology.Links(g)
+		faults := make([]*fault.Set, len(links))
+		for i, l := range links {
+			f := fault.NewSet()
+			f.FailLink(l.A, l.B)
+			faults[i] = f
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if plane.OnFault(faults[i%len(faults)]) {
+				b.Fatal("uncovered fault claimed a flip")
+			}
+		}
+	})
 }

@@ -17,7 +17,12 @@
 #   7. serial-vs-parallel equivalence gate: the differential tests
 #      that require bit-identical statistics between Workers=0 and
 #      Workers>=2 across faults, hot swaps and both rule families
-#   8. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#   8. failover smoke (under -race): every enumerated fault class of
+#      both families must resolve to a backup flip whose decisions
+#      equal a from-scratch recompute, and a failover-enabled campaign
+#      (25 scenarios per family) must be statistics-identical to the
+#      plain runs with the predicted flip/recompute counters
+#   9. (opt-in) bench regression gate: set BENCH_BASELINE to a
 #      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
 #      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op
 #      regression (cmd/benchjson -baseline).
@@ -56,6 +61,11 @@ go run -race ./cmd/routerd -smoke -requests 1000 -batch 32
 echo "== serial-vs-parallel equivalence gate"
 go test -count=1 -run 'TestParallelMatchesSerial|TestCampaignParallelStepDifferential' \
 	./internal/network/ ./internal/campaign/
+
+echo "== failover smoke (flip-vs-recompute equivalence per fault class, -race)"
+go test -race -count=1 -run 'TestFailoverFlipMatchesRecompute' ./internal/failover/
+go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo nafta -failover
+go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo routec -failover
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
 	echo "== benchjson -baseline $BENCH_BASELINE"

@@ -50,14 +50,19 @@ type BenchResult struct {
 	Extra      map[string]float64 `json:"extra,omitempty"` // b.ReportMetric values
 }
 
-// Snapshot is the written file.
+// Snapshot is the written file. The host provenance fields (CPU
+// count, GOMAXPROCS) qualify the numbers: a snapshot taken on a
+// 2-core CI runner is not comparable to one from a 32-core
+// workstation, and the file should say so itself.
 type Snapshot struct {
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Benchtime string        `json:"benchtime"`
-	Results   []BenchResult `json:"results"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchtime  string        `json:"benchtime"`
+	Results    []BenchResult `json:"results"`
 }
 
 func main() {
@@ -104,11 +109,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	for i := range results {
 		results[i].Benchtime = *benchtime
 	}
-	snap := Snapshot{
-		Date: date, GoVersion: runtime.Version(),
-		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
-		Benchtime: *benchtime, Results: results,
-	}
+	snap := newSnapshot(date, *benchtime, results)
 	if !compareOnly {
 		var w io.Writer = stdout
 		if path != "-" {
@@ -147,6 +148,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// newSnapshot stamps a result set with toolchain and host provenance.
+func newSnapshot(date, benchtime string, results []BenchResult) Snapshot {
+	return Snapshot{
+		Date: date, GoVersion: runtime.Version(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime: benchtime, Results: results,
+	}
 }
 
 // Compare prints per-benchmark ns/op and allocs/op deltas of cur

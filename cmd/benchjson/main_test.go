@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -62,6 +64,30 @@ func TestParseBenchOutputBadValue(t *testing.T) {
 	bad := "BenchmarkX-4  10  abc ns/op\n"
 	if _, err := ParseBenchOutput(strings.NewReader(bad)); err == nil {
 		t.Fatal("corrupt value should error")
+	}
+}
+
+// A snapshot must carry host provenance, so numbers from a 2-core CI
+// runner are never silently compared against a 32-core workstation.
+func TestSnapshotHostProvenance(t *testing.T) {
+	snap := newSnapshot("2026-08-08", "5x", []BenchResult{{Name: "BenchmarkX", NsPerOp: 1}})
+	if snap.NumCPU != runtime.NumCPU() || snap.NumCPU < 1 {
+		t.Fatalf("NumCPU = %d, host has %d", snap.NumCPU, runtime.NumCPU())
+	}
+	if snap.GOMAXPROCS != runtime.GOMAXPROCS(0) || snap.GOMAXPROCS < 1 {
+		t.Fatalf("GOMAXPROCS = %d, runtime says %d", snap.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if snap.GOOS != runtime.GOOS || snap.GOARCH != runtime.GOARCH || snap.GoVersion != runtime.Version() {
+		t.Fatalf("toolchain provenance %+v", snap)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"num_cpu"`, `"gomaxprocs"`, `"goos"`, `"goarch"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("snapshot JSON missing %s: %s", key, raw)
+		}
 	}
 }
 

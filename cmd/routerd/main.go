@@ -5,14 +5,23 @@
 //
 //	routerd -algo nafta -mesh 8x8 -addr :8070
 //	routerd -artifact tables.art -addr :8070
+//	routerd -artifact tables.bdl -addr :8070   # failover bundle: backups precompiled
 //
 // Endpoints:
 //
 //	POST /decide        one DecisionRequest -> Decision
 //	POST /decide/batch  []DecisionRequest   -> []Decision
-//	POST /reload        raw artifact bytes  -> {"epoch": N}; atomic hot swap
-//	GET  /metrics       decision counters, latency percentiles, epoch
+//	POST /reload        raw artifact or bundle bytes -> {"epoch": N}; atomic hot swap
+//	POST /fault         {"nodes":[..],"links":[[a,b],..]} -> {"flipped":bool,"epoch":N}
+//	GET  /metrics       decision counters, latency percentiles, epoch, failover plane
 //	GET  /healthz       liveness
+//
+// When the served file is a failover bundle (and -failover is auto),
+// the per-fault-class backup engines are precompiled at load time; a
+// POST /fault whose fault set matches a covered class installs its
+// backups with an atomic per-shard engine flip instead of running the
+// diagnosis fixpoint inline — the flip-vs-recompute latency gap is
+// visible in /metrics.
 //
 // The -smoke flag runs the built-in load generator against an
 // in-process server: workers stream batched decisions while the table
@@ -37,67 +46,102 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/failover"
+	"repro/internal/fault"
 	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
-func main() {
-	var (
-		addr     = flag.String("addr", ":8070", "listen address")
-		algo     = flag.String("algo", "nafta", "builtin rule program when no -artifact is given: nafta or routec")
-		artPath  = flag.String("artifact", "", "serve tables from this artifact file instead of compiling the builtin program")
-		meshSpec = flag.String("mesh", "8x8", "mesh size for nafta, WxH")
-		cubeDim  = flag.Int("cube", 4, "hypercube dimension for routec")
-		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "engine replicas (concurrent decision lanes)")
-		pprof    = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
-		smoke    = flag.Bool("smoke", false, "run the load generator against an in-process server and exit")
-		requests = flag.Int("requests", 1000, "smoke: total decisions to issue")
-		batch    = flag.Int("batch", 32, "smoke: decisions per batch request")
-		workers  = flag.Int("workers", 8, "smoke: concurrent load workers")
-		seed     = flag.Int64("seed", 1, "smoke: traffic seed")
-	)
-	flag.Parse()
+// Failover plane modes accepted by -failover.
+var failoverModes = []string{"auto", "off"}
 
-	art, err := loadOrBuild(*artPath, *algo, *cubeDim)
-	if err != nil {
-		log.Fatalf("routerd: %v", err)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("routerd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8070", "listen address")
+		algo     = fs.String("algo", "nafta", "builtin rule program when no -artifact is given: nafta or routec")
+		artPath  = fs.String("artifact", "", "serve tables from this artifact or bundle file instead of compiling the builtin program")
+		meshSpec = fs.String("mesh", "8x8", "mesh size for nafta, WxH (ignored when a bundle names its own topology)")
+		cubeDim  = fs.Int("cube", 4, "hypercube dimension for routec")
+		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "engine replicas (concurrent decision lanes)")
+		failMode = fs.String("failover", "auto", "failover plane: auto (precompile backups when the served file is a bundle) or off")
+		pprof    = fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+		smoke    = fs.Bool("smoke", false, "run the load generator against an in-process server and exit")
+		requests = fs.Int("requests", 1000, "smoke: total decisions to issue")
+		batch    = fs.Int("batch", 32, "smoke: decisions per batch request")
+		workers  = fs.Int("workers", 8, "smoke: concurrent load workers")
+		seed     = fs.Int64("seed", 1, "smoke: traffic seed")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	g, err := topologyFor(art, *meshSpec)
-	if err != nil {
-		log.Fatalf("routerd: %v", err)
+	die := func(err error) int {
+		fmt.Fprintln(stderr, "routerd:", err)
+		return 1
 	}
-	svc, err := reconfig.NewService(art, g, *shards)
-	if err != nil {
-		log.Fatalf("routerd: %v", err)
+	if !validMode(*failMode) {
+		return die(fmt.Errorf("unknown -failover mode %q (valid: %s)", *failMode, strings.Join(failoverModes, ", ")))
 	}
-	srv := &server{svc: svc, nodes: g.Nodes(), pprof: *pprof}
+
+	art, bundle, err := loadOrBuild(*artPath, *algo, *cubeDim)
+	if err != nil {
+		return die(err)
+	}
+	var g topology.Graph
+	if bundle != nil {
+		// A bundle pins the topology its classes were enumerated on.
+		g, err = bundle.Graph()
+	} else {
+		g, err = topologyFor(art, *meshSpec)
+	}
+	if err != nil {
+		return die(err)
+	}
+	srv, err := newServer(art, bundle, g, *shards, *failMode, *pprof)
+	if err != nil {
+		return die(err)
+	}
 
 	if *smoke {
-		if err := runSmoke(srv, art, *requests, *batch, *workers, *seed); err != nil {
-			log.Fatalf("routerd: smoke: %v", err)
+		if err := runSmoke(srv, art, stdout, *requests, *batch, *workers, *seed); err != nil {
+			return die(fmt.Errorf("smoke: %w", err))
 		}
-		return
+		return 0
 	}
 
 	sum, _ := art.Checksum()
-	log.Printf("routerd: serving %s (%s) on %s, %d shards, epoch %d, sha256:%.12s",
-		art.Name, g.Name(), *addr, *shards, svc.Epoch(), sum)
-	log.Fatal(http.ListenAndServe(*addr, srv.mux()))
+	planeNote := ""
+	if p := srv.currentPlane(); p != nil {
+		planeNote = fmt.Sprintf(", %d failover classes", p.CoveredClasses())
+	}
+	log.Printf("routerd: serving %s (%s) on %s, %d shards, epoch %d, sha256:%.12s%s",
+		art.Name, g.Name(), *addr, *shards, srv.svc.Epoch(), sum, planeNote)
+	return die(http.ListenAndServe(*addr, srv.mux()))
 }
 
-// loadOrBuild reads the artifact file, or compiles the builtin program
-// of the requested family.
-func loadOrBuild(path, algo string, cubeDim int) (*reconfig.Artifact, error) {
+func validMode(m string) bool {
+	for _, v := range failoverModes {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}
+
+// loadOrBuild reads the artifact or bundle file, or compiles the
+// builtin program of the requested family.
+func loadOrBuild(path, algo string, cubeDim int) (*reconfig.Artifact, *failover.Bundle, error) {
 	if path == "" {
-		return reconfig.Build(algo, reconfig.BuildOptions{CubeDim: cubeDim})
+		art, err := reconfig.Build(algo, reconfig.BuildOptions{CubeDim: cubeDim})
+		return art, nil, err
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return reconfig.Decode(f)
+	return failover.LoadPath(path)
 }
 
 // topologyFor builds the topology the artifact's family routes on.
@@ -118,13 +162,58 @@ func topologyFor(art *reconfig.Artifact, meshSpec string) (topology.Graph, error
 // server owns the HTTP surface; decision buffers are pooled so the
 // handler path stays allocation-light.
 type server struct {
-	svc   *reconfig.Service
-	nodes int
-	bufs  sync.Pool
+	svc      *reconfig.Service
+	g        topology.Graph
+	nodes    int
+	shards   int
+	failMode string
+	bufs     sync.Pool
+
+	// planeMu guards plane (replaced on /reload of a bundle).
+	planeMu sync.Mutex
+	plane   *failover.Plane
+
 	// pprof mounts the net/http/pprof endpoints on the serving mux —
 	// opt-in, so a production router is not profiling-exposed by
 	// accident.
 	pprof bool
+}
+
+// newServer builds the decision service and, when a bundle is served
+// with the failover plane enabled, precompiles the backup engines (one
+// lane per service shard).
+func newServer(art *reconfig.Artifact, bundle *failover.Bundle, g topology.Graph, shards int, failMode string, pprof bool) (*server, error) {
+	svc, err := reconfig.NewService(art, g, shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{svc: svc, g: g, nodes: g.Nodes(), shards: svc.Shards(), failMode: failMode, pprof: pprof}
+	if bundle != nil && failMode == "auto" {
+		if err := s.installBundle(bundle); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// installBundle precompiles the bundle's backup engines and binds the
+// plane to the service.
+func (s *server) installBundle(bundle *failover.Bundle) error {
+	plane, err := failover.NewPlane(bundle, s.g, failover.PlaneOptions{Lanes: s.shards})
+	if err != nil {
+		return err
+	}
+	plane.Bind(failover.ForService(s.svc))
+	s.planeMu.Lock()
+	s.plane = plane
+	s.planeMu.Unlock()
+	return nil
+}
+
+func (s *server) currentPlane() *failover.Plane {
+	s.planeMu.Lock()
+	defer s.planeMu.Unlock()
+	return s.plane
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -132,6 +221,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /decide", s.handleDecide)
 	mux.HandleFunc("POST /decide/batch", s.handleBatch)
 	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("POST /fault", s.handleFault)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -203,21 +293,108 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
-	art, err := reconfig.Decode(http.MaxBytesReader(w, r.Body, 80<<20))
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 80<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	art, bundle, err := failover.DecodeAny(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if bundle != nil {
+		// A bundle's classes are enumerated against a specific topology;
+		// a reload cannot change the serving topology.
+		g, err := bundle.Graph()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if g.Name() != s.g.Name() {
+			http.Error(w, fmt.Sprintf("bundle enumerated on %s, serving %s", g.Name(), s.g.Name()), http.StatusConflict)
+			return
+		}
 	}
 	epoch, err := s.svc.Reload(art)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	if bundle != nil && s.failMode == "auto" {
+		// Rebuild the plane against the new primary; backups of the old
+		// bundle are obsolete by construction.
+		if err := s.installBundle(bundle); err != nil {
+			http.Error(w, fmt.Sprintf("tables reloaded (epoch %d) but the failover plane failed: %v", epoch, err), http.StatusInternalServerError)
+			return
+		}
+	}
 	writeJSON(w, map[string]uint64{"epoch": epoch})
 }
 
+// FaultRequest is the wire form of a cumulative fault state.
+type FaultRequest struct {
+	Nodes []int    `json:"nodes,omitempty"`
+	Links [][2]int `json:"links,omitempty"`
+}
+
+// Set materialises the request, validating ranges against the serving
+// topology.
+func (fr *FaultRequest) Set(g topology.Graph) (*fault.Set, error) {
+	f := fault.NewSet()
+	for _, n := range fr.Nodes {
+		if n < 0 || n >= g.Nodes() {
+			return nil, fmt.Errorf("fault node %d out of range [0,%d)", n, g.Nodes())
+		}
+		f.FailNode(topology.NodeID(n))
+	}
+	for _, l := range fr.Links {
+		if l[0] < 0 || l[0] >= g.Nodes() || l[1] < 0 || l[1] >= g.Nodes() {
+			return nil, fmt.Errorf("fault link %v out of range [0,%d)", l, g.Nodes())
+		}
+		f.FailLink(topology.NodeID(l[0]), topology.NodeID(l[1]))
+	}
+	return f, nil
+}
+
+// handleFault applies a cumulative fault state: through the failover
+// plane when one is attached (covered class = atomic backup flip),
+// directly onto the service engines otherwise.
+func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var req FaultRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := req.Set(s.g)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flipped := false
+	if p := s.currentPlane(); p != nil {
+		flipped = p.OnFault(f)
+	} else {
+		s.svc.UpdateFaults(f)
+	}
+	writeJSON(w, map[string]any{"flipped": flipped, "epoch": s.svc.Epoch()})
+}
+
+// metricsDoc is the /metrics document: the decision-service snapshot
+// plus the failover plane's flip/recompute counters and latency
+// percentiles when a plane is attached.
+type metricsDoc struct {
+	reconfig.MetricsSnapshot
+	Failover *failover.PlaneMetrics `json:"failover,omitempty"`
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.svc.Metrics())
+	doc := metricsDoc{MetricsSnapshot: s.svc.Metrics()}
+	if p := s.currentPlane(); p != nil {
+		pm := p.Metrics()
+		doc.Failover = &pm
+	}
+	writeJSON(w, doc)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -230,7 +407,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 // runSmoke drives the built-in load generator: workers stream batched
 // decisions over real HTTP while the artifact is hot-reloaded halfway
 // through, then the counters are checked.
-func runSmoke(srv *server, art *reconfig.Artifact, requests, batchSize, workers int, seed int64) error {
+func runSmoke(srv *server, art *reconfig.Artifact, stdout io.Writer, requests, batchSize, workers int, seed int64) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -357,7 +534,7 @@ func runSmoke(srv *server, art *reconfig.Artifact, requests, batchSize, workers 
 	case m.Epoch <= startEpoch:
 		return fmt.Errorf("epoch did not advance across the reload (still %d)", m.Epoch)
 	}
-	fmt.Printf("smoke ok: %d decisions across %d workers, hot reload epoch %d -> %d, p50 %.1fus p99 %.1fus\n",
+	fmt.Fprintf(stdout, "smoke ok: %d decisions across %d workers, hot reload epoch %d -> %d, p50 %.1fus p99 %.1fus\n",
 		m.Decisions, workers, startEpoch, m.Epoch, m.LatencyP50, m.LatencyP99)
 	return nil
 }

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/failover"
+	"repro/internal/reconfig"
+	"repro/internal/topology"
+)
+
+// testServer builds an in-process server over a 5x4 nafta bundle
+// covering every fault-class kind.
+func testServer(t *testing.T, failMode string) (*server, *failover.Bundle) {
+	t.Helper()
+	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topology.NewMesh(5, 4)
+	bundle, err := failover.BuildBundle(art, g, failover.Kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(art, bundle, g, 2, failMode, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, bundle
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(bytes.Buffer)
+	out.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, out.Bytes()
+}
+
+func TestFailoverFlagValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-failover", "sideways", "-smoke"}, &out, &errBuf)
+	if code == 0 {
+		t.Fatal("bogus -failover mode accepted")
+	}
+	if !strings.Contains(errBuf.String(), "valid: auto, off") {
+		t.Fatalf("error does not list valid modes: %s", errBuf.String())
+	}
+}
+
+func TestFaultEndpointFlipsCoveredClass(t *testing.T) {
+	srv, _ := testServer(t, "auto")
+	if srv.currentPlane() == nil {
+		t.Fatal("auto mode with a bundle must attach a plane")
+	}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	// Node 7 is a covered single-node class: must flip.
+	resp, body := postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{7}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, body)
+	}
+	var ans struct {
+		Flipped bool   `json:"flipped"`
+		Epoch   uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Flipped {
+		t.Fatal("covered single-node fault did not flip")
+	}
+	if ans.Epoch != 2 {
+		t.Fatalf("epoch %d after flip, want 2", ans.Epoch)
+	}
+
+	// Decisions must now avoid node 7 entirely.
+	_, body = postJSON(t, ts, "/decide", reconfig.DecisionRequest{
+		Node: 6, InPort: -1, Src: 6, Dst: 8, Length: 4,
+	})
+	var d Decision
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Error != "" || d.Unroutable {
+		t.Fatalf("decision after flip: %+v", d)
+	}
+
+	// A two-node state matches no enumerated class: falls back to
+	// live recompute, flipped=false.
+	resp, body = postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{7, 12}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Flipped {
+		t.Fatal("uncovered fault state claimed a flip")
+	}
+
+	// /metrics carries the plane's counters and flip percentiles.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Epoch    uint64 `json:"epoch"`
+		Failover *struct {
+			CoveredClasses int     `json:"covered_classes"`
+			Flips          int64   `json:"flips"`
+			Recomputes     int64   `json:"recomputes"`
+			FlipP99        float64 `json:"flip_us_p99"`
+		} `json:"failover"`
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&doc)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Failover == nil {
+		t.Fatal("/metrics has no failover section despite an attached plane")
+	}
+	if doc.Failover.Flips != 1 || doc.Failover.Recomputes != 1 {
+		t.Fatalf("plane counters %d/%d, want 1 flip 1 recompute", doc.Failover.Flips, doc.Failover.Recomputes)
+	}
+	if doc.Failover.FlipP99 <= 0 {
+		t.Fatal("flip latency percentile missing after a flip")
+	}
+}
+
+func TestFaultEndpointWithoutPlane(t *testing.T) {
+	srv, _ := testServer(t, "off")
+	if srv.currentPlane() != nil {
+		t.Fatal("-failover off must not attach a plane")
+	}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{7}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: %s", resp.Status, body)
+	}
+	var ans struct {
+		Flipped bool `json:"flipped"`
+	}
+	if err := json.Unmarshal(body, &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Flipped {
+		t.Fatal("no plane attached, yet the fault claimed a flip")
+	}
+	// The engines still learned the fault via direct UpdateFaults.
+	_, body = postJSON(t, ts, "/decide", reconfig.DecisionRequest{
+		Node: 6, InPort: -1, Src: 6, Dst: 8, Length: 4,
+	})
+	var d Decision
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Candidates {
+		if c.Port >= 0 && srv.g.Neighbor(6, c.Port) == 7 {
+			t.Fatal("direct fault update not applied: candidate routes into failed node")
+		}
+	}
+}
+
+func TestFaultEndpointValidation(t *testing.T) {
+	srv, _ := testServer(t, "auto")
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{99}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range node accepted: %s %s", resp.Status, body)
+	}
+	resp, body = postJSON(t, ts, "/fault", FaultRequest{Links: [][2]int{{0, -3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range link accepted: %s %s", resp.Status, body)
+	}
+}
+
+func TestReloadAcceptsBundle(t *testing.T) {
+	srv, bundle := testServer(t, "auto")
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	// Consume a backup, then reload: the rebuilt plane must be fresh.
+	postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{7}})
+	if srv.currentPlane().Flips() != 1 {
+		t.Fatal("setup flip missing")
+	}
+
+	next := *bundle
+	next.Primary.Epoch = srv.svc.Epoch() + 1
+	var buf bytes.Buffer
+	if err := next.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/reload", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ans struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ans)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %s err=%v", resp.Status, err)
+	}
+	if ans.Epoch <= 2 {
+		t.Fatalf("epoch %d after bundle reload, want > 2", ans.Epoch)
+	}
+	p := srv.currentPlane()
+	if p == nil || p.Flips() != 0 {
+		t.Fatal("bundle reload must rebuild a fresh plane")
+	}
+	if p.CoveredClasses() != len(bundle.Backups) {
+		t.Fatalf("rebuilt plane covers %d classes, want %d", p.CoveredClasses(), len(bundle.Backups))
+	}
+}
+
+func TestReloadRejectsMismatchedBundleTopology(t *testing.T) {
+	srv, _ := testServer(t, "auto")
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := failover.BuildBundle(art, topology.NewMesh(6, 6), []string{"node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := other.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/reload", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("6x6 bundle accepted on a 5x4 server: %s", resp.Status)
+	}
+}
+
+func TestSmokeRunsWithBundleArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("in-process HTTP load in -short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nafta.bdl")
+	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := failover.BuildBundle(art, topology.NewMesh(5, 4), []string{"node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBundle(path, bundle); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-artifact", path, "-smoke", "-requests", "200", "-workers", "4"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("smoke over a bundle failed (%d): %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "smoke ok") {
+		t.Fatalf("smoke output: %s", out.String())
+	}
+}
+
+func writeBundle(path string, b *failover.Bundle) error {
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -6,31 +6,79 @@
 //	rulec program.rules        # compile a file
 //	rulec -builtin nafta       # compile a bundled program
 //	rulec -builtin routec -d 6 -a 2
+//	rulec -builtin nafta -artifact nafta.tbl                       # versioned table artifact
+//	rulec -builtin nafta -artifact nafta.bdl -backups link,node,chain -mesh 8x8
+//	                           # failover bundle: primary + per-fault-class backups
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/reconfig"
 	"repro/internal/rules"
 	"repro/internal/rulesets"
+	"repro/internal/topology"
 )
 
 func main() {
-	builtin := flag.String("builtin", "", "bundled program: nara, nafta, routec, routec-nft")
-	d := flag.Int("d", 6, "hypercube dimension (routec)")
-	a := flag.Int("a", 2, "adaptivity command bits (routec)")
-	dump := flag.Bool("dump", false, "print the program source before the report")
-	optimize := flag.Bool("optimize", false, "run the semantics-preserving transformations (constant folding, dead-rule elimination) and report them")
-	emit := flag.Bool("emit", false, "print the (possibly optimised) program as source after the report")
-	saveCfg := flag.String("savecfg", "", "directory to write per-rule-base configuration data into")
-	artOut := flag.String("artifact", "", "write a versioned rule-table artifact to this path (builtin nafta/routec only)")
-	epoch := flag.Uint64("epoch", 1, "version epoch to stamp into the artifact")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseBackupKinds splits and validates the -backups flag value.
+func parseBackupKinds(s string) ([]string, error) {
+	var kinds []string
+	for _, k := range strings.Split(s, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		if !failover.ValidKind(k) {
+			return nil, fmt.Errorf("unknown fault-class kind %q (valid: %s)", k, strings.Join(failover.Kinds, ", "))
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-backups needs at least one fault-class kind (valid: %s)", strings.Join(failover.Kinds, ", "))
+	}
+	return kinds, nil
+}
+
+// parseMesh parses a "WxH" mesh geometry.
+func parseMesh(s string) (w, h int, err error) {
+	if n, err := fmt.Sscanf(s, "%dx%d", &w, &h); err != nil || n != 2 || w < 2 || h < 2 {
+		return 0, 0, fmt.Errorf("bad mesh geometry %q (want WxH with both dimensions >= 2, e.g. 8x8)", s)
+	}
+	return w, h, nil
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rulec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	builtin := fs.String("builtin", "", "bundled program: nara, nafta, routec, routec-nft")
+	d := fs.Int("d", 6, "hypercube dimension (routec)")
+	a := fs.Int("a", 2, "adaptivity command bits (routec)")
+	dump := fs.Bool("dump", false, "print the program source before the report")
+	optimize := fs.Bool("optimize", false, "run the semantics-preserving transformations (constant folding, dead-rule elimination) and report them")
+	emit := fs.Bool("emit", false, "print the (possibly optimised) program as source after the report")
+	saveCfg := fs.String("savecfg", "", "directory to write per-rule-base configuration data into")
+	artOut := fs.String("artifact", "", "write a versioned rule-table artifact to this path (builtin nafta/routec only)")
+	epoch := fs.Uint64("epoch", 1, "version epoch to stamp into the artifact")
+	backups := fs.String("backups", "", "comma-separated fault-class kinds (link, node, chain) to bundle precompiled backups for; turns -artifact output into a failover bundle")
+	mesh := fs.String("mesh", "8x8", "mesh geometry WxH the backup classes are enumerated on (nafta bundles)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	die := func(err error) int {
+		fmt.Fprintln(stderr, "rulec:", err)
+		return 1
+	}
 
 	var src, name string
 	switch *builtin {
@@ -43,40 +91,40 @@ func main() {
 	case "routec-nft":
 		src, name = rulesets.RouteCNFTSource(*d, *a), fmt.Sprintf("ROUTE_C-nft (d=%d, a=%d)", *d, *a)
 	case "":
-		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: rulec [-builtin name] [file.rules]")
-			os.Exit(1)
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: rulec [-builtin name] [file.rules]")
+			return 2
 		}
-		data, err := os.ReadFile(flag.Arg(0))
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			die(err)
+			return die(err)
 		}
-		src, name = string(data), flag.Arg(0)
+		src, name = string(data), fs.Arg(0)
 	default:
-		die(fmt.Errorf("unknown builtin %q", *builtin))
+		return die(fmt.Errorf("unknown builtin %q (valid: nara, nafta, routec, routec-nft)", *builtin))
 	}
 	if *dump {
-		fmt.Println(src)
+		fmt.Fprintln(stdout, src)
 	}
 
 	prog, err := rules.Parse(src)
 	if err != nil {
-		die(err)
+		return die(err)
 	}
 	checked, err := rules.Analyze(prog)
 	if err != nil {
-		die(err)
+		return die(err)
 	}
 	if *optimize {
 		opt, reports, err := core.OptimizeProgram(checked, core.CompileOptions{})
 		if err != nil {
-			die(err)
+			return die(err)
 		}
 		for _, rep := range reports {
 			if len(rep.Removed) == 0 && rep.FoldedPremises == 0 {
 				continue
 			}
-			fmt.Printf("optimised %s: removed rules %v, folded %d premises\n",
+			fmt.Fprintf(stdout, "optimised %s: removed rules %v, folded %d premises\n",
 				rep.Base, rep.Removed, rep.FoldedPremises)
 		}
 		checked = opt
@@ -84,65 +132,96 @@ func main() {
 
 	pc, err := core.AnalyzeCost(checked, core.CompileOptions{})
 	if err != nil {
-		die(err)
+		return die(err)
 	}
 
-	core.WriteCostReport(os.Stdout, fmt.Sprintf("Rule bases of %s", name), pc)
+	core.WriteCostReport(stdout, fmt.Sprintf("Rule bases of %s", name), pc)
 	if *saveCfg != "" {
 		for _, rb := range checked.Prog.RuleBases {
 			cb, err := core.CompileBase(checked, rb.Event, core.CompileOptions{})
 			if err != nil {
-				die(err)
+				return die(err)
 			}
 			path := filepath.Join(*saveCfg, rb.Event+".cfg")
 			f, err := os.Create(path)
 			if err != nil {
-				die(err)
+				return die(err)
 			}
 			if err := cb.SaveConfig(f); err != nil {
 				f.Close()
-				die(err)
+				return die(err)
 			}
 			if err := f.Close(); err != nil {
-				die(err)
+				return die(err)
 			}
-			fmt.Printf("wrote %s (%d entries)\n", path, cb.Entries)
+			fmt.Fprintf(stdout, "wrote %s (%d entries)\n", path, cb.Entries)
 		}
+	}
+	if *backups != "" && *artOut == "" {
+		return die(fmt.Errorf("-backups needs -artifact (backups ship inside a bundle file)"))
 	}
 	if *artOut != "" {
 		if *builtin != "nafta" && *builtin != "routec" {
-			die(fmt.Errorf("-artifact requires -builtin nafta or -builtin routec (artifacts name their adapter family)"))
+			return die(fmt.Errorf("-artifact requires -builtin nafta or -builtin routec (artifacts name their adapter family)"))
 		}
 		art, err := reconfig.Build(*builtin, reconfig.BuildOptions{
 			Epoch: *epoch, CubeDim: *d, Adaptivity: *a,
 		})
 		if err != nil {
-			die(err)
+			return die(err)
 		}
-		f, err := os.Create(*artOut)
-		if err != nil {
-			die(err)
+		var summary string
+		if *backups != "" {
+			kinds, err := parseBackupKinds(*backups)
+			if err != nil {
+				return die(err)
+			}
+			var g topology.Graph
+			if *builtin == "nafta" {
+				w, h, err := parseMesh(*mesh)
+				if err != nil {
+					return die(err)
+				}
+				g = topology.NewMesh(w, h)
+			} else {
+				g = topology.NewHypercube(*d)
+			}
+			bundle, err := failover.BuildBundle(art, g, kinds)
+			if err != nil {
+				return die(err)
+			}
+			if err := writeTo(*artOut, bundle.Encode); err != nil {
+				return die(err)
+			}
+			if summary, err = bundle.Summary(); err != nil {
+				return die(err)
+			}
+		} else {
+			if err := writeTo(*artOut, art.Encode); err != nil {
+				return die(err)
+			}
+			if summary, err = art.Summary(); err != nil {
+				return die(err)
+			}
 		}
-		if err := art.Encode(f); err != nil {
-			f.Close()
-			die(err)
-		}
-		if err := f.Close(); err != nil {
-			die(err)
-		}
-		summary, err := art.Summary()
-		if err != nil {
-			die(err)
-		}
-		fmt.Printf("wrote %s\n%s", *artOut, summary)
+		fmt.Fprintf(stdout, "wrote %s\n%s", *artOut, summary)
 	}
 	if *emit {
-		fmt.Println()
-		fmt.Print(rules.ProgramString(checked.Prog))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rules.ProgramString(checked.Prog))
 	}
+	return 0
 }
 
-func die(err error) {
-	fmt.Fprintln(os.Stderr, "rulec:", err)
-	os.Exit(1)
+// writeTo creates path and streams encode into it.
+func writeTo(path string, encode func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

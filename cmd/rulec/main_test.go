@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/failover"
+)
+
+func runRulec(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestArtifactWithBackupsWritesBundle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nafta.bdl")
+	code, stdout, stderr := runRulec(t,
+		"-builtin", "nafta", "-artifact", path, "-backups", "link,node,chain", "-mesh", "5x4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "backup classes") {
+		t.Fatalf("bundle summary missing from output:\n%s", stdout)
+	}
+	art, bundle, err := failover.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle == nil || art.Algorithm != "nafta" {
+		t.Fatalf("wrote something other than a nafta bundle: art=%v bundle=%v", art, bundle)
+	}
+	// 31 links + 20 nodes + 12 chains - 3 length-1-chain duplicates.
+	if len(bundle.Backups) != 60 {
+		t.Fatalf("5x4 all-kinds bundle carries %d backups, want 60", len(bundle.Backups))
+	}
+}
+
+func TestArtifactWithoutBackupsStaysBareArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nafta.tbl")
+	code, _, stderr := runRulec(t, "-builtin", "nafta", "-artifact", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	art, bundle, err := failover.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle != nil || art == nil {
+		t.Fatal("plain -artifact must write a bare artifact, not a bundle")
+	}
+}
+
+func TestRouteCBackupBundle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "routec.bdl")
+	code, _, stderr := runRulec(t, "-builtin", "routec", "-d", "4", "-artifact", path, "-backups", "node")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	_, bundle, err := failover.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle == nil || len(bundle.Backups) != 16 {
+		t.Fatalf("4-cube node bundle: %v", bundle)
+	}
+}
+
+func TestBackupFlagValidation(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stderr
+	}{
+		{"unknown kind lists choices",
+			[]string{"-builtin", "nafta", "-artifact", filepath.Join(tmp, "a"), "-backups", "bogus"},
+			"valid: link, node, chain"},
+		{"empty kinds list choices",
+			[]string{"-builtin", "nafta", "-artifact", filepath.Join(tmp, "b"), "-backups", ","},
+			"valid: link, node, chain"},
+		{"backups without artifact",
+			[]string{"-builtin", "nafta", "-backups", "node"},
+			"-backups needs -artifact"},
+		{"bad mesh geometry",
+			[]string{"-builtin", "nafta", "-artifact", filepath.Join(tmp, "c"), "-backups", "node", "-mesh", "8"},
+			"want WxH"},
+		{"chain on hypercube",
+			[]string{"-builtin", "routec", "-d", "4", "-artifact", filepath.Join(tmp, "d"), "-backups", "chain"},
+			"mesh topology"},
+		{"unknown builtin lists choices",
+			[]string{"-builtin", "nonesuch"},
+			"valid: nara, nafta, routec, routec-nft"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runRulec(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseBackupKinds(t *testing.T) {
+	kinds, err := parseBackupKinds(" link , node ,chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if _, err := parseBackupKinds("link,meteor"); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}

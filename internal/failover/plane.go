@@ -1,0 +1,303 @@
+package failover
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Installer abstracts the two engine hosts the plane can flip into:
+// the simulator's epoch Swapper and routerd's sharded Service. Install
+// receives one prebuilt engine per lane and the observed fault set;
+// Recompute is the measured fall-back — run the live diagnosis
+// fixpoint on the engines already serving.
+type Installer interface {
+	Install(engines []routing.Algorithm, f *fault.Set) error
+	Recompute(f *fault.Set)
+}
+
+// swapperInstaller flips through reconfig.Swapper.SwapPrecomputed
+// (one lane: the simulator decides single-threaded per network).
+type swapperInstaller struct{ sw *reconfig.Swapper }
+
+func (i swapperInstaller) Install(engines []routing.Algorithm, f *fault.Set) error {
+	_, _, err := i.sw.SwapPrecomputed(engines[0], f)
+	return err
+}
+func (i swapperInstaller) Recompute(f *fault.Set) { i.sw.UpdateFaults(f) }
+
+// ForSwapper adapts an epoch swapper as a one-lane installer.
+func ForSwapper(sw *reconfig.Swapper) Installer { return swapperInstaller{sw} }
+
+// serviceInstaller flips through reconfig.Service.InstallEngines (one
+// lane per shard).
+type serviceInstaller struct{ svc *reconfig.Service }
+
+func (i serviceInstaller) Install(engines []routing.Algorithm, f *fault.Set) error {
+	_, err := i.svc.InstallEngines(engines)
+	return err
+}
+func (i serviceInstaller) Recompute(f *fault.Set) { i.svc.UpdateFaults(f) }
+
+// ForService adapts a decision service as a shards-lane installer.
+func ForService(svc *reconfig.Service) Installer { return serviceInstaller{svc} }
+
+// backup is one precompiled class: its engines (one per lane) carry
+// the class's post-fault distributed state, applied eagerly at plane
+// construction. Engines are stateful (per-decision scratch plus the
+// fault Information Units), so an instance can be installed only once;
+// used marks consumption — a second occurrence of the same class (the
+// fault repaired and re-injected) takes the recompute path rather than
+// re-installing an engine whose tables were invalidated on retirement.
+type backup struct {
+	class   Class
+	set     *fault.Set
+	engines []routing.Algorithm
+	used    bool
+}
+
+// PlaneOptions tune plane construction.
+type PlaneOptions struct {
+	// Lanes is the number of engine instances built per class: 1 for a
+	// Swapper host, Service.Shards() for a Service host. Defaults to 1.
+	Lanes int
+	// Filter, when set, keeps only classes it accepts — the campaign
+	// uses it to precompile exactly the classes a scenario can hit.
+	Filter func(Class) bool
+}
+
+// Plane is the runtime failover decision plane: fault classes mapped
+// to engines precompiled at construction time. OnFault resolves an
+// observed cumulative fault state by canonical key: a covered, unused
+// class is installed with an atomic engine flip (no diagnosis fixpoint
+// at fault time); anything else falls back to the live recompute the
+// plane measures against. Both paths are timed into histograms so the
+// flip-vs-recompute gap is observable, not assumed.
+//
+// Concurrency: OnFault serializes on the plane mutex. The simulator
+// calls it from the network goroutine; routerd from HTTP handlers.
+type Plane struct {
+	bundle    *Bundle
+	installer Installer
+
+	mu      sync.Mutex
+	classes map[string]*backup
+
+	flips      atomic.Int64
+	recomputes atomic.Int64
+
+	// Latencies in microseconds: flips sit in the low-µs range (0.5µs
+	// bins to 1ms), recomputes in the tens-of-µs-to-ms range (5µs bins
+	// to 10ms).
+	histMu     sync.Mutex
+	flipHist   *metrics.Histogram
+	recompHist *metrics.Histogram
+}
+
+// PlaneMetrics is the plane's observable state, embedded into
+// routerd's /metrics document.
+type PlaneMetrics struct {
+	CoveredClasses  int     `json:"covered_classes"`
+	ConsumedClasses int     `json:"consumed_classes"`
+	Flips           int64   `json:"flips"`
+	Recomputes      int64   `json:"recomputes"`
+	FlipP50         float64 `json:"flip_us_p50"`
+	FlipP99         float64 `json:"flip_us_p99"`
+	FlipP999        float64 `json:"flip_us_p999"`
+	RecomputeP50    float64 `json:"recompute_us_p50"`
+	RecomputeP99    float64 `json:"recompute_us_p99"`
+	RecomputeP999   float64 `json:"recompute_us_p999"`
+}
+
+// NewPlane precompiles the bundle's backup engines against topology g:
+// one EngineBuilder per lane amortises program analysis and table
+// deserialization across all classes, each engine gets its class's
+// fault set applied (the diagnosis fixpoint runs HERE, at load time),
+// and the finished engines wait in a map keyed by canonical fault key.
+// Bind an installer before the first OnFault.
+func NewPlane(b *Bundle, g topology.Graph, opts PlaneOptions) (*Plane, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	want, err := b.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if g.Name() != want.Name() {
+		return nil, fmt.Errorf("failover: bundle enumerated on %s, plane built on %s", want.Name(), g.Name())
+	}
+	lanes := opts.Lanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	// Shared builders for backups that inherit the primary's tables
+	// (today: all of them); a backup shipping its own Bases gets
+	// dedicated builders below.
+	shared := make([]*reconfig.EngineBuilder, lanes)
+	for lane := range shared {
+		eb, err := reconfig.NewEngineBuilder(&b.Primary, g)
+		if err != nil {
+			return nil, err
+		}
+		shared[lane] = eb
+	}
+	p := &Plane{
+		bundle:     b,
+		classes:    make(map[string]*backup),
+		flipHist:   metrics.NewHistogram(0.5, 2000),
+		recompHist: metrics.NewHistogram(5, 2000),
+	}
+	for bi := range b.Backups {
+		bk := &b.Backups[bi]
+		class := bk.Class()
+		set := class.Set()
+		if opts.Filter != nil && !opts.Filter(class) {
+			continue
+		}
+		key := class.Key()
+		if _, dup := p.classes[key]; dup {
+			continue
+		}
+		builders := shared
+		if len(bk.Bases) > 0 {
+			art := b.Primary
+			art.Bases = bk.Bases
+			builders = make([]*reconfig.EngineBuilder, lanes)
+			for lane := range builders {
+				eb, err := reconfig.NewEngineBuilder(&art, g)
+				if err != nil {
+					return nil, fmt.Errorf("failover: class %s: %w", class.String(), err)
+				}
+				builders[lane] = eb
+			}
+		}
+		engines := make([]routing.Algorithm, lanes)
+		for lane := range engines {
+			eng, err := builders[lane].Build()
+			if err != nil {
+				return nil, fmt.Errorf("failover: class %s: %w", class.String(), err)
+			}
+			eng.UpdateFaults(set)
+			engines[lane] = eng
+		}
+		p.classes[key] = &backup{class: class, set: set, engines: engines}
+	}
+	return p, nil
+}
+
+// Bind attaches the engine host the plane flips into.
+func (p *Plane) Bind(inst Installer) { p.installer = inst }
+
+// CoveredClasses returns the number of precompiled classes.
+func (p *Plane) CoveredClasses() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.classes)
+}
+
+// Covered reports whether the cumulative fault set f has an unused
+// precompiled backup.
+func (p *Plane) Covered(f *fault.Set) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bk := p.classes[KeyOf(f)]
+	return bk != nil && !bk.used
+}
+
+// Classes returns the precompiled classes in unspecified order.
+func (p *Plane) Classes() []Class {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Class, 0, len(p.classes))
+	for _, bk := range p.classes {
+		out = append(out, bk.class)
+	}
+	return out
+}
+
+// OnFault resolves the observed cumulative fault state f: a covered,
+// unused class flips its precompiled engines in (return true); every
+// other non-empty state runs the measured live recompute (return
+// false). An empty set is forwarded to the recompute path but not
+// counted — it is fault *clearing*, which no backup anticipates.
+// This is the network.FaultHandler hook.
+func (p *Plane) OnFault(f *fault.Set) bool {
+	if p.installer == nil {
+		panic("failover: plane used before Bind")
+	}
+	if f == nil || f.Empty() {
+		p.installer.Recompute(f)
+		return false
+	}
+	p.mu.Lock()
+	bk := p.classes[KeyOf(f)]
+	if bk != nil && !bk.used {
+		bk.used = true
+	} else {
+		bk = nil
+	}
+	p.mu.Unlock()
+
+	if bk != nil {
+		start := time.Now()
+		err := p.installer.Install(bk.engines, f)
+		elapsed := time.Since(start)
+		if err == nil {
+			p.flips.Add(1)
+			p.histMu.Lock()
+			p.flipHist.Add(float64(elapsed) / float64(time.Microsecond))
+			p.histMu.Unlock()
+			return true
+		}
+		// The host refused the flip (regime gate); fall through to the
+		// recompute path so the network still converges on f.
+	}
+	start := time.Now()
+	p.installer.Recompute(f)
+	elapsed := time.Since(start)
+	p.recomputes.Add(1)
+	p.histMu.Lock()
+	p.recompHist.Add(float64(elapsed) / float64(time.Microsecond))
+	p.histMu.Unlock()
+	return false
+}
+
+// Flips returns the number of completed precompiled flips.
+func (p *Plane) Flips() int64 { return p.flips.Load() }
+
+// Recomputes returns the number of live-recompute fallbacks.
+func (p *Plane) Recomputes() int64 { return p.recomputes.Load() }
+
+// Metrics snapshots the plane counters and latency percentiles.
+func (p *Plane) Metrics() PlaneMetrics {
+	p.mu.Lock()
+	covered := len(p.classes)
+	consumed := 0
+	for _, bk := range p.classes {
+		if bk.used {
+			consumed++
+		}
+	}
+	p.mu.Unlock()
+	p.histMu.Lock()
+	defer p.histMu.Unlock()
+	return PlaneMetrics{
+		CoveredClasses:  covered,
+		ConsumedClasses: consumed,
+		Flips:           p.flips.Load(),
+		Recomputes:      p.recomputes.Load(),
+		FlipP50:         p.flipHist.Percentile(0.50),
+		FlipP99:         p.flipHist.Percentile(0.99),
+		FlipP999:        p.flipHist.Percentile(0.999),
+		RecomputeP50:    p.recompHist.Percentile(0.50),
+		RecomputeP99:    p.recompHist.Percentile(0.99),
+		RecomputeP999:   p.recompHist.Percentile(0.999),
+	}
+}

@@ -147,3 +147,49 @@ func TestPercentileEdgeCases(t *testing.T) {
 		t.Errorf("all-overflow Percentile(0) = %v, want 0", got)
 	}
 }
+
+// The p999 tail must resolve a 1-in-1000 outlier: 999 fast samples and
+// one slow one put p99 in the fast bin but p999 in the outlier's bin.
+func TestPercentileP999Tail(t *testing.T) {
+	h := NewHistogram(1, 2000)
+	for i := 0; i < 999; i++ {
+		h.Add(0.5) // bin 0, upper edge 1
+	}
+	h.Add(1500.5) // bin 1500, upper edge 1501
+	if got := h.Percentile(0.99); got != 1 {
+		t.Errorf("p99 = %v, want 1 (fast bin edge)", got)
+	}
+	if got := h.Percentile(0.999); got != 1 {
+		t.Errorf("p999 = %v, want 1 (outlier is sample 1000 of 1000)", got)
+	}
+	// One more outlier tips the 0.999 quantile into the slow bin.
+	h.Add(1500.5)
+	if got := h.Percentile(0.999); got != 1501 {
+		t.Errorf("p999 after second outlier = %v, want 1501", got)
+	}
+	// Beyond-range samples land in overflow, so p999 can report +Inf
+	// while p50 stays finite.
+	h.Add(1e9)
+	h.Add(1e9)
+	h.Add(1e9)
+	if got := h.Percentile(0.5); got != 1 {
+		t.Errorf("p50 with overflow tail = %v, want 1", got)
+	}
+	if got := h.Percentile(0.999); !math.IsInf(got, 1) {
+		t.Errorf("p999 with overflow tail = %v, want +Inf", got)
+	}
+}
+
+// Negative observations clamp into the first bin rather than panicking
+// or skewing the total.
+func TestHistogramNegativeSamples(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.Add(-5)
+	h.Add(-0.001)
+	if h.Total() != 2 || h.Bin(0) != 2 {
+		t.Fatalf("total=%d bin0=%d, want both 2", h.Total(), h.Bin(0))
+	}
+	if got := h.Percentile(0.5); got != 10 {
+		t.Fatalf("negative-sample p50 = %v, want first bin edge 10", got)
+	}
+}

@@ -59,6 +59,14 @@ type Config struct {
 	// the per-cycle hot path; an age bound is always coarse, so
 	// detection latency of at most one interval is immaterial.
 	LivelockCheckInterval int64
+	// Failover, when non-nil, owns the diagnosis phase of ApplyFaults:
+	// instead of running the algorithm's live fault fixpoint, the
+	// network hands the cumulative fault set to the handler, which
+	// either flips a precompiled backup engine in (returns true) or
+	// performs the recompute itself (returns false). The handler must
+	// wrap the same engine instance the network routes on (the failover
+	// plane bound to the network's reconfig swapper does exactly that).
+	Failover FaultHandler
 	// Workers, when >= 2, steps the network on the deterministic
 	// parallel engine: routers are sharded across a persistent worker
 	// pool, every pipeline stage runs as a parallel compute phase over

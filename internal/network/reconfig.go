@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/trace"
 )
@@ -30,6 +31,16 @@ type hotSwapper interface {
 
 // loadAttacher matches engines that consume the network's load view.
 type loadAttacher interface{ AttachLoads(routing.LoadView) }
+
+// FaultHandler is the failover decision plane's hook into ApplyFaults
+// (structurally typed for the same reason as the interfaces above:
+// internal/failover imports reconfig, which sits above this package).
+// OnFault receives the new cumulative fault set after the network's
+// worm surgery and reports whether it installed a precompiled backup
+// engine (true = atomic flip, false = it ran the live recompute).
+type FaultHandler interface {
+	OnFault(f *fault.Set) bool
+}
 
 // attachReconfig wires an epoch-aware algorithm into the network:
 // epoch pin/release on the message lifecycle, the network as the load

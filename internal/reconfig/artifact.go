@@ -45,6 +45,56 @@ var artifactMagic = []byte("ARONTBL\x01")
 // header cannot make Decode allocate unbounded memory.
 const maxArtifactBytes = 64 << 20
 
+// WriteFrame writes one checksummed frame — magic, big-endian payload
+// length, payload, SHA-256 of the payload — and returns the checksum.
+// This is the artifact's on-disk framing, exported so sibling formats
+// (the failover bundle) carry their own magic over identical framing.
+func WriteFrame(w io.Writer, magic, payload []byte) (sum [sha256.Size]byte, err error) {
+	sum = sha256.Sum256(payload)
+	if _, err = w.Write(magic); err != nil {
+		return sum, err
+	}
+	if err = binary.Write(w, binary.BigEndian, uint64(len(payload))); err != nil {
+		return sum, err
+	}
+	if _, err = w.Write(payload); err != nil {
+		return sum, err
+	}
+	_, err = w.Write(sum[:])
+	return sum, err
+}
+
+// ReadFrame reads one frame written by WriteFrame, verifying the
+// expected magic, the payload length bound and the checksum. kind
+// names the format in error messages ("artifact", "bundle").
+func ReadFrame(r io.Reader, magic []byte, kind string) (payload []byte, sum [sha256.Size]byte, err error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, sum, fmt.Errorf("reconfig: reading %s header: %w", kind, err)
+	}
+	if !bytes.Equal(head, magic) {
+		return nil, sum, fmt.Errorf("reconfig: not a rule-table %s (bad magic)", kind)
+	}
+	var n uint64
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, sum, fmt.Errorf("reconfig: reading %s length: %w", kind, err)
+	}
+	if n > maxArtifactBytes {
+		return nil, sum, fmt.Errorf("reconfig: %s payload of %d bytes exceeds the %d byte bound", kind, n, maxArtifactBytes)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, sum, fmt.Errorf("reconfig: reading %s payload: %w", kind, err)
+	}
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return nil, sum, fmt.Errorf("reconfig: reading %s checksum: %w", kind, err)
+	}
+	if got := sha256.Sum256(payload); got != sum {
+		return nil, sum, fmt.Errorf("reconfig: %s checksum mismatch (corrupted or truncated)", kind)
+	}
+	return payload, sum, nil
+}
+
 // BaseTable is one serialized decision base: the name and the
 // configuration data exactly as core.SaveConfig emits it — the same
 // bytes `rulec -savecfg` writes, so the artifact cannot drift from the
@@ -170,47 +220,16 @@ func (a *Artifact) Encode(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	a.sum = sha256.Sum256(payload)
-	if _, err := w.Write(artifactMagic); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.BigEndian, uint64(len(payload))); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	_, err = w.Write(a.sum[:])
+	a.sum, err = WriteFrame(w, artifactMagic, payload)
 	return err
 }
 
 // Decode reads a framed artifact, verifying magic, length and
 // checksum.
 func Decode(r io.Reader) (*Artifact, error) {
-	head := make([]byte, len(artifactMagic))
-	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("reconfig: reading artifact header: %w", err)
-	}
-	if !bytes.Equal(head, artifactMagic) {
-		return nil, fmt.Errorf("reconfig: not a rule-table artifact (bad magic)")
-	}
-	var n uint64
-	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return nil, fmt.Errorf("reconfig: reading artifact length: %w", err)
-	}
-	if n > maxArtifactBytes {
-		return nil, fmt.Errorf("reconfig: artifact payload of %d bytes exceeds the %d byte bound", n, maxArtifactBytes)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("reconfig: reading artifact payload: %w", err)
-	}
-	var sum [sha256.Size]byte
-	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return nil, fmt.Errorf("reconfig: reading artifact checksum: %w", err)
-	}
-	if got := sha256.Sum256(payload); got != sum {
-		return nil, fmt.Errorf("reconfig: artifact checksum mismatch (corrupted or truncated)")
+	payload, sum, err := ReadFrame(r, artifactMagic, "artifact")
+	if err != nil {
+		return nil, err
 	}
 	a := &Artifact{}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(a); err != nil {

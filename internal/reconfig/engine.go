@@ -26,24 +26,43 @@ const (
 // (core.LoadConfig re-derives the index layout and refuses any
 // mismatch).
 func NewEngine(art *Artifact, g topology.Graph) (routing.Algorithm, error) {
+	b, err := NewEngineBuilder(art, g)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// EngineBuilder amortises the expensive parts of NewEngine — program
+// re-analysis and decision-table deserialization — across many engine
+// constructions from the same artifact. The failover plane builds one
+// engine per anticipated fault class; re-running the analysis per
+// class would dominate bundle load time. Engines built by one builder
+// share the analysed program and the deserialized tables read-only,
+// so two engines of the same builder must not decide concurrently —
+// build one builder per concurrent lane, exactly as the Service
+// builds one engine per shard.
+type EngineBuilder struct {
+	art    *Artifact
+	g      topology.Graph
+	prog   *rulesets.Program
+	tables map[string]*core.CompiledBase
+}
+
+// NewEngineBuilder validates the artifact against topology g,
+// re-analyses the embedded rule program and deserializes the decision
+// tables once, ready to stamp out engines.
+func NewEngineBuilder(art *Artifact, g topology.Graph) (*EngineBuilder, error) {
 	if err := art.Validate(); err != nil {
 		return nil, err
 	}
+	var meta []rulesets.BaseMeta
 	switch art.Algorithm {
 	case "nafta":
-		m, ok := g.(*topology.Mesh)
-		if !ok {
+		if _, ok := g.(*topology.Mesh); !ok {
 			return nil, fmt.Errorf("reconfig: nafta artifact needs a mesh topology, got %T", g)
 		}
-		prog, err := rulesets.Load(art.Name, art.Source, rulesets.NAFTAMeta)
-		if err != nil {
-			return nil, fmt.Errorf("reconfig: artifact program: %w", err)
-		}
-		tables, err := art.bindTables(prog)
-		if err != nil {
-			return nil, err
-		}
-		return rulesets.NewRuleNAFTAFromProgram(m, prog, tables)
+		meta = rulesets.NAFTAMeta
 	case "routec":
 		h, ok := g.(*topology.Hypercube)
 		if !ok {
@@ -52,17 +71,32 @@ func NewEngine(art *Artifact, g topology.Graph) (routing.Algorithm, error) {
 		if art.CubeDim != h.Dim {
 			return nil, fmt.Errorf("reconfig: artifact compiled for a %d-cube, topology is a %d-cube", art.CubeDim, h.Dim)
 		}
-		prog, err := rulesets.Load(art.Name, art.Source, rulesets.RouteCMeta)
-		if err != nil {
-			return nil, fmt.Errorf("reconfig: artifact program: %w", err)
-		}
-		tables, err := art.bindTables(prog)
-		if err != nil {
-			return nil, err
-		}
-		return rulesets.NewRuleRouteCFromProgram(h, prog, tables)
+		meta = rulesets.RouteCMeta
+	default:
+		return nil, fmt.Errorf("reconfig: unknown algorithm %q", art.Algorithm)
 	}
-	return nil, fmt.Errorf("reconfig: unknown algorithm %q", art.Algorithm)
+	prog, err := rulesets.Load(art.Name, art.Source, meta)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: artifact program: %w", err)
+	}
+	tables, err := art.bindTables(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineBuilder{art: art, g: g, prog: prog, tables: tables}, nil
+}
+
+// Build constructs one engine over the builder's shared program and
+// tables (the adapter's dense compilation and scratch state are still
+// per-engine).
+func (b *EngineBuilder) Build() (routing.Algorithm, error) {
+	switch b.art.Algorithm {
+	case "nafta":
+		return rulesets.NewRuleNAFTAFromProgram(b.g.(*topology.Mesh), b.prog, b.tables)
+	case "routec":
+		return rulesets.NewRuleRouteCFromProgram(b.g.(*topology.Hypercube), b.prog, b.tables)
+	}
+	return nil, fmt.Errorf("reconfig: unknown algorithm %q", b.art.Algorithm)
 }
 
 // bindTables loads every serialized decision table against the

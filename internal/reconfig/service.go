@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -239,6 +240,52 @@ func (s *Service) Reload(art *Artifact) (uint64, error) {
 	s.noteArtifact(art)
 	return newEpoch, nil
 }
+
+// InstallEngines atomically flips every shard to the prebuilt engines
+// — the failover fast path behind routerd's /fault endpoint. Unlike
+// Reload, nothing is compiled, deserialized or replayed here: the
+// engines were constructed when the failover bundle was loaded and
+// already carry their post-fault state, so the per-shard critical
+// section is a pointer exchange. len(engines) must equal the shard
+// count (the failover plane builds one engine lane per shard). The
+// epoch advances by one and the old engines' dense tables are
+// invalidated.
+func (s *Service) InstallEngines(engines []routing.Algorithm) (uint64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if len(engines) != len(s.shards) {
+		return s.epoch.Load(), fmt.Errorf("reconfig: %d engines for %d shards", len(engines), len(s.shards))
+	}
+	newEpoch := s.epoch.Load() + 1
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		old := sh.eng
+		sh.eng = engines[i]
+		sh.epoch = newEpoch
+		sh.mu.Unlock()
+		if inv, ok := old.(tableInvalidator); ok {
+			inv.InvalidateTables()
+		}
+	}
+	s.epoch.Store(newEpoch)
+	return newEpoch, nil
+}
+
+// UpdateFaults runs the live-recompute fallback on every shard engine:
+// the diagnosis fixpoint for fault set f, serialized per shard so
+// decisions in flight finish first. This is the slow path the failover
+// plane measures against for uncovered fault classes.
+func (s *Service) UpdateFaults(f *fault.Set) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.eng.UpdateFaults(f)
+		sh.mu.Unlock()
+	}
+}
+
+// Shards returns the number of engine replicas (one failover engine
+// lane is needed per shard).
+func (s *Service) Shards() int { return len(s.shards) }
 
 // Metrics returns a consistent-enough snapshot of the service
 // counters (individual counters are exact; the set is not atomic).

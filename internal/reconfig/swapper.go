@@ -153,6 +153,48 @@ func (s *Swapper) Swap(next routing.Algorithm, force bool) (oldEpoch, newEpoch u
 	return cur.epoch, ne.epoch, nil
 }
 
+// SwapPrecomputed installs an engine that already carries the
+// post-fault distributed state for fault set f — the failover fast
+// path. Unlike Swap, the incoming engine is NOT replayed with
+// UpdateFaults: skipping the diagnosis fixpoint at fault time is the
+// whole point of a precompiled backup (the plane ran the fixpoint
+// when the bundle was loaded). Old live generations still serving
+// pinned worms are updated synchronously — their worms must route
+// around the new faults too — while generations without pinned worms
+// retire untouched. The deadlock-regime gate applies unchanged; a
+// precompiled backup of an incompatible regime is always refused
+// (there is no force path: failover happens under live traffic).
+func (s *Swapper) SwapPrecomputed(next routing.Algorithm, f *fault.Set) (oldEpoch, newEpoch uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if or, nr := routing.RegimeOf(cur.alg), routing.RegimeOf(next); or != nr {
+		return cur.epoch, cur.epoch, fmt.Errorf(
+			"reconfig: %w: %s runs %q, precompiled backup %s runs %q",
+			ErrRegimeMismatch, cur.alg.Name(), or, next.Name(), nr)
+	}
+	s.faults = f
+	for _, e := range s.live {
+		if e.pinned.Load() > 0 {
+			e.alg.UpdateFaults(f)
+		}
+	}
+	if la, ok := next.(loadAttacher); ok && s.loads != nil {
+		la.AttachLoads(s.loads)
+	}
+	ne := &epochEngine{epoch: cur.epoch + 1, alg: next}
+	s.live[ne.epoch] = ne
+	s.cur.Store(ne)
+	s.swaps.Add(1)
+	for _, fn := range s.onSwap {
+		fn(cur.epoch, ne.epoch)
+	}
+	if cur.pinned.Load() == 0 {
+		s.retireLocked(cur)
+	}
+	return cur.epoch, ne.epoch, nil
+}
+
 // retireLocked removes a quiesced epoch; s.mu must be held.
 func (s *Swapper) retireLocked(e *epochEngine) {
 	delete(s.live, e.epoch)

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Wrap-around semantics on a non-square torus: border crossings in
+// both dimensions, and coordinate normalisation in Node().
+func TestTorusWrapNeighbors(t *testing.T) {
+	tor := NewTorus(5, 3)
+	if tor.Nodes() != 15 || tor.Ports() != MeshPorts {
+		t.Fatalf("5x3 torus: %d nodes, %d ports", tor.Nodes(), tor.Ports())
+	}
+	// East off the right border wraps to column 0.
+	if got := tor.Neighbor(tor.Node(4, 1), East); got != tor.Node(0, 1) {
+		t.Fatalf("east wrap = %d, want %d", got, tor.Node(0, 1))
+	}
+	// West off column 0 wraps to the right border.
+	if got := tor.Neighbor(tor.Node(0, 2), West); got != tor.Node(4, 2) {
+		t.Fatalf("west wrap = %d, want %d", got, tor.Node(4, 2))
+	}
+	// North off the top row wraps to row 0.
+	if got := tor.Neighbor(tor.Node(2, 2), North); got != tor.Node(2, 0) {
+		t.Fatalf("north wrap = %d, want %d", got, tor.Node(2, 0))
+	}
+	// South off row 0 wraps to the top row.
+	if got := tor.Neighbor(tor.Node(3, 0), South); got != tor.Node(3, 2) {
+		t.Fatalf("south wrap = %d, want %d", got, tor.Node(3, 2))
+	}
+	// Node() normalises arbitrary (even negative) coordinates.
+	if tor.Node(-1, -1) != tor.Node(4, 2) || tor.Node(7, 4) != tor.Node(2, 1) {
+		t.Fatal("Node() does not normalise coordinates modulo the dimensions")
+	}
+	// An out-of-range port is not connected.
+	if tor.Neighbor(0, MeshPorts) != Invalid || tor.Neighbor(0, -1) != Invalid {
+		t.Fatal("out-of-range torus port should be Invalid")
+	}
+	// XY round-trips for every node.
+	for id := 0; id < tor.Nodes(); id++ {
+		x, y := tor.XY(NodeID(id))
+		if tor.Node(x, y) != NodeID(id) {
+			t.Fatalf("XY/Node roundtrip failed for %d", id)
+		}
+	}
+}
+
+// The closed-form wrap-around Manhattan distance must agree with BFS
+// over the actual link structure.
+func TestTorusDistMatchesBFS(t *testing.T) {
+	tor := NewTorus(5, 4)
+	for src := 0; src < tor.Nodes(); src++ {
+		dist := BFSDist(tor, NodeID(src), nil)
+		for dst := 0; dst < tor.Nodes(); dst++ {
+			if got := tor.Dist(NodeID(src), NodeID(dst)); got != dist[dst] {
+				t.Fatalf("Dist(%d,%d) = %d, BFS says %d", src, dst, got, dist[dst])
+			}
+		}
+	}
+}
+
+// PortTo and Neighbor are mutually consistent on the torus, including
+// across the wrap links.
+func TestTorusPortToProperty(t *testing.T) {
+	tor := NewTorus(4, 5)
+	f := func(ai, bi uint) bool {
+		a := NodeID(ai % uint(tor.Nodes()))
+		b := NodeID(bi % uint(tor.Nodes()))
+		p, ok := tor.PortTo(a, b)
+		if ok {
+			return tor.Neighbor(a, p) == b && tor.Dist(a, b) == 1
+		}
+		return tor.Dist(a, b) != 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusRejectsDegenerateDimensions(t *testing.T) {
+	for _, c := range [][2]int{{2, 4}, {4, 2}, {0, 3}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTorus(%d,%d) accepted", c[0], c[1])
+				}
+			}()
+			NewTorus(c[0], c[1])
+		}()
+	}
+}
+
+// Port numbering of an irregular graph is a function of the edge set,
+// not of the order the edges were listed in — the rule tables bind
+// port indices, so two builds of the same graph must agree.
+func TestIrregularDeterministicPortNumbering(t *testing.T) {
+	edges := []Link{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}}
+	reversed := make([]Link, len(edges))
+	for i, e := range edges {
+		reversed[len(edges)-1-i] = e
+	}
+	a, err := NewIrregular("g", 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIrregular("g", 4, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < a.Nodes(); n++ {
+		for p := 0; p < a.Ports(); p++ {
+			if a.Neighbor(NodeID(n), p) != b.Neighbor(NodeID(n), p) {
+				t.Fatalf("node %d port %d differs between edge orderings", n, p)
+			}
+		}
+	}
+}
+
+// PortTo/Neighbor consistency on an irregular graph with ragged
+// degrees: high ports of low-degree nodes are unconnected.
+func TestIrregularPortToConsistency(t *testing.T) {
+	g, err := NewIrregular("star+", 5, []Link{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ports() != 4 {
+		t.Fatalf("max degree = %d, want 4", g.Ports())
+	}
+	for n := 0; n < g.Nodes(); n++ {
+		for p := 0; p < g.Ports(); p++ {
+			nb := g.Neighbor(NodeID(n), p)
+			if nb == Invalid {
+				continue
+			}
+			back, ok := g.PortTo(nb, NodeID(n))
+			if !ok || g.Neighbor(nb, back) != NodeID(n) {
+				t.Fatalf("link %d->%d has no consistent reverse port", n, nb)
+			}
+			fwd, ok := g.PortTo(NodeID(n), nb)
+			if !ok || fwd != p {
+				t.Fatalf("PortTo(%d,%d) = %d,%v, want %d", n, nb, fwd, ok, p)
+			}
+		}
+	}
+	// Node 3 has degree 1: its ports 1..3 are unconnected.
+	for p := 1; p < g.Ports(); p++ {
+		if g.Neighbor(3, p) != Invalid {
+			t.Fatalf("leaf node port %d should be Invalid", p)
+		}
+	}
+	if _, ok := g.PortTo(3, 4); ok {
+		t.Fatal("PortTo between non-adjacent nodes should be false")
+	}
+}
+
+// BFS distances behave on irregular graphs: the extra chord shortens
+// the path it bridges and nothing else breaks.
+func TestIrregularBFSDist(t *testing.T) {
+	// A 5-cycle plus the chord 0-2.
+	g, err := NewIrregular("c5+", 5, []Link{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := BFSDist(g, 0, nil)
+	want := []int{0, 1, 1, 2, 1}
+	for n, d := range want {
+		if dist[n] != d {
+			t.Fatalf("dist[%d] = %d, want %d", n, dist[n], d)
+		}
+	}
+}
+
+func TestIrregularRejectsEmptyNodeSet(t *testing.T) {
+	if _, err := NewIrregular("x", 0, []Link{{0, 1}}); err == nil {
+		t.Fatal("0-node irregular graph accepted")
+	}
+	if _, err := RandomIrregular(1, 0, 1); err == nil {
+		t.Fatal("1-node random irregular accepted")
+	}
+}

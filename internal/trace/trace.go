@@ -88,6 +88,9 @@ const (
 	// the network and the epoch's engine was retired (Arg = the
 	// retired epoch).
 	KEpochRetired
+	// KFailoverFlip: the failover plane resolved a fault by installing
+	// a precompiled backup engine instead of a live recompute.
+	KFailoverFlip
 
 	kindCount
 )
@@ -97,7 +100,7 @@ var kindNames = [kindCount]string{
 	"vc-freed", "flit-blocked", "credit-sent", "flit-delivered",
 	"flit-dropped", "msg-killed", "fault-raised", "fault-propagated",
 	"rule-fired", "dispatch", "deadlock", "livelock",
-	"reconfig-swap", "epoch-retired",
+	"reconfig-swap", "epoch-retired", "failover-flip",
 }
 
 // String returns the stable lower-case name of the kind.
