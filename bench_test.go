@@ -317,68 +317,104 @@ func BenchmarkE13_MarkedPriority(b *testing.B) {
 }
 
 // BenchmarkNetworkStep measures the per-cycle cost of the network
-// pipeline under saturating load, on the serial stepping path and on
-// the deterministic parallel engine. The parallel engine produces
-// bit-identical statistics, so the only question is wall-clock: on a
-// single-core machine it measures pure coordination overhead; on 4+
-// cores, workers=4 is the speedup configuration the engine targets.
-// Injection is refilled outside the timer so the measured loop is
-// Step() alone.
+// pipeline, on the serial stepping path and on the deterministic
+// parallel engine, across load levels:
+//
+//   - low: ~nodes/32 messages in flight — the active-set regime, where
+//     per-cycle cost should track live work, not topology size
+//   - moderate: ~nodes/4 messages in flight — a loaded but unsaturated
+//     network, the headline single-thread comparison point
+//   - saturating: ~2 messages per node — every VC busy, the regime the
+//     pre-arena benchmarks measured
+//
+// The parallel engine produces bit-identical statistics, so the only
+// question is wall-clock: on a single-core machine it measures pure
+// coordination overhead. Injection is refilled outside the timer so
+// the measured loop is Step() alone.
 func BenchmarkNetworkStep(b *testing.B) {
 	cases := []struct {
-		name string
-		make func() (topology.Graph, routing.Algorithm)
+		name    string
+		loads   []string
+		workers []int
+		make    func() (topology.Graph, routing.Algorithm)
 	}{
-		{"mesh16x16", func() (topology.Graph, routing.Algorithm) {
-			m := topology.NewMesh(16, 16)
-			return m, routing.NewNAFTA(m)
-		}},
-		{"cube10", func() (topology.Graph, routing.Algorithm) {
-			h := topology.NewHypercube(10)
-			return h, routing.NewECube(h)
-		}},
+		{"mesh16x16", []string{"low", "moderate", "saturating"}, []int{0, 2},
+			func() (topology.Graph, routing.Algorithm) {
+				m := topology.NewMesh(16, 16)
+				return m, routing.NewNAFTA(m)
+			}},
+		{"mesh64x64", []string{"low", "moderate"}, []int{0, 2},
+			func() (topology.Graph, routing.Algorithm) {
+				m := topology.NewMesh(64, 64)
+				return m, routing.NewNAFTA(m)
+			}},
+		{"cube10", []string{"saturating"}, []int{0, 2},
+			func() (topology.Graph, routing.Algorithm) {
+				h := topology.NewHypercube(10)
+				return h, routing.NewECube(h)
+			}},
+		{"cube14", []string{"low", "moderate"}, []int{0},
+			func() (topology.Graph, routing.Algorithm) {
+				h := topology.NewHypercube(14)
+				return h, routing.NewECube(h)
+			}},
+	}
+	target := func(load string, nodes int) int {
+		switch load {
+		case "low":
+			t := nodes / 32
+			if t < 8 {
+				t = 8
+			}
+			return t
+		case "moderate":
+			return nodes / 4
+		default: // saturating
+			return nodes * 2
+		}
 	}
 	for _, c := range cases {
-		for _, workers := range []int{0, 4} {
-			name := c.name + "/serial"
-			if workers > 0 {
-				name = fmt.Sprintf("%s/workers%d", c.name, workers)
-			}
-			b.Run(name, func(b *testing.B) {
-				g, alg := c.make()
-				n := network.New(network.Config{Graph: g, Algorithm: alg, Workers: workers})
-				defer n.Close()
-				if workers >= 2 && !n.ParallelActive() {
-					b.Fatalf("parallel engine inactive: %s", n.ParallelReason())
+		for _, load := range c.loads {
+			for _, workers := range c.workers {
+				name := fmt.Sprintf("%s/%s/serial", c.name, load)
+				if workers > 0 {
+					name = fmt.Sprintf("%s/%s/workers%d", c.name, load, workers)
 				}
-				rng := rand.New(rand.NewSource(1))
-				refill := func() {
-					// Keep roughly two messages per node in the system —
-					// past saturation for both topologies.
-					for n.Queued()+n.InFlight() < g.Nodes()*2 {
-						src := topology.NodeID(rng.Intn(g.Nodes()))
-						dst := topology.NodeID(rng.Intn(g.Nodes()))
-						if src != dst {
-							n.Inject(src, dst, 8)
+				b.Run(name, func(b *testing.B) {
+					g, alg := c.make()
+					n := network.New(network.Config{Graph: g, Algorithm: alg, Workers: workers})
+					defer n.Close()
+					if workers >= 2 && !n.ParallelActive() {
+						b.Fatalf("parallel engine inactive: %s", n.ParallelReason())
+					}
+					want := target(load, g.Nodes())
+					rng := rand.New(rand.NewSource(1))
+					refill := func() {
+						for n.Queued()+n.InFlight() < want {
+							src := topology.NodeID(rng.Intn(g.Nodes()))
+							dst := topology.NodeID(rng.Intn(g.Nodes()))
+							if src != dst {
+								n.Inject(src, dst, 8)
+							}
 						}
 					}
-				}
-				refill()
-				for i := 0; i < 100; i++ {
-					n.Step() // warm scratch buffers and fill the pipeline
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if n.InFlight() < g.Nodes() {
-						b.StopTimer()
-						refill()
-						b.StartTimer()
+					refill()
+					for i := 0; i < 100; i++ {
+						n.Step() // warm scratch buffers and fill the pipeline
 					}
-					n.Step()
-				}
-				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
-			})
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if n.Queued()+n.InFlight() < want/2 {
+							b.StopTimer()
+							refill()
+							b.StartTimer()
+						}
+						n.Step()
+					}
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+				})
+			}
 		}
 	}
 }

@@ -22,10 +22,14 @@
 #      equal a from-scratch recompute, and a failover-enabled campaign
 #      (25 scenarios per family) must be statistics-identical to the
 #      plain runs with the predicted flip/recompute counters
-#   9. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#   9. mesh64x64 smoke (under -race): the large-topology regime the
+#      arena/active-set engine exists for — one ftsim run on the
+#      serial engine and one on -workers 2 must print byte-identical
+#      statistics (the equivalence gate at 4096 nodes)
+#  10. (opt-in) bench regression gate: set BENCH_BASELINE to a
 #      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
-#      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op
-#      regression (cmd/benchjson -baseline).
+#      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op or
+#      bytes/op regression (cmd/benchjson -baseline).
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -66,6 +70,19 @@ echo "== failover smoke (flip-vs-recompute equivalence per fault class, -race)"
 go test -race -count=1 -run 'TestFailoverFlipMatchesRecompute' ./internal/failover/
 go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo nafta -failover
 go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo routec -failover
+
+echo "== mesh64x64 smoke (serial vs -workers 2 equivalence, -race)"
+big_args="-topo mesh64x64 -alg nafta -rate 0.02 -length 8 -warmup 200 -measure 800 -seed 7"
+# shellcheck disable=SC2086 # big_args is a flag list on purpose
+big_serial=$(go run -race ./cmd/ftsim $big_args -workers 0)
+# shellcheck disable=SC2086
+big_par=$(go run -race ./cmd/ftsim $big_args -workers 2)
+if [ "$big_serial" != "$big_par" ]; then
+	echo "ci.sh: mesh64x64 serial and -workers 2 statistics differ" >&2
+	printf '--- serial ---\n%s\n--- workers 2 ---\n%s\n' "$big_serial" "$big_par" >&2
+	exit 1
+fi
+echo "   serial and -workers 2 statistics identical at 4096 nodes"
 
 if [ -n "${BENCH_BASELINE:-}" ]; then
 	echo "== benchjson -baseline $BENCH_BASELINE"

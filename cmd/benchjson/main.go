@@ -12,9 +12,10 @@
 //
 //	go run ./cmd/benchjson -baseline BENCH_2026-08-06.json
 //
-// prints per-benchmark ns/op and allocs/op deltas and exits non-zero
-// when any benchmark regresses by more than -maxregress percent ns/op
-// (default 20). With -baseline and no -out, no snapshot file is
+// prints per-benchmark ns/op, B/op and allocs/op deltas and exits
+// non-zero when any benchmark regresses by more than -maxregress
+// percent in ns/op or bytes/op (default 20). With -baseline and no
+// -out, no snapshot file is
 // written (compare-only, the CI shape: BENCH_BASELINE=... ./ci.sh).
 package main
 
@@ -78,7 +79,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	out := fs.String("out", "", `output path ("-" for stdout; default BENCH_<date>.json)`)
 	baseline := fs.String("baseline", "", "prior snapshot to compare against (exit 1 on regression)")
-	maxRegress := fs.Float64("maxregress", 20, "ns/op regression threshold in percent for -baseline")
+	maxRegress := fs.Float64("maxregress", 20, "ns/op and bytes/op regression threshold in percent for -baseline")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -143,7 +144,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		if Compare(&base, &snap, stdout, *maxRegress) > 0 {
-			fmt.Fprintln(stderr, "benchjson: ns/op regression beyond threshold")
+			fmt.Fprintln(stderr, "benchjson: regression beyond threshold")
 			return 1
 		}
 	}
@@ -179,17 +180,27 @@ func Compare(base, cur *Snapshot, w io.Writer, maxRegressPct float64) int {
 		}
 		delete(baseBy, r.Name)
 		dn := pctDelta(b.NsPerOp, r.NsPerOp)
+		db := pctDelta(b.BytesPerOp, r.BytesPerOp)
 		da := pctDelta(b.AllocsOp, r.AllocsOp)
 		verdict := ""
 		if b.Benchtime != "" && r.Benchtime != "" && b.Benchtime != r.Benchtime {
 			verdict = fmt.Sprintf("  (benchtime %s vs %s)", b.Benchtime, r.Benchtime)
 		}
+		// Time and allocated bytes are both gated: a change that holds
+		// ns/op but starts allocating per op erodes exactly the
+		// steady-state property the BENCH snapshots exist to defend. A
+		// bytes_per_op regression from a zero base (0 -> nonzero) reads
+		// as +Inf and always trips.
 		if dn > maxRegressPct {
 			regressions++
-			verdict = "  REGRESSION"
+			verdict = "  REGRESSION(ns/op)"
+		} else if db > maxRegressPct {
+			regressions++
+			verdict = "  REGRESSION(B/op)"
 		}
-		fmt.Fprintf(w, "  %-44s ns/op %12.1f -> %12.1f (%s)  allocs/op %8.0f -> %8.0f (%s)%s\n",
-			r.Name, b.NsPerOp, r.NsPerOp, fmtPct(dn), b.AllocsOp, r.AllocsOp, fmtPct(da), verdict)
+		fmt.Fprintf(w, "  %-44s ns/op %12.1f -> %12.1f (%s)  B/op %9.0f -> %9.0f (%s)  allocs/op %8.0f -> %8.0f (%s)%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, fmtPct(dn), b.BytesPerOp, r.BytesPerOp, fmtPct(db),
+			b.AllocsOp, r.AllocsOp, fmtPct(da), verdict)
 	}
 	missing := make([]string, 0, len(baseBy))
 	for name := range baseBy {
@@ -200,7 +211,7 @@ func Compare(base, cur *Snapshot, w io.Writer, maxRegressPct float64) int {
 		fmt.Fprintf(w, "  %-44s (missing from current run)\n", name)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.0f%% ns/op\n", regressions, maxRegressPct)
+		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.0f%% (ns/op or bytes/op)\n", regressions, maxRegressPct)
 	}
 	return regressions
 }

@@ -122,6 +122,32 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// A benchmark that holds ns/op but regresses bytes/op still gates: the
+// steady-state 0-allocs property is exactly what the snapshots defend.
+func TestCompareFlagsBytesRegression(t *testing.T) {
+	base := &Snapshot{Date: "2026-08-07", Benchtime: "1x", Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 1000, BytesPerOp: 0},
+		{Name: "BenchmarkC", NsPerOp: 1000, BytesPerOp: 1000},
+	}}
+	cur := &Snapshot{Date: "2026-08-08", Benchtime: "1x", Results: []BenchResult{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1500}, // +50% B/op: regression
+		{Name: "BenchmarkB", NsPerOp: 1000, BytesPerOp: 64},   // 0 -> nonzero: +inf, regression
+		{Name: "BenchmarkC", NsPerOp: 1000, BytesPerOp: 1100}, // +10% B/op: within threshold
+	}}
+	var buf strings.Builder
+	if got := Compare(base, cur, &buf, 20); got != 2 {
+		t.Fatalf("regressions = %d, want 2\n%s", got, buf.String())
+	}
+	out := buf.String()
+	if strings.Count(out, "REGRESSION(B/op)") != 2 {
+		t.Errorf("want exactly two REGRESSION(B/op) flags:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION(ns/op)") {
+		t.Errorf("ns/op held flat but was flagged:\n%s", out)
+	}
+}
+
 func TestCompareWithinThreshold(t *testing.T) {
 	base := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 1000}}}
 	cur := &Snapshot{Results: []BenchResult{{Name: "BenchmarkA", NsPerOp: 1190}}}

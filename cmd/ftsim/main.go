@@ -19,6 +19,13 @@
 // or livelock (see -livelock) writes a structured report naming the
 // cycle, the blocked packets and the channel-wait cycle to
 // DIR/postmortem-<cycle>.json and prints its summary.
+//
+// -perf appends a performance summary: wall-clock cycles/s over the
+// whole run and the peak per-stage active-set sizes (how many live
+// (node, port, VC) slots each pipeline stage ever had to visit):
+//
+//	ftsim -topo mesh64x64 -alg nafta -rate 0.02 -perf
+//	ftsim -topo mesh64x64 -alg nafta -rate 0.02 -perf -workers 2
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/network"
@@ -65,6 +73,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		"trace file format: "+trace.FormatJSONL+" or "+trace.FormatChrome)
 	postmortem := fs.String("postmortem", "", "directory for automatic deadlock/livelock reports")
 	livelock := fs.Int64("livelock", 0, "livelock age bound in cycles (0 = disabled)")
+	perf := fs.Bool("perf", false, "print a performance summary (wall-clock cycles/s, peak active-set sizes)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -127,7 +136,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	_ = attach // the sim package wires the load view internally via network.New
+	// -perf wants the network itself (cycle count, active-set peaks),
+	// which sim.Run builds internally; OnNetwork hands it out.
+	var net *network.Network
+	if *perf {
+		cfg.OnNetwork = func(n *network.Network) { net = n }
+	}
+	start := time.Now()
 	res, err := sim.Run(cfg)
+	elapsed := time.Since(start)
 	if rec != nil {
 		if cerr := rec.Close(); cerr != nil {
 			fmt.Fprintln(stderr, "ftsim: trace sink:", cerr)
@@ -155,6 +172,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		safeDiv(float64(st.MisroutesSum), float64(st.Delivered)), st.MarkedCount)
 	fmt.Fprintf(stdout, "interp steps    %.2f per message\n", st.AvgSteps())
 	fmt.Fprintf(stdout, "queue growth    %d, drained %v\n", res.QueueGrowth, res.Drained)
+	if *perf && net != nil {
+		// net.Now() counts every cycle stepped (warmup + measurement +
+		// drain), which is what the wall clock covered. The peaks are
+		// in live (node, port, VC) slots — the per-stage work-list sizes
+		// the active-set engine actually iterates.
+		cycles := net.Now()
+		pk := net.Peaks()
+		fmt.Fprintf(stdout, "perf            %d cycles in %s (%.0f cycles/s, workers %d)\n",
+			cycles, elapsed.Round(time.Millisecond), safeDiv(float64(cycles), elapsed.Seconds()), *workers)
+		fmt.Fprintf(stdout, "active-set peak route=%d alloc=%d switch=%d drain=%d inject-nodes=%d\n",
+			pk.Route, pk.Alloc, pk.Switch, pk.Drain, pk.InjectNodes)
+	}
 	if res.PostMortem != nil {
 		fmt.Fprint(stdout, res.PostMortem.String())
 		if *postmortem != "" {

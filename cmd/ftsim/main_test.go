@@ -118,6 +118,43 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 }
 
+// TestRunPerfSummary: -perf must append the cycles/s line and the
+// active-set peak gauges, with a route peak a live run cannot avoid.
+func TestRunPerfSummary(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{
+		"-topo", "mesh4x4", "-alg", "nafta", "-rate", "0.15",
+		"-warmup", "100", "-measure", "400", "-perf",
+	}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errBuf.String())
+	}
+	got := out.String()
+	for _, want := range []string{"cycles/s", "workers 0", "active-set peak", "route="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("perf output missing %q:\n%s", want, got)
+		}
+	}
+	// Peaks are sampled every 64 cycles; a moderately loaded 500-cycle
+	// run keeps messages in flight at every sample instant, so the
+	// gauges cannot all be zero.
+	if strings.Contains(got, "route=0 alloc=0 switch=0 drain=0 inject-nodes=0") {
+		t.Errorf("all active-set peaks zero over a loaded run:\n%s", got)
+	}
+	// Without -perf, none of the summary appears.
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{
+		"-topo", "mesh4x4", "-alg", "nafta", "-rate", "0.05",
+		"-warmup", "100", "-measure", "400",
+	}, &out, &errBuf); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errBuf.String())
+	}
+	if strings.Contains(out.String(), "active-set peak") {
+		t.Errorf("perf summary printed without -perf:\n%s", out.String())
+	}
+}
+
 // TestRunChromeTrace is the end-to-end acceptance check: a mesh NAFTA
 // run with -trace-format=chrome produces a file that parses as valid
 // JSON with trace_event entries.

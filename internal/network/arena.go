@@ -1,0 +1,302 @@
+package network
+
+import "math/bits"
+
+// Flat arena state + active-set stepping.
+//
+// The per-router pointer graph ([]*router -> [][]inputVC) is replaced
+// by network-owned contiguous arenas indexed by precomputed strides: a
+// pipeline stage walks cache-line-adjacent structs instead of chasing
+// three levels of pointers. On top of the arenas, four incrementally
+// maintained active sets track exactly the (node, port, VC) slots with
+// live work per stage, so an idle VC costs nothing rather than a scan —
+// per-cycle cost follows in-flight work, not topology size.
+//
+// Membership is derived state. Every mutation of an input VC's
+// stage-relevant fields funnels through noteInput, which re-evaluates
+// the four predicates for that one slot:
+//
+//   route: !routed && q.len() > 0 && q.front().head   (awaiting RC)
+//   va:    routed && !eject && !unroutable && outPort < 0  (awaiting VA)
+//   sa:    outPort >= 0 && q.len() > 0                (flits to switch)
+//   drain: routed && (eject || unroutable) && q.len() > 0
+//
+// The decisionReady gate is deliberately NOT part of the predicates —
+// it is time-dependent, and stages check it live (a delayed decision
+// stays in its set until ready, which costs one skip per cycle).
+//
+// Determinism: a vcSet iterates members in ascending (node, slot)
+// order via trailing-zero bit scans — exactly the order of the nested
+// serial loops it replaces — and every stage's skip conditions equal
+// its set's membership predicate, so processing only active slots is
+// behaviourally identical to scanning everything. Stage processing may
+// remove the slot being visited from the set it is iterating (the
+// iteration snapshots each word first) and add slots to *other* sets,
+// but never adds to the set being iterated; that property keeps the
+// snapshot iteration exact.
+//
+// Parallelism: all add/remove paths executed inside parallel compute
+// phases touch only node-owned mask words, the node's count cell and
+// the node's summary-bit word. Summary words are shared by 64
+// consecutive nodes, so shard boundaries are aligned to multiples of
+// 64 (initParallel) and no two workers ever write the same word.
+
+// layout precomputes the arena strides of a network: input VCs are
+// indexed node*inStride + port*vcs + vc with port Ports() being the
+// injection pseudo-port; output VCs node*outStride + port*vcs + vc for
+// link ports only.
+type layout struct {
+	nodes   int
+	ports   int // link ports; the injection pseudo-port is index ports
+	vcs     int
+	inPorts int // ports+1
+	// inStride/outStride are the per-node slot counts.
+	inStride  int
+	outStride int
+}
+
+func newLayout(nodes, ports, vcs int) layout {
+	if vcs > 64 {
+		// switchNode extracts a per-port VC mask from the SA set's words,
+		// which requires a port's VC range to span at most two words.
+		panic("network: more than 64 VCs per port is not supported")
+	}
+	return layout{
+		nodes: nodes, ports: ports, vcs: vcs, inPorts: ports + 1,
+		inStride: (ports + 1) * vcs, outStride: ports * vcs,
+	}
+}
+
+// inIdx returns the ins-arena index of input (node, port, vc).
+func (l *layout) inIdx(node, port, vc int) int {
+	return node*l.inStride + port*l.vcs + vc
+}
+
+// outIdx returns the outs-arena index of output (node, port, vc).
+func (l *layout) outIdx(node, port, vc int) int {
+	return node*l.outStride + port*l.vcs + vc
+}
+
+// vcSet is a two-level bitset over (node, slot) pairs: per-node mask
+// words (wpn words each, node-owned), a node-level summary bitset and
+// a per-node member count. All operations are O(1); iteration visits
+// members in ascending (node, slot) order.
+type vcSet struct {
+	wpn      int      // mask words per node
+	words    []uint64 // nodes * wpn
+	nodeBits []uint64 // bit n set iff node n has any member
+	count    []int32  // members per node
+}
+
+func newVCSet(nodes, slots int) vcSet {
+	wpn := (slots + 63) / 64
+	return vcSet{
+		wpn:      wpn,
+		words:    make([]uint64, nodes*wpn),
+		nodeBits: make([]uint64, (nodes+63)/64),
+		count:    make([]int32, nodes),
+	}
+}
+
+// set makes (node, slot) a member iff member, updating the count and
+// summary bit on transitions.
+func (s *vcSet) set(node, slot int, member bool) {
+	w := &s.words[node*s.wpn+slot>>6]
+	bit := uint64(1) << (slot & 63)
+	if member {
+		if *w&bit == 0 {
+			*w |= bit
+			if s.count[node] == 0 {
+				s.nodeBits[node>>6] |= 1 << (node & 63)
+			}
+			s.count[node]++
+		}
+	} else if *w&bit != 0 {
+		*w &^= bit
+		s.count[node]--
+		if s.count[node] == 0 {
+			s.nodeBits[node>>6] &^= 1 << (node & 63)
+		}
+	}
+}
+
+// has reports membership of (node, slot).
+func (s *vcSet) has(node, slot int) bool {
+	return s.words[node*s.wpn+slot>>6]&(1<<(slot&63)) != 0
+}
+
+// clear empties the set.
+func (s *vcSet) clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	for i := range s.nodeBits {
+		s.nodeBits[i] = 0
+	}
+	for i := range s.count {
+		s.count[i] = 0
+	}
+}
+
+// size sums the per-node counts (peak sampling; not maintained as one
+// global counter because parallel shards would race on it).
+func (s *vcSet) size() int {
+	t := 0
+	for _, c := range s.count {
+		t += int(c)
+	}
+	return t
+}
+
+// forEach calls fn for every member with lo <= node < hi, in ascending
+// (node, slot) order. Each summary and mask word is snapshotted before
+// scanning, so fn may remove the visited slot (or any slot of the
+// visited node) and may add members to other sets — but must not add
+// members to THIS set. For parallel callers, lo must be 64-aligned and
+// hi either 64-aligned or the total node count.
+func (s *vcSet) forEach(lo, hi int, fn func(node, slot int)) {
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		nw := s.nodeBits[wi]
+		for nw != 0 {
+			node := wi<<6 + bits.TrailingZeros64(nw)
+			nw &= nw - 1
+			base := node * s.wpn
+			for k := 0; k < s.wpn; k++ {
+				mw := s.words[base+k]
+				for mw != 0 {
+					slot := k<<6 + bits.TrailingZeros64(mw)
+					mw &= mw - 1
+					fn(node, slot)
+				}
+			}
+		}
+	}
+}
+
+// forEachNode calls fn for every node with at least one member in
+// [lo, hi), ascending. Same snapshot/alignment contract as forEach.
+func (s *vcSet) forEachNode(lo, hi int, fn func(node int)) {
+	if lo >= hi {
+		return
+	}
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		nw := s.nodeBits[wi]
+		for nw != 0 {
+			node := wi<<6 + bits.TrailingZeros64(nw)
+			nw &= nw - 1
+			fn(node)
+		}
+	}
+}
+
+// nodeSet is a plain node-level bitset (injection work list).
+type nodeSet struct {
+	bits []uint64
+}
+
+func newNodeSet(nodes int) nodeSet {
+	return nodeSet{bits: make([]uint64, (nodes+63)/64)}
+}
+
+func (s *nodeSet) set(node int, member bool) {
+	if member {
+		s.bits[node>>6] |= 1 << (node & 63)
+	} else {
+		s.bits[node>>6] &^= 1 << (node & 63)
+	}
+}
+
+func (s *nodeSet) clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+func (s *nodeSet) size() int {
+	t := 0
+	for _, w := range s.bits {
+		t += bits.OnesCount64(w)
+	}
+	return t
+}
+
+// forEach visits members ascending; the word is snapshotted, so fn may
+// clear the visited node's bit.
+func (s *nodeSet) forEach(fn func(node int)) {
+	for wi, w := range s.bits {
+		for w != 0 {
+			node := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			fn(node)
+		}
+	}
+}
+
+// noteInput re-derives the active-set memberships of one input slot
+// (slot = port*vcs + vc) from its current state. Every mutation of an
+// input VC's routed/eject/unroutable/outPort/queue state must be
+// followed by a noteInput of that slot.
+func (n *Network) noteInput(node, slot int) {
+	ivc := &n.ins[node*n.lay.inStride+slot]
+	qlen := ivc.q.len()
+	n.routeSet.set(node, slot, !ivc.routed && qlen > 0 && ivc.q.front().head)
+	n.vaSet.set(node, slot, ivc.routed && !ivc.eject && !ivc.unroutable && ivc.outPort < 0)
+	n.saSet.set(node, slot, ivc.outPort >= 0 && qlen > 0)
+	n.drainSet.set(node, slot, ivc.routed && (ivc.eject || ivc.unroutable) && qlen > 0)
+}
+
+// rebuildActiveSets re-derives every work list from scratch — the cold
+// path after fault surgery rewrites arbitrary VC state in place.
+func (n *Network) rebuildActiveSets() {
+	n.routeSet.clear()
+	n.vaSet.clear()
+	n.saSet.clear()
+	n.drainSet.clear()
+	n.injNodes.clear()
+	for node := 0; node < n.lay.nodes; node++ {
+		for slot := 0; slot < n.lay.inStride; slot++ {
+			n.noteInput(node, slot)
+		}
+		n.injNodes.set(node, len(n.injQ[node]) > 0)
+	}
+}
+
+// ActiveSetPeaks reports the peak sizes of the per-stage work lists,
+// sampled every 64 cycles (Step): how busy the network got, in units
+// of live (node, port, VC) slots — the denominator of the active-set
+// win. InjectNodes counts nodes with a non-empty injection queue.
+type ActiveSetPeaks struct {
+	Route       int
+	Alloc       int
+	Switch      int
+	Drain       int
+	InjectNodes int
+}
+
+// Peaks returns the sampled active-set peaks since the network was
+// built.
+func (n *Network) Peaks() ActiveSetPeaks { return n.peaks }
+
+// samplePeaks updates the peak gauges (called from the serial step
+// epilogue every 64 cycles; summation over the per-node counts keeps
+// the hot path free of a shared size counter).
+func (n *Network) samplePeaks() {
+	if v := n.routeSet.size(); v > n.peaks.Route {
+		n.peaks.Route = v
+	}
+	if v := n.vaSet.size(); v > n.peaks.Alloc {
+		n.peaks.Alloc = v
+	}
+	if v := n.saSet.size(); v > n.peaks.Switch {
+		n.peaks.Switch = v
+	}
+	if v := n.drainSet.size(); v > n.peaks.Drain {
+		n.peaks.Drain = v
+	}
+	if v := n.injNodes.size(); v > n.peaks.InjectNodes {
+		n.peaks.InjectNodes = v
+	}
+}

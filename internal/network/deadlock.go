@@ -1,6 +1,10 @@
 package network
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
 
 // Deadlock analysis: the watchdog in Step flags missing progress; this
 // file provides the precise check used by the test suite. A wormhole
@@ -11,16 +15,17 @@ import "sort"
 // messages — a certificate that the routing algorithm's channel
 // dependency discipline was violated.
 
-// waitEdges returns, for message m's head at input (p,v) of router r,
-// the set of messages it currently waits on:
+// waitEdges returns, for the message whose head sits at input (p,v) of
+// node, the set of messages it currently waits on:
 //
 //   - unallocated head: the owners of every candidate output VC (the
 //     head can proceed once ANY candidate frees, so the message only
 //     counts as stuck when every candidate is owned or credit-less);
 //   - allocated head without credits: the message whose flits sit at
 //     the front of the full downstream buffer.
-func (n *Network) waitEdges(r *router, p, v int) (edges []*Message, stuck bool) {
-	ivc := &r.inputs[p][v]
+func (n *Network) waitEdges(node, p, v int) (edges []*Message, stuck bool) {
+	lay := &n.lay
+	ivc := &n.ins[lay.inIdx(node, p, v)]
 	if !ivc.routed || ivc.eject || ivc.unroutable || ivc.q.len() == 0 {
 		return nil, false
 	}
@@ -31,7 +36,7 @@ func (n *Network) waitEdges(r *router, p, v int) (edges []*Message, stuck bool) 
 		}
 		stuck = true
 		for _, c := range ivc.candidates {
-			out := &r.outputs[c.Port][c.VC]
+			out := &n.outs[lay.outIdx(node, c.Port, c.VC)]
 			if out.free() {
 				// A free candidate: not stuck (merely waiting for
 				// switch allocation).
@@ -43,21 +48,21 @@ func (n *Network) waitEdges(r *router, p, v int) (edges []*Message, stuck bool) 
 		}
 		return edges, stuck
 	}
-	out := &r.outputs[ivc.outPort][ivc.outVC]
+	out := &n.outs[lay.outIdx(node, ivc.outPort, ivc.outVC)]
 	if out.credits > 0 {
 		return nil, false
 	}
 	// Blocked on a full downstream buffer: wait on the worm at its
 	// front.
-	down := n.g.Neighbor(r.id, ivc.outPort)
+	down := n.g.Neighbor(topology.NodeID(node), ivc.outPort)
 	if down < 0 {
 		return nil, false
 	}
-	dp, ok := n.g.PortTo(down, r.id)
+	dp, ok := n.g.PortTo(down, topology.NodeID(node))
 	if !ok {
 		return nil, false
 	}
-	front := n.routers[down].inputs[dp][ivc.outVC].frontMsg()
+	front := n.ins[lay.inIdx(int(down), dp, ivc.outVC)].frontMsg()
 	if front != nil && front != me {
 		return []*Message{front}, true
 	}
@@ -71,16 +76,16 @@ func (n *Network) waitEdges(r *router, p, v int) (edges []*Message, stuck bool) 
 // conservative: a reported cycle is a real circular wait among
 // messages none of which has a free alternative this cycle.
 func (n *Network) FindDeadlockCycle() []int64 {
-	// Collect the stuck-wait edges.
+	// Collect the stuck-wait edges (cold path: full arena scan).
 	adj := map[*Message][]*Message{}
-	for _, r := range n.routers {
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				edges, stuck := n.waitEdges(r, p, v)
+	for node := 0; node < n.lay.nodes; node++ {
+		for p := 0; p < n.lay.inPorts; p++ {
+			for v := 0; v < n.lay.vcs; v++ {
+				edges, stuck := n.waitEdges(node, p, v)
 				if !stuck || len(edges) == 0 {
 					continue
 				}
-				m := r.inputs[p][v].curMsg
+				m := n.ins[n.lay.inIdx(node, p, v)].curMsg
 				adj[m] = append(adj[m], edges...)
 			}
 		}

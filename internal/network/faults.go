@@ -49,27 +49,27 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 	}
 
 	killed := make(map[*Message]bool)
+	lay := &n.lay
 
 	// 1. Messages touching failed routers (buffered flits or queued at
 	// a failed source).
-	for _, r := range n.routers {
-		if !f.NodeFaulty(r.id) {
+	for node := 0; node < lay.nodes; node++ {
+		if !f.NodeFaulty(topology.NodeID(node)) {
 			continue
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				for _, fl := range r.inputs[p][v].q.slice() {
-					killed[fl.msg] = true
-				}
+		base := node * lay.inStride
+		for slot := 0; slot < lay.inStride; slot++ {
+			for _, fl := range n.ins[base+slot].q.slice() {
+				killed[fl.msg] = true
 			}
 		}
-		for _, m := range r.injQ {
+		for _, m := range n.injQ[node] {
 			m.State = StateKilled
 			m.DoneTime = n.now
 			n.stats.Killed++
 			n.queued--
 		}
-		r.injQ = nil
+		n.injQ[node] = nil
 	}
 
 	// 2. Worms actively crossing a dead component: an output VC with
@@ -77,16 +77,16 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 	// Length) carries a worm that spans the attached link; if the
 	// sending router, the link or the receiving router is dead, that
 	// worm is cut.
-	for _, r := range n.routers {
-		for p := range r.outputs {
-			down := n.g.Neighbor(r.id, p)
-			for v := range r.outputs[p] {
-				out := &r.outputs[p][v]
+	for node := 0; node < lay.nodes; node++ {
+		for p := 0; p < lay.ports; p++ {
+			down := n.g.Neighbor(topology.NodeID(node), p)
+			for v := 0; v < lay.vcs; v++ {
+				out := &n.outs[lay.outIdx(node, p, v)]
 				if out.ownerMsg == nil || out.remaining >= out.ownerMsg.Hdr.Length {
 					continue
 				}
-				dead := f.NodeFaulty(r.id) || down == topology.Invalid ||
-					f.NodeFaulty(down) || f.LinkFaulty(r.id, down)
+				dead := f.NodeFaulty(topology.NodeID(node)) || down == topology.Invalid ||
+					f.NodeFaulty(down) || f.LinkFaulty(topology.NodeID(node), down)
 				if dead {
 					killed[out.ownerMsg] = true
 				}
@@ -95,23 +95,19 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 	}
 
 	// 3. Remove killed worms everywhere and account for them.
-	for _, r := range n.routers {
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if ivc.q.len() == 0 {
-					continue
-				}
-				live := ivc.q.slice()
-				kept := live[:0]
-				for _, fl := range live {
-					if !killed[fl.msg] {
-						kept = append(kept, fl)
-					}
-				}
-				ivc.q.truncate(len(kept))
+	for i := range n.ins {
+		ivc := &n.ins[i]
+		if ivc.q.len() == 0 {
+			continue
+		}
+		live := ivc.q.slice()
+		kept := live[:0]
+		for _, fl := range live {
+			if !killed[fl.msg] {
+				kept = append(kept, fl)
 			}
 		}
+		ivc.q.truncate(len(kept))
 	}
 	for m := range killed {
 		if m.State == StateInFlight {
@@ -137,49 +133,43 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 	// 4. Release outputs owned by killed worms; re-route allocations
 	// that would cross a dead link but have not moved a flit yet;
 	// recompute credits from the surviving buffer occupancy.
-	for _, r := range n.routers {
-		for p := range r.outputs {
-			for v := range r.outputs[p] {
-				out := &r.outputs[p][v]
-				if out.ownerMsg != nil && killed[out.ownerMsg] {
-					n.releaseOutput(r, p, v)
-				}
-			}
+	for i := range n.outs {
+		out := &n.outs[i]
+		if out.ownerMsg != nil && killed[out.ownerMsg] {
+			n.releaseOutput(out)
 		}
 	}
-	for _, r := range n.routers {
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if ivc.outPort < 0 {
-					// Unallocated: recompute the decision under the
-					// new fault state next cycle — unless the worm is
-					// already partially absorbed (the head flit is
-					// gone): clearing the route state of a headless
-					// worm would leave routeStage unable to ever route
-					// it again and wedge the input VC.
-					if ivc.routed && !ivc.eject && (ivc.q.len() == 0 || ivc.q.front().head) {
-						ivc.resetRoute()
-					}
-					continue
-				}
-				if ivc.curMsg == nil || killed[ivc.curMsg] {
-					// The worm this allocation belonged to is gone.
+	for node := 0; node < lay.nodes; node++ {
+		for slot := 0; slot < lay.inStride; slot++ {
+			ivc := &n.ins[node*lay.inStride+slot]
+			if ivc.outPort < 0 {
+				// Unallocated: recompute the decision under the
+				// new fault state next cycle — unless the worm is
+				// already partially absorbed (the head flit is
+				// gone): clearing the route state of a headless
+				// worm would leave routeStage unable to ever route
+				// it again and wedge the input VC.
+				if ivc.routed && !ivc.eject && (ivc.q.len() == 0 || ivc.q.front().head) {
 					ivc.resetRoute()
-					continue
 				}
-				out := &r.outputs[ivc.outPort][ivc.outVC]
-				down := n.g.Neighbor(r.id, ivc.outPort)
-				dead := down == topology.Invalid || f.LinkFaulty(r.id, down) || f.NodeFaulty(down)
-				if dead {
-					if out.remaining == ivc.curMsg.Hdr.Length {
-						// Nothing sent yet: safe to re-route.
-						n.releaseOutput(r, ivc.outPort, ivc.outVC)
-						ivc.resetRoute()
-					}
-					// Otherwise the worm already spans the link and was
-					// killed in step 2.
+				continue
+			}
+			if ivc.curMsg == nil || killed[ivc.curMsg] {
+				// The worm this allocation belonged to is gone.
+				ivc.resetRoute()
+				continue
+			}
+			out := &n.outs[lay.outIdx(node, ivc.outPort, ivc.outVC)]
+			down := n.g.Neighbor(topology.NodeID(node), ivc.outPort)
+			dead := down == topology.Invalid || f.LinkFaulty(topology.NodeID(node), down) || f.NodeFaulty(down)
+			if dead {
+				if out.remaining == ivc.curMsg.Hdr.Length {
+					// Nothing sent yet: safe to re-route.
+					n.releaseOutput(out)
+					ivc.resetRoute()
 				}
+				// Otherwise the worm already spans the link and was
+				// killed in step 2.
 			}
 		}
 	}
@@ -187,6 +177,9 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 	// recomputation.
 	n.creditQueue = n.creditQueue[:0]
 	n.recomputeCredits()
+	// Surgery rewrote VC state in place all over the arenas: re-derive
+	// every active-set membership from scratch (cold path).
+	n.rebuildActiveSets()
 
 	// 5. Diagnosis phase: propagate the new fault state to a fixpoint —
 	// or, when a failover plane is attached, let it resolve the fault:
@@ -207,9 +200,8 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 	}
 }
 
-// releaseOutput frees output (p,v) of router r.
-func (n *Network) releaseOutput(r *router, p, v int) {
-	out := &r.outputs[p][v]
+// releaseOutput frees one output VC.
+func (n *Network) releaseOutput(out *outputVC) {
 	out.ownerInPort, out.ownerInVC = -1, -1
 	out.ownerMsg = nil
 	out.remaining = 0
@@ -218,18 +210,20 @@ func (n *Network) releaseOutput(r *router, p, v int) {
 // recomputeCredits rebuilds every output's credit count from the
 // actual downstream buffer occupancy (used after fault surgery).
 func (n *Network) recomputeCredits() {
-	for _, r := range n.routers {
-		for p := range r.outputs {
-			down := n.g.Neighbor(r.id, p)
+	lay := &n.lay
+	for node := 0; node < lay.nodes; node++ {
+		for p := 0; p < lay.ports; p++ {
+			down := n.g.Neighbor(topology.NodeID(node), p)
 			if down == topology.Invalid {
 				continue
 			}
-			dp, ok := n.g.PortTo(down, r.id)
+			dp, ok := n.g.PortTo(down, topology.NodeID(node))
 			if !ok {
 				continue
 			}
-			for v := range r.outputs[p] {
-				r.outputs[p][v].credits = n.cfg.BufDepth - n.routers[down].inputs[dp][v].q.len()
+			for v := 0; v < lay.vcs; v++ {
+				n.outs[lay.outIdx(node, p, v)].credits =
+					n.cfg.BufDepth - n.ins[lay.inIdx(int(down), dp, v)].q.len()
 			}
 		}
 	}

@@ -1,65 +1,109 @@
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
 
 // CheckInvariants validates the internal consistency of the simulator
 // state; tests call it periodically. It returns the first violation
 // found, or nil.
 func (n *Network) CheckInvariants() error {
-	for _, r := range n.routers {
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if p != r.injPort() && ivc.q.len() > n.cfg.BufDepth {
+	lay := &n.lay
+	for node := 0; node < lay.nodes; node++ {
+		for p := 0; p < lay.inPorts; p++ {
+			for v := 0; v < lay.vcs; v++ {
+				ivc := &n.ins[lay.inIdx(node, p, v)]
+				if p != lay.ports && ivc.q.len() > n.cfg.BufDepth {
 					return fmt.Errorf("node %d input (%d,%d): %d flits exceed buffer depth %d",
-						r.id, p, v, ivc.q.len(), n.cfg.BufDepth)
+						node, p, v, ivc.q.len(), n.cfg.BufDepth)
 				}
 				if ivc.outPort >= 0 {
-					out := &r.outputs[ivc.outPort][ivc.outVC]
+					out := &n.outs[lay.outIdx(node, ivc.outPort, ivc.outVC)]
 					if out.ownerInPort != p || out.ownerInVC != v {
 						return fmt.Errorf("node %d input (%d,%d): allocation to (%d,%d) not owned back",
-							r.id, p, v, ivc.outPort, ivc.outVC)
+							node, p, v, ivc.outPort, ivc.outVC)
 					}
 					if out.ownerMsg != ivc.curMsg {
 						return fmt.Errorf("node %d output (%d,%d): owner message mismatch",
-							r.id, ivc.outPort, ivc.outVC)
+							node, ivc.outPort, ivc.outVC)
 					}
 				}
 			}
 		}
-		for p := range r.outputs {
-			down := n.g.Neighbor(r.id, p)
-			for v := range r.outputs[p] {
-				out := &r.outputs[p][v]
+		for p := 0; p < lay.ports; p++ {
+			down := n.g.Neighbor(topology.NodeID(node), p)
+			for v := 0; v < lay.vcs; v++ {
+				out := &n.outs[lay.outIdx(node, p, v)]
 				if out.credits < 0 || out.credits > n.cfg.BufDepth {
 					return fmt.Errorf("node %d output (%d,%d): credits %d out of range",
-						r.id, p, v, out.credits)
+						node, p, v, out.credits)
 				}
 				if down >= 0 {
-					dp, ok := n.g.PortTo(down, r.id)
+					dp, ok := n.g.PortTo(down, topology.NodeID(node))
 					if ok {
-						occ := n.routers[down].inputs[dp][v].q.len()
+						occ := n.ins[lay.inIdx(int(down), dp, v)].q.len()
 						inFlight := 0
 						for _, c := range n.creditQueue {
-							if c.node == r.id && c.port == p && c.vc == v {
+							if int(c.node) == node && c.port == p && c.vc == v {
 								inFlight++
 							}
 						}
 						if out.credits+occ+inFlight != n.cfg.BufDepth {
 							return fmt.Errorf("node %d output (%d,%d): credits %d + occupancy %d + in-flight %d != depth %d",
-								r.id, p, v, out.credits, occ, inFlight, n.cfg.BufDepth)
+								node, p, v, out.credits, occ, inFlight, n.cfg.BufDepth)
 						}
 					}
 				}
 				if out.ownerMsg == nil && out.remaining != 0 {
 					return fmt.Errorf("node %d output (%d,%d): free but remaining %d",
-						r.id, p, v, out.remaining)
+						node, p, v, out.remaining)
 				}
 				if out.ownerMsg != nil && out.free() {
 					return fmt.Errorf("node %d output (%d,%d): owner message set but port free",
-						r.id, p, v)
+						node, p, v)
 				}
 			}
+		}
+	}
+	return n.checkActiveSets()
+}
+
+// checkActiveSets verifies that every active-set membership equals its
+// defining predicate over the current VC state, and that the injection
+// work list covers every node with queued messages. The differential
+// test batteries call CheckInvariants every cycle, so any incremental
+// maintenance bug in noteInput or a missed noteInput call surfaces
+// immediately instead of as a statistics drift.
+func (n *Network) checkActiveSets() error {
+	lay := &n.lay
+	for node := 0; node < lay.nodes; node++ {
+		for slot := 0; slot < lay.inStride; slot++ {
+			ivc := &n.ins[node*lay.inStride+slot]
+			qlen := ivc.q.len()
+			wantRoute := !ivc.routed && qlen > 0 && ivc.q.front().head
+			wantVA := ivc.routed && !ivc.eject && !ivc.unroutable && ivc.outPort < 0
+			wantSA := ivc.outPort >= 0 && qlen > 0
+			wantDrain := ivc.routed && (ivc.eject || ivc.unroutable) && qlen > 0
+			if got := n.routeSet.has(node, slot); got != wantRoute {
+				return fmt.Errorf("node %d slot %d: routeSet membership %v, predicate %v", node, slot, got, wantRoute)
+			}
+			if got := n.vaSet.has(node, slot); got != wantVA {
+				return fmt.Errorf("node %d slot %d: vaSet membership %v, predicate %v", node, slot, got, wantVA)
+			}
+			if got := n.saSet.has(node, slot); got != wantSA {
+				return fmt.Errorf("node %d slot %d: saSet membership %v, predicate %v", node, slot, got, wantSA)
+			}
+			if got := n.drainSet.has(node, slot); got != wantDrain {
+				return fmt.Errorf("node %d slot %d: drainSet membership %v, predicate %v", node, slot, got, wantDrain)
+			}
+		}
+		// Injection bits are allowed to be stale-set (a faulty node's
+		// queue is nulled without clearing its bit; injectStage skips it),
+		// but a node with queued messages must never be missing.
+		if len(n.injQ[node]) > 0 && n.injNodes.bits[node>>6]&(1<<(node&63)) == 0 {
+			return fmt.Errorf("node %d: %d queued injections but not in injNodes", node, len(n.injQ[node]))
 		}
 	}
 	return nil

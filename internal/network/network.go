@@ -144,7 +144,7 @@ func (s *Stats) DeliveredRatio() float64 {
 // send describes one flit movement decided in the allocation phase and
 // applied atomically at the end of the cycle.
 type send struct {
-	from     *router
+	from     int // source node
 	fromPort int
 	fromVC   int
 	outPort  int
@@ -153,14 +153,42 @@ type send struct {
 
 // Network is the cycle-driven simulator instance.
 type Network struct {
-	cfg     Config
-	g       topology.Graph
-	alg     routing.Algorithm
-	sel     routing.Selector
-	routers []*router
-	faults  *fault.Set
-	now     int64
-	nextID  int64
+	cfg    Config
+	g      topology.Graph
+	alg    routing.Algorithm
+	sel    routing.Selector
+	faults *fault.Set
+	now    int64
+	nextID int64
+
+	// lay precomputes the arena strides; all per-router state lives in
+	// the flat arenas below, indexed by lay (see arena.go).
+	lay layout
+	// ins[lay.inIdx(node, port, vc)]: port 0..Ports()-1 are links,
+	// port Ports() is the injection pseudo-port (its own VC array so an
+	// injected message can claim any VC class).
+	ins []inputVC
+	// outs[lay.outIdx(node, port, vc)] for the link ports only.
+	outs []outputVC
+	// injQ[node] is the source queue of not-yet-started messages.
+	injQ [][]*Message
+	// rrIn[node*lay.inPorts+port] is the round-robin pointer for
+	// nominating one VC per input port in SA; rrOut likewise
+	// (node*lay.ports+port) for picking one request per output port.
+	rrIn  []int
+	rrOut []int
+	// sent[node*lay.ports+port] counts flits transmitted through each
+	// output port (link-utilisation statistics).
+	sent []int64
+
+	// Per-stage active sets (arena.go): exactly the slots with live
+	// work, maintained incrementally via noteInput.
+	routeSet vcSet
+	vaSet    vcSet
+	saSet    vcSet
+	drainSet vcSet
+	injNodes nodeSet
+	peaks    ActiveSetPeaks
 
 	// epochs is non-nil when the algorithm hands out table epochs
 	// (reconfig.Swapper); messages pin their admission epoch on
@@ -241,10 +269,66 @@ func New(cfg Config) *Network {
 		faults: fault.NewSet(),
 		rec:    cfg.Recorder,
 	}
-	n.routers = make([]*router, cfg.Graph.Nodes())
-	for i := range n.routers {
-		n.routers[i] = newRouter(topology.NodeID(i), cfg.Graph.Ports(), cfg.VCs, cfg.BufDepth)
+	n.lay = newLayout(cfg.Graph.Nodes(), cfg.Graph.Ports(), cfg.VCs)
+	lay := &n.lay
+	n.ins = make([]inputVC, lay.nodes*lay.inStride)
+	n.outs = make([]outputVC, lay.nodes*lay.outStride)
+	n.injQ = make([][]*Message, lay.nodes)
+	n.rrIn = make([]int, lay.nodes*lay.inPorts)
+	n.rrOut = make([]int, lay.nodes*lay.ports)
+	n.sent = make([]int64, lay.nodes*lay.ports)
+	// One pooled backing arena for every link-attached VC buffer: a
+	// link VC never holds more than BufDepth flits, so each gets a
+	// fixed-capacity sub-slice (full slice expression — an append past
+	// capacity can never bleed into the neighbour). The injection
+	// pseudo-port VCs are unbounded and grow on demand.
+	arena := make([]flit, lay.nodes*lay.ports*lay.vcs*cfg.BufDepth)
+	off := 0
+	for node := 0; node < lay.nodes; node++ {
+		for p := 0; p < lay.ports; p++ {
+			for v := 0; v < lay.vcs; v++ {
+				ivc := &n.ins[lay.inIdx(node, p, v)]
+				ivc.q.buf = arena[off:off : off+cfg.BufDepth]
+				off += cfg.BufDepth
+			}
+		}
 	}
+	// The injection pseudo-port VCs are unbounded (a whole message is
+	// materialised at once), but they still get pooled backing sized
+	// for typical message lengths; a longer message grows its node's
+	// buffer once and keeps it. Only VC 0 receives injected traffic.
+	injCap := 4 * cfg.BufDepth
+	injArena := make([]flit, lay.nodes*injCap)
+	for node := 0; node < lay.nodes; node++ {
+		ivc := &n.ins[lay.inIdx(node, lay.ports, 0)]
+		ivc.q.buf = injArena[node*injCap : node*injCap : (node+1)*injCap]
+	}
+	// Routing candidates persist across cycles (VA retries consume
+	// them), so each input slot owns a fixed-capacity sub-slice too. An
+	// algorithm offering more than candCap outputs for one decision
+	// grows that slot's buffer once — a one-time, amortised event; the
+	// natives on the benched topologies all fit.
+	candCap := 4
+	if pv := lay.ports * lay.vcs; pv < candCap {
+		candCap = pv
+	}
+	cands := make([]routing.Candidate, len(n.ins)*candCap)
+	for i := range n.ins {
+		n.ins[i].candidates = cands[i*candCap : i*candCap : (i+1)*candCap]
+	}
+	for i := range n.ins {
+		n.ins[i].resetRoute()
+	}
+	for i := range n.outs {
+		n.outs[i].ownerInPort = -1
+		n.outs[i].ownerInVC = 0
+		n.outs[i].credits = cfg.BufDepth
+	}
+	n.routeSet = newVCSet(lay.nodes, lay.inStride)
+	n.vaSet = newVCSet(lay.nodes, lay.inStride)
+	n.saSet = newVCSet(lay.nodes, lay.inStride)
+	n.drainSet = newVCSet(lay.nodes, lay.inStride)
+	n.injNodes = newNodeSet(lay.nodes)
 	if n.rec != nil {
 		n.rec.SetClock(n.Now)
 	}
@@ -290,7 +374,8 @@ func (n *Network) Inject(src, dst topology.NodeID, length int) *Message {
 	}
 	n.nextID++
 	n.stats.Injected++
-	n.routers[src].injQ = append(n.routers[src].injQ, m)
+	n.injQ[src] = append(n.injQ[src], m)
+	n.injNodes.set(int(src), true)
 	n.queued++
 	if n.cfg.RecordMessages {
 		n.Messages = append(n.Messages, m)
@@ -303,20 +388,21 @@ func (n *Network) Inject(src, dst topology.NodeID, length int) *Message {
 
 // OutFree reports whether output (port,vc) of node is unowned.
 func (n *Network) OutFree(node topology.NodeID, port, vc int) bool {
-	return n.routers[node].outputs[port][vc].free()
+	return n.outs[n.lay.outIdx(int(node), port, vc)].free()
 }
 
 // Credits returns the free downstream buffer slots of output
 // (port,vc).
 func (n *Network) Credits(node topology.NodeID, port, vc int) int {
-	return n.routers[node].outputs[port][vc].credits
+	return n.outs[n.lay.outIdx(int(node), port, vc)].credits
 }
 
 // QueuedFlits returns the data volume still to pass output (port,vc).
 func (n *Network) QueuedFlits(node topology.NodeID, port, vc int) int {
 	total := 0
+	base := n.lay.outIdx(int(node), port, 0)
 	for v := 0; v < n.cfg.VCs; v++ {
-		total += n.routers[node].outputs[port][v].remaining
+		total += n.outs[base+v].remaining
 	}
 	return total
 }
@@ -356,6 +442,9 @@ func (n *Network) stepSerial() {
 	if n.cfg.LivelockAgeCycles > 0 && n.now%n.cfg.LivelockCheckInterval == 0 {
 		n.checkLivelock()
 	}
+	if n.now&63 == 0 {
+		n.samplePeaks()
+	}
 	n.now++
 }
 
@@ -378,22 +467,24 @@ func (n *Network) Drain(maxCycles int64) bool {
 	return n.Idle()
 }
 
-// injectStage materialises the next queued message of every node into
-// its injection pseudo-port when that port is empty.
+// injectStage materialises the next queued message of every node with
+// a non-empty injection queue into its injection pseudo-port when that
+// port is empty.
 func (n *Network) injectStage() {
-	for _, r := range n.routers {
-		if len(r.injQ) == 0 {
-			continue
+	n.injNodes.forEach(func(node int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return // killed separately in ApplyFaults
 		}
-		if n.faults.NodeFaulty(r.id) {
-			continue // killed separately in ApplyFaults
-		}
-		ivc := &r.inputs[r.injPort()][0]
+		injSlot := n.lay.ports * n.lay.vcs // (injection pseudo-port, VC 0)
+		ivc := &n.ins[node*n.lay.inStride+injSlot]
 		if ivc.q.len() > 0 {
-			continue // previous message still streaming
+			return // previous message still streaming
 		}
-		m := r.injQ[0]
-		r.injQ = r.injQ[1:]
+		m := n.injQ[node][0]
+		n.injQ[node] = n.injQ[node][1:]
+		if len(n.injQ[node]) == 0 {
+			n.injNodes.set(node, false)
+		}
 		m.StartTime = n.now
 		m.State = StateInFlight
 		if n.epochs != nil {
@@ -403,178 +494,209 @@ func (n *Network) injectStage() {
 			ivc.q.pushBack(flit{msg: m, head: i == 0, tail: i == m.Hdr.Length-1})
 		}
 		ivc.resetRoute()
+		n.noteInput(node, injSlot)
 		n.queued--
 		n.inFlight++
 		if n.rec != nil {
 			n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFlitInjected,
-				Node: int32(r.id), Msg: m.ID, Port: -1, VC: -1, Arg: int32(m.Hdr.Length)})
+				Node: int32(node), Msg: m.ID, Port: -1, VC: -1, Arg: int32(m.Hdr.Length)})
 		}
-	}
+	})
 }
 
 // routeStage performs RC for every input VC whose front flit is an
-// unrouted head.
+// unrouted head — exactly the routeSet membership.
 func (n *Network) routeStage() {
-	for _, r := range n.routers {
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.routeSet.forEach(0, n.lay.nodes, func(node, slot int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if ivc.routed || ivc.q.len() == 0 || !ivc.q.front().head {
-					continue
-				}
-				m := ivc.q.front().msg
-				ivc.curMsg = m
-				if m.Hdr.Dst == r.id {
-					ivc.routed = true
-					ivc.eject = true
-					ivc.decisionReady = n.now
-					continue
-				}
-				req := n.requestFor(r, p, v, m)
-				steps := n.alg.Steps(req)
-				m.Steps += steps
-				ivc.candidates = routing.RouteInto(n.alg, req, ivc.candidates[:0])
-				ivc.routed = true
-				ivc.unroutable = len(ivc.candidates) == 0
-				ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
-				if n.rec != nil {
-					kind := trace.KRouteComputed
-					if ivc.unroutable {
-						kind = trace.KUnroutable
-					}
-					n.rec.Record(trace.Event{Cycle: n.now, Kind: kind,
-						Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
-						Arg: int32(len(ivc.candidates))})
-				}
+		ivc := &n.ins[node*n.lay.inStride+slot]
+		m := ivc.q.front().msg
+		ivc.curMsg = m
+		if m.Hdr.Dst == topology.NodeID(node) {
+			ivc.routed = true
+			ivc.eject = true
+			ivc.decisionReady = n.now
+			n.noteInput(node, slot)
+			return
+		}
+		p, v := slot/n.lay.vcs, slot%n.lay.vcs
+		req := n.requestFor(node, p, v, m)
+		steps := n.alg.Steps(req)
+		m.Steps += steps
+		ivc.candidates = routing.RouteInto(n.alg, req, ivc.candidates[:0])
+		ivc.routed = true
+		ivc.unroutable = len(ivc.candidates) == 0
+		ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
+		n.noteInput(node, slot)
+		if n.rec != nil {
+			kind := trace.KRouteComputed
+			if ivc.unroutable {
+				kind = trace.KUnroutable
 			}
+			n.rec.Record(trace.Event{Cycle: n.now, Kind: kind,
+				Node: int32(node), Msg: m.ID, Port: int16(p), VC: int16(v),
+				Arg: int32(len(ivc.candidates))})
 		}
-	}
+	})
 }
 
-func (n *Network) requestFor(r *router, p, v int, m *Message) routing.Request {
+func (n *Network) requestFor(node, p, v int, m *Message) routing.Request {
 	inPort := p
-	if p == r.injPort() {
+	if p == n.lay.ports {
 		inPort = routing.InjectionPort
 	}
-	return routing.Request{Node: r.id, InPort: inPort, InVC: v, Hdr: &m.Hdr}
+	return routing.Request{Node: topology.NodeID(node), InPort: inPort, InVC: v, Hdr: &m.Hdr}
 }
 
-// allocStage performs VA: routed-but-unallocated inputs try to claim a
-// free output VC among their candidates, guided by the selector.
+// allocStage performs VA: routed-but-unallocated inputs (the vaSet)
+// try to claim a free output VC among their candidates, guided by the
+// selector.
 func (n *Network) allocStage() {
-	for _, r := range n.routers {
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.vaSet.forEach(0, n.lay.nodes, func(node, slot int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if !ivc.routed || ivc.eject || ivc.unroutable || ivc.outPort >= 0 {
-					continue
-				}
-				if n.now < ivc.decisionReady {
-					continue
-				}
-				free := n.freeScratch[:0]
-				for _, c := range ivc.candidates {
-					if r.outputs[c.Port][c.VC].free() {
-						free = append(free, c)
-					}
-				}
-				n.freeScratch = free[:0] // selectors do not retain the slice
-				if len(free) == 0 {
-					continue
-				}
-				m := ivc.frontMsg()
-				chosen := n.sel.Select(n, r.id, free, &m.Hdr)
-				n.alg.NoteHop(n.requestFor(r, p, v, m), chosen)
-				ivc.outPort, ivc.outVC = chosen.Port, chosen.VC
-				out := &r.outputs[chosen.Port][chosen.VC]
-				out.ownerInPort, out.ownerInVC = p, v
-				out.ownerMsg = m
-				out.remaining = m.Hdr.Length
-				if n.rec != nil {
-					n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KVCAllocated,
-						Node: int32(r.id), Msg: m.ID, Port: int16(chosen.Port), VC: int16(chosen.VC)})
-				}
+		ivc := &n.ins[node*n.lay.inStride+slot]
+		if n.now < ivc.decisionReady {
+			return
+		}
+		outBase := node * n.lay.outStride
+		free := n.freeScratch[:0]
+		for _, c := range ivc.candidates {
+			if n.outs[outBase+c.Port*n.lay.vcs+c.VC].free() {
+				free = append(free, c)
 			}
 		}
-	}
+		n.freeScratch = free[:0] // selectors do not retain the slice
+		if len(free) == 0 {
+			return
+		}
+		p, v := slot/n.lay.vcs, slot%n.lay.vcs
+		m := ivc.frontMsg()
+		chosen := n.sel.Select(n, topology.NodeID(node), free, &m.Hdr)
+		n.alg.NoteHop(n.requestFor(node, p, v, m), chosen)
+		ivc.outPort, ivc.outVC = chosen.Port, chosen.VC
+		out := &n.outs[outBase+chosen.Port*n.lay.vcs+chosen.VC]
+		out.ownerInPort, out.ownerInVC = p, v
+		out.ownerMsg = m
+		out.remaining = m.Hdr.Length
+		n.noteInput(node, slot)
+		if n.rec != nil {
+			n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KVCAllocated,
+				Node: int32(node), Msg: m.ID, Port: int16(chosen.Port), VC: int16(chosen.VC)})
+		}
+	})
 }
 
 // switchStage performs SA: each input port nominates one VC, each
 // output port grants one nominee; the result is the list of flit
-// movements of this cycle.
+// movements of this cycle. Only nodes in the saSet (some input holds
+// an allocated output with flits queued) can nominate, so inactive
+// routers are skipped wholesale; within an active node the walk is the
+// full serial round-robin order — the rr pointers, blocked-event and
+// nomination behaviour are untouched.
 func (n *Network) switchStage() []send {
 	moves := n.moveScratch[:0]
 	if n.nomScratch == nil {
 		n.nomScratch = make([][]nominee, n.g.Ports())
 	}
-	for _, r := range n.routers {
-		if n.faults.NodeFaulty(r.id) {
+	n.saSet.forEachNode(0, n.lay.nodes, func(node int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
+		}
+		moves = n.switchNode(node, n.nomScratch, moves, nil)
+	})
+	n.moveScratch = moves
+	return moves
+}
+
+// switchNode runs nomination and grant for one active router,
+// appending the granted movements to moves. Blocked events are
+// recorded directly when ops is nil (serial stepping) or deferred into
+// *ops (parallel shards).
+func (n *Network) switchNode(node int, nomineesByOut [][]nominee, moves []send, ops *[]deferredOp) []send {
+	lay := &n.lay
+	inBase := node * lay.inStride
+	outBase := node * lay.outStride
+	rrBase := node * lay.inPorts
+	rrOutBase := node * lay.ports
+	for op := range nomineesByOut {
+		nomineesByOut[op] = nomineesByOut[op][:0]
+	}
+	// Nomination: one VC per input port (round-robin fairness). The
+	// per-output nominee lists live in reused scratch storage (indexed
+	// by output port — grants are independent per output, so the fixed
+	// iteration order is behaviourally equivalent to the map it
+	// replaced). The serial walk's per-slot skip condition
+	// (outPort < 0 || empty queue) is exactly non-membership in the SA
+	// set, so the node's saSet mask words double as a port/VC skip mask:
+	// ports with no active VC cost one bit test, and within a port only
+	// active VCs are visited — in unchanged round-robin order.
+	saBase := node * n.saSet.wpn
+	vcMask := uint64(1)<<uint(lay.vcs) - 1
+	for p := 0; p < lay.inPorts; p++ {
+		vcs := lay.vcs
+		bitpos := p * vcs
+		pm := n.saSet.words[saBase+bitpos>>6] >> (bitpos & 63)
+		if rem := 64 - bitpos&63; rem < vcs {
+			pm |= n.saSet.words[saBase+bitpos>>6+1] << rem
+		}
+		pm &= vcMask
+		if pm == 0 {
 			continue
 		}
-		// Nomination: one VC per input port (round-robin fairness).
-		// The per-output nominee lists live in reused scratch storage
-		// (indexed by output port — grants are independent per output,
-		// so the fixed iteration order is behaviourally equivalent to
-		// the map it replaces).
-		nomineesByOut := n.nomScratch
-		for op := range nomineesByOut {
-			nomineesByOut[op] = nomineesByOut[op][:0]
-		}
-		for p := range r.inputs {
-			vcs := len(r.inputs[p])
-			for off := 0; off < vcs; off++ {
-				v := (r.rrIn[p] + off) % vcs
-				ivc := &r.inputs[p][v]
-				if ivc.outPort < 0 || ivc.q.len() == 0 {
-					continue
-				}
-				out := &r.outputs[ivc.outPort][ivc.outVC]
-				if out.credits <= 0 {
-					if n.rec != nil && !ivc.blockedNoted {
-						ivc.blockedNoted = true
-						n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KFlitBlocked,
-							Node: int32(r.id), Msg: ivc.curMsg.ID,
-							Port: int16(ivc.outPort), VC: int16(ivc.outVC)})
-					}
-					continue
-				}
-				nomineesByOut[ivc.outPort] = append(nomineesByOut[ivc.outPort], nominee{p, v})
-				r.rrIn[p] = (v + 1) % vcs
-				break
-			}
-		}
-		// Grant: one input per output port (optionally favouring
-		// fault-detoured messages, Section 3 Scheduling and Fairness).
-		for op, noms := range nomineesByOut {
-			if len(noms) == 0 {
+		for off := 0; off < vcs; off++ {
+			v := (n.rrIn[rrBase+p] + off) % vcs
+			if pm&(1<<uint(v)) == 0 {
 				continue
 			}
-			pick := noms[r.rrOut[op]%len(noms)]
-			if n.cfg.FavorMarked {
-				start := r.rrOut[op] % len(noms)
-				for off := 0; off < len(noms); off++ {
-					cand := noms[(start+off)%len(noms)]
-					if m := r.inputs[cand.port][cand.vc].curMsg; m != nil && m.Hdr.Marked {
-						pick = cand
-						break
+			ivc := &n.ins[inBase+p*vcs+v]
+			out := &n.outs[outBase+ivc.outPort*vcs+ivc.outVC]
+			if out.credits <= 0 {
+				if n.rec != nil && !ivc.blockedNoted {
+					ivc.blockedNoted = true
+					ev := trace.Event{Cycle: n.now, Kind: trace.KFlitBlocked,
+						Node: int32(node), Msg: ivc.curMsg.ID,
+						Port: int16(ivc.outPort), VC: int16(ivc.outVC)}
+					if ops == nil {
+						n.rec.Record(ev)
+					} else {
+						*ops = append(*ops, deferredOp{kind: opEvent, ev: ev})
 					}
 				}
+				continue
 			}
-			r.rrOut[op]++
-			ivc := &r.inputs[pick.port][pick.vc]
-			moves = append(moves, send{
-				from: r, fromPort: pick.port, fromVC: pick.vc,
-				outPort: ivc.outPort, outVC: ivc.outVC,
-			})
+			nomineesByOut[ivc.outPort] = append(nomineesByOut[ivc.outPort], nominee{p, v})
+			n.rrIn[rrBase+p] = (v + 1) % vcs
+			break
 		}
 	}
-	n.moveScratch = moves
+	// Grant: one input per output port (optionally favouring
+	// fault-detoured messages, Section 3 Scheduling and Fairness).
+	for op, noms := range nomineesByOut {
+		if len(noms) == 0 {
+			continue
+		}
+		pick := noms[n.rrOut[rrOutBase+op]%len(noms)]
+		if n.cfg.FavorMarked {
+			start := n.rrOut[rrOutBase+op] % len(noms)
+			for off := 0; off < len(noms); off++ {
+				cand := noms[(start+off)%len(noms)]
+				if m := n.ins[inBase+cand.port*lay.vcs+cand.vc].curMsg; m != nil && m.Hdr.Marked {
+					pick = cand
+					break
+				}
+			}
+		}
+		n.rrOut[rrOutBase+op]++
+		ivc := &n.ins[inBase+pick.port*lay.vcs+pick.vc]
+		moves = append(moves, send{
+			from: node, fromPort: pick.port, fromVC: pick.vc,
+			outPort: ivc.outPort, outVC: ivc.outVC,
+		})
+	}
 	return moves
 }
 
@@ -582,27 +704,30 @@ func (n *Network) switchStage() []send {
 // the downstream router, and maintain credits, ownership and message
 // accounting. It reports whether any flit moved.
 func (n *Network) applyMoves(moves []send) bool {
+	lay := &n.lay
 	for _, mv := range moves {
-		r := mv.from
-		ivc := &r.inputs[mv.fromPort][mv.fromVC]
+		node := mv.from
+		srcSlot := mv.fromPort*lay.vcs + mv.fromVC
+		ivc := &n.ins[node*lay.inStride+srcSlot]
 		f := ivc.q.popFront()
 		ivc.blockedNoted = false
-		n.creditReturnVC(r, mv.fromPort, mv.fromVC)
-		out := &r.outputs[mv.outPort][mv.outVC]
+		n.creditReturnVC(node, mv.fromPort, mv.fromVC)
+		out := &n.outs[lay.outIdx(node, mv.outPort, mv.outVC)]
 		out.credits--
 		out.remaining--
-		r.sent[mv.outPort]++
+		n.sent[node*lay.ports+mv.outPort]++
 		if f.head {
 			f.msg.Hops++
 		}
 		// Deliver into the downstream input buffer.
-		down := n.g.Neighbor(r.id, mv.outPort)
-		dr := n.routers[down]
-		dp, ok := n.g.PortTo(down, r.id)
+		down := n.g.Neighbor(topology.NodeID(node), mv.outPort)
+		dp, ok := n.g.PortTo(down, topology.NodeID(node))
 		if !ok {
 			panic("network: inconsistent topology in applyMoves")
 		}
-		dr.inputs[dp][mv.outVC].q.pushBack(f)
+		downSlot := dp*lay.vcs + mv.outVC
+		n.ins[int(down)*lay.inStride+downSlot].q.pushBack(f)
+		n.noteInput(int(down), downSlot)
 		if f.tail {
 			// The worm has fully left: release input route state and
 			// output ownership.
@@ -612,25 +737,26 @@ func (n *Network) applyMoves(moves []send) bool {
 			out.remaining = 0
 			if n.rec != nil {
 				n.rec.Record(trace.Event{Cycle: n.now, Kind: trace.KVCFreed,
-					Node: int32(r.id), Msg: f.msg.ID,
+					Node: int32(node), Msg: f.msg.ID,
 					Port: int16(mv.outPort), VC: int16(mv.outVC)})
 			}
 		}
+		n.noteInput(node, srcSlot)
 	}
 	return len(moves) > 0
 }
 
 // creditReturnVC gives one credit back for a flit popped from input
-// (p,v) of router r, after the configured return latency.
-func (n *Network) creditReturnVC(r *router, p, v int) {
-	if p == r.injPort() {
-		return
+// (p,v) of node, after the configured return latency.
+func (n *Network) creditReturnVC(node, p, v int) {
+	if p == n.lay.ports {
+		return // injection pseudo-port: no upstream link
 	}
-	up := n.g.Neighbor(r.id, p)
+	up := n.g.Neighbor(topology.NodeID(node), p)
 	if up == topology.Invalid {
 		return
 	}
-	upPort, ok := n.g.PortTo(up, r.id)
+	upPort, ok := n.g.PortTo(up, topology.NodeID(node))
 	if !ok {
 		return
 	}
@@ -640,7 +766,7 @@ func (n *Network) creditReturnVC(r *router, p, v int) {
 			Arg: int32(n.cfg.CreditDelay)})
 	}
 	if n.cfg.CreditDelay <= 0 {
-		n.routers[up].outputs[upPort][v].credits++
+		n.outs[n.lay.outIdx(int(up), upPort, v)].credits++
 		return
 	}
 	n.creditQueue = append(n.creditQueue, pendingCredit{
@@ -656,7 +782,7 @@ func (n *Network) deliverCredits() {
 	kept := n.creditQueue[:0]
 	for _, c := range n.creditQueue {
 		if c.due <= n.now {
-			n.routers[c.node].outputs[c.port][c.vc].credits++
+			n.outs[n.lay.outIdx(int(c.node), c.port, c.vc)].credits++
 		} else {
 			kept = append(kept, c)
 		}
@@ -665,75 +791,70 @@ func (n *Network) deliverCredits() {
 }
 
 // drainStage ejects delivered flits and absorbs unroutable messages
-// (one flit per input VC per cycle). It reports whether anything
-// drained.
+// (one flit per input VC per cycle) — exactly the drainSet membership,
+// gated live on decisionReady. It reports whether anything drained.
 func (n *Network) drainStage() bool {
 	progress := false
-	for _, r := range n.routers {
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.drainSet.forEach(0, n.lay.nodes, func(node, slot int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if !ivc.routed || (!ivc.eject && !ivc.unroutable) || ivc.q.len() == 0 {
-					continue
+		ivc := &n.ins[node*n.lay.inStride+slot]
+		if n.now < ivc.decisionReady {
+			return
+		}
+		p, v := slot/n.lay.vcs, slot%n.lay.vcs
+		f := ivc.q.popFront()
+		n.creditReturnVC(node, p, v)
+		progress = true
+		if ivc.eject {
+			n.stats.FlitsDelivered++
+			f.msg.flitsEjected++
+		}
+		if f.tail {
+			m := f.msg
+			m.DoneTime = n.now
+			if n.rec != nil {
+				kind := trace.KFlitDelivered
+				if !ivc.eject {
+					kind = trace.KFlitDropped
 				}
-				if n.now < ivc.decisionReady {
-					continue
-				}
-				f := ivc.q.popFront()
-				n.creditReturnVC(r, p, v)
-				progress = true
-				if ivc.eject {
-					n.stats.FlitsDelivered++
-					f.msg.flitsEjected++
-				}
-				if f.tail {
-					m := f.msg
-					m.DoneTime = n.now
-					if n.rec != nil {
-						kind := trace.KFlitDelivered
-						if !ivc.eject {
-							kind = trace.KFlitDropped
-						}
-						n.rec.Record(trace.Event{Cycle: n.now, Kind: kind,
-							Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
-							Arg: int32(n.now - m.InjectTime)})
-					}
-					if ivc.eject {
-						m.State = StateDelivered
-						n.stats.Delivered++
-						n.stats.HopsSum += int64(m.Hops)
-						n.stats.StepsSum += int64(m.Steps)
-						n.stats.MisroutesSum += int64(m.Hdr.Misroutes)
-						if m.Hdr.Marked {
-							n.stats.MarkedCount++
-						}
-						lat := m.Latency()
-						n.stats.LatencySum += lat
-						n.stats.NetLatencySum += m.NetworkLatency()
-						if lat > n.stats.MaxLatency {
-							n.stats.MaxLatency = lat
-						}
-					} else {
-						m.State = StateDropped
-						m.DropNode = r.id
-						m.DropInPort = p
-						if p == r.injPort() {
-							m.DropInPort = routing.InjectionPort
-						}
-						m.DropInVC = v
-						n.stats.Dropped++
-					}
-					n.inFlight--
-					if n.epochs != nil {
-						n.epochs.ReleaseEpoch(m.Hdr.Epoch)
-					}
-					ivc.resetRoute()
-				}
+				n.rec.Record(trace.Event{Cycle: n.now, Kind: kind,
+					Node: int32(node), Msg: m.ID, Port: int16(p), VC: int16(v),
+					Arg: int32(n.now - m.InjectTime)})
 			}
+			if ivc.eject {
+				m.State = StateDelivered
+				n.stats.Delivered++
+				n.stats.HopsSum += int64(m.Hops)
+				n.stats.StepsSum += int64(m.Steps)
+				n.stats.MisroutesSum += int64(m.Hdr.Misroutes)
+				if m.Hdr.Marked {
+					n.stats.MarkedCount++
+				}
+				lat := m.Latency()
+				n.stats.LatencySum += lat
+				n.stats.NetLatencySum += m.NetworkLatency()
+				if lat > n.stats.MaxLatency {
+					n.stats.MaxLatency = lat
+				}
+			} else {
+				m.State = StateDropped
+				m.DropNode = topology.NodeID(node)
+				m.DropInPort = p
+				if p == n.lay.ports {
+					m.DropInPort = routing.InjectionPort
+				}
+				m.DropInVC = v
+				n.stats.Dropped++
+			}
+			n.inFlight--
+			if n.epochs != nil {
+				n.epochs.ReleaseEpoch(m.Hdr.Epoch)
+			}
+			ivc.resetRoute()
 		}
-	}
+		n.noteInput(node, slot)
+	})
 	return progress
 }

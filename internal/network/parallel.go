@@ -36,11 +36,20 @@ import (
 //   - drainStage pops local input VCs and defers credits, stats,
 //     epoch releases and events.
 //
-// injectStage stays serial (it is O(nodes) and touches global
-// counters). The result is bit-identical Stats and trace-event
-// content for every seed, algorithm, fast-path setting, fault
-// schedule and hot-swap scenario — the serial stepper remains the
-// oracle of the differential tests.
+// injectStage stays serial (it walks the injection work list and
+// touches global counters). The result is bit-identical Stats and
+// trace-event content for every seed, algorithm, fast-path setting,
+// fault schedule and hot-swap scenario — the serial stepper remains
+// the oracle of the differential tests.
+//
+// With the flat-arena/active-set engine (arena.go), each shard stage
+// iterates only its range of the per-stage work lists
+// (forEach(s.lo, s.hi)) instead of scanning every router. Membership
+// updates from inside a parallel phase write the mutated node's mask
+// words, its count cell and its summary-bit word; summary words are
+// shared by 64 consecutive nodes, so initParallel aligns every shard
+// boundary to a multiple of 64 router IDs — no two workers ever write
+// the same word, and the phase commit order is unchanged.
 
 // Compute-phase identifiers (stepEngine.phase).
 const (
@@ -164,10 +173,29 @@ func (n *Network) initParallel() {
 	e := &stepEngine{n: n, quit: make(chan struct{})}
 	e.shards = make([]*shard, w)
 	e.start = make([]chan struct{}, w)
+	// Shard boundaries are rounded up to multiples of 64 router IDs so
+	// that the active sets' node-summary words (64 nodes per word) are
+	// never shared between workers; the final boundary is the node
+	// count. Rounding preserves monotonicity, so small networks may get
+	// empty trailing shards — their workers simply have no work.
+	bound := func(i int) int {
+		b := (i*nodes/w + 63) &^ 63
+		if b > nodes {
+			b = nodes
+		}
+		return b
+	}
 	for i := range e.shards {
+		lo, hi := bound(i), bound(i+1)
+		if i == 0 {
+			lo = 0
+		}
+		if i == w-1 {
+			hi = nodes
+		}
 		e.shards[i] = &shard{
-			lo:   i * nodes / w,
-			hi:   (i + 1) * nodes / w,
+			lo:   lo,
+			hi:   hi,
 			noms: make([][]nominee, n.g.Ports()),
 		}
 		e.start[i] = make(chan struct{}, 1)
@@ -355,6 +383,9 @@ func (n *Network) stepParallel() {
 	if n.cfg.LivelockAgeCycles > 0 && n.now%n.cfg.LivelockCheckInterval == 0 {
 		n.checkLivelock()
 	}
+	if n.now&63 == 0 {
+		n.samplePeaks()
+	}
 	n.now++
 }
 
@@ -379,7 +410,7 @@ func (n *Network) replayOps(s *shard) {
 		case opRelease:
 			n.epochs.ReleaseEpoch(op.epoch)
 		case opCredit:
-			n.routers[op.credit.node].outputs[op.credit.port][op.credit.vc].credits++
+			n.outs[n.lay.outIdx(int(op.credit.node), op.credit.port, op.credit.vc)].credits++
 		case opQueueCredit:
 			n.creditQueue = append(n.creditQueue, op.credit)
 		}
@@ -425,162 +456,104 @@ func (n *Network) commitDrain() bool {
 func (n *Network) deliverCreditsShard(s *shard) {
 	for _, c := range n.creditQueue {
 		if c.due <= n.now && int(c.node) >= s.lo && int(c.node) < s.hi {
-			n.routers[c.node].outputs[c.port][c.vc].credits++
+			n.outs[n.lay.outIdx(int(c.node), c.port, c.vc)].credits++
 		}
 	}
 }
 
-// routeStageShard is routeStage over one shard: decisions run on the
-// shard's context, trace events are deferred.
+// routeStageShard is routeStage over the shard's slice of the route
+// work list: decisions run on the shard's context, trace events are
+// deferred.
 func (n *Network) routeStageShard(s *shard) {
-	for i := s.lo; i < s.hi; i++ {
-		r := n.routers[i]
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.routeSet.forEach(s.lo, s.hi, func(node, slot int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if ivc.routed || ivc.q.len() == 0 || !ivc.q.front().head {
-					continue
-				}
-				m := ivc.q.front().msg
-				ivc.curMsg = m
-				if m.Hdr.Dst == r.id {
-					ivc.routed = true
-					ivc.eject = true
-					ivc.decisionReady = n.now
-					continue
-				}
-				req := n.requestFor(r, p, v, m)
-				steps := s.alg.Steps(req)
-				m.Steps += steps
-				ivc.candidates = routing.RouteInto(s.alg, req, ivc.candidates[:0])
-				ivc.routed = true
-				ivc.unroutable = len(ivc.candidates) == 0
-				ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
-				if n.rec != nil {
-					kind := trace.KRouteComputed
-					if ivc.unroutable {
-						kind = trace.KUnroutable
-					}
-					s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
-						Cycle: n.now, Kind: kind,
-						Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
-						Arg: int32(len(ivc.candidates))}})
-				}
+		ivc := &n.ins[node*n.lay.inStride+slot]
+		m := ivc.q.front().msg
+		ivc.curMsg = m
+		if m.Hdr.Dst == topology.NodeID(node) {
+			ivc.routed = true
+			ivc.eject = true
+			ivc.decisionReady = n.now
+			n.noteInput(node, slot)
+			return
+		}
+		p, v := slot/n.lay.vcs, slot%n.lay.vcs
+		req := n.requestFor(node, p, v, m)
+		steps := s.alg.Steps(req)
+		m.Steps += steps
+		ivc.candidates = routing.RouteInto(s.alg, req, ivc.candidates[:0])
+		ivc.routed = true
+		ivc.unroutable = len(ivc.candidates) == 0
+		ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
+		n.noteInput(node, slot)
+		if n.rec != nil {
+			kind := trace.KRouteComputed
+			if ivc.unroutable {
+				kind = trace.KUnroutable
 			}
+			s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+				Cycle: n.now, Kind: kind,
+				Node: int32(node), Msg: m.ID, Port: int16(p), VC: int16(v),
+				Arg: int32(len(ivc.candidates))}})
 		}
-	}
+	})
 }
 
-// allocStageShard is allocStage over one shard. The selector is
-// shard-safe (per-node state only) and the load view reads nothing but
-// the deciding router's outputs.
+// allocStageShard is allocStage over the shard's slice of the VA work
+// list. The selector is shard-safe (per-node state only) and the load
+// view reads nothing but the deciding router's outputs.
 func (n *Network) allocStageShard(s *shard) {
-	for i := s.lo; i < s.hi; i++ {
-		r := n.routers[i]
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.vaSet.forEach(s.lo, s.hi, func(node, slot int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if !ivc.routed || ivc.eject || ivc.unroutable || ivc.outPort >= 0 {
-					continue
-				}
-				if n.now < ivc.decisionReady {
-					continue
-				}
-				free := s.free[:0]
-				for _, c := range ivc.candidates {
-					if r.outputs[c.Port][c.VC].free() {
-						free = append(free, c)
-					}
-				}
-				s.free = free[:0] // selectors do not retain the slice
-				if len(free) == 0 {
-					continue
-				}
-				m := ivc.frontMsg()
-				chosen := n.sel.Select(n, r.id, free, &m.Hdr)
-				s.alg.NoteHop(n.requestFor(r, p, v, m), chosen)
-				ivc.outPort, ivc.outVC = chosen.Port, chosen.VC
-				out := &r.outputs[chosen.Port][chosen.VC]
-				out.ownerInPort, out.ownerInVC = p, v
-				out.ownerMsg = m
-				out.remaining = m.Hdr.Length
-				if n.rec != nil {
-					s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
-						Cycle: n.now, Kind: trace.KVCAllocated,
-						Node: int32(r.id), Msg: m.ID, Port: int16(chosen.Port), VC: int16(chosen.VC)}})
-				}
+		ivc := &n.ins[node*n.lay.inStride+slot]
+		if n.now < ivc.decisionReady {
+			return
+		}
+		outBase := node * n.lay.outStride
+		free := s.free[:0]
+		for _, c := range ivc.candidates {
+			if n.outs[outBase+c.Port*n.lay.vcs+c.VC].free() {
+				free = append(free, c)
 			}
 		}
-	}
+		s.free = free[:0] // selectors do not retain the slice
+		if len(free) == 0 {
+			return
+		}
+		p, v := slot/n.lay.vcs, slot%n.lay.vcs
+		m := ivc.frontMsg()
+		chosen := n.sel.Select(n, topology.NodeID(node), free, &m.Hdr)
+		s.alg.NoteHop(n.requestFor(node, p, v, m), chosen)
+		ivc.outPort, ivc.outVC = chosen.Port, chosen.VC
+		out := &n.outs[outBase+chosen.Port*n.lay.vcs+chosen.VC]
+		out.ownerInPort, out.ownerInVC = p, v
+		out.ownerMsg = m
+		out.remaining = m.Hdr.Length
+		n.noteInput(node, slot)
+		if n.rec != nil {
+			s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+				Cycle: n.now, Kind: trace.KVCAllocated,
+				Node: int32(node), Msg: m.ID, Port: int16(chosen.Port), VC: int16(chosen.VC)}})
+		}
+	})
 }
 
-// switchStageShard is switchStage over one shard: nomination and grant
-// are router-local; the granted movements land in the shard's move
-// list for the serial applyMoves commit.
+// switchStageShard is switchStage over the shard's slice of the SA
+// work list: nomination and grant are router-local; the granted
+// movements land in the shard's move list for the serial applyMoves
+// commit, blocked events in the shard's op list.
 func (n *Network) switchStageShard(s *shard) {
 	moves := s.moves[:0]
-	for i := s.lo; i < s.hi; i++ {
-		r := n.routers[i]
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.saSet.forEachNode(s.lo, s.hi, func(node int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		nomineesByOut := s.noms
-		for op := range nomineesByOut {
-			nomineesByOut[op] = nomineesByOut[op][:0]
-		}
-		for p := range r.inputs {
-			vcs := len(r.inputs[p])
-			for off := 0; off < vcs; off++ {
-				v := (r.rrIn[p] + off) % vcs
-				ivc := &r.inputs[p][v]
-				if ivc.outPort < 0 || ivc.q.len() == 0 {
-					continue
-				}
-				out := &r.outputs[ivc.outPort][ivc.outVC]
-				if out.credits <= 0 {
-					if n.rec != nil && !ivc.blockedNoted {
-						ivc.blockedNoted = true
-						s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
-							Cycle: n.now, Kind: trace.KFlitBlocked,
-							Node: int32(r.id), Msg: ivc.curMsg.ID,
-							Port: int16(ivc.outPort), VC: int16(ivc.outVC)}})
-					}
-					continue
-				}
-				nomineesByOut[ivc.outPort] = append(nomineesByOut[ivc.outPort], nominee{p, v})
-				r.rrIn[p] = (v + 1) % vcs
-				break
-			}
-		}
-		for op, noms := range nomineesByOut {
-			if len(noms) == 0 {
-				continue
-			}
-			pick := noms[r.rrOut[op]%len(noms)]
-			if n.cfg.FavorMarked {
-				start := r.rrOut[op] % len(noms)
-				for off := 0; off < len(noms); off++ {
-					cand := noms[(start+off)%len(noms)]
-					if m := r.inputs[cand.port][cand.vc].curMsg; m != nil && m.Hdr.Marked {
-						pick = cand
-						break
-					}
-				}
-			}
-			r.rrOut[op]++
-			ivc := &r.inputs[pick.port][pick.vc]
-			moves = append(moves, send{
-				from: r, fromPort: pick.port, fromVC: pick.vc,
-				outPort: ivc.outPort, outVC: ivc.outVC,
-			})
-		}
-	}
+		moves = n.switchNode(node, s.noms, moves, &s.ops)
+	})
 	s.moves = moves
 }
 
@@ -590,15 +563,15 @@ func (n *Network) switchStageShard(s *shard) {
 // reads credits between the drain compute and the commit, so applying
 // them at commit is behaviourally identical to the serial immediate
 // return.
-func (n *Network) creditReturnShard(s *shard, r *router, p, v int) {
-	if p == r.injPort() {
-		return
+func (n *Network) creditReturnShard(s *shard, node, p, v int) {
+	if p == n.lay.ports {
+		return // injection pseudo-port: no upstream link
 	}
-	up := n.g.Neighbor(r.id, p)
+	up := n.g.Neighbor(topology.NodeID(node), p)
 	if up == topology.Invalid {
 		return
 	}
-	upPort, ok := n.g.PortTo(up, r.id)
+	upPort, ok := n.g.PortTo(up, topology.NodeID(node))
 	if !ok {
 		return
 	}
@@ -616,77 +589,71 @@ func (n *Network) creditReturnShard(s *shard, r *router, p, v int) {
 	}
 }
 
-// drainStageShard is drainStage over one shard: ejection and
-// absorption are router-local; credits, stats, epoch releases and
-// events are deferred.
+// drainStageShard is drainStage over the shard's slice of the drain
+// work list: ejection and absorption are router-local; credits, stats,
+// epoch releases and events are deferred.
 func (n *Network) drainStageShard(s *shard) {
 	d := &s.delta
-	for i := s.lo; i < s.hi; i++ {
-		r := n.routers[i]
-		if n.faults.NodeFaulty(r.id) {
-			continue
+	n.drainSet.forEach(s.lo, s.hi, func(node, slot int) {
+		if n.faults.NodeFaulty(topology.NodeID(node)) {
+			return
 		}
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
-				if !ivc.routed || (!ivc.eject && !ivc.unroutable) || ivc.q.len() == 0 {
-					continue
+		ivc := &n.ins[node*n.lay.inStride+slot]
+		if n.now < ivc.decisionReady {
+			return
+		}
+		p, v := slot/n.lay.vcs, slot%n.lay.vcs
+		f := ivc.q.popFront()
+		n.creditReturnShard(s, node, p, v)
+		d.progress = true
+		if ivc.eject {
+			d.flitsDelivered++
+			f.msg.flitsEjected++
+		}
+		if f.tail {
+			m := f.msg
+			m.DoneTime = n.now
+			if n.rec != nil {
+				kind := trace.KFlitDelivered
+				if !ivc.eject {
+					kind = trace.KFlitDropped
 				}
-				if n.now < ivc.decisionReady {
-					continue
-				}
-				f := ivc.q.popFront()
-				n.creditReturnShard(s, r, p, v)
-				d.progress = true
-				if ivc.eject {
-					d.flitsDelivered++
-					f.msg.flitsEjected++
-				}
-				if f.tail {
-					m := f.msg
-					m.DoneTime = n.now
-					if n.rec != nil {
-						kind := trace.KFlitDelivered
-						if !ivc.eject {
-							kind = trace.KFlitDropped
-						}
-						s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
-							Cycle: n.now, Kind: kind,
-							Node: int32(r.id), Msg: m.ID, Port: int16(p), VC: int16(v),
-							Arg: int32(n.now - m.InjectTime)}})
-					}
-					if ivc.eject {
-						m.State = StateDelivered
-						d.delivered++
-						d.hopsSum += int64(m.Hops)
-						d.stepsSum += int64(m.Steps)
-						d.misroutesSum += int64(m.Hdr.Misroutes)
-						if m.Hdr.Marked {
-							d.markedCount++
-						}
-						lat := m.Latency()
-						d.latencySum += lat
-						d.netLatencySum += m.NetworkLatency()
-						if lat > d.maxLatency {
-							d.maxLatency = lat
-						}
-					} else {
-						m.State = StateDropped
-						m.DropNode = r.id
-						m.DropInPort = p
-						if p == r.injPort() {
-							m.DropInPort = routing.InjectionPort
-						}
-						m.DropInVC = v
-						d.dropped++
-					}
-					d.inFlight--
-					if n.epochs != nil {
-						s.ops = append(s.ops, deferredOp{kind: opRelease, epoch: m.Hdr.Epoch})
-					}
-					ivc.resetRoute()
-				}
+				s.ops = append(s.ops, deferredOp{kind: opEvent, ev: trace.Event{
+					Cycle: n.now, Kind: kind,
+					Node: int32(node), Msg: m.ID, Port: int16(p), VC: int16(v),
+					Arg: int32(n.now - m.InjectTime)}})
 			}
+			if ivc.eject {
+				m.State = StateDelivered
+				d.delivered++
+				d.hopsSum += int64(m.Hops)
+				d.stepsSum += int64(m.Steps)
+				d.misroutesSum += int64(m.Hdr.Misroutes)
+				if m.Hdr.Marked {
+					d.markedCount++
+				}
+				lat := m.Latency()
+				d.latencySum += lat
+				d.netLatencySum += m.NetworkLatency()
+				if lat > d.maxLatency {
+					d.maxLatency = lat
+				}
+			} else {
+				m.State = StateDropped
+				m.DropNode = topology.NodeID(node)
+				m.DropInPort = p
+				if p == n.lay.ports {
+					m.DropInPort = routing.InjectionPort
+				}
+				m.DropInVC = v
+				d.dropped++
+			}
+			d.inFlight--
+			if n.epochs != nil {
+				s.ops = append(s.ops, deferredOp{kind: opRelease, epoch: m.Hdr.Epoch})
+			}
+			ivc.resetRoute()
 		}
-	}
+		n.noteInput(node, slot)
+	})
 }

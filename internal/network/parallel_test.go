@@ -89,6 +89,21 @@ func runParScenario(t *testing.T, name string, workers int) parRun {
 				n.ApplyFaults(f)
 			}
 		}
+	case "neghop-faults":
+		h := topology.NewHypercube(4)
+		a, err := routing.NewNegHop(h, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, alg = h, a
+		f := fault.NewSet()
+		midRun = func(n *Network, cycle int64) {
+			if cycle == 40 {
+				f.FailNode(topology.NodeID(5))
+				f.FailLink(topology.NodeID(2), topology.NodeID(10))
+				n.ApplyFaults(f)
+			}
+		}
 	case "swap-hot":
 		m := topology.NewMesh(6, 6)
 		mk := func() routing.Algorithm {
@@ -163,7 +178,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	scenarios := []string{
 		"nafta-fast", "nafta-ref",
 		"routec-fast", "routec-ref",
-		"nara-roundrobin-creditdelay", "xy-drops", "swap-hot",
+		"nara-roundrobin-creditdelay", "xy-drops", "neghop-faults", "swap-hot",
 	}
 	for _, name := range scenarios {
 		name := name
@@ -241,17 +256,26 @@ func TestParallelFallbacks(t *testing.T) {
 	m := topology.NewMesh(4, 4)
 	h := topology.NewHypercube(4)
 
-	// NegHop mutates engine state in Route: no parallel marker.
+	// NegHop counts exhaustion atomically and is ConcurrentRoutable:
+	// it must ride the parallel engine.
 	nh, err := routing.NewNegHop(h, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := New(Config{Graph: h, Algorithm: nh, Workers: 4})
 	defer n.Close()
-	if n.ParallelActive() {
-		t.Fatal("neg-hop must not step in parallel (Route mutates engine state)")
+	if !n.ParallelActive() {
+		t.Fatalf("neg-hop should step in parallel: %s", n.ParallelReason())
 	}
-	if n.ParallelReason() == "" {
+
+	// An engine with neither the concurrency marker nor decision
+	// contexts forces the serial path with a reason — never an error.
+	n1 := New(Config{Graph: h, Algorithm: serialOnlyAlg{routing.NewECube(h)}, Workers: 4})
+	defer n1.Close()
+	if n1.ParallelActive() {
+		t.Fatal("marker-less engine must not step in parallel")
+	}
+	if n1.ParallelReason() == "" {
 		t.Fatal("fallback must carry a reason")
 	}
 
@@ -269,6 +293,11 @@ func TestParallelFallbacks(t *testing.T) {
 		t.Fatal("Workers<=1 must keep the serial path silently")
 	}
 }
+
+// serialOnlyAlg hides an engine's parallel capabilities: the embedded
+// interface promotes only Algorithm's methods, so the wrapper is
+// neither ConcurrentRoutable nor a DecisionContexter.
+type serialOnlyAlg struct{ routing.Algorithm }
 
 type unsafeSelector struct{}
 
@@ -309,7 +338,9 @@ func TestParallelColdSwapRebindsContexts(t *testing.T) {
 		t.Fatalf("delivered %d, want 2", got)
 	}
 
-	// Swapping to an engine without parallel support disables the pool.
+	// A cold swap to another ConcurrentRoutable engine (NegHop) keeps
+	// the pool; a swap to an engine without parallel support disables
+	// it.
 	h := topology.NewHypercube(3)
 	n2 := New(Config{Graph: h, Algorithm: routing.NewECube(h), VCs: 4, Workers: 2})
 	defer n2.Close()
@@ -323,8 +354,18 @@ func TestParallelColdSwapRebindsContexts(t *testing.T) {
 	if err := n2.Reconfigure(nh2, false); err != nil {
 		t.Fatal(err)
 	}
+	if !n2.ParallelActive() {
+		t.Fatalf("parallel disabled after cold swap to neg-hop: %s", n2.ParallelReason())
+	}
+	n2.Inject(0, 7, 4)
+	if !n2.Drain(10000) {
+		t.Fatal("post-swap drain failed")
+	}
+	if err := n2.Reconfigure(serialOnlyAlg{routing.NewECube(h)}, false); err != nil {
+		t.Fatal(err)
+	}
 	if n2.ParallelActive() {
-		t.Fatal("cold swap to neg-hop must disable parallel stepping")
+		t.Fatal("cold swap to a marker-less engine must disable parallel stepping")
 	}
 	n2.Inject(0, 7, 4)
 	if !n2.Drain(10000) {
@@ -424,6 +465,50 @@ func TestParallelStepNoAllocsSteadyState(t *testing.T) {
 	}
 	if avg > 0.1 {
 		t.Fatalf("parallel Step allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestStepNoAllocsSteadyStateBigTopologies extends the steady-state
+// zero-alloc guarantee to the large-cluster regime on both engines:
+// the arena layout pools every flit buffer at construction, so neither
+// a 64x64 mesh nor a 14-cube step may touch the heap once warm.
+func TestStepNoAllocsSteadyStateBigTopologies(t *testing.T) {
+	mesh := topology.NewMesh(64, 64)
+	cube := topology.NewHypercube(14)
+	cases := []struct {
+		name    string
+		g       topology.Graph
+		alg     routing.Algorithm
+		workers int
+	}{
+		{"mesh64x64/serial", mesh, routing.NewNAFTA(mesh), 0},
+		{"mesh64x64/workers2", mesh, routing.NewNAFTA(mesh), 2},
+		{"cube14/serial", cube, routing.NewECube(cube), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := New(Config{Graph: c.g, Algorithm: c.alg, Workers: c.workers})
+			defer n.Close()
+			if c.workers > 1 && !n.ParallelActive() {
+				t.Fatalf("parallel inactive: %s", n.ParallelReason())
+			}
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < c.g.Nodes(); i++ {
+				src := topology.NodeID(rng.Intn(c.g.Nodes()))
+				dst := topology.NodeID(rng.Intn(c.g.Nodes()))
+				if src != dst {
+					n.Inject(src, dst, 16)
+				}
+			}
+			n.Run(60) // warm every scratch buffer
+			avg := testing.AllocsPerRun(50, func() { n.Step() })
+			if n.InFlight() == 0 {
+				t.Fatal("network drained during the measurement window")
+			}
+			if avg > 0.1 {
+				t.Fatalf("Step allocates %.2f objects/op in steady state, want 0", avg)
+			}
+		})
 	}
 }
 

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -24,10 +25,11 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 	}
 	// Blocked packets: every input VC whose front message cannot
 	// advance this cycle, with the messages it waits on.
-	for _, r := range n.routers {
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
+	lay := &n.lay
+	for node := 0; node < lay.nodes; node++ {
+		for p := 0; p < lay.inPorts; p++ {
+			for v := 0; v < lay.vcs; v++ {
+				ivc := &n.ins[lay.inIdx(node, p, v)]
 				if !ivc.routed || ivc.eject || ivc.unroutable || ivc.q.len() == 0 {
 					continue
 				}
@@ -37,7 +39,7 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 				if ivc.outPort < 0 {
 					free := false
 					for _, c := range ivc.candidates {
-						out := &r.outputs[c.Port][c.VC]
+						out := &n.outs[lay.outIdx(node, c.Port, c.VC)]
 						if out.free() {
 							free = true
 							break
@@ -51,14 +53,14 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 					}
 					why = "no-free-vc"
 				} else {
-					out := &r.outputs[ivc.outPort][ivc.outVC]
+					out := &n.outs[lay.outIdx(node, ivc.outPort, ivc.outVC)]
 					if out.credits > 0 {
 						continue
 					}
 					why = "no-credit"
-					if down := n.g.Neighbor(r.id, ivc.outPort); down >= 0 {
-						if dp, ok := n.g.PortTo(down, r.id); ok {
-							front := n.routers[down].inputs[dp][ivc.outVC].frontMsg()
+					if down := n.g.Neighbor(topology.NodeID(node), ivc.outPort); down >= 0 {
+						if dp, ok := n.g.PortTo(down, topology.NodeID(node)); ok {
+							front := n.ins[lay.inIdx(int(down), dp, ivc.outVC)].frontMsg()
 							if front == m {
 								// Upstream segment of our own worm:
 								// pipeline backpressure behind the
@@ -74,7 +76,7 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 				}
 				bp := trace.BlockedPacket{
 					Msg: m.ID, Src: int64(m.Hdr.Src), Dst: int64(m.Hdr.Dst),
-					Node: int64(r.id), InPort: p, InVC: v,
+					Node: int64(node), InPort: p, InVC: v,
 					OutPort: ivc.outPort, OutVC: ivc.outVC,
 					Age: n.now - m.StartTime, Why: why,
 				}
@@ -88,12 +90,12 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 	// Router snapshots: only routers holding flits or owned outputs,
 	// and only their occupied channels — a full 16x16x5-VC dump would
 	// bury the signal.
-	for _, r := range n.routers {
+	for node := 0; node < lay.nodes; node++ {
 		var rs trace.RouterState
-		rs.Node = int64(r.id)
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				ivc := &r.inputs[p][v]
+		rs.Node = int64(node)
+		for p := 0; p < lay.inPorts; p++ {
+			for v := 0; v < lay.vcs; v++ {
+				ivc := &n.ins[lay.inIdx(node, p, v)]
 				if ivc.q.len() == 0 && !ivc.routed {
 					continue
 				}
@@ -110,9 +112,9 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 				rs.Inputs = append(rs.Inputs, st)
 			}
 		}
-		for p := range r.outputs {
-			for v := range r.outputs[p] {
-				out := &r.outputs[p][v]
+		for p := 0; p < lay.ports; p++ {
+			for v := 0; v < lay.vcs; v++ {
+				out := &n.outs[lay.outIdx(node, p, v)]
 				if out.ownerMsg == nil && out.credits == n.cfg.BufDepth {
 					continue
 				}
@@ -159,20 +161,20 @@ func (n *Network) checkLivelock() {
 	bound := n.cfg.LivelockAgeCycles
 	var oldest *Message
 	var oldestNode int32
-	for _, r := range n.routers {
-		for p := range r.inputs {
-			for v := range r.inputs[p] {
-				m := r.inputs[p][v].curMsg
-				if m == nil && r.inputs[p][v].q.len() > 0 {
-					m = r.inputs[p][v].q.front().msg
-				}
-				if m == nil || m.StartTime < 0 {
-					continue
-				}
-				if n.now-m.StartTime > bound && (oldest == nil || m.StartTime < oldest.StartTime) {
-					oldest = m
-					oldestNode = int32(r.id)
-				}
+	for node := 0; node < n.lay.nodes; node++ {
+		base := node * n.lay.inStride
+		for slot := 0; slot < n.lay.inStride; slot++ {
+			ivc := &n.ins[base+slot]
+			m := ivc.curMsg
+			if m == nil && ivc.q.len() > 0 {
+				m = ivc.q.front().msg
+			}
+			if m == nil || m.StartTime < 0 {
+				continue
+			}
+			if n.now-m.StartTime > bound && (oldest == nil || m.StartTime < oldest.StartTime) {
+				oldest = m
+				oldestNode = int32(node)
 			}
 		}
 	}

@@ -2,7 +2,6 @@ package network
 
 import (
 	"repro/internal/routing"
-	"repro/internal/topology"
 )
 
 // flitQueue is a head-indexed FIFO of flits. Unlike the naive
@@ -122,58 +121,3 @@ type outputVC struct {
 }
 
 func (o *outputVC) free() bool { return o.ownerInPort == -1 }
-
-// router is the per-node simulation state.
-type router struct {
-	id topology.NodeID
-	// inputs[port][vc]; port indices 0..Ports()-1 are links, index
-	// Ports() is the injection pseudo-port (with its own VC array so
-	// an injected message can claim any VC class).
-	inputs [][]inputVC
-	// outputs[port][vc] for the link ports only.
-	outputs [][]outputVC
-	// injQ is the source queue of not-yet-started messages.
-	injQ []*Message
-	// rrIn[port] is the round-robin pointer for nominating one VC per
-	// input port in SA; rrOut[port] likewise for picking one request
-	// per output port.
-	rrIn  []int
-	rrOut []int
-	// sent[port] counts flits transmitted through each output port
-	// (link-utilisation statistics).
-	sent []int64
-}
-
-func newRouter(id topology.NodeID, ports, vcs, bufDepth int) *router {
-	r := &router{
-		id:      id,
-		inputs:  make([][]inputVC, ports+1),
-		outputs: make([][]outputVC, ports),
-		rrIn:    make([]int, ports+1),
-		rrOut:   make([]int, ports),
-		sent:    make([]int64, ports),
-	}
-	for p := 0; p <= ports; p++ {
-		r.inputs[p] = make([]inputVC, vcs)
-		for v := range r.inputs[p] {
-			// Link-attached VCs never hold more than bufDepth flits;
-			// sizing the ring up front keeps the hot path allocation-free.
-			// The injection pseudo-port is unbounded and grows on demand.
-			if p < ports {
-				r.inputs[p][v].q.buf = make([]flit, 0, bufDepth)
-			}
-			r.inputs[p][v].resetRoute()
-		}
-	}
-	for p := 0; p < ports; p++ {
-		r.outputs[p] = make([]outputVC, vcs)
-		for v := range r.outputs[p] {
-			r.outputs[p][v].ownerInPort = -1
-			r.outputs[p][v].credits = bufDepth
-		}
-	}
-	return r
-}
-
-// injPort returns the pseudo-port index of the injection stage.
-func (r *router) injPort() int { return len(r.inputs) - 1 }

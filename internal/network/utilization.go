@@ -17,13 +17,13 @@ type LinkLoad struct {
 // network was built, in canonical link order.
 func (n *Network) LinkLoads() []LinkLoad {
 	acc := map[topology.Link]int64{}
-	for _, r := range n.routers {
-		for p := range r.outputs {
-			m := n.g.Neighbor(r.id, p)
+	for node := 0; node < n.lay.nodes; node++ {
+		for p := 0; p < n.lay.ports; p++ {
+			m := n.g.Neighbor(topology.NodeID(node), p)
 			if m == topology.Invalid {
 				continue
 			}
-			acc[topology.MakeLink(r.id, m)] += r.sent[p]
+			acc[topology.MakeLink(topology.NodeID(node), m)] += n.sent[node*n.lay.ports+p]
 		}
 	}
 	links := topology.Links(n.g)

@@ -71,9 +71,14 @@ func (e *ECube) NoteHop(Request, Candidate) {}
 func (e *ECube) UpdateFaults(f *fault.Set)  { e.faults = f }
 
 func (e *ECube) Route(req Request) []Candidate {
+	return e.RouteAppend(req, nil)
+}
+
+// RouteAppend is the allocation-free form of Route (BufferedAlgorithm).
+func (e *ECube) RouteAppend(req Request, buf []Candidate) []Candidate {
 	diff := uint(req.Node ^ req.Hdr.Dst)
 	if diff == 0 {
-		return nil
+		return buf
 	}
 	// Lowest differing dimension.
 	p := 0
@@ -82,7 +87,7 @@ func (e *ECube) Route(req Request) []Candidate {
 		p++
 	}
 	if !e.faults.PortUsable(e.cube, req.Node, p) {
-		return nil
+		return buf
 	}
-	return []Candidate{{Port: p, VC: 0}}
+	return append(buf, Candidate{Port: p, VC: 0})
 }

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/topology"
@@ -30,10 +31,20 @@ type NegHop struct {
 	faults *fault.Set
 	color  []uint8
 	vcs    int
-	// Marked messages whose level budget ran out are dropped; the
-	// counter makes the loss observable in experiments.
-	Exhausted int64
+	// dist is the topology's own metric when it has one (mesh,
+	// hypercube, torus); nil falls back to per-decision BFS.
+	dist interface {
+		Dist(a, b topology.NodeID) int
+	}
+	// exhausted counts messages whose level budget ran out (they are
+	// dropped); atomic because Route may run concurrently on the
+	// parallel stepper. Read it via Exhausted.
+	exhausted atomic.Int64
 }
+
+// Exhausted returns how many routing decisions found no admissible
+// output because the VC level budget was exhausted.
+func (n *NegHop) Exhausted() int64 { return n.exhausted.Load() }
 
 // NewNegHop builds the scheme on a bipartite topology with the given
 // number of virtual channels (the level budget). It returns an error
@@ -68,7 +79,11 @@ func NewNegHop(g topology.Graph, vcs int) (*NegHop, error) {
 			}
 		}
 	}
-	return &NegHop{g: g, faults: fault.NewSet(), color: color, vcs: vcs}, nil
+	n := &NegHop{g: g, faults: fault.NewSet(), color: color, vcs: vcs}
+	n.dist, _ = g.(interface {
+		Dist(a, b topology.NodeID) int
+	})
+	return n, nil
 }
 
 func (n *NegHop) Name() string { return fmt.Sprintf("neghop%d", n.vcs) }
@@ -123,47 +138,63 @@ func (n *NegHop) minimalPorts(cur, dst topology.NodeID) []int {
 }
 
 func (n *NegHop) Route(req Request) []Candidate {
+	return n.RouteAppend(req, nil)
+}
+
+// RouteAppend is the allocation-free decision path. With a topology
+// metric (Dist) available, "minimal port" becomes the predicate
+// Dist(neighbor, dst) < Dist(cur, dst) evaluated per port — no
+// materialised port list. Every topology metric in this repo
+// (Manhattan, Hamming, torus) emits minimal ports in ascending port
+// order, and the BFS fallback scans ports ascending too, so the
+// predicate walk preserves the exact candidate order of the historical
+// list-based Route.
+func (n *NegHop) RouteAppend(req Request, out []Candidate) []Candidate {
 	cur, dst := req.Node, req.Hdr.Dst
 	level := req.Hdr.NegHops
-	usable := func(p int) (topology.NodeID, int, bool) {
-		nb := n.g.Neighbor(cur, p)
-		if nb == topology.Invalid || !n.faults.HopUsable(cur, nb) {
-			return nb, 0, false
-		}
-		l := n.levelAfter(level, cur, nb)
-		if l < 0 {
-			return nb, 0, false
-		}
-		return nb, l, true
-	}
 	// Note that on a 2-coloured topology the level delta of a hop is
 	// a property of the CURRENT node (all hops out of a colour-1 node
 	// are negative), so candidate ordering cannot conserve levels —
 	// only shorter paths can, and without fault state the scheme has
 	// no way to plan them. That blind spot is the measured trade-off
 	// of experiment E11.
-	minimal := n.minimalPorts(cur, dst)
-	var out []Candidate
-	for _, p := range minimal {
-		if _, l, ok := usable(p); ok {
-			out = append(out, Candidate{Port: p, VC: l})
+	var bfs []int
+	if n.dist == nil {
+		bfs = topology.BFSDist(n.g, dst, nil)
+	}
+	minimal := func(p int, nb topology.NodeID) bool {
+		if bfs != nil {
+			return bfs[nb] >= 0 && bfs[nb] < bfs[cur]
 		}
+		return n.dist.Dist(nb, dst) < n.dist.Dist(cur, dst)
 	}
-	if len(out) > 0 {
-		return out
-	}
-	// Misroute: any usable port except an immediate reversal; the
-	// acyclic channel levels make this safe without further rules.
+	start := len(out)
 	for p := 0; p < n.g.Ports(); p++ {
-		if contains(minimal, p) || p == req.InPort {
+		nb := n.g.Neighbor(cur, p)
+		if nb == topology.Invalid || !minimal(p, nb) || !n.faults.HopUsable(cur, nb) {
 			continue
 		}
-		if _, l, ok := usable(p); ok {
+		if l := n.levelAfter(level, cur, nb); l >= 0 {
 			out = append(out, Candidate{Port: p, VC: l})
 		}
 	}
-	if len(out) == 0 {
-		n.Exhausted++
+	if len(out) > start {
+		return out
+	}
+	// Misroute: any usable non-minimal port except an immediate
+	// reversal; the acyclic channel levels make this safe without
+	// further rules.
+	for p := 0; p < n.g.Ports(); p++ {
+		nb := n.g.Neighbor(cur, p)
+		if nb == topology.Invalid || minimal(p, nb) || p == req.InPort || !n.faults.HopUsable(cur, nb) {
+			continue
+		}
+		if l := n.levelAfter(level, cur, nb); l >= 0 {
+			out = append(out, Candidate{Port: p, VC: l})
+		}
+	}
+	if len(out) == start {
+		n.exhausted.Add(1)
 	}
 	return out
 }
@@ -173,10 +204,26 @@ func (n *NegHop) NoteHop(req Request, chosen Candidate) {
 	if n.negHopTo(req.Node, nb) {
 		req.Hdr.NegHops++
 	}
-	if !contains(n.minimalPorts(req.Node, req.Hdr.Dst), chosen.Port) {
+	min := false
+	if n.dist != nil {
+		min = n.dist.Dist(nb, req.Hdr.Dst) < n.dist.Dist(req.Node, req.Hdr.Dst)
+	} else {
+		min = contains(n.minimalPorts(req.Node, req.Hdr.Dst), chosen.Port)
+	}
+	if !min {
 		req.Hdr.Misroutes++
 		req.Hdr.Marked = true
 	}
 }
 
-var _ Algorithm = (*NegHop)(nil)
+// ConcurrentDecisionsSafe marks NegHop for the deterministic parallel
+// stepper: Route/RouteAppend, Steps and NoteHop read only the colouring
+// and the fault set (both stable within a cycle), write nothing but the
+// handed message header, and count exhaustion atomically.
+func (n *NegHop) ConcurrentDecisionsSafe() {}
+
+var (
+	_ Algorithm          = (*NegHop)(nil)
+	_ BufferedAlgorithm  = (*NegHop)(nil)
+	_ ConcurrentRoutable = (*NegHop)(nil)
+)

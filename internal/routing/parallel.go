@@ -101,8 +101,8 @@ func (MinQueue) PrepareNodes(int)  {}
 
 // Marker implementations: every decision helper of these engines only
 // reads fault state that is stable between UpdateFaults calls, and
-// NoteHop writes nothing but the message header. NegHop is absent on
-// purpose — its Route mutates the Exhausted counter.
+// NoteHop writes nothing but the message header. NegHop declares its
+// marker in neghop.go (its exhaustion counter is atomic).
 func (x *XY) ConcurrentDecisionsSafe()        {}
 func (e *ECube) ConcurrentDecisionsSafe()     {}
 func (n *NAFTA) ConcurrentDecisionsSafe()     {}
@@ -119,4 +119,6 @@ var (
 	_ ShardSafeSelector  = MinQueue{}
 	_ ConcurrentRoutable = (*NAFTA)(nil)
 	_ ConcurrentRoutable = (*RouteC)(nil)
+	_ BufferedAlgorithm  = (*NAFTA)(nil)
+	_ BufferedAlgorithm  = (*ECube)(nil)
 )
