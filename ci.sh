@@ -58,6 +58,10 @@ awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
 echo "== campaign smoke (25 scenarios per family, parallel stepping, -race)"
 go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo nafta -step-workers 2
 go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo routec -step-workers 2
+# The maze sweep rotates topologies (mesh, torus, irregular) and allows
+# partitioning fault patterns; the guaranteed-delivery oracle requires
+# every drop to carry a true unreachability verdict (zero sacrifices).
+go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo maze -step-workers 2
 
 echo "== routerd smoke (1k batched decisions across a hot reload, -race)"
 go run -race ./cmd/routerd -smoke -requests 1000 -batch 32

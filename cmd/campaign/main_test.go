@@ -15,7 +15,7 @@ func TestRunFlagValidation(t *testing.T) {
 		argv []string
 		want string // substring of stderr
 	}{
-		{"unknown algo", []string{"-algo", "torus", "-scenarios", "1"}, "valid: nafta, routec"},
+		{"unknown algo", []string{"-algo", "ring", "-scenarios", "1"}, "valid: maze, nafta, routec"},
 		{"zero scenarios", []string{"-scenarios", "0"}, "-scenarios must be positive"},
 		{"negative scenarios", []string{"-scenarios", "-5"}, "-scenarios must be positive"},
 		{"unparsable flag", []string{"-scenarios", "many"}, "invalid value"},

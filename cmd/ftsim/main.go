@@ -5,9 +5,9 @@
 //	ftsim -topo cube6 -alg routec -rate 0.10 -faults 3 -pattern bitreverse
 //
 // Topologies: meshWxH, cubeD, torusWxH, irregN+E. Algorithms: xy,
-// nara, nafta, rule-nafta, tree, updown, torusdor, ecube, routec,
-// rule-routec, routec-nft, neghop. Patterns: uniform, transpose,
-// bitcomplement, bitreverse, tornado, hotspot, neighbor.
+// nara, nafta, rule-nafta, maze, rule-maze, tree, updown, torusdor,
+// ecube, routec, rule-routec, routec-nft, neghop. Patterns: uniform,
+// transpose, bitcomplement, bitreverse, tornado, hotspot, neighbor.
 //
 // The flight recorder (internal/trace) is attached with -trace:
 //
@@ -132,6 +132,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			a.OnRuleFired, _ = rulesets.TraceRules(rec)
 		case *rulesets.RuleRouteC:
 			a.OnRuleFired, _ = rulesets.TraceRules(rec)
+		case *rulesets.RuleMaze:
+			a.OnRuleFired, _ = rulesets.TraceRules(rec)
 		}
 	}
 
@@ -255,7 +257,7 @@ func die(stderr io.Writer, err error) int {
 // quoted in parse errors (and the -alg/-pattern usage strings).
 var (
 	topoForms    = []string{"meshWxH", "torusWxH", "cubeD", "irregN+E"}
-	algNames     = []string{"xy", "nara", "nafta", "rule-nafta", "tree", "updown", "torusdor", "ecube", "routec", "rule-routec", "routec-nft", "neghop"}
+	algNames     = []string{"xy", "nara", "nafta", "rule-nafta", "maze", "rule-maze", "tree", "updown", "torusdor", "ecube", "routec", "rule-routec", "routec-nft", "neghop"}
 	patternNames = []string{"uniform", "transpose", "bitcomplement", "bitreverse", "tornado", "hotspot", "neighbor"}
 )
 
@@ -317,6 +319,18 @@ func parseAlg(s string, g topology.Graph) (routing.Algorithm, func(*network.Netw
 			return nil, nil, err
 		}
 		return alg, func(n *network.Network) { alg.AttachLoads(n) }, nil
+	case "maze":
+		alg, err := routing.NewMaze(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return alg, nil, nil
+	case "rule-maze":
+		alg, err := rulesets.NewRuleMaze(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return alg, nil, nil
 	case "tree":
 		return routing.NewTree(g), nil, nil
 	case "updown":

@@ -45,7 +45,7 @@ func TestParseTopo(t *testing.T) {
 func TestParseAlg(t *testing.T) {
 	mesh := topology.NewMesh(4, 4)
 	cube := topology.NewHypercube(4)
-	for _, name := range []string{"xy", "nara", "nafta", "rule-nafta", "tree", "neghop"} {
+	for _, name := range []string{"xy", "nara", "nafta", "rule-nafta", "maze", "rule-maze", "tree", "neghop"} {
 		alg, _, err := parseAlg(name, mesh)
 		if err != nil || alg == nil {
 			t.Errorf("parseAlg(%q, mesh): %v", name, err)
@@ -55,6 +55,22 @@ func TestParseAlg(t *testing.T) {
 		alg, _, err := parseAlg(name, cube)
 		if err != nil || alg == nil {
 			t.Errorf("parseAlg(%q, cube): %v", name, err)
+		}
+	}
+	// The maze family routes any topology within its port bound: tori
+	// and random irregular graphs work where the mesh-only families
+	// refuse.
+	torus := topology.NewTorus(5, 5)
+	irr, err := topology.RandomIrregular(16, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []topology.Graph{torus, irr} {
+		for _, name := range []string{"maze", "rule-maze"} {
+			alg, _, err := parseAlg(name, g)
+			if err != nil || alg == nil {
+				t.Errorf("parseAlg(%q, %s): %v", name, g.Name(), err)
+			}
 		}
 	}
 	// Topology mismatches must be rejected.
@@ -100,8 +116,8 @@ func TestRunFlagValidation(t *testing.T) {
 		args []string
 		want string // substring the error text must carry
 	}{
-		{[]string{"-alg", "nosuch", "-topo", "mesh4x4"}, "valid: xy, nara, nafta"},
-		{[]string{"-topo", "ring9"}, "valid forms: meshWxH, torusWxH, cubeD"},
+		{[]string{"-alg", "nosuch", "-topo", "mesh4x4"}, "valid: xy, nara, nafta, rule-nafta, maze, rule-maze"},
+		{[]string{"-topo", "ring9"}, "valid forms: meshWxH, torusWxH, cubeD, irregN+E"},
 		{[]string{"-topo", "mesh4x4", "-pattern", "nosuch"}, "valid: uniform, transpose"},
 		{[]string{"-topo", "mesh4x4", "-trace", t.TempDir() + "/x", "-trace-format", "xml"}, "jsonl"},
 		{[]string{"-no-such-flag"}, "-no-such-flag"},

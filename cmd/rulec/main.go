@@ -6,7 +6,9 @@
 //	rulec program.rules        # compile a file
 //	rulec -builtin nafta       # compile a bundled program
 //	rulec -builtin routec -d 6 -a 2
+//	rulec -builtin maze -ports 4
 //	rulec -builtin nafta -artifact nafta.tbl                       # versioned table artifact
+//	rulec -builtin maze -ports 4 -artifact maze.tbl
 //	rulec -builtin nafta -artifact nafta.bdl -backups link,node,chain -mesh 8x8
 //	                           # failover bundle: primary + per-fault-class backups
 package main
@@ -22,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failover"
 	"repro/internal/reconfig"
+	"repro/internal/routing"
 	"repro/internal/rules"
 	"repro/internal/rulesets"
 	"repro/internal/topology"
@@ -61,9 +64,10 @@ func parseMesh(s string) (w, h int, err error) {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rulec", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	builtin := fs.String("builtin", "", "bundled program: nara, nafta, routec, routec-nft")
+	builtin := fs.String("builtin", "", "bundled program: nara, nafta, maze, routec, routec-nft")
 	d := fs.Int("d", 6, "hypercube dimension (routec)")
 	a := fs.Int("a", 2, "adaptivity command bits (routec)")
+	ports := fs.Int("ports", 4, "router port count the maze program is generated for")
 	dump := fs.Bool("dump", false, "print the program source before the report")
 	optimize := fs.Bool("optimize", false, "run the semantics-preserving transformations (constant folding, dead-rule elimination) and report them")
 	emit := fs.Bool("emit", false, "print the (possibly optimised) program as source after the report")
@@ -86,6 +90,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		src, name = rulesets.NARASource(), "NARA"
 	case "nafta":
 		src, name = rulesets.NAFTASource(), "NAFTA"
+	case "maze":
+		if *ports < 2 || *ports > routing.MazeMaxPorts {
+			return die(fmt.Errorf("maze supports 2 to %d ports, not %d", routing.MazeMaxPorts, *ports))
+		}
+		src, name = rulesets.MazeSource(*ports), fmt.Sprintf("MAZE (ports=%d)", *ports)
 	case "routec":
 		src, name = rulesets.RouteCSource(*d, *a), fmt.Sprintf("ROUTE_C (d=%d, a=%d)", *d, *a)
 	case "routec-nft":
@@ -101,7 +110,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		src, name = string(data), fs.Arg(0)
 	default:
-		return die(fmt.Errorf("unknown builtin %q (valid: nara, nafta, routec, routec-nft)", *builtin))
+		return die(fmt.Errorf("unknown builtin %q (valid: nara, nafta, maze, routec, routec-nft)", *builtin))
 	}
 	if *dump {
 		fmt.Fprintln(stdout, src)
@@ -161,17 +170,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return die(fmt.Errorf("-backups needs -artifact (backups ship inside a bundle file)"))
 	}
 	if *artOut != "" {
-		if *builtin != "nafta" && *builtin != "routec" {
-			return die(fmt.Errorf("-artifact requires -builtin nafta or -builtin routec (artifacts name their adapter family)"))
+		if *builtin != "nafta" && *builtin != "routec" && *builtin != "maze" {
+			return die(fmt.Errorf("-artifact requires -builtin maze, nafta or routec (artifacts name their adapter family)"))
 		}
 		art, err := reconfig.Build(*builtin, reconfig.BuildOptions{
-			Epoch: *epoch, CubeDim: *d, Adaptivity: *a,
+			Epoch: *epoch, CubeDim: *d, Adaptivity: *a, Ports: *ports,
 		})
 		if err != nil {
 			return die(err)
 		}
 		var summary string
 		if *backups != "" {
+			if *builtin == "maze" {
+				return die(fmt.Errorf("-backups enumerates mesh/hypercube fault classes; maze planes are built per scenario by the campaign instead"))
+			}
 			kinds, err := parseBackupKinds(*backups)
 			if err != nil {
 				return die(err)

@@ -54,6 +54,24 @@ func TestArtifactWithoutBackupsStaysBareArtifact(t *testing.T) {
 	}
 }
 
+func TestMazeArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "maze.tbl")
+	code, stdout, stderr := runRulec(t, "-builtin", "maze", "-ports", "5", "-artifact", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ports=5") {
+		t.Fatalf("summary does not name the port count:\n%s", stdout)
+	}
+	art, bundle, err := failover.LoadPath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle != nil || art == nil || art.Algorithm != "maze" || art.Ports != 5 {
+		t.Fatalf("wrote something other than a 5-port maze artifact: %+v", art)
+	}
+}
+
 func TestRouteCBackupBundle(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "routec.bdl")
 	code, _, stderr := runRulec(t, "-builtin", "routec", "-d", "4", "-artifact", path, "-backups", "node")
@@ -93,7 +111,13 @@ func TestBackupFlagValidation(t *testing.T) {
 			"mesh topology"},
 		{"unknown builtin lists choices",
 			[]string{"-builtin", "nonesuch"},
-			"valid: nara, nafta, routec, routec-nft"},
+			"valid: nara, nafta, maze, routec, routec-nft"},
+		{"maze refuses backup enumeration",
+			[]string{"-builtin", "maze", "-artifact", filepath.Join(tmp, "e"), "-backups", "node"},
+			"built per scenario"},
+		{"maze port bound",
+			[]string{"-builtin", "maze", "-ports", "99"},
+			"maze supports 2 to"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -38,12 +38,13 @@ import (
 
 // Algorithm family names accepted by Options.Algo and Scenario.Algo.
 const (
+	AlgoMaze   = "maze"
 	AlgoNAFTA  = "nafta"
 	AlgoRouteC = "routec"
 )
 
 // Algos lists the valid algorithm families (for CLI validation).
-var Algos = []string{AlgoNAFTA, AlgoRouteC}
+var Algos = []string{AlgoMaze, AlgoNAFTA, AlgoRouteC}
 
 // TimedFault is one mid-run fault event of a scenario, in the
 // JSON-friendly form the replay artifact stores.
@@ -64,10 +65,18 @@ type Scenario struct {
 	Algo string `json:"algo"`
 
 	// Mesh dimensions (NAFTA family) or hypercube dimension (ROUTE_C
-	// family); exactly one pair is set.
-	MeshW   int `json:"mesh_w,omitempty"`
-	MeshH   int `json:"mesh_h,omitempty"`
-	CubeDim int `json:"cube_dim,omitempty"`
+	// family); exactly one pair is set. The maze family additionally
+	// runs on tori (TorusW/TorusH) and random irregular graphs
+	// (IrrNodes/IrrExtra/IrrSeed) — exactly one topology group is set
+	// per scenario.
+	MeshW    int   `json:"mesh_w,omitempty"`
+	MeshH    int   `json:"mesh_h,omitempty"`
+	CubeDim  int   `json:"cube_dim,omitempty"`
+	TorusW   int   `json:"torus_w,omitempty"`
+	TorusH   int   `json:"torus_h,omitempty"`
+	IrrNodes int   `json:"irr_nodes,omitempty"`
+	IrrExtra int   `json:"irr_extra,omitempty"`
+	IrrSeed  int64 `json:"irr_seed,omitempty"`
 
 	Seed   int64   `json:"seed"` // traffic PRNG seed
 	Rate   float64 `json:"rate"`
@@ -103,6 +112,16 @@ func (s *Scenario) Graph() (topology.Graph, error) {
 			return nil, fmt.Errorf("campaign: scenario %d: bad cube dim %d", s.ID, s.CubeDim)
 		}
 		return topology.NewHypercube(s.CubeDim), nil
+	case AlgoMaze:
+		switch {
+		case s.TorusW >= 3 && s.TorusH >= 3:
+			return topology.NewTorus(s.TorusW, s.TorusH), nil
+		case s.IrrNodes > 0:
+			return topology.RandomIrregular(s.IrrNodes, s.IrrExtra, s.IrrSeed)
+		case s.MeshW >= 2 && s.MeshH >= 2:
+			return topology.NewMesh(s.MeshW, s.MeshH), nil
+		}
+		return nil, fmt.Errorf("campaign: scenario %d: maze scenario without a topology", s.ID)
 	}
 	return nil, fmt.Errorf("campaign: scenario %d: unknown algo %q (valid: %v)", s.ID, s.Algo, Algos)
 }
@@ -211,6 +230,13 @@ func DefaultFactory(s *Scenario, oracle bool) (routing.Algorithm, func(*network.
 		}
 		alg.DisableFast = oracle
 		return alg, nil, nil
+	case AlgoMaze:
+		alg, err := rulesets.NewRuleMaze(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		alg.DisableFast = oracle
+		return alg, nil, nil
 	}
 	return nil, nil, fmt.Errorf("campaign: unknown algo %q (valid: %v)", s.Algo, Algos)
 }
@@ -227,6 +253,8 @@ func reference(s *Scenario) (routing.Algorithm, error) {
 		return routing.NewNAFTA(g.(*topology.Mesh)), nil
 	case AlgoRouteC:
 		return routing.NewRouteC(g.(*topology.Hypercube)), nil
+	case AlgoMaze:
+		return routing.NewMaze(g)
 	}
 	return nil, fmt.Errorf("campaign: unknown algo %q", s.Algo)
 }
@@ -430,6 +458,58 @@ func checkRun(s *Scenario, res *sim.Result, net *network.Network) []Violation {
 		add("flit-conservation", "delivered messages carry %d flits, stats say %d", flits, final.FlitsDelivered)
 	}
 	vio = append(vio, auditMessages(s, res, net)...)
+	if s.Algo == AlgoMaze {
+		vio = append(vio, checkDelivery(s, res, net)...)
+	}
+	return vio
+}
+
+// checkDelivery is the maze family's guaranteed-delivery oracle. Maze
+// routing promises delivery-or-verdict: unlike NAFTA there are no
+// tolerated sacrifices, so every dropped message must carry the
+// explicit unreachability verdict, and the verdict must be true — the
+// destination really is disconnected from the drop site under the
+// fault state at drop time. Faults only accumulate, so unreachability
+// at drop time implies unreachability at the decision that produced
+// the verdict; a reachable destination at drop time therefore proves
+// the verdict wrong. Killed messages are the livelock killer's, not
+// the router's, and are already flagged by the post-mortem oracle.
+func checkDelivery(s *Scenario, res *sim.Result, net *network.Network) []Violation {
+	var vio []Violation
+	g, err := s.Graph()
+	if err != nil {
+		return []Violation{{Kind: "internal", Detail: err.Error()}}
+	}
+	drops := make([]*network.Message, 0)
+	for _, m := range net.Messages {
+		if m.State == network.StateDropped {
+			drops = append(drops, m)
+		}
+	}
+	sort.SliceStable(drops, func(i, j int) bool { return drops[i].DoneTime < drops[j].DoneTime })
+	var fs *fault.Set
+	lastT := int64(-1)
+	for _, m := range drops {
+		if !m.Unreachable {
+			vio = append(vio, Violation{Kind: "sacrifice",
+				Detail: fmt.Sprintf("message %d (%d->%d) dropped at node %d cycle %d without an unreachability verdict",
+					m.ID, m.Hdr.Src, m.Hdr.Dst, m.DropNode, m.DoneTime)})
+			continue
+		}
+		if fs == nil || m.DoneTime != lastT {
+			fs = s.FaultStateAt(m.DoneTime)
+			lastT = m.DoneTime
+		}
+		if topology.Reachable(g, m.DropNode, m.Hdr.Dst, fs.Filter()) {
+			vio = append(vio, Violation{Kind: "false-verdict",
+				Detail: fmt.Sprintf("message %d (%d->%d) certified unreachable at node %d cycle %d, but the destination is reachable",
+					m.ID, m.Hdr.Src, m.Hdr.Dst, m.DropNode, m.DoneTime)})
+		}
+	}
+	if final := net.Stats(); final.Unreachable != final.Dropped {
+		vio = append(vio, Violation{Kind: "verdict-accounting",
+			Detail: fmt.Sprintf("%d drops but %d unreachability verdicts", final.Dropped, final.Unreachable)})
+	}
 	return vio
 }
 
@@ -458,6 +538,7 @@ func auditMessages(s *Scenario, res *sim.Result, net *network.Network) []Violati
 		}
 	}
 	sort.SliceStable(drops, func(i, j int) bool { return drops[i].DoneTime < drops[j].DoneTime })
+	judge, canJudge := ref.(routing.UnreachableJudge)
 	lastT := int64(-1)
 	for _, m := range drops {
 		if m.DoneTime != lastT {
@@ -465,7 +546,22 @@ func auditMessages(s *Scenario, res *sim.Result, net *network.Network) []Violati
 			lastT = m.DoneTime
 		}
 		hdr := m.Hdr // replay on a copy; Route must not mutate it anyway
-		cands := ref.Route(routing.Request{Node: m.DropNode, InPort: m.DropInPort, InVC: m.DropInVC, Hdr: &hdr})
+		req := routing.Request{Node: m.DropNode, InPort: m.DropInPort, InVC: m.DropInVC, Hdr: &hdr}
+		if canJudge {
+			// A reference that can certify unreachability justifies a
+			// drop exactly by that verdict. (Replaying Route would be
+			// wrong here: the maze header's traversal state is guarded
+			// by an engine-local epoch stamp, which a freshly built
+			// reference — whose own epoch counter advanced differently —
+			// would misread as stale.)
+			if !judge.UnreachableVerdict(req) {
+				vio = append(vio, Violation{Kind: "unjustified-drop",
+					Detail: fmt.Sprintf("message %d (%d->%d) dropped at node %d in=(%d,%d) cycle %d, but reference %s certifies the destination reachable",
+						m.ID, m.Hdr.Src, m.Hdr.Dst, m.DropNode, m.DropInPort, m.DropInVC, m.DoneTime, ref.Name())})
+			}
+			continue
+		}
+		cands := ref.Route(req)
 		if len(cands) > 0 {
 			vio = append(vio, Violation{Kind: "unjustified-drop",
 				Detail: fmt.Sprintf("message %d (%d->%d) dropped at node %d in=(%d,%d) cycle %d, but reference %s offers %d candidate(s)",

@@ -19,11 +19,19 @@ import (
 var artifactCache sync.Map // string -> *reconfig.Artifact
 
 func artifactFor(s *Scenario) (*reconfig.Artifact, error) {
-	key := fmt.Sprintf("%s/%d", s.Algo, s.CubeDim)
+	ports := 0
+	if s.Algo == AlgoMaze {
+		g, err := s.Graph()
+		if err != nil {
+			return nil, err
+		}
+		ports = g.Ports()
+	}
+	key := fmt.Sprintf("%s/%d/%d", s.Algo, s.CubeDim, ports)
 	if v, ok := artifactCache.Load(key); ok {
 		return v.(*reconfig.Artifact), nil
 	}
-	art, err := reconfig.Build(s.Algo, reconfig.BuildOptions{CubeDim: s.CubeDim})
+	art, err := reconfig.Build(s.Algo, reconfig.BuildOptions{CubeDim: s.CubeDim, Ports: ports})
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +77,13 @@ func scenarioBundle(s *Scenario, g topology.Graph) (*failover.Bundle, error) {
 		return nil, err
 	}
 	b := &failover.Bundle{FormatVersion: failover.BundleFormatVersion, Primary: *art}
-	if m, ok := g.(*topology.Mesh); ok {
-		b.MeshW, b.MeshH = m.W, m.H
+	switch t := g.(type) {
+	case *topology.Mesh:
+		b.MeshW, b.MeshH = t.W, t.H
+	case *topology.Torus:
+		b.TorusW, b.TorusH = t.W, t.H
+	case *topology.Irregular:
+		b.IrrNodes, b.IrrExtra, b.IrrSeed = s.IrrNodes, s.IrrExtra, s.IrrSeed
 	}
 	seen := map[string]bool{}
 	for _, st := range faultStates(s) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
@@ -26,6 +27,8 @@ func Generate(opts *Options) ([]Scenario, error) {
 			err error
 		)
 		switch opts.Algo {
+		case AlgoMaze:
+			s, err = genMaze(i, rng)
 		case AlgoNAFTA:
 			s, err = genNAFTA(i, rng)
 		case AlgoRouteC:
@@ -112,7 +115,7 @@ func genNAFTA(id int, rng *rand.Rand) (Scenario, error) {
 			return s, err
 		}
 		setToScenario(&s, f)
-		if err := addEvents(&s, m, rng); err != nil {
+		if err := addEvents(&s, m, rng, false); err != nil {
 			return s, err
 		}
 	}
@@ -136,10 +139,12 @@ func addSwaps(s *Scenario, rng *rand.Rand) {
 	sort.Slice(s.Swaps, func(i, j int) bool { return s.Swaps[i] < s.Swaps[j] })
 }
 
-// addEvents draws 1-3 timed fault events whose cumulative final state
-// keeps the surviving sub-network in one component (so the scenario
-// stays a routing exercise, not a partition exercise).
-func addEvents(s *Scenario, g topology.Graph, rng *rand.Rand) error {
+// addEvents draws 1-3 timed fault events. Unless allowPartition is
+// set, the cumulative final state must keep the surviving sub-network
+// in one component (so the scenario stays a routing exercise, not a
+// partition exercise); the maze family lifts that restriction because
+// its delivery oracle certifies partitions explicitly.
+func addEvents(s *Scenario, g topology.Graph, rng *rand.Rand, allowPartition bool) error {
 	links := topology.Links(g)
 	horizon := s.Warmup/2 + s.Measure*3/4
 	for try := 0; try < 100; try++ {
@@ -164,14 +169,136 @@ func addEvents(s *Scenario, g topology.Graph, rng *rand.Rand) error {
 		if final.NodeCount()+final.LinkCount() != s.atoms()+len(cand.Events)-len(s.Events) {
 			continue
 		}
-		if comps := topology.Components(g, final.Filter()); len(comps) != 1 {
-			continue
+		if !allowPartition {
+			if comps := topology.Components(g, final.Filter()); len(comps) != 1 {
+				continue
+			}
 		}
 		s.Events = cand.Events
 		return nil
 	}
 	// No acceptable event draw: keep the static scenario.
 	return nil
+}
+
+// genMaze draws one maze scenario. The family routes on meshes, tori
+// and random irregular graphs — the topology rotates deterministically
+// with the scenario ID (id%3: mesh, torus, irregular), so a campaign
+// of 3n scenarios covers each exactly n times. Unlike the NAFTA
+// generator, fault patterns may partition the network and routinely
+// exceed any convexity bound: the guaranteed-delivery oracle demands
+// that every cross-partition drop carries a true unreachability
+// verdict and everything else is delivered — zero sacrifices.
+func genMaze(id int, rng *rand.Rand) (Scenario, error) {
+	s := base(id, AlgoMaze, rng)
+	var g topology.Graph
+	switch id % 3 {
+	case 0:
+		sizes := [][2]int{{6, 6}, {8, 8}, {8, 6}}
+		wh := sizes[rng.Intn(len(sizes))]
+		s.MeshW, s.MeshH = wh[0], wh[1]
+		g = topology.NewMesh(wh[0], wh[1])
+	case 1:
+		sizes := [][2]int{{6, 6}, {6, 5}, {5, 5}, {8, 6}}
+		wh := sizes[rng.Intn(len(sizes))]
+		s.TorusW, s.TorusH = wh[0], wh[1]
+		g = topology.NewTorus(wh[0], wh[1])
+	default:
+		nodes := 18 + rng.Intn(10)
+		extra := 6 + rng.Intn(6)
+		// Redraw until the degree fits the maze port bound; the seed is
+		// stored so the scenario replays without the rejected draws.
+		for {
+			seed := rng.Int63()
+			irr, err := topology.RandomIrregular(nodes, extra, seed)
+			if err != nil {
+				return s, err
+			}
+			if irr.Ports() <= routing.MazeMaxPorts {
+				s.IrrNodes, s.IrrExtra, s.IrrSeed = nodes, extra, seed
+				g = irr
+				break
+			}
+		}
+	}
+
+	switch rng.Intn(4) {
+	case 0: // random faults, partitions allowed
+		f, err := fault.Random(g, fault.RandomOptions{
+			Nodes: 1 + rng.Intn(4), Links: rng.Intn(4),
+			Seed: rng.Int63(),
+		})
+		if err != nil {
+			return s, err
+		}
+		setToScenario(&s, f)
+	case 1: // a straight cut across the bisection
+		mazeCut(&s, g, rng)
+	case 2: // concave pocket driving long wall-follow traversals
+		if m, ok := g.(*topology.Mesh); ok {
+			f, err := fault.LShape(m, rng.Intn(s.MeshW-2), rng.Intn(s.MeshH-2), 1+rng.Intn(2), 1+rng.Intn(2))
+			if err != nil {
+				return s, err
+			}
+			setToScenario(&s, f)
+		} else {
+			f, err := fault.Random(g, fault.RandomOptions{
+				Nodes: 2 + rng.Intn(3), Links: 1 + rng.Intn(3),
+				Seed: rng.Int63(),
+			})
+			if err != nil {
+				return s, err
+			}
+			setToScenario(&s, f)
+		}
+	case 3: // random faults plus timed mid-run events, partitions allowed
+		f, err := fault.Random(g, fault.RandomOptions{
+			Nodes: 1 + rng.Intn(3), Links: rng.Intn(2),
+			Seed: rng.Int63(),
+		})
+		if err != nil {
+			return s, err
+		}
+		setToScenario(&s, f)
+		if err := addEvents(&s, g, rng, true); err != nil {
+			return s, err
+		}
+	}
+	addSwaps(&s, rng)
+	return s, nil
+}
+
+// mazeCut fails a straight cut. On a mesh a full node column
+// partitions the survivors; on a torus one link ring leaves the wrap
+// intact (defeating the naive disconnection heuristic — the forced
+// escape must still deliver) and a second ring, drawn half the time,
+// genuinely partitions it; on an irregular graph the cut isolates one
+// node by failing its every link.
+func mazeCut(s *Scenario, g topology.Graph, rng *rand.Rand) {
+	switch t := g.(type) {
+	case *topology.Mesh:
+		x := 1 + rng.Intn(s.MeshW-2)
+		for y := 0; y < s.MeshH; y++ {
+			s.FaultNodes = append(s.FaultNodes, int(t.Node(x, y)))
+		}
+	case *topology.Torus:
+		cuts := []int{rng.Intn(s.TorusW)}
+		if rng.Intn(2) == 0 {
+			cuts = append(cuts, (cuts[0]+1+rng.Intn(s.TorusW-1))%s.TorusW)
+		}
+		for _, x := range cuts {
+			for y := 0; y < s.TorusH; y++ {
+				s.FaultLinks = append(s.FaultLinks, [2]int{int(t.Node(x, y)), int(t.Node((x+1)%s.TorusW, y))})
+			}
+		}
+	default:
+		n := topology.NodeID(rng.Intn(g.Nodes()))
+		for p := 0; p < g.Ports(); p++ {
+			if nb := g.Neighbor(n, p); nb != topology.Invalid {
+				s.FaultLinks = append(s.FaultLinks, [2]int{int(n), int(nb)})
+			}
+		}
+	}
 }
 
 // genRouteC draws one hypercube scenario inside ROUTE_C's guarantee

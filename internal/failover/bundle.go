@@ -61,11 +61,17 @@ func (b *Backup) Class() Class {
 // mismatch.
 type Bundle struct {
 	FormatVersion int
-	// MeshW/MeshH (nafta) or the primary's CubeDim (routec) name the
-	// topology the classes were enumerated on.
-	MeshW, MeshH int
-	Primary      reconfig.Artifact
-	Backups      []Backup
+	// MeshW/MeshH (nafta, maze-on-mesh), TorusW/TorusH or
+	// IrrNodes/IrrExtra/IrrSeed (maze), or the primary's CubeDim
+	// (routec) name the topology the classes were enumerated on. The
+	// maze fields are zero in pre-maze bundles, so their checksums are
+	// unchanged (gob omits zero fields).
+	MeshW, MeshH       int
+	TorusW, TorusH     int
+	IrrNodes, IrrExtra int
+	IrrSeed            int64
+	Primary            reconfig.Artifact
+	Backups            []Backup
 
 	// sum is the payload checksum, remembered by Encode/DecodeBundle.
 	sum [sha256.Size]byte
@@ -132,6 +138,16 @@ func (b *Bundle) Graph() (topology.Graph, error) {
 			return nil, fmt.Errorf("failover: bundle names bad hypercube dimension %d", b.Primary.CubeDim)
 		}
 		return topology.NewHypercube(b.Primary.CubeDim), nil
+	case "maze":
+		switch {
+		case b.TorusW >= 3 && b.TorusH >= 3:
+			return topology.NewTorus(b.TorusW, b.TorusH), nil
+		case b.IrrNodes > 0:
+			return topology.RandomIrregular(b.IrrNodes, b.IrrExtra, b.IrrSeed)
+		case b.MeshW >= 2 && b.MeshH >= 2:
+			return topology.NewMesh(b.MeshW, b.MeshH), nil
+		}
+		return nil, fmt.Errorf("failover: maze bundle names no topology")
 	}
 	return nil, fmt.Errorf("failover: bundle names unknown algorithm %q", b.Primary.Algorithm)
 }

@@ -3,6 +3,7 @@ package network
 import (
 	"sort"
 
+	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
@@ -34,13 +35,23 @@ func (n *Network) waitEdges(node, p, v int) (edges []*Message, stuck bool) {
 		if len(ivc.candidates) == 0 {
 			return nil, false
 		}
+		needCredit := routing.AllocNeedsCredit(n.alg)
 		stuck = true
 		for _, c := range ivc.candidates {
 			out := &n.outs[lay.outIdx(node, c.Port, c.VC)]
 			if out.free() {
-				// A free candidate: not stuck (merely waiting for
-				// switch allocation).
-				return nil, false
+				if !needCredit || out.credits > 0 {
+					// A claimable candidate: not stuck (merely waiting
+					// for switch allocation).
+					return nil, false
+				}
+				// Free but credit-starved under a gated regime: VA will
+				// not grant it; the head waits on the worm filling the
+				// downstream buffer.
+				if front := n.downstreamFront(node, c.Port, c.VC); front != nil && front != me {
+					edges = append(edges, front)
+				}
+				continue
 			}
 			if out.ownerMsg != nil && out.ownerMsg != me {
 				edges = append(edges, out.ownerMsg)
@@ -54,21 +65,28 @@ func (n *Network) waitEdges(node, p, v int) (edges []*Message, stuck bool) {
 	}
 	// Blocked on a full downstream buffer: wait on the worm at its
 	// front.
-	down := n.g.Neighbor(topology.NodeID(node), ivc.outPort)
-	if down < 0 {
-		return nil, false
-	}
-	dp, ok := n.g.PortTo(down, topology.NodeID(node))
-	if !ok {
-		return nil, false
-	}
-	front := n.ins[lay.inIdx(int(down), dp, ivc.outVC)].frontMsg()
+	front := n.downstreamFront(node, ivc.outPort, ivc.outVC)
 	if front != nil && front != me {
 		return []*Message{front}, true
 	}
 	// Blocked behind our own worm: pipeline backpressure, not a
 	// deadlock by itself.
 	return nil, false
+}
+
+// downstreamFront returns the message at the front of the input buffer
+// fed by output (port, vc) of node, or nil when the port has no usable
+// downstream buffer.
+func (n *Network) downstreamFront(node, port, vc int) *Message {
+	down := n.g.Neighbor(topology.NodeID(node), port)
+	if down < 0 {
+		return nil
+	}
+	dp, ok := n.g.PortTo(down, topology.NodeID(node))
+	if !ok {
+		return nil
+	}
+	return n.ins[n.lay.inIdx(int(down), dp, vc)].frontMsg()
 }
 
 // FindDeadlockCycle searches the wait-for graph for a cycle of stuck

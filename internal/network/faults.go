@@ -2,6 +2,7 @@ package network
 
 import (
 	"repro/internal/fault"
+	"repro/internal/routing"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -89,6 +90,24 @@ func (n *Network) ApplyFaults(f *fault.Set) {
 					f.NodeFaulty(down) || f.LinkFaulty(topology.NodeID(node), down)
 				if dead {
 					killed[out.ownerMsg] = true
+				}
+			}
+		}
+	}
+
+	// 2b. Reconfiguration flush: worms holding resources whose channel
+	// ordering this event is about to invalidate — e.g. maze escape
+	// worms, whose up*/down* orientation is re-rooted per fault event —
+	// are removed like worms touching the failure itself; the recovery
+	// protocol of assumption iv reinjects them. Letting them survive
+	// could close a wait cycle across the two orientations
+	// (routing.ReconfigFlusher). Every in-flight worm has at least one
+	// buffered flit, so sweeping the input queues sees each one.
+	if flusher, ok := n.alg.(routing.ReconfigFlusher); ok {
+		for i := range n.ins {
+			for _, flt := range n.ins[i].q.slice() {
+				if !killed[flt.msg] && flusher.FlushOnFault(&flt.msg.Hdr) {
+					killed[flt.msg] = true
 				}
 			}
 		}

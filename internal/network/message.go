@@ -76,6 +76,12 @@ type Message struct {
 	// justified. Both are -1 until the message is dropped.
 	DropInPort int
 	DropInVC   int
+	// Unreachable marks the drop as a certified unreachability verdict:
+	// the algorithm implements routing.UnreachableJudge and confirmed at
+	// the unroutable decision that the destination is disconnected on
+	// the post-fault graph. The guaranteed-delivery oracle accepts only
+	// such drops for the maze family.
+	Unreachable bool
 
 	flitsSent int // flits that have left the injection stage
 	// flitsEjected counts flits already delivered at the destination;

@@ -94,6 +94,14 @@ type Stats struct {
 	LatencySum     int64 // total latency (queue + network) of delivered
 	NetLatencySum  int64 // network-only latency of delivered
 	MaxLatency     int64
+	// Unreachable counts dropped messages whose drop was a certified
+	// unreachability verdict: the routing algorithm implements
+	// routing.UnreachableJudge and confirmed, at the failing decision,
+	// that the destination is disconnected from the deciding node on
+	// the post-fault graph. The guaranteed-delivery campaign oracle
+	// requires Dropped == Unreachable for the maze family (zero
+	// sacrifices).
+	Unreachable int64
 	// DeadlockSuspected is set by the watchdog; the test suite treats
 	// it as a failure.
 	DeadlockSuspected bool
@@ -528,6 +536,11 @@ func (n *Network) routeStage() {
 		ivc.candidates = routing.RouteInto(n.alg, req, ivc.candidates[:0])
 		ivc.routed = true
 		ivc.unroutable = len(ivc.candidates) == 0
+		if ivc.unroutable {
+			if judge, ok := n.alg.(routing.UnreachableJudge); ok && judge.UnreachableVerdict(req) {
+				m.Unreachable = true
+			}
+		}
 		ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
 		n.noteInput(node, slot)
 		if n.rec != nil {
@@ -554,6 +567,11 @@ func (n *Network) requestFor(node, p, v int, m *Message) routing.Request {
 // try to claim a free output VC among their candidates, guided by the
 // selector.
 func (n *Network) allocStage() {
+	// Credit-gated regimes (routing.CreditGatedVA) must not commit a
+	// head to an output VC with no downstream credit: their escape
+	// argument needs blocked heads to keep re-arbitrating. Credits are
+	// only mutated in the serial phases, so the read is stable here.
+	needCredit := routing.AllocNeedsCredit(n.alg)
 	n.vaSet.forEach(0, n.lay.nodes, func(node, slot int) {
 		if n.faults.NodeFaulty(topology.NodeID(node)) {
 			return
@@ -565,7 +583,8 @@ func (n *Network) allocStage() {
 		outBase := node * n.lay.outStride
 		free := n.freeScratch[:0]
 		for _, c := range ivc.candidates {
-			if n.outs[outBase+c.Port*n.lay.vcs+c.VC].free() {
+			out := &n.outs[outBase+c.Port*n.lay.vcs+c.VC]
+			if out.free() && (!needCredit || out.credits > 0) {
 				free = append(free, c)
 			}
 		}
@@ -847,6 +866,9 @@ func (n *Network) drainStage() bool {
 				}
 				m.DropInVC = v
 				n.stats.Dropped++
+				if m.Unreachable {
+					n.stats.Unreachable++
+				}
 			}
 			n.inFlight--
 			if n.epochs != nil {

@@ -227,6 +227,46 @@ func TestFaultMidFlightKillsCrossingWorms(t *testing.T) {
 	}
 }
 
+// flushAlg wraps a routing algorithm and flags marked messages for
+// removal at fault events (routing.ReconfigFlusher), standing in for
+// an engine whose escape orientation the event invalidates.
+type flushAlg struct{ routing.Algorithm }
+
+func (flushAlg) FlushOnFault(h *routing.Header) bool { return h.Marked }
+
+// A fault event removes worms the algorithm flags for reconfiguration
+// flush even when they touch no failed element; unflagged worms ride
+// the event out.
+func TestReconfigFlushKillsFlaggedWorms(t *testing.T) {
+	m := topology.NewMesh(6, 3)
+	n := New(Config{Graph: m, Algorithm: flushAlg{routing.NewNARA(m)}, RecordMessages: true})
+	flagged := n.Inject(m.Node(0, 0), m.Node(5, 0), 8)
+	flagged.Hdr.Marked = true
+	plain := n.Inject(m.Node(0, 1), m.Node(5, 1), 8)
+	for i := 0; i < 4; i++ {
+		stepChecked(t, n)
+	}
+	if flagged.State != StateInFlight || plain.State != StateInFlight {
+		t.Fatalf("both worms should be in flight, got %v / %v", flagged.State, plain.State)
+	}
+	f := fault.NewSet()
+	f.FailNode(m.Node(2, 2)) // away from both worms' rows
+	n.ApplyFaults(f)
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatalf("after fault: %v", err)
+	}
+	if flagged.State != StateKilled {
+		t.Fatalf("flagged worm: %v, want killed", flagged.State)
+	}
+	drainChecked(t, n, 1000)
+	if plain.State != StateDelivered {
+		t.Fatalf("unflagged worm: %v, want delivered", plain.State)
+	}
+	if st := n.Stats(); st.Killed != 1 || st.Delivered != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
 func TestNodeFaultKillsQueuedMessages(t *testing.T) {
 	m := topology.NewMesh(4, 4)
 	alg := routing.NewNAFTA(m)

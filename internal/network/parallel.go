@@ -100,6 +100,7 @@ type drainDelta struct {
 	flitsDelivered int64
 	delivered      int64
 	dropped        int64
+	unreachable    int64
 	hopsSum        int64
 	stepsSum       int64
 	misroutesSum   int64
@@ -430,6 +431,7 @@ func (n *Network) commitDrain() bool {
 		n.stats.FlitsDelivered += d.flitsDelivered
 		n.stats.Delivered += d.delivered
 		n.stats.Dropped += d.dropped
+		n.stats.Unreachable += d.unreachable
 		n.stats.HopsSum += d.hopsSum
 		n.stats.StepsSum += d.stepsSum
 		n.stats.MisroutesSum += d.misroutesSum
@@ -486,6 +488,11 @@ func (n *Network) routeStageShard(s *shard) {
 		ivc.candidates = routing.RouteInto(s.alg, req, ivc.candidates[:0])
 		ivc.routed = true
 		ivc.unroutable = len(ivc.candidates) == 0
+		if ivc.unroutable {
+			if judge, ok := s.alg.(routing.UnreachableJudge); ok && judge.UnreachableVerdict(req) {
+				m.Unreachable = true
+			}
+		}
 		ivc.decisionReady = n.now + int64(steps*n.cfg.DecisionCyclesPerStep)
 		n.noteInput(node, slot)
 		if n.rec != nil {
@@ -505,6 +512,10 @@ func (n *Network) routeStageShard(s *shard) {
 // list. The selector is shard-safe (per-node state only) and the load
 // view reads nothing but the deciding router's outputs.
 func (n *Network) allocStageShard(s *shard) {
+	// Mirrors allocStage's credit gate: credits are only mutated in the
+	// serial phases, so reading them during the parallel VA pass is
+	// race-free and deterministic.
+	needCredit := routing.AllocNeedsCredit(n.alg)
 	n.vaSet.forEach(s.lo, s.hi, func(node, slot int) {
 		if n.faults.NodeFaulty(topology.NodeID(node)) {
 			return
@@ -516,7 +527,8 @@ func (n *Network) allocStageShard(s *shard) {
 		outBase := node * n.lay.outStride
 		free := s.free[:0]
 		for _, c := range ivc.candidates {
-			if n.outs[outBase+c.Port*n.lay.vcs+c.VC].free() {
+			out := &n.outs[outBase+c.Port*n.lay.vcs+c.VC]
+			if out.free() && (!needCredit || out.credits > 0) {
 				free = append(free, c)
 			}
 		}
@@ -647,6 +659,9 @@ func (n *Network) drainStageShard(s *shard) {
 				}
 				m.DropInVC = v
 				d.dropped++
+				if m.Unreachable {
+					d.unreachable++
+				}
 			}
 			d.inFlight--
 			if n.epochs != nil {

@@ -1,7 +1,7 @@
 package network
 
 import (
-	"repro/internal/topology"
+	"repro/internal/routing"
 	"repro/internal/trace"
 )
 
@@ -26,6 +26,7 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 	// Blocked packets: every input VC whose front message cannot
 	// advance this cycle, with the messages it waits on.
 	lay := &n.lay
+	needCredit := routing.AllocNeedsCredit(n.alg)
 	for node := 0; node < lay.nodes; node++ {
 		for p := 0; p < lay.inPorts; p++ {
 			for v := 0; v < lay.vcs; v++ {
@@ -41,8 +42,17 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 					for _, c := range ivc.candidates {
 						out := &n.outs[lay.outIdx(node, c.Port, c.VC)]
 						if out.free() {
-							free = true
-							break
+							if !needCredit || out.credits > 0 {
+								free = true
+								break
+							}
+							// Free but credit-starved under a gated
+							// regime: not claimable; the head waits on
+							// the worm filling the downstream buffer.
+							if front := n.downstreamFront(node, c.Port, c.VC); front != nil && front != m {
+								waits = append(waits, front)
+							}
+							continue
 						}
 						if out.ownerMsg != nil && out.ownerMsg != m {
 							waits = append(waits, out.ownerMsg)
@@ -58,20 +68,15 @@ func (n *Network) PostMortem(reason string) *trace.Report {
 						continue
 					}
 					why = "no-credit"
-					if down := n.g.Neighbor(topology.NodeID(node), ivc.outPort); down >= 0 {
-						if dp, ok := n.g.PortTo(down, topology.NodeID(node)); ok {
-							front := n.ins[lay.inIdx(int(down), dp, ivc.outVC)].frontMsg()
-							if front == m {
-								// Upstream segment of our own worm:
-								// pipeline backpressure behind the
-								// head, which has its own entry at
-								// its blocking point downstream.
-								continue
-							}
-							if front != nil {
-								waits = append(waits, front)
-							}
-						}
+					front := n.downstreamFront(node, ivc.outPort, ivc.outVC)
+					if front == m {
+						// Upstream segment of our own worm: pipeline
+						// backpressure behind the head, which has its
+						// own entry at its blocking point downstream.
+						continue
+					}
+					if front != nil {
+						waits = append(waits, front)
 					}
 				}
 				bp := trace.BlockedPacket{

@@ -127,6 +127,10 @@ type Artifact struct {
 	// zero for nafta (whose program is topology-size independent).
 	CubeDim    int
 	Adaptivity int
+	// Ports parameterises the maze program (generated per port count);
+	// zero for the other families, so pre-maze artifact checksums are
+	// unchanged (gob omits zero fields).
+	Ports int
 	// Source is the complete rule program.
 	Source string
 	// Bases holds the compiled decision tables, in decision order.
@@ -145,10 +149,13 @@ type BuildOptions struct {
 	// Adaptivity is routec's adaptivity width (default 2, the width
 	// the simulator adapter implements).
 	Adaptivity int
+	// Ports is the port count the maze program is generated for
+	// (default 4, the mesh/torus degree).
+	Ports int
 }
 
 // Build compiles the builtin program of the given algorithm family
-// ("nafta" or "routec") into an artifact.
+// ("maze", "nafta" or "routec") into an artifact.
 func Build(algo string, opts BuildOptions) (*Artifact, error) {
 	if opts.Epoch == 0 {
 		opts.Epoch = 1
@@ -182,8 +189,19 @@ func Build(algo string, opts BuildOptions) (*Artifact, error) {
 		bases = rulesets.RouteCDecisionBases
 		art.CubeDim, art.Adaptivity = opts.CubeDim, opts.Adaptivity
 		art.Regime = routingRegimeRouteC
+	case "maze":
+		if opts.Ports == 0 {
+			opts.Ports = 4
+		}
+		if opts.Ports < 2 || opts.Ports > mazeMaxPorts {
+			return nil, fmt.Errorf("reconfig: maze supports 2 to %d ports, not %d", mazeMaxPorts, opts.Ports)
+		}
+		prog, err = rulesets.LoadMaze(opts.Ports)
+		bases = rulesets.MazeDecisionBases
+		art.Ports = opts.Ports
+		art.Regime = routingRegimeMaze
 	default:
-		return nil, fmt.Errorf("reconfig: unknown algorithm %q (valid: nafta, routec)", algo)
+		return nil, fmt.Errorf("reconfig: unknown algorithm %q (valid: maze, nafta, routec)", algo)
 	}
 	if err != nil {
 		return nil, err
@@ -261,7 +279,7 @@ func (a *Artifact) Validate() error {
 		return fmt.Errorf("reconfig: artifact format v%d, this build reads v%d", a.FormatVersion, FormatVersion)
 	}
 	switch a.Algorithm {
-	case "nafta", "routec":
+	case "nafta", "routec", "maze":
 	default:
 		return fmt.Errorf("reconfig: artifact names unknown algorithm %q", a.Algorithm)
 	}
@@ -288,6 +306,9 @@ func (a *Artifact) Summary() (string, error) {
 	fmt.Fprintf(&b, "regime:   %s\n", a.Regime)
 	if a.Algorithm == "routec" {
 		fmt.Fprintf(&b, "params:   d=%d a=%d\n", a.CubeDim, a.Adaptivity)
+	}
+	if a.Algorithm == "maze" {
+		fmt.Fprintf(&b, "params:   ports=%d\n", a.Ports)
 	}
 	fmt.Fprintf(&b, "source:   %d bytes\n", len(a.Source))
 	fmt.Fprintf(&b, "checksum: sha256:%s\n", sum)

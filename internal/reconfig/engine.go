@@ -15,6 +15,8 @@ import (
 const (
 	routingRegimeNAFTA  = routing.RegimeNAFTA
 	routingRegimeRouteC = routing.RegimeRouteC
+	routingRegimeMaze   = routing.RegimeMaze
+	mazeMaxPorts        = routing.MazeMaxPorts
 )
 
 // NewEngine binds an artifact's tables to topology g and returns the
@@ -72,6 +74,11 @@ func NewEngineBuilder(art *Artifact, g topology.Graph) (*EngineBuilder, error) {
 			return nil, fmt.Errorf("reconfig: artifact compiled for a %d-cube, topology is a %d-cube", art.CubeDim, h.Dim)
 		}
 		meta = rulesets.RouteCMeta
+	case "maze":
+		if g.Ports() != art.Ports {
+			return nil, fmt.Errorf("reconfig: maze artifact compiled for %d ports, %s has %d", art.Ports, g.Name(), g.Ports())
+		}
+		meta = rulesets.MazeMeta
 	default:
 		return nil, fmt.Errorf("reconfig: unknown algorithm %q", art.Algorithm)
 	}
@@ -95,6 +102,8 @@ func (b *EngineBuilder) Build() (routing.Algorithm, error) {
 		return rulesets.NewRuleNAFTAFromProgram(b.g.(*topology.Mesh), b.prog, b.tables)
 	case "routec":
 		return rulesets.NewRuleRouteCFromProgram(b.g.(*topology.Hypercube), b.prog, b.tables)
+	case "maze":
+		return rulesets.NewRuleMazeFromProgram(b.g, b.prog, b.tables)
 	}
 	return nil, fmt.Errorf("reconfig: unknown algorithm %q", b.art.Algorithm)
 }

@@ -95,6 +95,15 @@ func (c *swapCtx) NoteHop(req routing.Request, chosen routing.Candidate) {
 	c.ctxFor(req.Hdr.Epoch).NoteHop(req, chosen)
 }
 
+// UnreachableVerdict asks the message's epoch context for the verdict
+// (routing.UnreachableJudge), matching Swapper.UnreachableVerdict.
+func (c *swapCtx) UnreachableVerdict(req routing.Request) bool {
+	if judge, ok := c.ctxFor(req.Hdr.Epoch).(routing.UnreachableJudge); ok {
+		return judge.UnreachableVerdict(req)
+	}
+	return false
+}
+
 func (c *swapCtx) UpdateFaults(*fault.Set) {
 	panic("reconfig: decision contexts share the swapper's fault state; call UpdateFaults on the Swapper")
 }

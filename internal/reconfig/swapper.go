@@ -259,6 +259,23 @@ func (s *Swapper) NumVCs() int  { return s.Current().NumVCs() }
 // DeadlockRegime forwards the current engine's regime tag.
 func (s *Swapper) DeadlockRegime() string { return routing.RegimeOf(s.Current()) }
 
+// AllocNeedsCredit forwards the current engine's credit-gated
+// allocation requirement (routing.CreditGatedVA). VA gating is a
+// router-wide property, so — like NumVCs — it follows the current
+// engine rather than a message's pinned epoch; gating is conservative
+// for the engines that don't need it, so a mid-swap mix is safe.
+func (s *Swapper) AllocNeedsCredit() bool { return routing.AllocNeedsCredit(s.Current()) }
+
+// FlushOnFault forwards the reconfiguration-flush question to the
+// engine the message routes on (routing.ReconfigFlusher): whether its
+// held resources are orientation-ordered is that engine's call.
+func (s *Swapper) FlushOnFault(h *routing.Header) bool {
+	if fl, ok := s.engineFor(h.Epoch).(routing.ReconfigFlusher); ok {
+		return fl.FlushOnFault(h)
+	}
+	return false
+}
+
 func (s *Swapper) Route(req routing.Request) []routing.Candidate {
 	return s.engineFor(req.Hdr.Epoch).Route(req)
 }
@@ -274,6 +291,16 @@ func (s *Swapper) Steps(req routing.Request) int {
 
 func (s *Swapper) NoteHop(req routing.Request, chosen routing.Candidate) {
 	s.engineFor(req.Hdr.Epoch).NoteHop(req, chosen)
+}
+
+// UnreachableVerdict forwards the verdict question to the engine the
+// message routes on; engines without a verdict plane never certify a
+// drop (routing.UnreachableJudge).
+func (s *Swapper) UnreachableVerdict(req routing.Request) bool {
+	if judge, ok := s.engineFor(req.Hdr.Epoch).(routing.UnreachableJudge); ok {
+		return judge.UnreachableVerdict(req)
+	}
+	return false
 }
 
 // UpdateFaults forwards the diagnosis to every live engine generation:

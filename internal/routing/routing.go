@@ -48,6 +48,10 @@ const (
 	// RegimeRouteC: ascending/descending phases plus bounded detour
 	// levels on five VCs, the ROUTE_C hypercube discipline.
 	RegimeRouteC = "cube-phase/5vc"
+	// RegimeMaze: adaptive maze moves on VC0 with an always-offered
+	// up*/down* escape channel on VC1 (Duato-style), the Maze-routing
+	// discipline (mesh, torus and irregular graphs).
+	RegimeMaze = "maze-escape/2vc"
 )
 
 // DeadlockRegimer is implemented by algorithms that declare their
@@ -94,12 +98,87 @@ type Header struct {
 	// Dateline flags that the message crossed the current ring's
 	// wrap-around link (torus dateline VC discipline).
 	Dateline int
+	// MazeMode is the Maze-routing per-message mode: 0 normal
+	// (productive moves), 1 traversal (face-routing wall-follow around
+	// a blocking fault region), 2 escape (sticky up*/down* channel).
+	MazeMode int
+	// MazeStart, MazeStartPort and MazeMD are the face-routing
+	// traversal state: entry node, the wall port taken there (the
+	// disconnection heuristic fires when the message is back at
+	// MazeStart about to repeat MazeStartPort) and the distance to the
+	// destination when the traversal started (the traversal exits back
+	// to normal mode only from a node strictly closer than that).
+	MazeStart     NodeIDField
+	MazeStartPort int
+	MazeMD        int
+	// MazeSteps counts wall-follow hops of the current traversal; a
+	// budget of ~4*nodes bounds it regardless of fault geometry.
+	MazeSteps int
+	// MazeEpoch stamps the fault epoch the traversal/escape state was
+	// computed under; a mismatch after a mid-run fault event restarts
+	// the state machine instead of trusting stale wall geometry.
+	MazeEpoch uint64
 	// Epoch is the rule-table epoch that admitted the message into the
 	// network (0 when no epoch source is attached). Under online
 	// reconfiguration an in-flight worm keeps routing on the tables of
 	// its admission epoch; the field never influences the decision
 	// itself, only which engine generation makes it.
 	Epoch uint64
+}
+
+// NodeIDField aliases topology.NodeID for header fields (keeps the
+// Header declaration readable).
+type NodeIDField = topology.NodeID
+
+// UnreachableJudge is implemented by algorithms that can issue a
+// definitive unreachable verdict: when Route returns no candidate AND
+// UnreachableVerdict is true, the destination is genuinely unreachable
+// from the deciding node on the post-fault graph — the drop is a
+// delivery-oracle-sanctioned verdict, not a sacrifice. The network
+// flags such drops on the message and in Stats.Unreachable.
+type UnreachableJudge interface {
+	UnreachableVerdict(req Request) bool
+}
+
+// CreditGatedVA is implemented by algorithms whose deadlock-freedom
+// argument requires credit-gated virtual-channel allocation: the
+// network must not commit a head to an output VC that has no
+// downstream credit. A head that cannot advance then stays in the VA
+// stage, re-arbitrating every cycle with the full candidate set — in
+// particular the escape channel — still selectable. This is the
+// blocked-head side of Duato's protocol (the maze family's VC0 moves
+// are fully adaptive, so commit-on-free could close a VC0 wait cycle
+// that the always-offered escape VC would have broken). Families with
+// acyclic channel-dependency graphs don't need the gate and keep the
+// cheaper commit-on-free allocation unchanged.
+type CreditGatedVA interface {
+	AllocNeedsCredit() bool
+}
+
+// AllocNeedsCredit reports whether a requires credit-gated VC
+// allocation (CreditGatedVA).
+func AllocNeedsCredit(a Algorithm) bool {
+	if g, ok := a.(CreditGatedVA); ok {
+		return g.AllocNeedsCredit()
+	}
+	return false
+}
+
+// ReconfigFlusher is implemented by algorithms whose UpdateFaults
+// reorients a channel ordering that in-flight messages may already
+// occupy — e.g. the maze escape plane's per-component up*/down*
+// orientation, which is re-rooted and re-levelled per fault event. A
+// worm holding escape buffers acquired under the old orientation can
+// close a wait cycle with worms routing under the new one (the union
+// of two acyclic orientations need not be acyclic), so the network's
+// fault surgery removes flagged worms at the event, exactly like worms
+// physically touching the failed element: the fault model's recovery
+// protocol (assumption iv) reinjects them.
+type ReconfigFlusher interface {
+	// FlushOnFault reports whether the message described by h holds
+	// resources whose ordering the pending reorientation invalidates.
+	// It is consulted before UpdateFaults advances the epoch.
+	FlushOnFault(h *Header) bool
 }
 
 // Request is the input of one routing decision.

@@ -1,0 +1,373 @@
+package rulesets
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/rules"
+	"repro/internal/topology"
+)
+
+// RuleMaze is a routing.Algorithm whose Maze-routing decisions are made
+// by the compiled maze rule program: maze_move selects the VC0 maze
+// move (productive / traversal entry / exit / wall-follow) and
+// maze_escape the VC1 up*/down* escape hop offered alongside it. The
+// native routing.Maze instance plays the Information Units — it digests
+// graph geometry, fault knowledge and the header state machine into the
+// program's input signals and keeps owning NoteHop, fault fixpoints and
+// the unreachable verdict — while every per-message candidate flows
+// through the rule tables, mirroring the RuleNAFTA execution model.
+//
+// Decisions run on the compiled dense fast path; decisions that leave
+// the pure table regime fall back transparently to the interpreted
+// reference path, and DisableFast forces that path everywhere (the
+// differential and fuzz tests drive both and assert identical
+// decisions).
+type RuleMaze struct {
+	g      topology.Graph
+	native *routing.Maze
+	prog   *Program
+	move   *core.CompiledBase // maze_move
+	esc    *core.CompiledBase // maze_escape
+	faults *fault.Set
+
+	layout *core.InputLayout
+	exec   mazeExec
+	slots  mazeSlots
+	args   []rules.Value // constant [invc=0], reused across decisions
+
+	// ctxMu guards ctxTables, the dense-table clones handed to decision
+	// contexts; InvalidateTables retires them with the originals.
+	ctxMu     sync.Mutex
+	ctxTables []*core.DenseTable
+
+	// DisableFast forces every decision onto the interpreted reference
+	// path (the oracle the differential tests compare against).
+	DisableFast bool
+
+	// Lookups counts table lookups (interpretation steps actually
+	// executed).
+	Lookups int64
+	// OnRuleFired, when non-nil, observes every successful rule-table
+	// lookup (deciding node, base name, fired rule index).
+	OnRuleFired func(node topology.NodeID, base string, rule int)
+}
+
+// mazeSlots holds the input-vector slots of every signal the decision
+// bases read, resolved once at construction. The per-port arrays are
+// sized to the routing.MazeMaxPorts cap; only the first Ports() entries
+// are live.
+type mazeSlots struct {
+	mode, done, exitok, wall int
+	prod, escok              [routing.MazeMaxPorts]int
+}
+
+// mazeExec bundles the mutable per-decision state of one execution
+// lane (see naftaExec).
+type mazeExec struct {
+	iv          *core.InputVector
+	moveD, escD *core.DenseTable
+	scratch     *core.Machine
+	lookups     *int64
+	obs         routing.RuleObserver
+}
+
+// NewRuleMaze builds the native maze engine for g, compiles the maze
+// program for g's port count and binds the two.
+func NewRuleMaze(g topology.Graph) (*RuleMaze, error) {
+	p, err := LoadMaze(g.Ports())
+	if err != nil {
+		return nil, err
+	}
+	return NewRuleMazeFromProgram(g, p, nil)
+}
+
+// NewRuleMazeFromProgram binds an already analysed maze program (which
+// must have been generated for g's port count) to graph g. tables
+// optionally supplies precompiled decision tables keyed by base name
+// (e.g. from a reconfiguration artifact); missing entries are compiled
+// in-process.
+func NewRuleMazeFromProgram(g topology.Graph, p *Program, tables map[string]*core.CompiledBase) (*RuleMaze, error) {
+	native, err := routing.NewMaze(g)
+	if err != nil {
+		return nil, err
+	}
+	r := &RuleMaze{
+		g:      g,
+		native: native,
+		prog:   p,
+		faults: fault.NewSet(),
+		args:   []rules.Value{rules.IntVal(0)},
+	}
+	for _, b := range []struct {
+		name string
+		dst  **core.CompiledBase
+	}{
+		{MazeDecisionBases[0], &r.move},
+		{MazeDecisionBases[1], &r.esc},
+	} {
+		cb := tables[b.name]
+		if cb == nil {
+			if cb, err = core.CompileBase(p.Checked, b.name, core.CompileOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		*b.dst = cb
+	}
+	r.layout = core.NewInputLayout(p.Checked)
+	r.exec.iv = core.NewInputVector(r.layout)
+	r.exec.scratch = core.NewMachine(p.Checked, r.exec.iv.Provider())
+	r.exec.lookups = &r.Lookups
+	// Dense compilation is best-effort: a nil table keeps the base on
+	// the interpreter (same decisions, just slower).
+	for _, b := range []struct {
+		cb   *core.CompiledBase
+		fast **core.DenseTable
+	}{{r.move, &r.exec.moveD}, {r.esc, &r.exec.escD}} {
+		if dt, err := b.cb.CompileDense(r.layout); err == nil {
+			*b.fast = dt
+		}
+	}
+	s := &r.slots
+	for _, e := range []struct {
+		name string
+		dst  *int
+	}{
+		{"mode", &s.mode}, {"done", &s.done}, {"exitok", &s.exitok}, {"wall", &s.wall},
+	} {
+		if *e.dst, err = r.layout.SlotOf(e.name); err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < g.Ports(); p++ {
+		if s.prod[p], err = r.layout.SlotOf("prod", int64(p)); err != nil {
+			return nil, err
+		}
+		if s.escok[p], err = r.layout.SlotOf("escok", int64(p)); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// DeadlockRegime tags the adapter with the native maze discipline:
+// rule and native engines implement the same VC scheme and are mutually
+// hot-swappable.
+func (r *RuleMaze) DeadlockRegime() string { return r.native.DeadlockRegime() }
+
+// InvalidateTables retires the adapter's dense tables — the serial
+// lane's and every clone handed to a decision context.
+func (r *RuleMaze) InvalidateTables() {
+	for _, dt := range []*core.DenseTable{r.exec.moveD, r.exec.escD} {
+		if dt != nil {
+			dt.Invalidate()
+		}
+	}
+	r.ctxMu.Lock()
+	defer r.ctxMu.Unlock()
+	for _, dt := range r.ctxTables {
+		dt.Invalidate()
+	}
+}
+
+// FastPathActive reports whether both decision bases compiled to the
+// dense fast path.
+func (r *RuleMaze) FastPathActive() bool {
+	return r.exec.moveD != nil && r.exec.escD != nil
+}
+
+func (r *RuleMaze) Name() string { return "rule-maze" }
+func (r *RuleMaze) NumVCs() int  { return r.native.NumVCs() }
+
+func (r *RuleMaze) Steps(req routing.Request) int { return r.native.Steps(req) }
+
+func (r *RuleMaze) NoteHop(req routing.Request, chosen routing.Candidate) {
+	r.native.NoteHop(req, chosen)
+}
+
+func (r *RuleMaze) UpdateFaults(f *fault.Set) {
+	r.faults = f
+	r.native.UpdateFaults(f)
+}
+
+// UnreachableVerdict forwards the native engine's component-table
+// verdict (routing.UnreachableJudge): the rule tables decide moves, the
+// information units certify disconnection.
+func (r *RuleMaze) UnreachableVerdict(req routing.Request) bool {
+	return r.native.UnreachableVerdict(req)
+}
+
+// AllocNeedsCredit forwards the native engine's credit-gated
+// allocation requirement (routing.CreditGatedVA).
+func (r *RuleMaze) AllocNeedsCredit() bool { return r.native.AllocNeedsCredit() }
+
+// FlushOnFault forwards the native engine's reconfiguration flush
+// (routing.ReconfigFlusher).
+func (r *RuleMaze) FlushOnFault(h *routing.Header) bool { return r.native.FlushOnFault(h) }
+
+// fillInputs digests one decision into the program's input signals via
+// the native engine's fact computation (no allocation).
+func (r *RuleMaze) fillInputs(e *mazeExec, req routing.Request) {
+	facts := r.native.Facts(req)
+	iv, s := e.iv, &r.slots
+	iv.Begin()
+	iv.Set(s.mode, int64(facts.Mode))
+	iv.Set(s.done, int64(facts.Done))
+	iv.Set(s.exitok, int64(facts.ExitOK))
+	iv.Set(s.wall, int64(facts.Wall))
+	for p := 0; p < facts.Ports; p++ {
+		iv.Set(s.prod[p], int64(facts.Prod[p]))
+		iv.Set(s.escok[p], int64(facts.EscOK[p]))
+	}
+}
+
+// fire reports one successful rule selection (see RuleNAFTA.fire).
+func (r *RuleMaze) fire(e *mazeExec, node topology.NodeID, base string, rule int) {
+	if e.obs != nil {
+		e.obs(r, node, base, rule)
+		return
+	}
+	if r.OnRuleFired != nil {
+		r.OnRuleFired(node, base, rule)
+	}
+}
+
+// FireRuleObserver forwards a deferred rule-fire observation to the
+// hook currently installed (routing.RuleFirer).
+func (r *RuleMaze) FireRuleObserver(node topology.NodeID, base string, rule int) {
+	if r.OnRuleFired != nil {
+		r.OnRuleFired(node, base, rule)
+	}
+}
+
+// decide runs one rule base over the exec's input vector: dense table
+// first, interpreted reference path when the fast path is unavailable
+// or the decision leaves the pure table regime (see RuleNAFTA.decide).
+func (r *RuleMaze) decide(e *mazeExec, req routing.Request, cb *core.CompiledBase, dt *core.DenseTable) (int, bool) {
+	*e.lookups++
+	if dt != nil && !r.DisableFast {
+		if idx, ok := dt.Lookup(e.iv, 0); ok {
+			if idx >= cb.RuleCount {
+				return 0, false
+			}
+			r.fire(e, req.Node, cb.Base, idx)
+			if ret, rok := dt.Return(idx); rok {
+				return int(ret.I), true
+			}
+			eff, err := r.prog.Checked.FireRule(cb.Base, idx, r.args, e.scratch)
+			if err != nil || eff.Return == nil {
+				return 0, false
+			}
+			return int(eff.Return.I), true
+		}
+	}
+	m := e.scratch
+	m.Reset()
+	idx, err := cb.LookupRule(r.args, m)
+	if err != nil || idx >= cb.RuleCount {
+		return 0, false
+	}
+	r.fire(e, req.Node, cb.Base, idx)
+	eff, err := r.prog.Checked.FireRule(cb.Base, idx, r.args, m)
+	if err != nil || eff.Return == nil {
+		return 0, false
+	}
+	return int(eff.Return.I), true
+}
+
+// Route performs the decision through the compiled rule tables. An
+// empty result means unroutable — for this family, a certified
+// unreachable verdict (see UnreachableVerdict).
+func (r *RuleMaze) Route(req routing.Request) []routing.Candidate {
+	return r.RouteAppend(req, nil)
+}
+
+// RouteAppend is the allocation-free form of Route (BufferedAlgorithm).
+func (r *RuleMaze) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	return r.routeAppend(&r.exec, req, buf)
+}
+
+func (r *RuleMaze) routeAppend(e *mazeExec, req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	r.fillInputs(e, req)
+	if port, ok := r.decide(e, req, r.move, e.moveD); ok {
+		buf = append(buf, routing.Candidate{Port: port, VC: 0})
+	}
+	if port, ok := r.decide(e, req, r.esc, e.escD); ok {
+		buf = append(buf, routing.Candidate{Port: port, VC: 1})
+	}
+	return buf
+}
+
+// NewDecisionContext hands out one independent decision lane for a
+// parallel-stepper worker (routing.DecisionContexter; see the RuleNAFTA
+// counterpart for the sharing contract).
+func (r *RuleMaze) NewDecisionContext(obs routing.RuleObserver) routing.Algorithm {
+	c := &mazeContext{parent: r}
+	c.exec = mazeExec{
+		iv:      core.NewInputVector(r.layout),
+		lookups: &c.count,
+		obs:     obs,
+	}
+	c.exec.scratch = core.NewMachine(r.prog.Checked, c.exec.iv.Provider())
+	r.ctxMu.Lock()
+	defer r.ctxMu.Unlock()
+	for _, t := range []struct {
+		src *core.DenseTable
+		dst **core.DenseTable
+	}{{r.exec.moveD, &c.exec.moveD}, {r.exec.escD, &c.exec.escD}} {
+		if t.src != nil {
+			cl := t.src.Clone()
+			*t.dst = cl
+			r.ctxTables = append(r.ctxTables, cl)
+		}
+	}
+	return c
+}
+
+// mazeContext is one worker's decision lane over a shared RuleMaze.
+type mazeContext struct {
+	parent *RuleMaze
+	exec   mazeExec
+	count  int64
+}
+
+func (c *mazeContext) Name() string                  { return c.parent.Name() }
+func (c *mazeContext) NumVCs() int                   { return c.parent.NumVCs() }
+func (c *mazeContext) Steps(req routing.Request) int { return c.parent.Steps(req) }
+func (c *mazeContext) NoteHop(req routing.Request, chosen routing.Candidate) {
+	c.parent.NoteHop(req, chosen)
+}
+func (c *mazeContext) UpdateFaults(*fault.Set) {
+	panic("rulesets: decision contexts share the parent's fault state; call UpdateFaults on the parent engine")
+}
+func (c *mazeContext) Route(req routing.Request) []routing.Candidate {
+	return c.RouteAppend(req, nil)
+}
+func (c *mazeContext) RouteAppend(req routing.Request, buf []routing.Candidate) []routing.Candidate {
+	return c.parent.routeAppend(&c.exec, req, buf)
+}
+
+// UnreachableVerdict forwards the parent's verdict plane
+// (routing.UnreachableJudge); the component table is read-only during
+// compute phases.
+func (c *mazeContext) UnreachableVerdict(req routing.Request) bool {
+	return c.parent.UnreachableVerdict(req)
+}
+
+// FlushLookups folds the context's lookup count into the parent's
+// public counter (routing.LookupFlusher; called single-threaded).
+func (c *mazeContext) FlushLookups() {
+	c.parent.Lookups += c.count
+	c.count = 0
+}
+
+var _ routing.Algorithm = (*RuleMaze)(nil)
+var _ routing.BufferedAlgorithm = (*RuleMaze)(nil)
+var _ routing.DecisionContexter = (*RuleMaze)(nil)
+var _ routing.RuleFirer = (*RuleMaze)(nil)
+var _ routing.UnreachableJudge = (*RuleMaze)(nil)
+var _ routing.BufferedAlgorithm = (*mazeContext)(nil)
+var _ routing.LookupFlusher = (*mazeContext)(nil)
+var _ routing.UnreachableJudge = (*mazeContext)(nil)

@@ -101,6 +101,110 @@ func FuzzRuleNAFTADifferential(f *testing.F) {
 	})
 }
 
+// FuzzMazeFastPath mutates a fault set plus one maze routing request —
+// including the face-routing traversal state carried in the header —
+// and asserts that the dense fast path and the interpreted reference
+// path select identical fired rules and identical candidates on mesh,
+// torus and irregular graphs.
+func FuzzMazeFastPath(f *testing.F) {
+	type lane struct {
+		g            topology.Graph
+		fast, interp *RuleMaze
+		epoch        uint64
+	}
+	var lanes []*lane
+	irr, err := topology.RandomIrregular(20, 8, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if irr.Ports() > routing.MazeMaxPorts {
+		f.Fatalf("irregular test graph drew degree %d > %d; pick another seed", irr.Ports(), routing.MazeMaxPorts)
+	}
+	for _, g := range []topology.Graph{topology.NewMesh(6, 6), topology.NewTorus(6, 5), irr} {
+		fast, err := NewRuleMaze(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		interp, err := NewRuleMaze(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		interp.DisableFast = true
+		lanes = append(lanes, &lane{g: g, fast: fast, interp: interp})
+	}
+	var fastFired, interpFired []firing
+	for _, l := range lanes {
+		l.fast.OnRuleFired = recordFirings(&fastFired)
+		l.interp.OnRuleFired = recordFirings(&interpFired)
+	}
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 2, 10, 20, 0, 0, 30, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 7, 3, 14, 2, 28, 1, 1, 5, 2, 9, 40, 1})
+	f.Add([]byte{2, 0, 3, 0, 0, 19, 4, 2, 0, 11, 3, 6, 0, 0})
+	f.Add([]byte{0, 3, 35, 1, 2, 3, 1, 2, 1, 8, 4, 3, 250, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb := &fuzzBytes{data: data}
+		l := lanes[fb.intn(len(lanes))]
+		g := l.g
+		fs := fault.NewSet()
+		for i, n := 0, fb.intn(5); i < n; i++ {
+			fs.FailNode(topology.NodeID(fb.intn(g.Nodes())))
+		}
+		for i, n := 0, fb.intn(4); i < n; i++ {
+			a := topology.NodeID(fb.intn(g.Nodes()))
+			p := fb.intn(g.Ports())
+			if b := g.Neighbor(a, p); b != topology.Invalid {
+				fs.FailLink(a, b)
+			}
+		}
+		l.fast.UpdateFaults(fs)
+		l.interp.UpdateFaults(fs)
+		l.epoch++
+
+		src := topology.NodeID(fb.intn(g.Nodes()))
+		dst := topology.NodeID(fb.intn(g.Nodes()))
+		if src == dst || fs.NodeFaulty(src) || fs.NodeFaulty(dst) {
+			return
+		}
+		hdr := routing.Header{
+			Src: src, Dst: dst,
+			Length:        2 + fb.intn(12),
+			Phase:         fb.intn(2),
+			MazeMode:      fb.intn(3),
+			MazeStart:     topology.NodeID(fb.intn(g.Nodes())),
+			MazeStartPort: fb.intn(g.Ports() + 1),
+			MazeMD:        fb.intn(24),
+			MazeSteps:     int(fb.next()) * 2, // crosses the hop budget
+			MazeEpoch:     l.epoch,
+		}
+		if fb.intn(2) == 1 && l.epoch > 0 {
+			hdr.MazeEpoch = l.epoch - 1 // stale traversal/escape state
+		}
+		inPort := routing.InjectionPort
+		if v := fb.intn(g.Ports() + 1); v < g.Ports() {
+			inPort = v
+		}
+		hdr2 := hdr
+		reqF := routing.Request{Node: src, InPort: inPort, InVC: fb.intn(2), Hdr: &hdr}
+		reqI := reqF
+		reqI.Hdr = &hdr2
+		fastFired, interpFired = fastFired[:0], interpFired[:0]
+		a := l.fast.Route(reqF)
+		b := l.interp.Route(reqI)
+		if !sameCands(a, b) {
+			t.Fatalf("%s: candidates diverged: fast %v vs interpreted %v (req %+v hdr %+v)", g.Name(), a, b, reqF, hdr)
+		}
+		if !sameFirings(fastFired, interpFired) {
+			t.Fatalf("%s: fired rules diverged: %v vs %v (req %+v hdr %+v)", g.Name(), fastFired, interpFired, reqF, hdr)
+		}
+		if l.fast.UnreachableVerdict(reqF) != l.interp.UnreachableVerdict(reqI) {
+			t.Fatalf("%s: verdicts diverged (req %+v)", g.Name(), reqF)
+		}
+	})
+}
+
 func FuzzRuleRouteCDifferential(f *testing.F) {
 	h := topology.NewHypercube(4)
 	fast, err := NewRuleRouteC(h)

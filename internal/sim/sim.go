@@ -315,6 +315,7 @@ func Run(cfg Config) (Result, error) {
 		Injected:          after.Injected - before.Injected,
 		Delivered:         after.Delivered - before.Delivered,
 		Dropped:           after.Dropped - before.Dropped,
+		Unreachable:       after.Unreachable - before.Unreachable,
 		Killed:            after.Killed - before.Killed,
 		FlitsDelivered:    after.FlitsDelivered - before.FlitsDelivered,
 		HopsSum:           after.HopsSum - before.HopsSum,
