@@ -14,22 +14,28 @@
 #   6. routerd smoke (under -race): the decision service serves 1k
 #      batched decisions while the table artifact is hot-reloaded
 #      mid-load; zero failed decisions and an advanced epoch required
-#   7. serial-vs-parallel equivalence gate: the differential tests
+#   7. fleet smoke (under -race): 3 in-process shard-owning replicas
+#      answer 1k+ scattered decisions bit-identically to a single-node
+#      reference across a hot push/canary/promote/rollback cycle, with
+#      zero canary divergence and verified memoization hits
+#   8. serial-vs-parallel equivalence gate: the differential tests
 #      that require bit-identical statistics between Workers=0 and
 #      Workers>=2 across faults, hot swaps and both rule families
-#   8. failover smoke (under -race): every enumerated fault class of
+#   9. failover smoke (under -race): every enumerated fault class of
 #      both families must resolve to a backup flip whose decisions
 #      equal a from-scratch recompute, and a failover-enabled campaign
 #      (25 scenarios per family) must be statistics-identical to the
 #      plain runs with the predicted flip/recompute counters
-#   9. mesh64x64 smoke (under -race): the large-topology regime the
+#  10. mesh64x64 smoke (under -race): the large-topology regime the
 #      arena/active-set engine exists for — one ftsim run on the
 #      serial engine and one on -workers 2 must print byte-identical
 #      statistics (the equivalence gate at 4096 nodes)
-#  10. (opt-in) bench regression gate: set BENCH_BASELINE to a
+#  11. (opt-in) bench regression gate: set BENCH_BASELINE to a
 #      committed snapshot, e.g. BENCH_BASELINE=BENCH_2026-08-06.json
 #      ./ci.sh, to re-run the benchmarks and fail on a >20% ns/op or
-#      bytes/op regression (cmd/benchjson -baseline).
+#      bytes/op regression (cmd/benchjson -baseline). Set
+#      BENCH_FLEET_BASELINE=BENCH_2026-08-09-fleet.json to gate the
+#      fleet decision path (memoization hit vs uncached) the same way.
 #
 # Exits non-zero on the first failure.
 set -eu
@@ -66,6 +72,9 @@ go run -race ./cmd/campaign -scenarios 25 -seed 1 -algo maze -step-workers 2
 echo "== routerd smoke (1k batched decisions across a hot reload, -race)"
 go run -race ./cmd/routerd -smoke -requests 1000 -batch 32
 
+echo "== fleet smoke (3 replicas, scatter/gather vs single-node, canary+rollback, -race)"
+go run -race ./cmd/fleetload -smoke
+
 echo "== serial-vs-parallel equivalence gate"
 go test -count=1 -run 'TestParallelMatchesSerial|TestCampaignParallelStepDifferential' \
 	./internal/network/ ./internal/campaign/
@@ -91,6 +100,12 @@ echo "   serial and -workers 2 statistics identical at 4096 nodes"
 if [ -n "${BENCH_BASELINE:-}" ]; then
 	echo "== benchjson -baseline $BENCH_BASELINE"
 	go run ./cmd/benchjson -baseline "$BENCH_BASELINE"
+fi
+
+if [ -n "${BENCH_FLEET_BASELINE:-}" ]; then
+	echo "== benchjson -baseline $BENCH_FLEET_BASELINE (fleet decision path)"
+	go run ./cmd/benchjson -bench BenchmarkFleetDecision -benchtime 20000x \
+		-baseline "$BENCH_FLEET_BASELINE"
 fi
 
 echo "== ci.sh: all green"

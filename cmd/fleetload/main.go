@@ -1,0 +1,474 @@
+// Command fleetload is the SLO harness of a routerd fleet: it
+// sustains batched decision load over many concurrent connections,
+// scattering each batch across the replica set by shard ownership,
+// and reports client-observed round-trip percentiles (p50/p99/p999)
+// plus decisions/sec.
+//
+//	fleetload -replicas 3 -conns 8 -duration 5s        # self-hosted in-process fleet
+//	fleetload -targets http://a:8070,http://b:8071     # load an external fleet
+//	fleetload -smoke                                    # CI gate (see below)
+//
+// With -targets empty, fleetload spins -replicas in-process routerd
+// replicas (replica i running shard i/N with the memoization cache
+// on) on loopback listeners — the same fleet.Server that cmd/routerd
+// runs, so self-hosted numbers are real HTTP round trips, not
+// function calls.
+//
+// The -smoke flag is the CI gate: 3 in-process replicas under load,
+// 1000+ scattered decisions verified bit-identical against a
+// single-node reference service, a mid-load hot rollout
+// (push → canary → promote) with zero canary divergence, a rollback
+// that restores the prior version, and a deterministic cache-hit
+// check. Any failed decision, divergence, or mismatch fails the run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleetload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		targets  = fs.String("targets", "", "comma-separated replica base URLs in shard order; empty = self-host")
+		replicas = fs.Int("replicas", 3, "self-hosted replica count")
+		lanes    = fs.Int("lanes", 1, "engine lanes per self-hosted replica")
+		algo     = fs.String("algo", "nafta", "builtin rule program: nafta, routec or maze")
+		artPath  = fs.String("artifact", "", "serve tables from this artifact file instead of compiling the builtin program")
+		meshSpec = fs.String("mesh", "8x8", "mesh size for nafta/maze, WxH")
+		cubeDim  = fs.Int("cube", 4, "hypercube dimension for routec")
+		cache    = fs.Int("cache", 65536, "memoization cache entries per self-hosted replica (0 disables)")
+		conns    = fs.Int("conns", 8, "concurrent load connections")
+		batch    = fs.Int("batch", 16, "decisions per batch request")
+		duration = fs.Duration("duration", 5*time.Second, "sustained load duration")
+		seed     = fs.Int64("seed", 1, "traffic seed")
+		jsonOut  = fs.Bool("json", false, "emit the report as JSON")
+		smoke    = fs.Bool("smoke", false, "run the fleet correctness gate and exit")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	die := func(err error) int {
+		fmt.Fprintln(stderr, "fleetload:", err)
+		return 1
+	}
+
+	if *smoke {
+		if err := runFleetSmoke(stdout, *seed); err != nil {
+			return die(fmt.Errorf("smoke: %w", err))
+		}
+		return 0
+	}
+
+	art, bundle, err := fleet.LoadOrBuild(*artPath, *algo, reconfig.BuildOptions{CubeDim: *cubeDim})
+	if err != nil {
+		return die(err)
+	}
+	if bundle != nil {
+		art = &bundle.Primary
+	}
+
+	var urls []string
+	if *targets != "" {
+		urls = strings.Split(*targets, ",")
+	} else {
+		g, err := fleet.TopologyFor(art, *meshSpec)
+		if err != nil {
+			return die(err)
+		}
+		hosted, shutdown, err := hostFleet(art, g, *replicas, *lanes, *cache)
+		if err != nil {
+			return die(err)
+		}
+		defer shutdown()
+		urls = hosted
+	}
+	client, err := fleet.NewClient(urls, fleet.ClientOptions{})
+	if err != nil {
+		return die(err)
+	}
+
+	g, err := fleet.TopologyFor(art, *meshSpec)
+	if err != nil {
+		return die(err)
+	}
+	rep, err := sustain(client, g.Nodes(), *conns, *batch, *duration, *seed)
+	if err != nil {
+		return die(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return die(err)
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "fleetload: %d replicas, %d conns, batch %d, %s\n",
+		len(urls), *conns, *batch, duration)
+	fmt.Fprintf(stdout, "  %d decisions, %.0f decisions/sec, %d batch errors\n",
+		rep.Decisions, rep.DecisionsPerSec, rep.Errors)
+	fmt.Fprintf(stdout, "  batch round-trip p50 %.0fus p99 %.0fus p999 %.0fus\n",
+		rep.BatchP50us, rep.BatchP99us, rep.BatchP999us)
+	return 0
+}
+
+// Report is the machine-readable load summary (-json).
+type Report struct {
+	Replicas        int     `json:"replicas"`
+	Conns           int     `json:"conns"`
+	Batch           int     `json:"batch"`
+	Decisions       int64   `json:"decisions"`
+	Errors          int64   `json:"errors"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	BatchP50us      float64 `json:"batch_rtt_us_p50"`
+	BatchP99us      float64 `json:"batch_rtt_us_p99"`
+	BatchP999us     float64 `json:"batch_rtt_us_p999"`
+}
+
+// hostFleet spins n in-process replicas of art on g, replica i owning
+// shard i/n, and returns their base URLs plus a shutdown func.
+func hostFleet(art *reconfig.Artifact, g topology.Graph, n, lanes, cache int) ([]string, func(), error) {
+	urls := make([]string, 0, n)
+	var servers []*http.Server
+	shutdown := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		srv, err := fleet.NewServer(art, nil, g, fleet.Options{
+			Shards:       lanes,
+			CacheEntries: cache,
+			Shard:        fleet.ShardInfo{Index: i, Count: n},
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		hs := &http.Server{Handler: srv.Mux()}
+		go hs.Serve(ln)
+		servers = append(servers, hs)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	return urls, shutdown, nil
+}
+
+// sustain drives conns concurrent connections of batched load for the
+// given duration and aggregates per-connection round-trip histograms
+// into one report.
+func sustain(client *fleet.Client, nodes, conns, batch int, duration time.Duration, seed int64) (*Report, error) {
+	deadline := time.Now().Add(duration)
+	hists := make([]*metrics.Histogram, conns)
+	counts := make([]int64, conns)
+	errs := make([]int64, conns)
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		// 20us bins up to 200ms: enough resolution for loopback p50,
+		// enough range for a 99.9th over a congested fleet.
+		hists[c] = metrics.NewHistogram(20, 10000)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			ctx := context.Background()
+			for time.Now().Before(deadline) {
+				reqs := make([]reconfig.DecisionRequest, batch)
+				for i := range reqs {
+					reqs[i] = randomRequest(rng, nodes)
+				}
+				t0 := time.Now()
+				out, err := client.DecideBatch(ctx, reqs)
+				rtt := time.Since(t0)
+				if err != nil {
+					errs[c]++
+					continue
+				}
+				hists[c].Add(float64(rtt.Microseconds()))
+				for _, d := range out {
+					if d.Error != "" {
+						errs[c]++
+					} else {
+						counts[c]++
+					}
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Per-connection histograms merged into the fleet-wide view — the
+	// merge path the /metrics aggregators use.
+	agg := metrics.NewHistogram(20, 10000)
+	var decisions, errors int64
+	for c := 0; c < conns; c++ {
+		if err := agg.Merge(hists[c]); err != nil {
+			return nil, err
+		}
+		decisions += counts[c]
+		errors += errs[c]
+	}
+	if elapsed <= 0 {
+		elapsed = time.Millisecond
+	}
+	return &Report{
+		Replicas:        client.Replicas(),
+		Conns:           conns,
+		Batch:           batch,
+		Decisions:       decisions,
+		Errors:          errors,
+		DecisionsPerSec: float64(decisions) / elapsed.Seconds(),
+		BatchP50us:      agg.Percentile(0.50),
+		BatchP99us:      agg.Percentile(0.99),
+		BatchP999us:     agg.Percentile(0.999),
+	}, nil
+}
+
+// randomRequest builds a fault-free injection-time decision request.
+func randomRequest(rng *rand.Rand, nodes int) reconfig.DecisionRequest {
+	src := rng.Intn(nodes)
+	dst := rng.Intn(nodes)
+	for dst == src {
+		dst = rng.Intn(nodes)
+	}
+	return reconfig.DecisionRequest{
+		Node:   src,
+		InPort: routing.InjectionPort,
+		InVC:   0,
+		Src:    src,
+		Dst:    dst,
+		Length: 4,
+	}
+}
+
+// runFleetSmoke is the CI correctness gate. It certifies, in one run:
+//   - scatter/gather over 3 shard-owning replicas answers bit-identically
+//     to a single-node reference service, across a hot rollout;
+//   - a same-algorithm canary samples decisions and diverges zero times;
+//   - promote activates the canaried version, rollback restores the
+//     prior one (verified by registry status on every replica);
+//   - repeated traffic hits the memoization cache on every replica.
+func runFleetSmoke(stdout io.Writer, seed int64) error {
+	const (
+		nReplicas = 3
+		total     = 1200
+		batchSize = 48
+	)
+	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 1})
+	if err != nil {
+		return err
+	}
+	g, err := fleet.TopologyFor(art, "8x8")
+	if err != nil {
+		return err
+	}
+	urls, shutdown, err := hostFleet(art, g, nReplicas, 1, 4096)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	client, err := fleet.NewClient(urls, fleet.ClientOptions{})
+	if err != nil {
+		return err
+	}
+
+	// The single-node reference: same artifact, no cache, no sharding.
+	// The rollout pushes the same program, so the reference stays valid
+	// across the promote and the rollback — every fleet answer must
+	// match it bit for bit at every point of the run.
+	ref, err := reconfig.NewService(art, g, 1)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	checked := 0
+	verify := func(n int) error {
+		reqs := make([]reconfig.DecisionRequest, n)
+		for i := range reqs {
+			reqs[i] = randomRequest(rng, g.Nodes())
+		}
+		out, err := client.DecideBatch(ctx, reqs)
+		if err != nil {
+			return err
+		}
+		for i := range reqs {
+			if out[i].Error != "" {
+				return fmt.Errorf("decision %+v failed: %s", reqs[i], out[i].Error)
+			}
+			want, _, err := ref.Decide(&reqs[i], nil)
+			if err != nil {
+				return fmt.Errorf("reference decide: %w", err)
+			}
+			if out[i].Unroutable != (len(want) == 0) || !equalCandidates(out[i].Candidates, want) {
+				return fmt.Errorf("request %+v: fleet answered %+v, reference %+v", reqs[i], out[i].Candidates, want)
+			}
+		}
+		checked += n
+		return nil
+	}
+
+	// Phase 1: scattered load against version 1.
+	for done := 0; done < total/2; done += batchSize {
+		if err := verify(batchSize); err != nil {
+			return fmt.Errorf("pre-rollout: %w", err)
+		}
+	}
+
+	// Phase 2: hot rollout — push the next epoch of the same program,
+	// canary half the traffic, demand zero divergence, promote.
+	next := *art
+	next.Epoch = 2
+	var artBytes bytes.Buffer
+	if err := next.Encode(&artBytes); err != nil {
+		return err
+	}
+	version, err := client.Push(ctx, artBytes.Bytes())
+	if err != nil {
+		return fmt.Errorf("push: %w", err)
+	}
+	if version != 2 {
+		return fmt.Errorf("push assigned version %d, want 2", version)
+	}
+	if err := client.Canary(ctx, version, 0.5); err != nil {
+		return fmt.Errorf("canary: %w", err)
+	}
+	for done := 0; done < total/2; done += batchSize {
+		if err := verify(batchSize); err != nil {
+			return fmt.Errorf("under canary: %w", err)
+		}
+	}
+	var sampled int64
+	for i := 0; i < client.Replicas(); i++ {
+		st, err := client.RegistryStatus(ctx, i)
+		if err != nil {
+			return err
+		}
+		if st.Canary == nil {
+			return fmt.Errorf("replica %d lost its canary", i)
+		}
+		if st.Canary.Diverged != 0 {
+			return fmt.Errorf("replica %d: same-algorithm canary diverged %d times (examples: %+v)",
+				i, st.Canary.Diverged, st.Canary.Examples)
+		}
+		sampled += st.Canary.Sampled
+	}
+	if sampled == 0 {
+		return fmt.Errorf("canary at fraction 0.5 sampled nothing across %d decisions", total/2)
+	}
+	if err := client.Promote(ctx); err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	if err := verify(batchSize); err != nil {
+		return fmt.Errorf("post-promote: %w", err)
+	}
+	for i := 0; i < client.Replicas(); i++ {
+		st, err := client.RegistryStatus(ctx, i)
+		if err != nil {
+			return err
+		}
+		if st.Serving != 2 || st.Previous != 1 {
+			return fmt.Errorf("replica %d serving v%d (previous v%d) after promote, want v2/v1", i, st.Serving, st.Previous)
+		}
+	}
+
+	// Phase 3: rollback restores version 1 on every replica.
+	if err := client.Rollback(ctx); err != nil {
+		return fmt.Errorf("rollback: %w", err)
+	}
+	for i := 0; i < client.Replicas(); i++ {
+		st, err := client.RegistryStatus(ctx, i)
+		if err != nil {
+			return err
+		}
+		if st.Serving != 1 {
+			return fmt.Errorf("replica %d serving v%d after rollback, want v1", i, st.Serving)
+		}
+	}
+	if err := verify(batchSize); err != nil {
+		return fmt.Errorf("post-rollback: %w", err)
+	}
+
+	// Phase 4: deterministic memoization check — the same batch twice,
+	// back to back; the second pass must hit on every replica.
+	repeat := make([]reconfig.DecisionRequest, batchSize)
+	for i := range repeat {
+		repeat[i] = randomRequest(rng, g.Nodes())
+	}
+	for pass := 0; pass < 2; pass++ {
+		out, err := client.DecideBatch(ctx, repeat)
+		if err != nil {
+			return fmt.Errorf("cache pass %d: %w", pass, err)
+		}
+		for i := range repeat {
+			want, _, _ := ref.Decide(&repeat[i], nil)
+			if !equalCandidates(out[i].Candidates, want) {
+				return fmt.Errorf("cache pass %d: request %+v answered %+v, reference %+v", pass, repeat[i], out[i].Candidates, want)
+			}
+		}
+		checked += batchSize
+	}
+	var hits int64
+	for i := 0; i < client.Replicas(); i++ {
+		var doc fleet.MetricsDoc
+		if err := client.Metrics(ctx, i, &doc); err != nil {
+			return err
+		}
+		if doc.Cache == nil {
+			return fmt.Errorf("replica %d reports no cache section", i)
+		}
+		if doc.Cache.Hits == 0 {
+			return fmt.Errorf("replica %d: repeated batch produced no cache hits", i)
+		}
+		if doc.Misdirected != 0 {
+			return fmt.Errorf("replica %d answered %d misdirected decisions (scatter broken)", i, doc.Misdirected)
+		}
+		hits += doc.Cache.Hits
+	}
+
+	fmt.Fprintf(stdout, "fleet smoke ok: %d scattered decisions bit-identical to single-node across push/canary/promote/rollback, %d canaried with 0 divergence, %d cache hits on %d replicas\n",
+		checked, sampled, hits, nReplicas)
+	return nil
+}
+
+func equalCandidates(a, b []routing.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

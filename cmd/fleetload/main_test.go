@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFleetSmokeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("in-process HTTP fleet in -short mode")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-smoke"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("fleet smoke failed (%d): %s", code, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "fleet smoke ok") {
+		t.Fatalf("smoke output: %s", out.String())
+	}
+}
+
+func TestSustainedLoadJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained load in -short mode")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-duration", "300ms", "-conns", "2", "-replicas", "2", "-json"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("load run failed (%d): %s", code, errBuf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Replicas != 2 || rep.Conns != 2 {
+		t.Fatalf("report shape %+v", rep)
+	}
+	if rep.Decisions == 0 || rep.DecisionsPerSec <= 0 {
+		t.Fatalf("300ms of load decided nothing: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors under a healthy fleet", rep.Errors)
+	}
+	if rep.BatchP50us <= 0 || rep.BatchP999us < rep.BatchP50us {
+		t.Fatalf("percentiles inverted: %+v", rep)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-algo", "bogus", "-duration", "10ms"}, &out, &errBuf); code == 0 {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if !strings.Contains(errBuf.String(), "valid:") {
+		t.Fatalf("error does not list valid algorithms: %s", errBuf.String())
+	}
+}

@@ -6,22 +6,27 @@
 //	routerd -algo nafta -mesh 8x8 -addr :8070
 //	routerd -artifact tables.art -addr :8070
 //	routerd -artifact tables.bdl -addr :8070   # failover bundle: backups precompiled
+//	routerd -shard 1/3 -cache 65536 -addr :8071  # replica 1 of a 3-node fleet
 //
-// Endpoints:
+// Endpoints (served by internal/fleet):
 //
-//	POST /decide        one DecisionRequest -> Decision
-//	POST /decide/batch  []DecisionRequest   -> []Decision
-//	POST /reload        raw artifact or bundle bytes -> {"epoch": N}; atomic hot swap
-//	POST /fault         {"nodes":[..],"links":[[a,b],..]} -> {"flipped":bool,"epoch":N}
-//	GET  /metrics       decision counters, latency percentiles, epoch, failover plane
-//	GET  /healthz       liveness
+//	POST /decide         one DecisionRequest -> Decision
+//	POST /decide/batch   []DecisionRequest   -> []Decision (bounded by -max-batch)
+//	POST /reload         raw artifact or bundle bytes -> {"epoch":N,"version":V}
+//	POST /registry/push  raw artifact bytes -> {"version":V} (stored, not served)
+//	GET  /registry       versions, serving/previous ids, canary status
+//	POST /canary         {"version":V,"fraction":F} diff F of decisions against V
+//	POST /canary/stop    abandon the canary
+//	POST /promote        make the canaried version the incumbent
+//	POST /rollback       restore the previously serving version
+//	POST /fault          {"nodes":[..],"links":[[a,b],..]} -> {"flipped":bool,"epoch":N}
+//	GET  /metrics        decision counters, latency percentiles, cache, registry, failover
+//	GET  /healthz        liveness
 //
-// When the served file is a failover bundle (and -failover is auto),
-// the per-fault-class backup engines are precompiled at load time; a
-// POST /fault whose fault set matches a covered class installs its
-// backups with an atomic per-shard engine flip instead of running the
-// diagnosis fixpoint inline — the flip-vs-recompute latency gap is
-// visible in /metrics.
+// Errors are JSON documents ({"error":..., "valid":[...]}) so callers
+// never scrape prose. On SIGINT/SIGTERM the server stops accepting
+// connections and drains in-flight decisions for up to -drain before
+// exiting — a fleet replica can be rolled without failing a batch.
 //
 // The -smoke flag runs the built-in load generator against an
 // in-process server: workers stream batched decisions while the table
@@ -31,6 +36,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,22 +45,19 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
-	httppprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
-	"repro/internal/failover"
-	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/reconfig"
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
-
-// Failover plane modes accepted by -failover.
-var failoverModes = []string{"auto", "off"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -64,19 +67,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("routerd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8070", "listen address")
-		algo     = fs.String("algo", "nafta", "builtin rule program when no -artifact is given: nafta or routec")
-		artPath  = fs.String("artifact", "", "serve tables from this artifact or bundle file instead of compiling the builtin program")
-		meshSpec = fs.String("mesh", "8x8", "mesh size for nafta, WxH (ignored when a bundle names its own topology)")
-		cubeDim  = fs.Int("cube", 4, "hypercube dimension for routec")
-		shards   = fs.Int("shards", runtime.GOMAXPROCS(0), "engine replicas (concurrent decision lanes)")
-		failMode = fs.String("failover", "auto", "failover plane: auto (precompile backups when the served file is a bundle) or off")
-		pprof    = fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
-		smoke    = fs.Bool("smoke", false, "run the load generator against an in-process server and exit")
-		requests = fs.Int("requests", 1000, "smoke: total decisions to issue")
-		batch    = fs.Int("batch", 32, "smoke: decisions per batch request")
-		workers  = fs.Int("workers", 8, "smoke: concurrent load workers")
-		seed     = fs.Int64("seed", 1, "smoke: traffic seed")
+		addr      = fs.String("addr", ":8070", "listen address")
+		algo      = fs.String("algo", "nafta", "builtin rule program when no -artifact is given: nafta, routec or maze")
+		artPath   = fs.String("artifact", "", "serve tables from this artifact or bundle file instead of compiling the builtin program")
+		meshSpec  = fs.String("mesh", "8x8", "mesh size for nafta/maze, WxH (ignored when a bundle names its own topology)")
+		cubeDim   = fs.Int("cube", 4, "hypercube dimension for routec")
+		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "engine replicas (concurrent decision lanes)")
+		failMode  = fs.String("failover", "auto", "failover plane: auto (precompile backups when the served file is a bundle) or off")
+		cacheSize = fs.Int("cache", 65536, "decision memoization cache entries (0 disables)")
+		shardSpec = fs.String("shard", "", "this replica's topology shard, index/count (e.g. 0/3); empty = own every node")
+		maxBatch  = fs.Int("max-batch", 4096, "largest accepted /decide/batch")
+		drain     = fs.Duration("drain", 5*time.Second, "in-flight drain budget on SIGINT/SIGTERM")
+		pprof     = fs.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+		smoke     = fs.Bool("smoke", false, "run the load generator against an in-process server and exit")
+		requests  = fs.Int("requests", 1000, "smoke: total decisions to issue")
+		batch     = fs.Int("batch", 32, "smoke: decisions per batch request")
+		workers   = fs.Int("workers", 8, "smoke: concurrent load workers")
+		seed      = fs.Int64("seed", 1, "smoke: traffic seed")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -85,11 +92,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "routerd:", err)
 		return 1
 	}
-	if !validMode(*failMode) {
-		return die(fmt.Errorf("unknown -failover mode %q (valid: %s)", *failMode, strings.Join(failoverModes, ", ")))
+	if !fleet.ValidFailoverMode(*failMode) {
+		return die(fmt.Errorf("unknown -failover mode %q (valid: %s)", *failMode, strings.Join(fleet.FailoverModes, ", ")))
+	}
+	shard, err := fleet.ParseShard(*shardSpec)
+	if err != nil {
+		return die(err)
 	}
 
-	art, bundle, err := loadOrBuild(*artPath, *algo, *cubeDim)
+	art, bundle, err := fleet.LoadOrBuild(*artPath, *algo, reconfig.BuildOptions{CubeDim: *cubeDim})
 	if err != nil {
 		return die(err)
 	}
@@ -98,12 +109,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// A bundle pins the topology its classes were enumerated on.
 		g, err = bundle.Graph()
 	} else {
-		g, err = topologyFor(art, *meshSpec)
+		g, err = fleet.TopologyFor(art, *meshSpec)
 	}
 	if err != nil {
 		return die(err)
 	}
-	srv, err := newServer(art, bundle, g, *shards, *failMode, *pprof)
+	srv, err := fleet.NewServer(art, bundle, g, fleet.Options{
+		Shards:       *shards,
+		FailoverMode: *failMode,
+		CacheEntries: *cacheSize,
+		Shard:        shard,
+		MaxBatch:     *maxBatch,
+		Pprof:        *pprof,
+	})
 	if err != nil {
 		return die(err)
 	}
@@ -115,318 +133,83 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return die(err)
+	}
 	sum, _ := art.Checksum()
 	planeNote := ""
-	if p := srv.currentPlane(); p != nil {
+	if p := srv.Plane(); p != nil {
 		planeNote = fmt.Sprintf(", %d failover classes", p.CoveredClasses())
 	}
-	log.Printf("routerd: serving %s (%s) on %s, %d shards, epoch %d, sha256:%.12s%s",
-		art.Name, g.Name(), *addr, *shards, srv.svc.Epoch(), sum, planeNote)
-	return die(http.ListenAndServe(*addr, srv.mux()))
-}
+	log.Printf("routerd: serving %s (%s) on %s, shard %s, %d engine lanes, epoch %d, sha256:%.12s%s",
+		art.Name, g.Name(), ln.Addr(), srv.Shard(), srv.Service().Shards(), srv.Service().Epoch(), sum, planeNote)
 
-func validMode(m string) bool {
-	for _, v := range failoverModes {
-		if m == v {
-			return true
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, ln, srv.Mux(), *drain); err != nil {
+		return die(err)
 	}
-	return false
+	log.Printf("routerd: drained, bye")
+	return 0
 }
 
-// loadOrBuild reads the artifact or bundle file, or compiles the
-// builtin program of the requested family.
-func loadOrBuild(path, algo string, cubeDim int) (*reconfig.Artifact, *failover.Bundle, error) {
-	if path == "" {
-		art, err := reconfig.Build(algo, reconfig.BuildOptions{CubeDim: cubeDim})
-		return art, nil, err
-	}
-	return failover.LoadPath(path)
-}
-
-// topologyFor builds the topology the artifact's family routes on.
-func topologyFor(art *reconfig.Artifact, meshSpec string) (topology.Graph, error) {
-	switch art.Algorithm {
-	case "nafta":
-		var w, h int
-		if _, err := fmt.Sscanf(strings.ToLower(meshSpec), "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {
-			return nil, fmt.Errorf("bad -mesh %q (want WxH, both >= 2)", meshSpec)
-		}
-		return topology.NewMesh(w, h), nil
-	case "routec":
-		return topology.NewHypercube(art.CubeDim), nil
-	}
-	return nil, fmt.Errorf("artifact names unknown algorithm %q", art.Algorithm)
-}
-
-// server owns the HTTP surface; decision buffers are pooled so the
-// handler path stays allocation-light.
-type server struct {
-	svc      *reconfig.Service
-	g        topology.Graph
-	nodes    int
-	shards   int
-	failMode string
-	bufs     sync.Pool
-
-	// planeMu guards plane (replaced on /reload of a bundle).
-	planeMu sync.Mutex
-	plane   *failover.Plane
-
-	// pprof mounts the net/http/pprof endpoints on the serving mux —
-	// opt-in, so a production router is not profiling-exposed by
-	// accident.
-	pprof bool
-}
-
-// newServer builds the decision service and, when a bundle is served
-// with the failover plane enabled, precompiles the backup engines (one
-// lane per service shard).
-func newServer(art *reconfig.Artifact, bundle *failover.Bundle, g topology.Graph, shards int, failMode string, pprof bool) (*server, error) {
-	svc, err := reconfig.NewService(art, g, shards)
-	if err != nil {
-		return nil, err
-	}
-	s := &server{svc: svc, g: g, nodes: g.Nodes(), shards: svc.Shards(), failMode: failMode, pprof: pprof}
-	if bundle != nil && failMode == "auto" {
-		if err := s.installBundle(bundle); err != nil {
-			return nil, err
-		}
-	}
-	return s, nil
-}
-
-// installBundle precompiles the bundle's backup engines and binds the
-// plane to the service.
-func (s *server) installBundle(bundle *failover.Bundle) error {
-	plane, err := failover.NewPlane(bundle, s.g, failover.PlaneOptions{Lanes: s.shards})
-	if err != nil {
+// serve runs handler on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// up to drain to finish. A serve error other than the shutdown's own
+// ErrServerClosed is returned as-is.
+func serve(ctx context.Context, ln net.Listener, handler http.Handler, drain time.Duration) error {
+	httpSrv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
 		return err
+	case <-ctx.Done():
 	}
-	plane.Bind(failover.ForService(s.svc))
-	s.planeMu.Lock()
-	s.plane = plane
-	s.planeMu.Unlock()
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		// Drain budget exhausted: close whatever is left.
+		httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	<-errc // Serve has returned ErrServerClosed
 	return nil
 }
 
-func (s *server) currentPlane() *failover.Plane {
-	s.planeMu.Lock()
-	defer s.planeMu.Unlock()
-	return s.plane
-}
-
-func (s *server) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /decide", s.handleDecide)
-	mux.HandleFunc("POST /decide/batch", s.handleBatch)
-	mux.HandleFunc("POST /reload", s.handleReload)
-	mux.HandleFunc("POST /fault", s.handleFault)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	if s.pprof {
-		mux.HandleFunc("/debug/pprof/", httppprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	}
-	return mux
-}
-
-func (s *server) getBuf() []routing.Candidate {
-	if b, ok := s.bufs.Get().(*[]routing.Candidate); ok {
-		return (*b)[:0]
-	}
-	return make([]routing.Candidate, 0, 8)
-}
-
-func (s *server) putBuf(b []routing.Candidate) { s.bufs.Put(&b) }
-
-// decide runs one request and renders the wire result.
-func (s *server) decide(req *reconfig.DecisionRequest, buf []routing.Candidate) (Decision, []routing.Candidate) {
-	cands, epoch, err := s.svc.Decide(req, buf)
-	d := Decision{Epoch: epoch}
-	if err != nil {
-		d.Error = err.Error()
-		return d, cands
-	}
-	if len(cands) == 0 {
-		d.Unroutable = true
-		d.Candidates = []routing.Candidate{}
-	} else {
-		d.Candidates = append([]routing.Candidate(nil), cands...)
-	}
-	return d, cands
-}
-
-// Decision mirrors reconfig.Decision for the HTTP layer.
-type Decision = reconfig.Decision
-
-func (s *server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	var req reconfig.DecisionRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	buf := s.getBuf()
-	d, buf := s.decide(&req, buf)
-	s.putBuf(buf)
-	writeJSON(w, d)
-}
-
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var reqs []reconfig.DecisionRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&reqs); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	out := make([]Decision, len(reqs))
-	buf := s.getBuf()
-	for i := range reqs {
-		out[i], buf = s.decide(&reqs[i], buf[:0])
-	}
-	s.putBuf(buf)
-	writeJSON(w, out)
-}
-
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 80<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	art, bundle, err := failover.DecodeAny(data)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if bundle != nil {
-		// A bundle's classes are enumerated against a specific topology;
-		// a reload cannot change the serving topology.
-		g, err := bundle.Graph()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if g.Name() != s.g.Name() {
-			http.Error(w, fmt.Sprintf("bundle enumerated on %s, serving %s", g.Name(), s.g.Name()), http.StatusConflict)
-			return
-		}
-	}
-	epoch, err := s.svc.Reload(art)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
-	}
-	if bundle != nil && s.failMode == "auto" {
-		// Rebuild the plane against the new primary; backups of the old
-		// bundle are obsolete by construction.
-		if err := s.installBundle(bundle); err != nil {
-			http.Error(w, fmt.Sprintf("tables reloaded (epoch %d) but the failover plane failed: %v", epoch, err), http.StatusInternalServerError)
-			return
-		}
-	}
-	writeJSON(w, map[string]uint64{"epoch": epoch})
-}
-
-// FaultRequest is the wire form of a cumulative fault state.
-type FaultRequest struct {
-	Nodes []int    `json:"nodes,omitempty"`
-	Links [][2]int `json:"links,omitempty"`
-}
-
-// Set materialises the request, validating ranges against the serving
-// topology.
-func (fr *FaultRequest) Set(g topology.Graph) (*fault.Set, error) {
-	f := fault.NewSet()
-	for _, n := range fr.Nodes {
-		if n < 0 || n >= g.Nodes() {
-			return nil, fmt.Errorf("fault node %d out of range [0,%d)", n, g.Nodes())
-		}
-		f.FailNode(topology.NodeID(n))
-	}
-	for _, l := range fr.Links {
-		if l[0] < 0 || l[0] >= g.Nodes() || l[1] < 0 || l[1] >= g.Nodes() {
-			return nil, fmt.Errorf("fault link %v out of range [0,%d)", l, g.Nodes())
-		}
-		f.FailLink(topology.NodeID(l[0]), topology.NodeID(l[1]))
-	}
-	return f, nil
-}
-
-// handleFault applies a cumulative fault state: through the failover
-// plane when one is attached (covered class = atomic backup flip),
-// directly onto the service engines otherwise.
-func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
-	var req FaultRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	f, err := req.Set(s.g)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	flipped := false
-	if p := s.currentPlane(); p != nil {
-		flipped = p.OnFault(f)
-	} else {
-		s.svc.UpdateFaults(f)
-	}
-	writeJSON(w, map[string]any{"flipped": flipped, "epoch": s.svc.Epoch()})
-}
-
-// metricsDoc is the /metrics document: the decision-service snapshot
-// plus the failover plane's flip/recompute counters and latency
-// percentiles when a plane is attached.
-type metricsDoc struct {
-	reconfig.MetricsSnapshot
-	Failover *failover.PlaneMetrics `json:"failover,omitempty"`
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	doc := metricsDoc{MetricsSnapshot: s.svc.Metrics()}
-	if p := s.currentPlane(); p != nil {
-		pm := p.Metrics()
-		doc.Failover = &pm
-	}
-	writeJSON(w, doc)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("routerd: writing response: %v", err)
-	}
-}
+// Wire aliases so callers of the main package's test helpers read
+// naturally; the types live in internal/fleet.
+type (
+	Decision     = fleet.Decision
+	FaultRequest = fleet.FaultRequest
+)
 
 // runSmoke drives the built-in load generator: workers stream batched
 // decisions over real HTTP while the artifact is hot-reloaded halfway
 // through, then the counters are checked.
-func runSmoke(srv *server, art *reconfig.Artifact, stdout io.Writer, requests, batchSize, workers int, seed int64) error {
+func runSmoke(srv *fleet.Server, art *reconfig.Artifact, stdout io.Writer, requests, batchSize, workers int, seed int64) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.mux()}
+	httpSrv := &http.Server{Handler: srv.Mux()}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
+	svc := srv.Service()
+	nodes := srv.Graph().Nodes()
 
 	// The reload payload: the same program stamped as the next epoch —
 	// a same-regime swap, which is what a live re-program looks like.
 	next := *art
-	next.Epoch = srv.svc.Epoch() + 1
+	next.Epoch = svc.Epoch() + 1
 	var artBytes bytes.Buffer
 	if err := next.Encode(&artBytes); err != nil {
 		return err
 	}
 
-	startEpoch := srv.svc.Epoch()
+	startEpoch := svc.Epoch()
 	batches := make(chan []reconfig.DecisionRequest, workers)
 	go func() {
 		rng := rand.New(rand.NewSource(seed))
@@ -438,7 +221,7 @@ func runSmoke(srv *server, art *reconfig.Artifact, stdout io.Writer, requests, b
 			}
 			b := make([]reconfig.DecisionRequest, n)
 			for i := range b {
-				b[i] = randomRequest(rng, art.Algorithm, srv.nodes)
+				b[i] = randomRequest(rng, nodes)
 			}
 			batches <- b
 			left -= n
@@ -521,10 +304,8 @@ func runSmoke(srv *server, art *reconfig.Artifact, stdout io.Writer, requests, b
 		return firstErr
 	}
 
-	m := srv.svc.Metrics()
+	m := svc.Metrics()
 	switch {
-	case m.Decisions != int64(requests):
-		return fmt.Errorf("issued %d decisions, served %d", requests, m.Decisions)
 	case m.Failed != 0:
 		return fmt.Errorf("%d failed decisions", m.Failed)
 	case m.Unroutable != 0:
@@ -534,21 +315,33 @@ func runSmoke(srv *server, art *reconfig.Artifact, stdout io.Writer, requests, b
 	case m.Epoch <= startEpoch:
 		return fmt.Errorf("epoch did not advance across the reload (still %d)", m.Epoch)
 	}
-	fmt.Fprintf(stdout, "smoke ok: %d decisions across %d workers, hot reload epoch %d -> %d, p50 %.1fus p99 %.1fus\n",
-		m.Decisions, workers, startEpoch, m.Epoch, m.LatencyP50, m.LatencyP99)
+	cacheNote := ""
+	if c := srv.Registry().Cache(); c != nil {
+		cm := c.Metrics()
+		// With the cache on, served decisions = service decisions + hits;
+		// the smoke still demands every issued decision was answered.
+		if m.Decisions+cm.Hits != int64(requests) {
+			return fmt.Errorf("issued %d decisions, served %d (+%d memoized)", requests, m.Decisions, cm.Hits)
+		}
+		cacheNote = fmt.Sprintf(", %d memoized (%.0f%% hit)", cm.Hits, 100*cm.HitRate)
+	} else if m.Decisions != int64(requests) {
+		return fmt.Errorf("issued %d decisions, served %d", requests, m.Decisions)
+	}
+	fmt.Fprintf(stdout, "smoke ok: %d decisions across %d workers, hot reload epoch %d -> %d, p50 %.1fus p99 %.1fus%s\n",
+		int64(requests), workers, startEpoch, m.Epoch, m.LatencyP50, m.LatencyP99, cacheNote)
 	return nil
 }
 
 // randomRequest builds a fault-free injection-time decision request
 // (in_port = injection, clean header), which every builtin table must
 // be able to route.
-func randomRequest(rng *rand.Rand, algo string, nodes int) reconfig.DecisionRequest {
+func randomRequest(rng *rand.Rand, nodes int) reconfig.DecisionRequest {
 	src := rng.Intn(nodes)
 	dst := rng.Intn(nodes)
 	for dst == src {
 		dst = rng.Intn(nodes)
 	}
-	req := reconfig.DecisionRequest{
+	return reconfig.DecisionRequest{
 		Node:   src,
 		InPort: routing.InjectionPort,
 		InVC:   0,
@@ -556,6 +349,4 @@ func randomRequest(rng *rand.Rand, algo string, nodes int) reconfig.DecisionRequ
 		Dst:    dst,
 		Length: 4,
 	}
-	_ = algo
-	return req
 }

@@ -2,22 +2,28 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/failover"
+	"repro/internal/fleet"
 	"repro/internal/reconfig"
 	"repro/internal/topology"
 )
 
 // testServer builds an in-process server over a 5x4 nafta bundle
 // covering every fault-class kind.
-func testServer(t *testing.T, failMode string) (*server, *failover.Bundle) {
+func testServer(t *testing.T, failMode string) (*fleet.Server, *failover.Bundle) {
 	t.Helper()
 	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 1})
 	if err != nil {
@@ -28,7 +34,7 @@ func testServer(t *testing.T, failMode string) (*server, *failover.Bundle) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(art, bundle, g, 2, failMode, false)
+	srv, err := fleet.NewServer(art, bundle, g, fleet.Options{Shards: 2, FailoverMode: failMode, CacheEntries: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,10 +70,10 @@ func TestFailoverFlagValidation(t *testing.T) {
 
 func TestFaultEndpointFlipsCoveredClass(t *testing.T) {
 	srv, _ := testServer(t, "auto")
-	if srv.currentPlane() == nil {
+	if srv.Plane() == nil {
 		t.Fatal("auto mode with a bundle must attach a plane")
 	}
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.Mux())
 	defer ts.Close()
 
 	// Node 7 is a covered single-node class: must flip.
@@ -146,10 +152,10 @@ func TestFaultEndpointFlipsCoveredClass(t *testing.T) {
 
 func TestFaultEndpointWithoutPlane(t *testing.T) {
 	srv, _ := testServer(t, "off")
-	if srv.currentPlane() != nil {
+	if srv.Plane() != nil {
 		t.Fatal("-failover off must not attach a plane")
 	}
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.Mux())
 	defer ts.Close()
 
 	resp, body := postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{7}})
@@ -174,7 +180,7 @@ func TestFaultEndpointWithoutPlane(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range d.Candidates {
-		if c.Port >= 0 && srv.g.Neighbor(6, c.Port) == 7 {
+		if c.Port >= 0 && srv.Graph().Neighbor(6, c.Port) == 7 {
 			t.Fatal("direct fault update not applied: candidate routes into failed node")
 		}
 	}
@@ -182,7 +188,7 @@ func TestFaultEndpointWithoutPlane(t *testing.T) {
 
 func TestFaultEndpointValidation(t *testing.T) {
 	srv, _ := testServer(t, "auto")
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.Mux())
 	defer ts.Close()
 
 	resp, body := postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{99}})
@@ -197,17 +203,17 @@ func TestFaultEndpointValidation(t *testing.T) {
 
 func TestReloadAcceptsBundle(t *testing.T) {
 	srv, bundle := testServer(t, "auto")
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.Mux())
 	defer ts.Close()
 
 	// Consume a backup, then reload: the rebuilt plane must be fresh.
 	postJSON(t, ts, "/fault", FaultRequest{Nodes: []int{7}})
-	if srv.currentPlane().Flips() != 1 {
+	if srv.Plane().Flips() != 1 {
 		t.Fatal("setup flip missing")
 	}
 
 	next := *bundle
-	next.Primary.Epoch = srv.svc.Epoch() + 1
+	next.Primary.Epoch = srv.Service().Epoch() + 1
 	var buf bytes.Buffer
 	if err := next.Encode(&buf); err != nil {
 		t.Fatal(err)
@@ -227,7 +233,7 @@ func TestReloadAcceptsBundle(t *testing.T) {
 	if ans.Epoch <= 2 {
 		t.Fatalf("epoch %d after bundle reload, want > 2", ans.Epoch)
 	}
-	p := srv.currentPlane()
+	p := srv.Plane()
 	if p == nil || p.Flips() != 0 {
 		t.Fatal("bundle reload must rebuild a fresh plane")
 	}
@@ -238,7 +244,7 @@ func TestReloadAcceptsBundle(t *testing.T) {
 
 func TestReloadRejectsMismatchedBundleTopology(t *testing.T) {
 	srv, _ := testServer(t, "auto")
-	ts := httptest.NewServer(srv.mux())
+	ts := httptest.NewServer(srv.Mux())
 	defer ts.Close()
 
 	art, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 9})
@@ -296,4 +302,87 @@ func writeBundle(path string, b *failover.Bundle) error {
 		return err
 	}
 	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// TestServeDrainsInflight exercises the SIGTERM path: serve must let
+// an in-flight request finish inside the drain budget before
+// returning.
+func TestServeDrainsInflight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, ln, mux, 5*time.Second) }()
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- string(body)
+	}()
+	<-started
+
+	cancel() // the signal arrives while /slow is in flight
+	select {
+	case err := <-served:
+		t.Fatalf("serve returned before the in-flight request finished: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request not drained cleanly: %q", body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("graceful drain returned %v", err)
+	}
+}
+
+// TestServeDrainBudgetExhausted: a request that outlives the budget
+// must not wedge the shutdown.
+func TestServeDrainBudgetExhausted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/wedge", func(http.ResponseWriter, *http.Request) {
+		close(started)
+		<-block
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, ln, mux, 20*time.Millisecond) }()
+	go http.Get("http://" + ln.Addr().String() + "/wedge")
+	<-started
+	cancel()
+
+	select {
+	case err := <-served:
+		if err == nil {
+			t.Fatal("exhausted drain budget must surface an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve wedged past its drain budget")
+	}
 }

@@ -1,0 +1,218 @@
+// Package fleet turns the single-process decision service behind
+// cmd/routerd into a multi-node decision fleet: a memoization cache
+// over the pure per-epoch decision function, a versioned artifact
+// registry with canary/promote/rollback on top of the reconfig epoch
+// machinery, topology-shard ownership for replica sets, a scattering
+// client library, and the HTTP server the replicas run.
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+)
+
+// Key is the memoization key of one routing decision. It is the
+// service-boundary image of the dense InputVector: a DecisionRequest
+// carries exactly the values the rule adapters load into the flat
+// input slots before a DenseTable lookup (deciding node, arrival
+// port/VC, header state), so two requests with equal keys fill
+// bit-identical input vectors and — the ARON table being a pure
+// function per epoch — must produce bit-identical decisions. Nothing
+// outside the key reaches the decision: fault state and table version
+// are epoch-level inputs handled by whole-cache invalidation, not per
+// key.
+type Key struct {
+	Node, InPort, InVC       int32
+	Src, Dst, Length         int32
+	Misroutes, Phase, Detour int32
+	VNet                     int32
+	Marked                   bool
+}
+
+// KeyOf packs a decision request into its memoization key.
+func KeyOf(req *reconfig.DecisionRequest) Key {
+	return Key{
+		Node: int32(req.Node), InPort: int32(req.InPort), InVC: int32(req.InVC),
+		Src: int32(req.Src), Dst: int32(req.Dst), Length: int32(req.Length),
+		Misroutes: int32(req.Misroutes), Phase: int32(req.Phase),
+		Detour: int32(req.DetourLevel), VNet: int32(req.VNet),
+		Marked: req.Marked,
+	}
+}
+
+// cacheEntry is one memoized decision. Candidates are stored as an
+// immutable copy; an empty (non-nil semantics irrelevant) slice is a
+// memoized unroutable verdict — a legal answer worth caching.
+type cacheEntry struct {
+	cands []routing.Candidate
+	epoch uint64
+}
+
+// cacheShard is one independently locked slice of the key space.
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[Key]cacheEntry
+}
+
+const cacheShards = 16
+
+// Cache memoizes routing decisions across requests. Correctness rests
+// on two facts: (1) the decision function is pure per epoch — the
+// Service already spreads identical requests over interchangeable
+// engine replicas, so a memoized answer is just one more replica that
+// answers from memory; (2) every input that is not in the Key (table
+// version, fault state) only changes through the registry's mutation
+// path, which bumps the generation counter *after* the mutation
+// completes. Writers capture the generation before deciding and Put
+// refuses a stale generation, so a decision computed against old
+// tables can never be stored after the invalidation that retired them.
+type Cache struct {
+	gen    atomic.Uint64
+	shards [cacheShards]cacheShard
+	// perShard is the eviction high-water mark of each shard.
+	perShard int
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// CacheMetrics is the cache section of routerd's /metrics document.
+type CacheMetrics struct {
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	Invalidations int64   `json:"invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// NewCache builds a decision cache bounded to roughly capacity
+// entries. A capacity <= 0 returns nil — the registry and server treat
+// a nil cache as memoization disabled.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]cacheEntry)
+	}
+	return c
+}
+
+// shardOf spreads keys over the shards; the deciding node is the
+// natural spreader (uniform under scattered traffic) with the header
+// fields folded in so single-node replays still spread.
+func (c *Cache) shardOf(k *Key) *cacheShard {
+	h := uint32(k.Node)*31 ^ uint32(k.Src)*17 ^ uint32(k.Dst)*13 ^ uint32(k.InPort+7)
+	return &c.shards[h%cacheShards]
+}
+
+// Gen returns the current generation. Callers capture it BEFORE
+// computing the decision they intend to Put — see Put.
+func (c *Cache) Gen() uint64 { return c.gen.Load() }
+
+// Get appends the memoized candidates for k to buf and returns the
+// extended slice, the memoized epoch and whether it hit. A hit with an
+// unextended buf is a memoized unroutable verdict.
+func (c *Cache) Get(k Key, buf []routing.Candidate) ([]routing.Candidate, uint64, bool) {
+	sh := c.shardOf(&k)
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if ok {
+		buf = append(buf, e.cands...)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return buf, 0, false
+	}
+	c.hits.Add(1)
+	return buf, e.epoch, true
+}
+
+// Put memoizes a decision computed while the cache was at generation
+// gen. If an invalidation ran since gen was captured the entry is
+// dropped: the decision may predate a reload, fault event or epoch
+// retirement and must not outlive it. The generation check and the
+// insert share the shard lock, and Invalidate sweeps each shard after
+// bumping the generation, so no stale entry can survive an
+// invalidation (inserted-before entries are swept; inserted-after
+// attempts see the new generation and drop).
+func (c *Cache) Put(k Key, gen uint64, cands []routing.Candidate, epoch uint64) {
+	sh := c.shardOf(&k)
+	sh.mu.Lock()
+	if c.gen.Load() != gen {
+		sh.mu.Unlock()
+		return
+	}
+	if _, exists := sh.m[k]; !exists && len(sh.m) >= c.perShard {
+		// Evict one arbitrary entry (map iteration order): the cache is
+		// a throughput device, not an LRU contract, and one probe keeps
+		// the hot path O(1).
+		for victim := range sh.m {
+			delete(sh.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	sh.m[k] = cacheEntry{cands: append([]routing.Candidate(nil), cands...), epoch: epoch}
+	sh.mu.Unlock()
+}
+
+// Invalidate atomically retires every memoized decision: the
+// generation bump instantly blocks stale Puts, then each shard is
+// swept so no pre-bump entry remains once Invalidate returns. Callers
+// must mutate the decision state (reload, fault update, engine
+// install) BEFORE invalidating — a miss that observes the new
+// generation must be guaranteed to decide on the new state.
+func (c *Cache) Invalidate() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.m)
+		sh.mu.Unlock()
+	}
+	c.invalidations.Add(1)
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Metrics snapshots the cache counters.
+func (c *Cache) Metrics() CacheMetrics {
+	hits, misses := c.hits.Load(), c.misses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return CacheMetrics{
+		Entries:       c.Len(),
+		Capacity:      c.perShard * cacheShards,
+		Hits:          hits,
+		Misses:        misses,
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		HitRate:       rate,
+	}
+}

@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestCacheHitMissInvalidate(t *testing.T) {
+	c := NewCache(1024)
+	k := Key{Node: 3, Src: 3, Dst: 9, InPort: -1, Length: 4}
+	if _, _, ok := c.Get(k, nil); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	cands := []routing.Candidate{{Port: 1, VC: 0}, {Port: 2, VC: 1}}
+	c.Put(k, c.Gen(), cands, 7)
+	out, epoch, ok := c.Get(k, nil)
+	if !ok || epoch != 7 {
+		t.Fatalf("miss after put: ok=%v epoch=%d", ok, epoch)
+	}
+	if len(out) != 2 || out[0] != cands[0] || out[1] != cands[1] {
+		t.Fatalf("memoized candidates %+v", out)
+	}
+
+	// The memoized slice must be an independent copy.
+	cands[0].Port = 99
+	out, _, _ = c.Get(k, nil)
+	if out[0].Port == 99 {
+		t.Fatal("cache aliases the caller's candidate slice")
+	}
+
+	c.Invalidate()
+	if _, _, ok := c.Get(k, nil); ok {
+		t.Fatal("hit after invalidation")
+	}
+	m := c.Metrics()
+	if m.Invalidations != 1 || m.Entries != 0 {
+		t.Fatalf("metrics after invalidate: %+v", m)
+	}
+}
+
+func TestCacheStaleGenerationPutDropped(t *testing.T) {
+	c := NewCache(64)
+	k := Key{Node: 1, Dst: 2}
+	gen := c.Gen()
+	// An invalidation lands between the generation capture and the Put
+	// (in production: a reload finishing while a decision is in flight).
+	c.Invalidate()
+	c.Put(k, gen, []routing.Candidate{{Port: 0}}, 1)
+	if _, _, ok := c.Get(k, nil); ok {
+		t.Fatal("stale-generation Put survived the invalidation")
+	}
+	c.Put(k, c.Gen(), []routing.Candidate{{Port: 0}}, 2)
+	if _, _, ok := c.Get(k, nil); !ok {
+		t.Fatal("fresh-generation Put rejected")
+	}
+}
+
+func TestCacheUnroutableVerdictCached(t *testing.T) {
+	c := NewCache(64)
+	k := Key{Node: 5, Dst: 6}
+	c.Put(k, c.Gen(), nil, 3)
+	out, epoch, ok := c.Get(k, []routing.Candidate{{Port: 9}})
+	if !ok || epoch != 3 {
+		t.Fatal("unroutable verdict not memoized")
+	}
+	if len(out) != 1 {
+		t.Fatalf("unroutable hit extended the buffer: %+v", out)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(cacheShards) // one entry per shard
+	for i := 0; i < 10*cacheShards; i++ {
+		c.Put(Key{Node: int32(i), Dst: int32(i + 1)}, c.Gen(), []routing.Candidate{{Port: 0}}, 1)
+	}
+	if got := c.Len(); got > cacheShards {
+		t.Fatalf("%d entries live, capacity %d", got, cacheShards)
+	}
+	if c.Metrics().Evictions == 0 {
+		t.Fatal("overflowing the cache recorded no evictions")
+	}
+}
+
+func TestNewCacheDisabled(t *testing.T) {
+	if NewCache(0) != nil || NewCache(-5) != nil {
+		t.Fatal("non-positive capacity must disable the cache")
+	}
+}
+
+// differentialStep is one operation of the cache-correctness property
+// test, derived from the fuzz input stream.
+type differentialOp int
+
+const (
+	opDecide differentialOp = iota
+	opReload
+	opFault
+	opRollout
+	opSentinel
+)
+
+// runDifferential drives an identical operation sequence — decisions
+// interleaved with hot reloads (nafta and maze programs), cumulative
+// fault updates and push/canary/promote rollouts — through a memoizing
+// registry and an uncached one, and fails on the first decision where
+// the two disagree. This is the memoization soundness property: the
+// cache may only ever change latency, never an answer.
+func runDifferential(t *testing.T, seed int64, decisions int) {
+	t.Helper()
+	g := topology.NewMesh(5, 4)
+	nafta, err := reconfig.Build("nafta", reconfig.BuildOptions{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maze, err := reconfig.Build("maze", reconfig.BuildOptions{Epoch: 1, Ports: g.Ports()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := []*reconfig.Artifact{nafta, maze}
+
+	cached, err := NewRegistry(nafta, g, RegistryOptions{Shards: 2, CacheEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewRegistry(nafta, g, RegistryOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := [2]*Registry{cached, plain}
+
+	rng := rand.New(rand.NewSource(seed))
+	faults := fault.NewSet()
+	epoch := uint64(1)
+	for i := 0; i < decisions; i++ {
+		if i%64 == 63 {
+			switch differentialOp(rng.Intn(3) + 1) {
+			case opReload:
+				art := *arts[rng.Intn(len(arts))]
+				epoch++
+				art.Epoch = epoch
+				for _, r := range both {
+					if _, err := r.Reload(&art); err != nil {
+						t.Fatalf("op %d: reload: %v", i, err)
+					}
+				}
+			case opFault:
+				if rng.Intn(4) == 0 {
+					faults = fault.NewSet() // repair everything
+				} else {
+					faults.FailNode(topology.NodeID(rng.Intn(g.Nodes())))
+				}
+				for _, r := range both {
+					r.UpdateFaults(faults)
+				}
+			case opRollout:
+				art := *arts[rng.Intn(len(arts))]
+				epoch++
+				art.Epoch = epoch
+				for _, r := range both {
+					v, err := r.Push(&art)
+					if err != nil {
+						t.Fatalf("op %d: push: %v", i, err)
+					}
+					if err := r.StartCanary(v.ID, 0.25); err != nil {
+						t.Fatalf("op %d: canary: %v", i, err)
+					}
+				}
+				// A few canaried decisions, then promote on both.
+				for j := 0; j < 8; j++ {
+					req := randomDifferentialRequest(rng, g)
+					compareDecide(t, both, &req, i)
+				}
+				for _, r := range both {
+					if _, err := r.Promote(); err != nil {
+						t.Fatalf("op %d: promote: %v", i, err)
+					}
+				}
+			}
+		}
+		req := randomDifferentialRequest(rng, g)
+		compareDecide(t, both, &req, i)
+	}
+	if cached.Cache().Metrics().Hits == 0 {
+		t.Fatal("differential run never hit the cache — the property was vacuous")
+	}
+}
+
+func compareDecide(t *testing.T, both [2]*Registry, req *reconfig.DecisionRequest, op int) {
+	t.Helper()
+	a, aEpoch, aErr := both[0].Decide(req, nil)
+	b, bEpoch, bErr := both[1].Decide(req, nil)
+	if (aErr == nil) != (bErr == nil) {
+		t.Fatalf("op %d: request %+v: cached err=%v, uncached err=%v", op, req, aErr, bErr)
+	}
+	if aErr != nil {
+		return
+	}
+	if aEpoch != bEpoch {
+		t.Fatalf("op %d: request %+v: cached epoch %d, uncached %d", op, req, aEpoch, bEpoch)
+	}
+	if !candidatesEqual(a, b) {
+		t.Fatalf("op %d: request %+v: cached %+v, uncached %+v", op, req, a, b)
+	}
+}
+
+// randomDifferentialRequest draws from a small key space so the cache
+// actually hits, while still covering arrival ports, VCs and marked
+// headers.
+func randomDifferentialRequest(rng *rand.Rand, g topology.Graph) reconfig.DecisionRequest {
+	nodes := g.Nodes()
+	src := rng.Intn(nodes)
+	dst := rng.Intn(nodes)
+	for dst == src {
+		dst = rng.Intn(nodes)
+	}
+	req := reconfig.DecisionRequest{
+		Node:   src,
+		InPort: routing.InjectionPort,
+		InVC:   0,
+		Src:    src,
+		Dst:    dst,
+		Length: 1 + rng.Intn(4),
+	}
+	if rng.Intn(3) == 0 {
+		req.InPort = rng.Intn(g.Ports())
+		req.InVC = rng.Intn(2)
+	}
+	if rng.Intn(5) == 0 {
+		req.Marked = true
+	}
+	return req
+}
+
+func TestCacheDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferential(t, seed, 1500)
+		})
+	}
+}
+
+// FuzzCacheDifferential lets the fuzzer hunt for an operation
+// interleaving where the memoized registry disagrees with the uncached
+// one. `go test` runs the seed corpus; `go test -fuzz=FuzzCacheDifferential`
+// explores.
+func FuzzCacheDifferential(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(123456789))
+	f.Add(int64(-987654321))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runDifferential(t, seed, 400)
+	})
+}

@@ -1,0 +1,312 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/reconfig"
+)
+
+// Client is the fleet-side library behind cmd/fleetload and any Go
+// caller of a routerd replica set: it knows the replica URLs in shard
+// order, scatters a decision batch by node ownership, gathers the
+// answers back into request order, and retries a down replica with
+// exponential backoff before giving up. Replica i must be running
+// with -shard i/N where N = len(replicas); ownership is Owner(node,
+// N) on both sides, so the client and the servers can never disagree
+// about who answers a node.
+type Client struct {
+	replicas []string
+	hc       *http.Client
+	retries  int
+	backoff  time.Duration
+}
+
+// ClientOptions tune NewClient.
+type ClientOptions struct {
+	// Retries is how many times a failed sub-batch is re-sent to its
+	// replica before the batch errors (default 3).
+	Retries int
+	// Backoff is the first retry delay; it doubles per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// HTTPClient overrides the transport (default: 30s timeout).
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client over the replica base URLs in shard order.
+func NewClient(replicas []string, opts ClientOptions) (*Client, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas")
+	}
+	for i, r := range replicas {
+		replicas[i] = strings.TrimRight(r, "/")
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{replicas: replicas, hc: hc, retries: opts.Retries, backoff: opts.Backoff}, nil
+}
+
+// Replicas returns the replica count.
+func (c *Client) Replicas() int { return len(c.replicas) }
+
+// URL returns replica i's base URL.
+func (c *Client) URL(i int) string { return c.replicas[i] }
+
+// Decide routes one decision to the owning replica.
+func (c *Client) Decide(ctx context.Context, req *reconfig.DecisionRequest) (reconfig.Decision, error) {
+	out, err := c.DecideBatch(ctx, []reconfig.DecisionRequest{*req})
+	if err != nil {
+		return reconfig.Decision{}, err
+	}
+	return out[0], nil
+}
+
+// DecideBatch scatters reqs over the owning replicas, gathers the
+// decisions back into request order, and returns them. Sub-batches to
+// distinct replicas fly concurrently; a replica that errors
+// (transport failure or non-200) is retried with doubling backoff and
+// only fails the batch once the retry budget is spent.
+func (c *Client) DecideBatch(ctx context.Context, reqs []reconfig.DecisionRequest) ([]reconfig.Decision, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	n := len(c.replicas)
+	// Scatter: sub-batch per owning replica, remembering each request's
+	// original position for the gather.
+	subs := make([][]reconfig.DecisionRequest, n)
+	idx := make([][]int, n)
+	for i := range reqs {
+		o := Owner(reqs[i].Node, n)
+		subs[o] = append(subs[o], reqs[i])
+		idx[o] = append(idx[o], i)
+	}
+	out := make([]reconfig.Decision, len(reqs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for o := range subs {
+		if len(subs[o]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(o int) {
+			defer wg.Done()
+			ds, err := c.postBatch(ctx, o, subs[o])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("replica %d (%s): %w", o, c.replicas[o], err)
+				}
+				mu.Unlock()
+				return
+			}
+			for j, d := range ds {
+				out[idx[o][j]] = d
+			}
+		}(o)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// postBatch sends one sub-batch to replica o with the retry/backoff
+// policy.
+func (c *Client) postBatch(ctx context.Context, o int, sub []reconfig.DecisionRequest) ([]reconfig.Decision, error) {
+	payload, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+			delay *= 2
+		}
+		body, err := c.post(ctx, c.replicas[o]+"/decide/batch", payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var ds []reconfig.Decision
+		if err := json.Unmarshal(body, &ds); err != nil {
+			lastErr = err
+			continue
+		}
+		if len(ds) != len(sub) {
+			lastErr = fmt.Errorf("batch of %d answered with %d decisions", len(sub), len(ds))
+			continue
+		}
+		return ds, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// post issues one POST and returns the body; a non-200 status is an
+// error carrying the (JSON error) body.
+func (c *Client) post(ctx context.Context, url string, payload []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// Broadcast POSTs the same payload to every replica (rollout
+// operations must reach the whole fleet: each replica runs its own
+// registry). It returns the per-replica response bodies in shard
+// order and fails on the first replica that errors after retries.
+func (c *Client) Broadcast(ctx context.Context, path string, payload []byte) ([][]byte, error) {
+	out := make([][]byte, len(c.replicas))
+	for o := range c.replicas {
+		var (
+			body    []byte
+			err     error
+			lastErr error
+		)
+		delay := c.backoff
+		for attempt := 0; attempt <= c.retries; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(delay):
+				}
+				delay *= 2
+			}
+			body, err = c.post(ctx, c.replicas[o]+path, payload)
+			if err == nil {
+				lastErr = nil
+				break
+			}
+			lastErr = err
+		}
+		if lastErr != nil {
+			return nil, fmt.Errorf("replica %d (%s): %w", o, c.replicas[o], lastErr)
+		}
+		out[o] = body
+	}
+	return out, nil
+}
+
+// Push uploads an encoded artifact to every replica's registry and
+// returns the assigned version id (asserted identical across
+// replicas — the fleet rollout protocol pushes in lockstep).
+func (c *Client) Push(ctx context.Context, artifact []byte) (int, error) {
+	bodies, err := c.Broadcast(ctx, "/registry/push", artifact)
+	if err != nil {
+		return 0, err
+	}
+	version := 0
+	for i, b := range bodies {
+		var ans struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(b, &ans); err != nil {
+			return 0, fmt.Errorf("replica %d: %w", i, err)
+		}
+		if i == 0 {
+			version = ans.Version
+		} else if ans.Version != version {
+			return 0, fmt.Errorf("replica %d assigned version %d, replica 0 assigned %d (registries out of lockstep)", i, ans.Version, version)
+		}
+	}
+	return version, nil
+}
+
+// Canary starts a canary of version id at the given fraction on every
+// replica.
+func (c *Client) Canary(ctx context.Context, version int, fraction float64) error {
+	payload, _ := json.Marshal(map[string]any{"version": version, "fraction": fraction})
+	_, err := c.Broadcast(ctx, "/canary", payload)
+	return err
+}
+
+// Promote promotes the live canary on every replica.
+func (c *Client) Promote(ctx context.Context) error {
+	_, err := c.Broadcast(ctx, "/promote", []byte("{}"))
+	return err
+}
+
+// Rollback rolls every replica back to its previous version.
+func (c *Client) Rollback(ctx context.Context) error {
+	_, err := c.Broadcast(ctx, "/rollback", []byte("{}"))
+	return err
+}
+
+// Reload hot-reloads an encoded artifact (or bundle) on every replica.
+func (c *Client) Reload(ctx context.Context, artifact []byte) error {
+	_, err := c.Broadcast(ctx, "/reload", artifact)
+	return err
+}
+
+// RegistryStatus fetches replica i's GET /registry document.
+func (c *Client) RegistryStatus(ctx context.Context, i int) (RegistryStatus, error) {
+	var st RegistryStatus
+	err := c.getJSON(ctx, c.replicas[i]+"/registry", &st)
+	return st, err
+}
+
+// Metrics fetches replica i's /metrics document into v (pass a
+// pointer to the caller's struct; the document is a superset of
+// reconfig.MetricsSnapshot).
+func (c *Client) Metrics(ctx context.Context, i int, v any) error {
+	return c.getJSON(ctx, c.replicas[i]+"/metrics", v)
+}
+
+func (c *Client) getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

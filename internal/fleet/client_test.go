@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// testFleet spins n in-process replicas over a fresh nafta mesh and
+// returns the client plus the servers.
+func testFleet(t *testing.T, n int) (*Client, []*Server) {
+	t.Helper()
+	g := topology.NewMesh(8, 8)
+	art := buildArt(t, "nafta", 1, g)
+	urls := make([]string, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(art, nil, g, Options{
+			CacheEntries: 1024,
+			Shard:        ShardInfo{Index: i, Count: n},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Mux())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+		servers[i] = srv
+	}
+	client, err := NewClient(urls, ClientOptions{Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, servers
+}
+
+func TestClientScatterGatherOrder(t *testing.T) {
+	client, servers := testFleet(t, 3)
+	g := servers[0].Graph()
+	const n = 120
+	reqs := make([]reconfig.DecisionRequest, n)
+	for i := range reqs {
+		reqs[i] = reconfig.DecisionRequest{
+			Node: i % g.Nodes(), InPort: routing.InjectionPort,
+			Src: i % g.Nodes(), Dst: (i + 9) % g.Nodes(), Length: 4,
+		}
+		if reqs[i].Src == reqs[i].Dst {
+			reqs[i].Dst = (reqs[i].Dst + 1) % g.Nodes()
+		}
+	}
+	out, err := client.DecideBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("%d decisions for %d requests", len(out), n)
+	}
+	// Order check: answer i must be the single-node answer for request
+	// i — decided on the replica owning reqs[i].Node, gathered back to
+	// position i.
+	ref, err := reconfig.NewService(buildArt(t, "nafta", 1, g), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if out[i].Error != "" {
+			t.Fatalf("decision %d: %s", i, out[i].Error)
+		}
+		want, _, _ := ref.Decide(&reqs[i], nil)
+		if !candidatesEqual(out[i].Candidates, want) {
+			t.Fatalf("decision %d out of order or wrong: got %+v want %+v", i, out[i].Candidates, want)
+		}
+	}
+	// No replica answered a node it does not own.
+	for i, srv := range servers {
+		if m := srv.Metrics(); m.Misdirected != 0 {
+			t.Fatalf("replica %d saw %d misdirected requests", i, m.Misdirected)
+		}
+	}
+}
+
+func TestClientRetriesFlakyReplica(t *testing.T) {
+	g := topology.NewMesh(4, 4)
+	art := buildArt(t, "nafta", 1, g)
+	srv, err := NewServer(art, nil, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := srv.Mux()
+	var failures atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The replica is down for the first two attempts, then recovers.
+		if failures.Add(1) <= 2 {
+			http.Error(w, "replica restarting", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	client, err := NewClient([]string{flaky.URL}, ClientOptions{Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := reconfig.DecisionRequest{Node: 0, InPort: routing.InjectionPort, Src: 0, Dst: 5, Length: 4}
+	d, err := client.Decide(context.Background(), &req)
+	if err != nil {
+		t.Fatalf("retry did not mask the flaky replica: %v", err)
+	}
+	if d.Error != "" || d.Unroutable {
+		t.Fatalf("decision %+v", d)
+	}
+	if got := failures.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "dead", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	client, err := NewClient([]string{down.URL}, ClientOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := reconfig.DecisionRequest{Node: 0, InPort: routing.InjectionPort, Src: 0, Dst: 1, Length: 4}
+	_, err = client.Decide(context.Background(), &req)
+	if err == nil {
+		t.Fatal("permanently down replica did not error")
+	}
+}
+
+func TestClientContextCancelsBackoff(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "dead", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	client, err := NewClient([]string{down.URL}, ClientOptions{Retries: 10, Backoff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := reconfig.DecisionRequest{Node: 0, InPort: routing.InjectionPort, Src: 0, Dst: 1, Length: 4}
+	start := time.Now()
+	_, err = client.Decide(ctx, &req)
+	if err == nil {
+		t.Fatal("cancelled context returned a decision")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored the context deadline")
+	}
+}
+
+func TestClientFleetRollout(t *testing.T) {
+	client, servers := testFleet(t, 3)
+	g := servers[0].Graph()
+	art := buildArt(t, "nafta", 2, g)
+	payload := encodeArt(t, art)
+
+	ctx := context.Background()
+	v, err := client.Push(ctx, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("fleet push assigned version %d", v)
+	}
+	if err := client.Canary(ctx, v, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Promote(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range servers {
+		st, err := client.RegistryStatus(ctx, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Serving != 2 {
+			t.Fatalf("replica %d serving v%d after fleet promote", i, st.Serving)
+		}
+	}
+	if err := client.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range servers {
+		st, _ := client.RegistryStatus(ctx, i)
+		if st.Serving != 1 {
+			t.Fatalf("replica %d serving v%d after fleet rollback", i, st.Serving)
+		}
+	}
+}

@@ -1,0 +1,522 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	httppprof "net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/failover"
+	"repro/internal/fault"
+	"repro/internal/reconfig"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// FailoverModes are the values Options.FailoverMode accepts.
+var FailoverModes = []string{"auto", "off"}
+
+// Options configure one fleet replica server.
+type Options struct {
+	// Shards is the engine-replica count of the decision service
+	// (default 1).
+	Shards int
+	// FailoverMode is "auto" (precompile backups when the served file
+	// is a bundle) or "off" (default "auto").
+	FailoverMode string
+	// CacheEntries bounds the decision memoization cache; 0 disables.
+	CacheEntries int
+	// Shard is this replica's slice of the topology (default: owns
+	// everything).
+	Shard ShardInfo
+	// MaxBatch bounds /decide/batch length (default 4096).
+	MaxBatch int
+	// Pprof mounts net/http/pprof under /debug/pprof/ — opt-in, so a
+	// production router is not profiling-exposed by accident.
+	Pprof bool
+}
+
+// Server is one fleet replica: the registry-fronted decision service
+// plus its HTTP surface. cmd/routerd runs exactly one; cmd/fleetload
+// spins several in-process.
+type Server struct {
+	reg      *Registry
+	g        topology.Graph
+	nodes    int
+	shard    ShardInfo
+	maxBatch int
+	failMode string
+	pprof    bool
+	bufs     sync.Pool
+
+	misdirected atomic.Int64
+
+	// planeMu guards plane (replaced on /reload of a bundle).
+	planeMu sync.Mutex
+	plane   *failover.Plane
+}
+
+// NewServer builds a replica serving art on g. When bundle is non-nil
+// and FailoverMode is auto, the per-fault-class backup engines are
+// precompiled and bound through the registry (so a flip invalidates
+// the memoization cache like any other epoch event).
+func NewServer(art *reconfig.Artifact, bundle *failover.Bundle, g topology.Graph, opts Options) (*Server, error) {
+	if opts.FailoverMode == "" {
+		opts.FailoverMode = "auto"
+	}
+	if !ValidFailoverMode(opts.FailoverMode) {
+		return nil, fmt.Errorf("unknown failover mode %q (valid: %s)", opts.FailoverMode, strings.Join(FailoverModes, ", "))
+	}
+	if opts.Shard == (ShardInfo{}) {
+		opts.Shard = Single
+	}
+	if !opts.Shard.Valid() {
+		return nil, fmt.Errorf("bad shard %s", opts.Shard)
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 4096
+	}
+	reg, err := NewRegistry(art, g, RegistryOptions{Shards: opts.Shards, CacheEntries: opts.CacheEntries})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:      reg,
+		g:        g,
+		nodes:    g.Nodes(),
+		shard:    opts.Shard,
+		maxBatch: opts.MaxBatch,
+		failMode: opts.FailoverMode,
+		pprof:    opts.Pprof,
+	}
+	if bundle != nil && opts.FailoverMode == "auto" {
+		if err := s.installBundle(bundle); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ValidFailoverMode reports whether m is an accepted failover mode.
+func ValidFailoverMode(m string) bool {
+	for _, v := range FailoverModes {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry returns the replica's registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Service returns the underlying decision service.
+func (s *Server) Service() *reconfig.Service { return s.reg.Service() }
+
+// Graph returns the serving topology.
+func (s *Server) Graph() topology.Graph { return s.g }
+
+// Shard returns the replica's topology shard.
+func (s *Server) Shard() ShardInfo { return s.shard }
+
+// Plane returns the attached failover plane, nil when none.
+func (s *Server) Plane() *failover.Plane {
+	s.planeMu.Lock()
+	defer s.planeMu.Unlock()
+	return s.plane
+}
+
+// installBundle precompiles the bundle's backup engines and binds the
+// plane through the registry (one engine lane per service shard).
+func (s *Server) installBundle(bundle *failover.Bundle) error {
+	plane, err := failover.NewPlane(bundle, s.g, failover.PlaneOptions{Lanes: s.reg.Service().Shards()})
+	if err != nil {
+		return err
+	}
+	plane.Bind(s.reg)
+	s.planeMu.Lock()
+	s.plane = plane
+	s.planeMu.Unlock()
+	return nil
+}
+
+// Mux builds the replica's HTTP surface.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /decide", s.handleDecide)
+	mux.HandleFunc("POST /decide/batch", s.handleBatch)
+	mux.HandleFunc("POST /reload", s.handleReload)
+	mux.HandleFunc("POST /fault", s.handleFault)
+	mux.HandleFunc("POST /registry/push", s.handlePush)
+	mux.HandleFunc("GET /registry", s.handleRegistry)
+	mux.HandleFunc("POST /canary", s.handleCanary)
+	mux.HandleFunc("POST /canary/stop", s.handleCanaryStop)
+	mux.HandleFunc("POST /promote", s.handlePromote)
+	mux.HandleFunc("POST /rollback", s.handleRollback)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
+	return mux
+}
+
+func (s *Server) getBuf() []routing.Candidate {
+	if b, ok := s.bufs.Get().(*[]routing.Candidate); ok {
+		return (*b)[:0]
+	}
+	return make([]routing.Candidate, 0, 8)
+}
+
+func (s *Server) putBuf(b []routing.Candidate) { s.bufs.Put(&b) }
+
+// Decision mirrors reconfig.Decision for the HTTP layer.
+type Decision = reconfig.Decision
+
+// decide runs one request through the fleet decision path (shard
+// ownership, canary sampling, memoization, service) and renders the
+// wire result.
+func (s *Server) decide(req *reconfig.DecisionRequest, buf []routing.Candidate) (Decision, []routing.Candidate) {
+	if req.Node >= 0 && req.Node < s.nodes && !s.shard.Owns(req.Node) {
+		s.misdirected.Add(1)
+		return Decision{
+			Error: fmt.Sprintf("node %d is owned by replica %d/%d (this is replica %s)",
+				req.Node, Owner(req.Node, s.shard.Count), s.shard.Count, s.shard),
+		}, buf
+	}
+	cands, epoch, err := s.reg.Decide(req, buf)
+	d := Decision{Epoch: epoch}
+	if err != nil {
+		d.Error = err.Error()
+		return d, cands
+	}
+	if len(cands) == 0 {
+		d.Unroutable = true
+		d.Candidates = []routing.Candidate{}
+	} else {
+		d.Candidates = append([]routing.Candidate(nil), cands...)
+	}
+	return d, cands
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req reconfig.DecisionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), nil)
+		return
+	}
+	buf := s.getBuf()
+	d, buf := s.decide(&req, buf)
+	s.putBuf(buf)
+	writeJSON(w, d)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []reconfig.DecisionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&reqs); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding batch: %v", err), nil)
+		return
+	}
+	if len(reqs) > s.maxBatch {
+		writeJSONError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d decisions exceeds the %d limit (split the batch)", len(reqs), s.maxBatch), nil)
+		return
+	}
+	out := make([]Decision, len(reqs))
+	buf := s.getBuf()
+	for i := range reqs {
+		out[i], buf = s.decide(&reqs[i], buf[:0])
+	}
+	s.putBuf(buf)
+	writeJSON(w, out)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 80<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	art, bundle, err := failover.DecodeAny(data)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	if bundle != nil {
+		// A bundle's classes are enumerated against a specific topology;
+		// a reload cannot change the serving topology.
+		g, err := bundle.Graph()
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error(), nil)
+			return
+		}
+		if g.Name() != s.g.Name() {
+			writeJSONError(w, http.StatusConflict,
+				fmt.Sprintf("bundle enumerated on %s, serving %s", g.Name(), s.g.Name()), nil)
+			return
+		}
+	}
+	epoch, err := s.reg.Reload(art)
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error(), nil)
+		return
+	}
+	if bundle != nil && s.failMode == "auto" {
+		// Rebuild the plane against the new primary; backups of the old
+		// bundle are obsolete by construction.
+		if err := s.installBundle(bundle); err != nil {
+			writeJSONError(w, http.StatusInternalServerError,
+				fmt.Sprintf("tables reloaded (epoch %d) but the failover plane failed: %v", epoch, err), nil)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{"epoch": epoch, "version": s.reg.Serving()})
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 80<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	art, bundle, err := failover.DecodeAny(data)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	if bundle != nil {
+		writeJSONError(w, http.StatusBadRequest,
+			"push takes a table artifact; POST bundles to /reload (backups precompile against the serving tables)", nil)
+		return
+	}
+	v, err := s.reg.Push(art)
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error(), nil)
+		return
+	}
+	writeJSON(w, map[string]any{"version": v.ID, "checksum": v.Checksum})
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.reg.Status())
+}
+
+// CanaryRequest is the wire form of POST /canary.
+type CanaryRequest struct {
+	Version  int     `json:"version"`
+	Fraction float64 `json:"fraction"`
+}
+
+func (s *Server) handleCanary(w http.ResponseWriter, r *http.Request) {
+	var req CanaryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), nil)
+		return
+	}
+	if req.Fraction == 0 {
+		req.Fraction = 0.1
+	}
+	if err := s.reg.StartCanary(req.Version, req.Fraction); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), versionChoices(s.reg))
+		return
+	}
+	writeJSON(w, s.reg.Canary())
+}
+
+func (s *Server) handleCanaryStop(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]bool{"stopped": s.reg.StopCanary()})
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
+	epoch, err := s.reg.Promote()
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error(), versionChoices(s.reg))
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": epoch, "serving": s.reg.Serving()})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
+	epoch, err := s.reg.Rollback()
+	if err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error(), versionChoices(s.reg))
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": epoch, "serving": s.reg.Serving()})
+}
+
+// versionChoices renders the pushed version ids as the valid-choice
+// list of registry errors.
+func versionChoices(reg *Registry) []string {
+	ids := reg.VersionIDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = fmt.Sprintf("%d", id)
+	}
+	return out
+}
+
+// FaultRequest is the wire form of a cumulative fault state.
+type FaultRequest struct {
+	Nodes []int    `json:"nodes,omitempty"`
+	Links [][2]int `json:"links,omitempty"`
+}
+
+// Set materialises the request, validating ranges against the serving
+// topology.
+func (fr *FaultRequest) Set(g topology.Graph) (*fault.Set, error) {
+	f := fault.NewSet()
+	for _, n := range fr.Nodes {
+		if n < 0 || n >= g.Nodes() {
+			return nil, fmt.Errorf("fault node %d out of range [0,%d)", n, g.Nodes())
+		}
+		f.FailNode(topology.NodeID(n))
+	}
+	for _, l := range fr.Links {
+		if l[0] < 0 || l[0] >= g.Nodes() || l[1] < 0 || l[1] >= g.Nodes() {
+			return nil, fmt.Errorf("fault link %v out of range [0,%d)", l, g.Nodes())
+		}
+		f.FailLink(topology.NodeID(l[0]), topology.NodeID(l[1]))
+	}
+	return f, nil
+}
+
+// handleFault applies a cumulative fault state: through the failover
+// plane when one is attached (covered class = atomic backup flip),
+// through the registry's live recompute otherwise. Either path
+// invalidates the memoization cache.
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var req FaultRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), nil)
+		return
+	}
+	f, err := req.Set(s.g)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	flipped := false
+	if p := s.Plane(); p != nil {
+		flipped = p.OnFault(f)
+	} else {
+		s.reg.UpdateFaults(f)
+	}
+	writeJSON(w, map[string]any{"flipped": flipped, "epoch": s.reg.Epoch()})
+}
+
+// MetricsDoc is the /metrics document: the decision-service snapshot
+// plus the fleet layers (cache, registry, shard) and the failover
+// plane when attached.
+type MetricsDoc struct {
+	reconfig.MetricsSnapshot
+	Shard       ShardInfo              `json:"shard"`
+	Misdirected int64                  `json:"misdirected"`
+	Cache       *CacheMetrics          `json:"cache,omitempty"`
+	Registry    *RegistryStatus        `json:"registry,omitempty"`
+	Failover    *failover.PlaneMetrics `json:"failover,omitempty"`
+}
+
+// Metrics snapshots the replica's full metrics document.
+func (s *Server) Metrics() MetricsDoc {
+	doc := MetricsDoc{
+		MetricsSnapshot: s.reg.Service().Metrics(),
+		Shard:           s.shard,
+		Misdirected:     s.misdirected.Load(),
+	}
+	if c := s.reg.Cache(); c != nil {
+		cm := c.Metrics()
+		doc.Cache = &cm
+	}
+	st := s.reg.Status()
+	doc.Registry = &st
+	if p := s.Plane(); p != nil {
+		pm := p.Metrics()
+		doc.Failover = &pm
+	}
+	return doc
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Metrics())
+}
+
+// errorDoc is the JSON error body every non-200 response carries:
+// the message plus, when the input names one of an enumerable set,
+// the valid choices (the HTTP face of the ftsim/rulec flag-validation
+// convention).
+type errorDoc struct {
+	Error string   `json:"error"`
+	Valid []string `json:"valid,omitempty"`
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string, valid []string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(errorDoc{Error: msg, Valid: valid}); err != nil {
+		log.Printf("fleet: writing error response: %v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("fleet: writing response: %v", err)
+	}
+}
+
+// LoadOrBuild reads an artifact or bundle file, or compiles the
+// builtin program of the requested family when path is empty — the
+// shared startup path of routerd and fleetload.
+func LoadOrBuild(path, algo string, opts reconfig.BuildOptions) (*reconfig.Artifact, *failover.Bundle, error) {
+	if path == "" {
+		art, err := reconfig.Build(algo, opts)
+		return art, nil, err
+	}
+	return failover.LoadPath(path)
+}
+
+// TopologyFor builds the topology the artifact's family routes on:
+// nafta and maze take the WxH mesh spec, routec pins the hypercube
+// dimension the artifact was compiled for.
+func TopologyFor(art *reconfig.Artifact, meshSpec string) (topology.Graph, error) {
+	parseMesh := func() (int, int, error) {
+		var w, h int
+		if _, err := fmt.Sscanf(strings.ToLower(meshSpec), "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {
+			return 0, 0, fmt.Errorf("bad -mesh %q (want WxH, both >= 2)", meshSpec)
+		}
+		return w, h, nil
+	}
+	switch art.Algorithm {
+	case "nafta":
+		w, h, err := parseMesh()
+		if err != nil {
+			return nil, err
+		}
+		return topology.NewMesh(w, h), nil
+	case "routec":
+		return topology.NewHypercube(art.CubeDim), nil
+	case "maze":
+		w, h, err := parseMesh()
+		if err != nil {
+			return nil, err
+		}
+		m := topology.NewMesh(w, h)
+		if m.Ports() != art.Ports {
+			return nil, fmt.Errorf("maze artifact compiled for %d ports, mesh has %d", art.Ports, m.Ports())
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("artifact names unknown algorithm %q", art.Algorithm)
+}

@@ -92,6 +92,28 @@ func (h *Histogram) Add(v float64) {
 	h.bins[i]++
 }
 
+// Merge folds o's counts into h. The two histograms must have the
+// same shape (bin width and bin count) — fleetload merges per-worker
+// latency histograms recorded lock-free into one fleet-wide
+// distribution, and a shape mismatch would silently shift every
+// percentile, so it is an error rather than a best-effort rebin. A nil
+// or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if o.binWidth != h.binWidth || len(o.bins) != len(h.bins) {
+		return fmt.Errorf("metrics: merging histogram of %d bins width %g into %d bins width %g",
+			len(o.bins), o.binWidth, len(h.bins), h.binWidth)
+	}
+	for i, c := range o.bins {
+		h.bins[i] += c
+	}
+	h.overflow += o.overflow
+	h.total += o.total
+	return nil
+}
+
 // Total returns the observation count.
 func (h *Histogram) Total() int64 { return h.total }
 

@@ -180,6 +180,88 @@ func TestPercentileP999Tail(t *testing.T) {
 	}
 }
 
+// Merge must be exactly equivalent to having recorded every sample
+// into one histogram — fleetload's cross-worker aggregation depends on
+// the merged percentiles matching a single-writer run.
+func TestHistogramMerge(t *testing.T) {
+	whole := NewHistogram(10, 5)
+	a := NewHistogram(10, 5)
+	b := NewHistogram(10, 5)
+	for i, v := range []float64{1, 12, 23, 23, 49, 120, -3, 7, 95, 200} {
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != whole.Total() || a.Overflow() != whole.Overflow() {
+		t.Fatalf("merged total=%d overflow=%d, want %d/%d", a.Total(), a.Overflow(), whole.Total(), whole.Overflow())
+	}
+	for i := 0; i < 5; i++ {
+		if a.Bin(i) != whole.Bin(i) {
+			t.Fatalf("merged bin %d = %d, want %d", i, a.Bin(i), whole.Bin(i))
+		}
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99, 0.999} {
+		if got, want := a.Percentile(p), whole.Percentile(p); got != want {
+			t.Fatalf("merged Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	// b is untouched by the merge.
+	if b.Total() != 5 {
+		t.Fatalf("source histogram mutated: total %d", b.Total())
+	}
+}
+
+func TestHistogramMergeEdges(t *testing.T) {
+	h := NewHistogram(10, 4)
+	h.Add(15)
+
+	// Merging nil or an empty histogram (even a mis-shaped empty one)
+	// is a no-op, not an error: an idle worker contributes nothing.
+	if err := h.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	if err := h.Merge(NewHistogram(99, 1)); err != nil {
+		t.Fatalf("empty mis-shaped merge: %v", err)
+	}
+	if h.Total() != 1 {
+		t.Fatalf("no-op merges changed total to %d", h.Total())
+	}
+
+	// A non-empty shape mismatch is an error and must not partially
+	// apply.
+	wrong := NewHistogram(5, 4)
+	wrong.Add(3)
+	if err := h.Merge(wrong); err == nil {
+		t.Fatal("bin-width mismatch accepted")
+	}
+	wrongLen := NewHistogram(10, 8)
+	wrongLen.Add(3)
+	if err := h.Merge(wrongLen); err == nil {
+		t.Fatal("bin-count mismatch accepted")
+	}
+	if h.Total() != 1 || h.Bin(0) != 0 {
+		t.Fatalf("failed merge mutated target: total=%d bin0=%d", h.Total(), h.Bin(0))
+	}
+
+	// Negative samples were clamped into bin 0 at Add time; a merge
+	// carries the clamped counts, it does not re-clamp or drop them.
+	neg := NewHistogram(10, 4)
+	neg.Add(-5)
+	neg.Add(-0.5)
+	if err := h.Merge(neg); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 3 || h.Bin(0) != 2 {
+		t.Fatalf("negative-sample merge: total=%d bin0=%d, want 3/2", h.Total(), h.Bin(0))
+	}
+}
+
 // Negative observations clamp into the first bin rather than panicking
 // or skewing the total.
 func TestHistogramNegativeSamples(t *testing.T) {

@@ -215,11 +215,28 @@ func (s *Service) Decide(req *DecisionRequest, buf []routing.Candidate) ([]routi
 // new tables. The epoch moves to max(current+1, art.Epoch) and the old
 // engines' dense tables are invalidated.
 func (s *Service) Reload(art *Artifact) (uint64, error) {
+	return s.ReloadPrepared(art, nil)
+}
+
+// ReloadPrepared is Reload with the cumulative fault state f applied
+// to the new engines *before* any shard sees them: the diagnosis
+// fixpoint runs on the freshly built engines off to the side, then the
+// per-shard flip installs tables that already know the faults. This is
+// how the fleet registry rolls a new table version out against live
+// fault state without a window in which fresh engines serve fault-free
+// tables (the correctness cliff a plain Reload+UpdateFaults sequence
+// would open). A nil f is a plain reload.
+func (s *Service) ReloadPrepared(art *Artifact, f *fault.Set) (uint64, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	engines, err := s.buildEngines(art, len(s.shards))
 	if err != nil {
 		return s.epoch.Load(), err
+	}
+	if f != nil && !f.Empty() {
+		for _, eng := range engines {
+			eng.UpdateFaults(f)
+		}
 	}
 	newEpoch := s.epoch.Load() + 1
 	if art.Epoch > newEpoch {
